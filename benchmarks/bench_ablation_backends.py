@@ -1,0 +1,45 @@
+"""Ablation — IBIG implementation backends (DESIGN.md design choices).
+
+Two independent axes, neither affecting answers (asserted):
+
+* rim verification: vectorised NumPy comparisons vs the paper's
+  per-dimension B+-tree bin scans (whose cost is the Eq. 6 model);
+* column storage: uncompressed vs CONCISE/WAH compressed-at-rest
+  (compression trades preparation time + decompress-on-demand for
+  storage; the query path itself uses materialised columns).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ibig import IBIGTKD
+from repro.core.naive import naive_tkd
+
+K = 8
+
+
+@pytest.mark.parametrize("backend", ["vectorised", "btree"])
+def test_ablation_rim_verification(benchmark, ind_ds, backend):
+    instance = IBIGTKD(
+        ind_ds, bins=32, use_btree=(backend == "btree"), compress=None
+    ).prepare()
+    benchmark.group = "ablation IBIG rim verification (ind)"
+
+    result = benchmark(instance.query, K)
+
+    assert result.score_multiset == naive_tkd(ind_ds, K).score_multiset
+
+
+@pytest.mark.parametrize("compress", [None, "concise", "wah"])
+def test_ablation_compression_prepare(benchmark, ind_ds, compress):
+    """Index preparation cost across storage codecs."""
+    benchmark.group = "ablation IBIG storage codec (ind)"
+
+    def build():
+        return IBIGTKD(ind_ds, bins=32, compress=compress).prepare()
+
+    instance = benchmark.pedantic(build, rounds=3, iterations=1)
+
+    benchmark.extra_info["index_bytes"] = instance.index_bytes
+    benchmark.extra_info["codec"] = compress or "none"

@@ -1,0 +1,89 @@
+"""Benchmarks for the beyond-the-paper extensions.
+
+* Streaming maintenance: one insert into a live :class:`StreamingTKD` vs
+  recomputing all scores from scratch — the O(n·d) vs O(n²·d) gap that
+  justifies the incremental design.
+* MFD evaluation: the UBB-style bound-pruned method vs naive full
+  scoring (the paper's "easily generalized" claim, quantified).
+* Partitioned (massive-data) TKD: query time across working-memory
+  budgets, with synopsis skips standing in for saved I/O.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mfd import top_k_dominating_mfd
+from repro.core.partitioned import PartitionedTKD
+from repro.core.score import score_all
+from repro.core.streaming import StreamingTKD
+
+K = 8
+
+
+@pytest.fixture(scope="module")
+def stream(ind_ds):
+    return StreamingTKD.from_dataset(ind_ds)
+
+
+def test_streaming_insert_delete(benchmark, stream):
+    benchmark.group = "extensions streaming (ind)"
+    counter = iter(range(10**9))
+
+    def insert_then_delete():
+        object_id = stream.insert([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+        stream.delete(object_id)
+        next(counter)
+
+    benchmark(insert_then_delete)
+    assert stream.n > 0
+
+
+def test_streaming_full_recompute_baseline(benchmark, stream, ind_ds):
+    """What each update would cost without incremental maintenance."""
+    benchmark.group = "extensions streaming (ind)"
+
+    scores = benchmark.pedantic(score_all, args=(ind_ds,), rounds=2, iterations=1)
+    assert scores.size == ind_ds.n
+
+
+@pytest.mark.parametrize("method", ["naive", "ubb"])
+def test_mfd_methods(benchmark, nba_ds, method):
+    benchmark.group = "extensions MFD (nba)"
+
+    result = benchmark.pedantic(
+        top_k_dominating_mfd, args=(nba_ds, K), kwargs={"method": method},
+        rounds=2, iterations=1,
+    )
+
+    benchmark.extra_info["evaluated"] = result.evaluated
+    assert len(result.indices) == K
+
+
+def test_answer_stability_probe(benchmark, ind_ds):
+    """Bootstrap churn of the IND answer under 5% extra missingness."""
+    from repro.analysis import perturbation_stability
+
+    benchmark.group = "extensions stability (ind)"
+    report = benchmark.pedantic(
+        perturbation_stability, args=(ind_ds, K),
+        kwargs={"trials": 5, "drop_fraction": 0.05, "rng": 0},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["jaccard_mean"] = round(report["jaccard_mean"], 4)
+    assert 0.0 <= report["jaccard_mean"] <= 1.0
+
+
+@pytest.mark.parametrize("partition_rows", [128, 512, 2048])
+def test_partitioned_memory_budget(benchmark, ind_ds, partition_rows):
+    """Bounded-memory TKD across partition sizes (TDEP-inspired variant)."""
+    instance = PartitionedTKD(ind_ds, partition_rows=partition_rows)
+    instance.prepare()
+    benchmark.group = f"extensions partitioned (ind) k={K}"
+
+    result = benchmark(instance.query, K)
+
+    benchmark.extra_info["partitions"] = result.stats.extra.get("partitions")
+    benchmark.extra_info["skipped"] = result.stats.extra.get("partitions_skipped", 0)
+    benchmark.extra_info["synopsis_bytes"] = instance.index_bytes
+    assert len(result.indices) == K

@@ -1,0 +1,47 @@
+"""Fig. 10 — WAH vs CONCISE: compression CPU time and ratio.
+
+Paper series: per real dataset, the CPU time to compress the bitmap
+index (Fig. 10a) and the compression ratio (Fig. 10b). Expected shape:
+CONCISE ratio ≤ WAH ratio everywhere; NBA barely compresses (ratio ≈ 1);
+range encoding limits both codecs.
+
+Extension series: Roaring (not in the paper) on the same indexes — the
+structurally different challenger to "range encoding is not amenable to
+compression". Measured outcome: the claim survives. Run containers do
+collapse the all-ones missing-value columns, but the scattered dense
+columns dominating a range-encoded index cost Roaring's array/bitmap
+containers far more than the packed 1-bit representation (ratios > 1
+everywhere, up to ~5x on NBA/Zillow-like data).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitmap.compression import compress_index
+from repro.bitmap.index import BitmapIndex
+
+_INDEX_CACHE: dict[str, BitmapIndex] = {}
+
+
+def _index_for(name: str, dataset) -> BitmapIndex:
+    if name not in _INDEX_CACHE:
+        _INDEX_CACHE[name] = BitmapIndex(dataset)
+    return _INDEX_CACHE[name]
+
+
+@pytest.mark.parametrize("scheme", ["wah", "concise", "roaring"])
+@pytest.mark.parametrize("dataset_name", ["movielens", "nba", "zillow"])
+def test_fig10_compress(benchmark, real_datasets, dataset_name, scheme):
+    index = _index_for(dataset_name, real_datasets[dataset_name])
+    benchmark.group = f"fig10 {dataset_name}"
+
+    report = benchmark(compress_index, index, scheme)
+
+    benchmark.extra_info["compression_ratio"] = round(report.ratio, 4)
+    benchmark.extra_info["original_bytes"] = report.original_bytes
+    benchmark.extra_info["compressed_bytes"] = report.compressed_bytes
+    # Word-aligned codecs hover around ratio 1 (the paper's finding);
+    # Roaring inflates dense range-encoded columns — up to ~5x.
+    limit = 8.0 if scheme == "roaring" else 2.0
+    assert 0 < report.ratio < limit

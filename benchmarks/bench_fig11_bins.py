@@ -1,0 +1,43 @@
+"""Fig. 11 — BIG vs IBIG across bin counts ξ.
+
+Paper series: per dataset, IBIG CPU time for ξ ∈ {…} next to BIG, with
+the index sizes S_BIG and S_IBIG printed in the figure header. Expected
+shape: IBIG query time falls and index size grows as ξ grows; S_IBIG ≪
+S_BIG throughout; ξ → C+1 degenerates to BIG.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import make_algorithm
+
+K = 8
+BIN_SWEEP = (2, 8, 32)
+
+
+@pytest.mark.parametrize("dataset_name", ["movielens", "nba", "zillow", "ind", "ac"])
+def test_fig11_big_reference(benchmark, real_datasets, synthetic_datasets, dataset_name):
+    dataset = {**real_datasets, **synthetic_datasets}[dataset_name]
+    algorithm = make_algorithm(dataset, "big").prepare()
+    benchmark.group = f"fig11 {dataset_name}"
+    benchmark.name = f"big C+1 [{dataset_name}]"
+
+    result = benchmark(algorithm.query, K)
+
+    benchmark.extra_info["index_bytes"] = algorithm.index_bytes
+    assert len(result) == K
+
+
+@pytest.mark.parametrize("bins", BIN_SWEEP)
+@pytest.mark.parametrize("dataset_name", ["movielens", "nba", "zillow", "ind", "ac"])
+def test_fig11_ibig_bins(benchmark, real_datasets, synthetic_datasets, dataset_name, bins):
+    dataset = {**real_datasets, **synthetic_datasets}[dataset_name]
+    algorithm = make_algorithm(dataset, "ibig", bins=bins).prepare()
+    benchmark.group = f"fig11 {dataset_name}"
+
+    result = benchmark(algorithm.query, K)
+
+    benchmark.extra_info["index_bytes"] = algorithm.index_bytes
+    benchmark.extra_info["bins"] = bins
+    assert len(result) == K

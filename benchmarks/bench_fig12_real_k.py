@@ -1,0 +1,33 @@
+"""Fig. 12 — TKD cost vs k on the real datasets (Naive included).
+
+Paper series: CPU time of Naive, ESB, UBB, BIG, IBIG for k ∈ {4..64} on
+MovieLens, NBA, Zillow. Expected shape: BIG/IBIG fastest, then UBB, then
+ESB, Naive slowest; all grow with k; the UBB-vs-BIG gap nearly closes on
+NBA (tight MaxScore under correlated stats).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import IBIG_BINS
+from repro import make_algorithm
+
+KS = (4, 16, 64)
+ALGORITHMS = ("naive", "esb", "ubb", "big", "ibig")
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("dataset_name", ["movielens", "nba", "zillow"])
+def test_fig12_query(benchmark, real_datasets, dataset_name, algorithm, k):
+    dataset = real_datasets[dataset_name]
+    options = {"bins": IBIG_BINS[dataset_name]} if algorithm == "ibig" else {}
+    instance = make_algorithm(dataset, algorithm, **options).prepare()
+    benchmark.group = f"fig12 {dataset_name} k={k}"
+
+    result = benchmark(instance.query, k)
+
+    benchmark.extra_info["top_score"] = result.scores[0]
+    benchmark.extra_info["scored"] = result.stats.scores_computed
+    assert len(result) == k

@@ -1,0 +1,31 @@
+"""Fig. 13 — TKD cost vs k on synthetic IND/AC.
+
+Paper series: CPU time of ESB, UBB, BIG, IBIG for k ∈ {4..64} (Naive is
+dropped, as in the paper). Expected shape: BIG/IBIG ≪ UBB < ESB; cost
+grows with k; ESB's candidate set (hence cost) is larger on AC.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import IBIG_BINS
+from repro import make_algorithm
+
+KS = (4, 16, 64)
+ALGORITHMS = ("esb", "ubb", "big", "ibig")
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("dataset_name", ["ind", "ac"])
+def test_fig13_query(benchmark, synthetic_datasets, dataset_name, algorithm, k):
+    dataset = synthetic_datasets[dataset_name]
+    options = {"bins": IBIG_BINS[dataset_name]} if algorithm == "ibig" else {}
+    instance = make_algorithm(dataset, algorithm, **options).prepare()
+    benchmark.group = f"fig13 {dataset_name} k={k}"
+
+    result = benchmark(instance.query, k)
+
+    benchmark.extra_info["scored"] = result.stats.scores_computed
+    assert len(result) == k

@@ -1,0 +1,41 @@
+"""Fig. 14 — TKD cost vs dataset cardinality N (IND/AC).
+
+Paper series: CPU time of ESB, UBB, BIG, IBIG as N sweeps 50K→250K
+(scaled here). Expected shape: every algorithm grows with N; BIG/IBIG
+stay well below ESB/UBB across the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled
+from repro import make_algorithm
+from repro.datasets import anticorrelated_dataset, independent_dataset
+
+K = 8
+N_SWEEP = (1000, 2000, 4000)
+ALGORITHMS = ("esb", "ubb", "big", "ibig")
+
+_CACHE = {}
+
+
+def _dataset(kind: str, n: int):
+    key = (kind, n)
+    if key not in _CACHE:
+        factory = independent_dataset if kind == "ind" else anticorrelated_dataset
+        _CACHE[key] = factory(scaled(n), 10, cardinality=100, missing_rate=0.1, seed=0)
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("n", N_SWEEP)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kind", ["ind", "ac"])
+def test_fig14_query(benchmark, kind, algorithm, n):
+    dataset = _dataset(kind, n)
+    options = {"bins": 32} if algorithm == "ibig" else {}
+    instance = make_algorithm(dataset, algorithm, **options).prepare()
+    benchmark.group = f"fig14 {kind} n={n}"
+
+    result = benchmark(instance.query, K)
+    assert len(result) == K

@@ -1,0 +1,41 @@
+"""Fig. 15 — TKD cost vs dimensionality (IND/AC).
+
+Paper series: CPU time of ESB, UBB, BIG, IBIG for dim ∈ {5..25}.
+Expected shape: cost rises with dim for every algorithm (each score
+computation touches more columns) and the BIG/IBIG advantage persists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled
+from repro import make_algorithm
+from repro.datasets import anticorrelated_dataset, independent_dataset
+
+K = 8
+DIM_SWEEP = (5, 15, 25)
+ALGORITHMS = ("esb", "ubb", "big", "ibig")
+
+_CACHE = {}
+
+
+def _dataset(kind: str, dim: int):
+    key = (kind, dim)
+    if key not in _CACHE:
+        factory = independent_dataset if kind == "ind" else anticorrelated_dataset
+        _CACHE[key] = factory(scaled(1500), dim, cardinality=100, missing_rate=0.1, seed=0)
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("dim", DIM_SWEEP)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kind", ["ind", "ac"])
+def test_fig15_query(benchmark, kind, algorithm, dim):
+    dataset = _dataset(kind, dim)
+    options = {"bins": 32} if algorithm == "ibig" else {}
+    instance = make_algorithm(dataset, algorithm, **options).prepare()
+    benchmark.group = f"fig15 {kind} dim={dim}"
+
+    result = benchmark(instance.query, K)
+    assert len(result) == K

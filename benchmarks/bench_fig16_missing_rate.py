@@ -1,0 +1,41 @@
+"""Fig. 16 — TKD cost vs missing rate σ (IND/AC).
+
+Paper series: CPU time of ESB, UBB, BIG, IBIG for σ ∈ {0..40%}.
+Expected shape: CPU time *drops* as σ grows — fewer comparable pairs
+mean cheaper score computations — the paper's counter-intuitive finding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled
+from repro import make_algorithm
+from repro.datasets import anticorrelated_dataset, independent_dataset
+
+K = 8
+RATE_SWEEP = (0.0, 0.1, 0.4)
+ALGORITHMS = ("esb", "ubb", "big", "ibig")
+
+_CACHE = {}
+
+
+def _dataset(kind: str, rate: float):
+    key = (kind, rate)
+    if key not in _CACHE:
+        factory = independent_dataset if kind == "ind" else anticorrelated_dataset
+        _CACHE[key] = factory(scaled(1500), 10, cardinality=100, missing_rate=rate, seed=0)
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("rate", RATE_SWEEP)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kind", ["ind", "ac"])
+def test_fig16_query(benchmark, kind, algorithm, rate):
+    dataset = _dataset(kind, rate)
+    options = {"bins": 32} if algorithm == "ibig" else {}
+    instance = make_algorithm(dataset, algorithm, **options).prepare()
+    benchmark.group = f"fig16 {kind} sigma={rate:.0%}"
+
+    result = benchmark(instance.query, K)
+    assert len(result) == K

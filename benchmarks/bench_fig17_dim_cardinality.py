@@ -1,0 +1,43 @@
+"""Fig. 17 — TKD cost vs per-dimension cardinality c (IND/AC).
+
+Paper series: CPU time of ESB, UBB, BIG, IBIG for c ∈ {50..800}.
+Expected shape: near-flat — c moves index size, not query cost (the
+paper notes "CPU time is not very sensitive to c").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled
+from repro import make_algorithm
+from repro.datasets import anticorrelated_dataset, independent_dataset
+
+K = 8
+CARDINALITY_SWEEP = (50, 200, 800)
+ALGORITHMS = ("esb", "ubb", "big", "ibig")
+
+_CACHE = {}
+
+
+def _dataset(kind: str, cardinality: int):
+    key = (kind, cardinality)
+    if key not in _CACHE:
+        factory = independent_dataset if kind == "ind" else anticorrelated_dataset
+        _CACHE[key] = factory(
+            scaled(1500), 10, cardinality=cardinality, missing_rate=0.1, seed=0
+        )
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("cardinality", CARDINALITY_SWEEP)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("kind", ["ind", "ac"])
+def test_fig17_query(benchmark, kind, algorithm, cardinality):
+    dataset = _dataset(kind, cardinality)
+    options = {"bins": 32} if algorithm == "ibig" else {}
+    instance = make_algorithm(dataset, algorithm, **options).prepare()
+    benchmark.group = f"fig17 {kind} c={cardinality}"
+
+    result = benchmark(instance.query, K)
+    assert len(result) == K

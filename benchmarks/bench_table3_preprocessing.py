@@ -1,0 +1,57 @@
+"""Table 3 — preprocessing time of the three auxiliary structures.
+
+Paper rows: per dataset, the cost of (a) MaxScore + F computation,
+(b) the exact bitmap index, (c) the binned bitmap index. Expected shape:
+building the exact bitmap index costs more than the binned one (more
+columns to create and maintain), and MaxScore/F is the cheapest phase.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import IBIG_BINS
+from repro.bitmap.binned import BinnedBitmapIndex
+from repro.bitmap.index import BitmapIndex
+from repro.core.maxscore import max_scores, maxscore_queue
+from repro.skyband.buckets import BucketIndex
+
+ALL = ["movielens", "nba", "zillow", "ind", "ac"]
+
+
+def _dataset(real_datasets, synthetic_datasets, name):
+    return {**real_datasets, **synthetic_datasets}[name]
+
+
+@pytest.mark.parametrize("dataset_name", ALL)
+def test_table3_maxscore_and_f(benchmark, real_datasets, synthetic_datasets, dataset_name):
+    dataset = _dataset(real_datasets, synthetic_datasets, dataset_name)
+    benchmark.group = f"table3 {dataset_name}"
+
+    def build():
+        scores = max_scores(dataset)
+        maxscore_queue(dataset, scores)
+        return BucketIndex(dataset)
+
+    buckets = benchmark(build)
+    assert len(buckets) >= 1
+
+
+@pytest.mark.parametrize("dataset_name", ALL)
+def test_table3_bitmap_index(benchmark, real_datasets, synthetic_datasets, dataset_name):
+    dataset = _dataset(real_datasets, synthetic_datasets, dataset_name)
+    benchmark.group = f"table3 {dataset_name}"
+
+    index = benchmark(BitmapIndex, dataset)
+
+    benchmark.extra_info["index_bytes"] = index.size_bits // 8
+
+
+@pytest.mark.parametrize("dataset_name", ALL)
+def test_table3_binned_bitmap_index(benchmark, real_datasets, synthetic_datasets, dataset_name):
+    dataset = _dataset(real_datasets, synthetic_datasets, dataset_name)
+    benchmark.group = f"table3 {dataset_name}"
+
+    index = benchmark(BinnedBitmapIndex, dataset, IBIG_BINS[dataset_name])
+
+    benchmark.extra_info["index_bytes"] = index.size_bits // 8

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Movie recommendation over sparse ratings — the paper's motivating app.
+
+The paper's introduction motivates TKD queries with MovieLens: movies are
+objects, audiences are dimensions, ratings 1–5 (larger is better), and 95%
+of the cells are missing because people only rate what they watched. A
+movie that dominates many others is one that *no* shared audience scored
+lower and *some* shared audience scored higher — a robust notion of
+popularity that needs no imputation.
+
+This example:
+
+1. generates a MovieLens-shaped dataset (3,700 × 60 at full size; scaled
+   down here for speed),
+2. answers "what are the 10 most dominant movies?" with BIG,
+3. compares against the weighted MFD variant (Section 3), which rewards
+   dominance established on *more* shared audiences,
+4. shows the incomplete-data skyline as companion output.
+
+Run:  python examples/movie_recommender.py
+"""
+
+import numpy as np
+
+from repro import top_k_dominating, top_k_dominating_mfd
+from repro.datasets import movielens_like
+from repro.skyband.incomplete import skyline_incomplete
+
+
+def main() -> None:
+    dataset = movielens_like(n_movies=600, n_audiences=60, seed=7)
+    print(dataset)
+    observed_per_movie = dataset.observed.sum(axis=1)
+    print(
+        f"ratings per movie: min={observed_per_movie.min()} "
+        f"median={int(np.median(observed_per_movie))} max={observed_per_movie.max()}"
+    )
+    print()
+
+    result = top_k_dominating(dataset, k=10, algorithm="big")
+    print("Top-10 dominating movies (each dominates this many other movies):")
+    for movie_id, score in result:
+        ratings = int(observed_per_movie[movie_id])
+        mean_rating = float(np.nanmean(dataset.values[movie_id]))
+        print(
+            f"  {dataset.ids[movie_id]:>6}  score={score:<5} "
+            f"ratings={ratings:<3} mean={mean_rating:.2f}"
+        )
+    print(f"\n{result.stats.summary()}")
+    print()
+
+    # MFD weighting: dominance asserted on many common audiences counts
+    # for more than dominance on a thin overlap (lambda discounts the
+    # one-sided audiences).
+    mfd = top_k_dominating_mfd(dataset, k=10, lam=0.5)
+    print("Top-10 under the MFD weighted operator:")
+    overlap = set(mfd.ids) & result.id_set
+    for movie_id, weighted in zip(mfd.ids, mfd.scores):
+        print(f"  {movie_id:>6}  weighted_score={weighted:.3f}")
+    print(f"shared with the unweighted answer: {len(overlap)}/10")
+    print()
+
+    skyline = skyline_incomplete(dataset)
+    print(f"incomplete-data skyline size: {len(skyline)} movies "
+          f"(TKD's k-bounded output vs the skyline's data-driven size)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""NBA scouting with incomplete career stats — who dominates the league?
+
+The paper's NBA dataset ranks ~16,000 players on games, minutes, points
+and offensive rebounds with 20% of the values missing. This example runs
+the full decision-support workflow:
+
+1. answer the T10D query on incomplete data (no imputation),
+2. answer it again after *inferring* the missing stats with the paper's
+   Table 4 factorization model, and report the Jaccard distance between
+   the two philosophies,
+3. show why UBB is nearly as good as BIG on NBA-like data (the paper's
+   Fig. 12b observation): positively correlated stats make the MaxScore
+   bound tight, so Heuristic 1 already prunes nearly everything.
+
+Run:  python examples/nba_scouting.py
+"""
+
+from repro import make_algorithm, top_k_dominating
+from repro.core.complete import complete_tkd
+from repro.datasets import nba_like
+from repro.imputation import FactorizationImputer
+
+
+def main() -> None:
+    dataset = nba_like(n_players=3000, seed=3)
+    print(dataset)
+    print()
+
+    incomplete_answer = top_k_dominating(dataset, k=10, algorithm="big")
+    print("Top-10 dominating players (incomplete-data model):")
+    for player, score in incomplete_answer:
+        stats_row = dataset.row_display(player)
+        print(f"  {dataset.ids[player]:>6}  score={score:<5} games/min/pts/oreb={stats_row}")
+    print()
+
+    # The imputation route (paper Table 4): 8 factors, L2, <= 50 ALS sweeps.
+    imputer = FactorizationImputer(n_factors=8, max_iter=50, seed=0)
+    completed = imputer.impute_dataset(dataset)
+    imputed_answer = complete_tkd(completed, 10, ids=dataset.ids)
+    shared = incomplete_answer.id_set & set(imputed_answer.ids)
+    union = incomplete_answer.id_set | set(imputed_answer.ids)
+    print(f"imputation-based answer shares {len(shared)}/10 players; "
+          f"Jaccard distance = {1 - len(shared) / len(union):.3f} "
+          f"(paper Table 4 reports 0.40-0.56; < 2/3 means majority agreement)")
+    print()
+
+    # Pruning anatomy: UBB vs BIG on correlated data.
+    for name in ("ubb", "big"):
+        algorithm = make_algorithm(dataset, name)
+        result = algorithm.query(10)
+        stats = result.stats
+        print(f"{name:>4}: evaluated {stats.scores_computed} of {dataset.n} objects, "
+              f"Heuristic-1 pruned {stats.pruned_h1}, query {stats.query_seconds * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Sensor fleet triage: missingness mechanisms + bounded-memory queries.
+
+An environmental-monitoring operator wants the k most reliable sensors —
+the ones that dominate the rest on drift, noise floor, battery draw, and
+dropout rate (lower is better everywhere). Readings go missing for
+reasons the paper's Section 3 taxonomy distinguishes:
+
+* **MCAR** — radio interference drops reports at random;
+* **MAR**  — hot sites (high drift) power-save and skip diagnostics, so
+  missingness depends on an *observed* value;
+* **NMAR** — the noise-floor probe saturates exactly when noise is worst,
+  so the worst values are the ones most likely to be absent.
+
+The example answers the same TKD query under each mechanism and shows how
+the answer drifts as the mechanism departs from the paper's MAR-ish
+assumption — then re-runs the fleet through the bounded-memory
+``partitioned`` algorithm, the way a telemetry archive too large for RAM
+would be queried.
+
+Run:  python examples/sensor_network.py
+"""
+
+import numpy as np
+
+from repro import IncompleteDataset, top_k_dominating
+from repro.core.partitioned import PartitionedTKD
+from repro.datasets import inject_mar, inject_mcar, inject_nmar
+
+
+def make_fleet(n, rng):
+    """Ground-truth sensor health metrics, all minimized (lower = better)."""
+    health = rng.normal(0, 1, n)  # latent "sensor quality"
+    drift = np.round(np.exp(0.8 - 0.6 * health + rng.normal(0, 0.3, n)), 2)
+    noise = np.round(np.exp(-1.0 - 0.5 * health + rng.normal(0, 0.4, n)), 3)
+    battery = np.round(20 - 4 * health + rng.normal(0, 2.0, n), 1).clip(1, None)
+    dropouts = np.rint(np.exp(1.5 - 0.7 * health + rng.normal(0, 0.5, n))).clip(0, None)
+    return np.column_stack([drift, noise, battery, dropouts])
+
+
+def rank_fleet(values, label, k=5):
+    ds = IncompleteDataset(
+        values,
+        ids=[f"s{i:03d}" for i in range(values.shape[0])],
+        dim_names=["drift", "noise", "battery", "dropouts"],
+        name=label,
+    )
+    result = top_k_dominating(ds, k, algorithm="big")
+    return ds, result
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    truth = make_fleet(600, rng)
+
+    # The oracle answer nothing real ever sees: zero missingness.
+    _, oracle = rank_fleet(truth, "complete")
+    print(f"oracle top-5 (no missing data): {sorted(oracle.ids)}")
+    print()
+
+    mechanisms = {
+        "mcar": inject_mcar(truth, 0.30, rng=np.random.default_rng(1)),
+        "mar": inject_mar(truth, 0.30, rng=np.random.default_rng(2), driver_dim=0),
+        "nmar": inject_nmar(truth, 0.30, rng=np.random.default_rng(3)),
+    }
+    print("same fleet, 30% missing under three mechanisms:")
+    for label, values in mechanisms.items():
+        ds, result = rank_fleet(values, label)
+        overlap = len(oracle.id_set & result.id_set)
+        print(
+            f"  {label:>4}: top-5 {sorted(result.ids)}  "
+            f"(shares {overlap}/5 with oracle, top score {result.scores[0]})"
+        )
+    print()
+    print("the answer drifts with the mechanism; under NMAR the missingness")
+    print("itself is informative (worst readings vanish), which is exactly")
+    print("why the paper's model assumes values are ~missing at random.")
+    print()
+
+    # Archive-scale querying: synopses + partition streaming.
+    ds = IncompleteDataset(
+        mechanisms["mcar"],
+        ids=[f"s{i:03d}" for i in range(truth.shape[0])],
+        name="telemetry-archive",
+    )
+    algorithm = PartitionedTKD(ds, partition_rows=64)
+    result = algorithm.query(5)
+    stats = result.stats
+    print(
+        f"partitioned query: {stats.extra['partitions']} partitions of "
+        f"{stats.extra['partition_rows']} rows, "
+        f"{stats.extra.get('partitions_skipped', 0)} skipped via synopses, "
+        f"synopsis store {algorithm.index_bytes} bytes"
+    )
+    print(f"answer unchanged: {sorted(result.ids)}")
+
+
+if __name__ == "__main__":
+    main()

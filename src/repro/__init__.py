@@ -1,0 +1,79 @@
+"""repro — Top-k dominating (TKD) queries on incomplete data.
+
+A complete, from-scratch reproduction of
+
+    Xiaoye Miao, Yunjun Gao, Baihua Zheng, Gang Chen, Huiyong Cui.
+    "Top-k Dominating Queries on Incomplete Data."
+    IEEE TKDE 28(1):252–266, 2016.
+
+Quickstart::
+
+    from repro import IncompleteDataset, top_k_dominating
+
+    ds = IncompleteDataset.from_rows(
+        [[5, None, 3], [1, 2, None], [None, 1, 1]],
+        directions="max",            # larger is better (e.g. ratings)
+    )
+    result = top_k_dominating(ds, k=2, algorithm="big")
+    for index, score in result:
+        print(ds.ids[index], score)
+
+The five algorithms of the paper are available by name: ``"naive"``,
+``"esb"``, ``"ubb"``, ``"big"``, and ``"ibig"`` — see
+:mod:`repro.core.query`. Substrates (bitmap indexes, WAH/CONCISE
+compression, B+-trees, skybands, dataset simulators, imputation) live in
+their own subpackages and are fully public.
+"""
+
+from .core.constrained import constrained_tkd, group_by_tkd
+from .core.dataset import IncompleteDataset
+from .core.dominance import comparable, dominates
+from .core.mfd import top_k_dominating_mfd
+from .core.partitioned import PartitionedTKD, partitioned_tkd
+from .core.query import (
+    ALGORITHMS,
+    available_algorithms,
+    make_algorithm,
+    top_k_dominating,
+)
+from .core.result import TKDResult
+from .core.score import score_all, score_one
+from .core.stats import QueryStats
+from .core.streaming import StreamingTKD
+from .core.subspace import subspace_tkd
+from .errors import (
+    DataError,
+    InvalidParameterError,
+    QueryError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IncompleteDataset",
+    "top_k_dominating",
+    "top_k_dominating_mfd",
+    "subspace_tkd",
+    "constrained_tkd",
+    "group_by_tkd",
+    "partitioned_tkd",
+    "PartitionedTKD",
+    "StreamingTKD",
+    "make_algorithm",
+    "available_algorithms",
+    "ALGORITHMS",
+    "TKDResult",
+    "QueryStats",
+    "dominates",
+    "comparable",
+    "score_one",
+    "score_all",
+    "ReproError",
+    "DataError",
+    "QueryError",
+    "InvalidParameterError",
+    "UnknownAlgorithmError",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""Small internal helpers shared across :mod:`repro` modules.
+
+Nothing in this module is part of the public API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import InvalidParameterError
+
+#: Strings (lower-cased, stripped) treated as a missing value when parsing
+#: text input such as CSV cells or ``from_rows`` string entries.
+MISSING_TOKENS = frozenset({"", "-", "na", "n/a", "nan", "none", "null", "?"})
+
+
+def coerce_rng(seed_or_rng) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, rng, or None."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def require_positive_int(value, name: str) -> int:
+    """Validate that *value* is a positive integer and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise InvalidParameterError(f"{name} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise InvalidParameterError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def require_fraction(value, name: str, *, inclusive_low=True, inclusive_high=True) -> float:
+    """Validate that *value* lies in [0, 1] (bounds per flags) and return it."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(f"{name} must be a number in [0, 1], got {value!r}") from None
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (low_ok and high_ok):
+        raise InvalidParameterError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def is_missing_cell(cell) -> bool:
+    """Decide whether a raw input cell denotes a missing value."""
+    if cell is None:
+        return True
+    if isinstance(cell, float) and np.isnan(cell):
+        return True
+    if isinstance(cell, str):
+        return cell.strip().lower() in MISSING_TOKENS
+    return False
+
+
+def parse_cell(cell) -> float:
+    """Convert a raw cell to ``float`` or ``nan`` when missing."""
+    if is_missing_cell(cell):
+        return float("nan")
+    if isinstance(cell, str):
+        return float(cell.strip())
+    return float(cell)
+
+
+def as_object_indices(indices: Iterable[int], n: int, name: str = "indices") -> list[int]:
+    """Validate an iterable of object indices against dataset size *n*."""
+    out = []
+    for idx in indices:
+        idx = int(idx)
+        if idx < 0 or idx >= n:
+            raise InvalidParameterError(f"{name} contains {idx}, outside [0, {n})")
+        out.append(idx)
+    return out
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *, float_fmt: str = "{:.4g}") -> str:
+    """Render *rows* as a fixed-width ASCII table (used by reporting/examples)."""
+    def fmt(value):
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[j]) for j, h in enumerate(headers)),
+        "  ".join("-" * widths[j] for j in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)

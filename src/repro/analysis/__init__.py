@@ -1,0 +1,26 @@
+"""Analysis substrates: dominance graphs, comparability statistics, and
+answer-stability measurements under missingness."""
+
+from .graph import (
+    ComparabilityStats,
+    comparability_stats,
+    dominance_graph,
+    find_dominance_cycles,
+    is_transitive,
+)
+from .stability import (
+    jaccard_distance,
+    missingness_sensitivity,
+    perturbation_stability,
+)
+
+__all__ = [
+    "dominance_graph",
+    "find_dominance_cycles",
+    "is_transitive",
+    "comparability_stats",
+    "ComparabilityStats",
+    "missingness_sensitivity",
+    "perturbation_stability",
+    "jaccard_distance",
+]

@@ -1,0 +1,188 @@
+"""Answer-quality analysis: how stable is a TKD answer under missingness?
+
+The paper closes with "we will further study how to improve the quality
+of TKD query over incomplete data" (Section 6). This module supplies the
+measurement side of that future-work direction:
+
+* :func:`missingness_sensitivity` — start from *complete* ground truth,
+  inject missingness at increasing rates under each mechanism (MCAR /
+  MAR / NMAR), and measure how far the incomplete-data answer drifts
+  from the complete-data answer (Jaccard distance, the paper's own
+  Table 4 metric, plus top-score retention).
+* :func:`perturbation_stability` — for a dataset that is *already*
+  incomplete (no ground truth available), hide small random fractions of
+  the remaining observed cells and measure answer churn across trials —
+  a bootstrap-style confidence signal for a production ranking.
+
+Both return plain row dictionaries, ready for
+:func:`repro.experiments.reporting` tables or pandas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import coerce_rng, require_fraction, require_positive_int
+from ..core.dataset import IncompleteDataset
+from ..core.query import top_k_dominating
+from ..datasets.missing import inject_mar, inject_mcar, inject_nmar
+from ..errors import InvalidParameterError
+
+__all__ = ["missingness_sensitivity", "perturbation_stability", "jaccard_distance"]
+
+_MECHANISMS = {
+    "mcar": inject_mcar,
+    "mar": inject_mar,
+    "nmar": inject_nmar,
+}
+
+
+def jaccard_distance(a, b) -> float:
+    """``1 − |A∩B| / |A∪B|`` over two id collections (0 when both empty)."""
+    a, b = set(a), set(b)
+    union = a | b
+    if not union:
+        return 0.0
+    return 1.0 - len(a & b) / len(union)
+
+
+def missingness_sensitivity(
+    complete_values: np.ndarray,
+    k: int,
+    *,
+    rates=(0.1, 0.2, 0.3, 0.4),
+    mechanisms=("mcar", "mar", "nmar"),
+    algorithm: str = "big",
+    trials: int = 3,
+    directions="min",
+    rng=None,
+) -> list[dict]:
+    """Answer drift vs a complete-data oracle across missingness settings.
+
+    Parameters
+    ----------
+    complete_values: ``(n, d)`` fully observed ground-truth matrix.
+    k: TKD answer size.
+    rates: missing rates to inject.
+    mechanisms: subset of ``{"mcar", "mar", "nmar"}``.
+    algorithm: registry name used for all queries.
+    trials: independent injections per (mechanism, rate) cell.
+
+    Returns one row per (mechanism, rate) with the mean Jaccard distance
+    from the oracle answer and the mean fraction of oracle objects kept.
+    """
+    complete_values = np.asarray(complete_values, dtype=np.float64)
+    if complete_values.ndim != 2:
+        raise InvalidParameterError(
+            f"expected a (n, d) matrix, got shape {complete_values.shape}"
+        )
+    if np.isnan(complete_values).any():
+        raise InvalidParameterError(
+            "missingness_sensitivity needs complete ground truth; "
+            "use perturbation_stability for already-incomplete data"
+        )
+    k = require_positive_int(k, "k")
+    trials = require_positive_int(trials, "trials")
+    unknown = set(mechanisms) - set(_MECHANISMS)
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown mechanisms {sorted(unknown)}; available: {sorted(_MECHANISMS)}"
+        )
+    rng = coerce_rng(rng)
+
+    ids = [f"o{i}" for i in range(complete_values.shape[0])]
+    oracle_ds = IncompleteDataset(complete_values, ids=ids, directions=directions)
+    oracle = top_k_dominating(oracle_ds, k, algorithm=algorithm)
+
+    rows = []
+    for mechanism in mechanisms:
+        inject = _MECHANISMS[mechanism]
+        for rate in rates:
+            rate = require_fraction(rate, "rate", inclusive_high=False)
+            distances, kept = [], []
+            for _ in range(trials):
+                holed = inject(complete_values, rate, rng=rng)
+                ds = IncompleteDataset(holed, ids=ids, directions=directions)
+                answer = top_k_dominating(ds, k, algorithm=algorithm)
+                distances.append(jaccard_distance(oracle.id_set, answer.id_set))
+                kept.append(len(oracle.id_set & answer.id_set) / k)
+            rows.append(
+                {
+                    "mechanism": mechanism,
+                    "rate": rate,
+                    "k": k,
+                    "trials": trials,
+                    "jaccard_mean": float(np.mean(distances)),
+                    "jaccard_max": float(np.max(distances)),
+                    "oracle_kept_mean": float(np.mean(kept)),
+                }
+            )
+    return rows
+
+
+def perturbation_stability(
+    dataset: IncompleteDataset,
+    k: int,
+    *,
+    drop_fraction: float = 0.05,
+    trials: int = 10,
+    algorithm: str = "big",
+    rng=None,
+) -> dict:
+    """Bootstrap-style churn of a TKD answer under extra missingness.
+
+    Hides a random *drop_fraction* of the currently observed cells
+    (never an object's last one), re-answers the query, and aggregates
+    over *trials*: per-object persistence frequencies and the mean
+    Jaccard distance from the unperturbed answer. High persistence =
+    an answer the data actually supports; low = rank fragility.
+    """
+    k = require_positive_int(k, "k")
+    trials = require_positive_int(trials, "trials")
+    drop_fraction = require_fraction(
+        drop_fraction, "drop_fraction", inclusive_low=False, inclusive_high=False
+    )
+    rng = coerce_rng(rng)
+
+    base = top_k_dominating(dataset, k, algorithm=algorithm)
+    values = dataset.values
+    observed = dataset.observed
+    persistence = {object_id: 0 for object_id in base.ids}
+    distances = []
+
+    for _ in range(trials):
+        holed = values.copy()
+        candidates = np.argwhere(observed)
+        # Never remove an object's only observed value (model requirement).
+        last_value_rows = observed.sum(axis=1) == 1
+        keep_mask = ~last_value_rows[candidates[:, 0]]
+        candidates = candidates[keep_mask]
+        n_drop = max(1, int(round(candidates.shape[0] * drop_fraction)))
+        chosen = candidates[rng.choice(candidates.shape[0], size=n_drop, replace=False)]
+        holed[chosen[:, 0], chosen[:, 1]] = np.nan
+        # Dropping several cells of one row could still blank it entirely;
+        # restore one dropped cell for any such row.
+        emptied = np.flatnonzero(~(~np.isnan(holed)).any(axis=1))
+        for row in emptied:
+            dim = chosen[chosen[:, 0] == row][0, 1]
+            holed[row, dim] = values[row, dim]
+
+        perturbed = IncompleteDataset(
+            holed, ids=list(dataset.ids), directions=list(dataset.directions)
+        )
+        answer = top_k_dominating(perturbed, k, algorithm=algorithm)
+        distances.append(jaccard_distance(base.id_set, answer.id_set))
+        for object_id in answer.id_set & base.id_set:
+            persistence[object_id] += 1
+
+    return {
+        "k": k,
+        "trials": trials,
+        "drop_fraction": drop_fraction,
+        "jaccard_mean": float(np.mean(distances)),
+        "jaccard_max": float(np.max(distances)),
+        "persistence": {
+            object_id: count / trials for object_id, count in persistence.items()
+        },
+        "baseline_ids": list(base.ids),
+    }

@@ -1,0 +1,19 @@
+"""Bitmap substrates: packed bitvectors, the range-encoded bitmap index,
+the binned bitmap index, and the WAH/CONCISE/Roaring compression codecs."""
+
+from .bitvector import BitVector
+from .compression import CODECS, get_codec
+from .concise import ConciseBitmap
+from .index import BitmapIndex
+from .roaring import RoaringBitmap
+from .wah import WAHBitmap
+
+__all__ = [
+    "BitVector",
+    "BitmapIndex",
+    "CODECS",
+    "get_codec",
+    "WAHBitmap",
+    "ConciseBitmap",
+    "RoaringBitmap",
+]

@@ -1,0 +1,63 @@
+"""31-bit block plumbing shared by the WAH and CONCISE codecs.
+
+Both codecs chop a bitmap into 31-bit *blocks* carried in 32-bit words
+(the spare bit encodes word type). This module converts between
+:class:`~repro.bitmap.bitvector.BitVector` and block arrays, and provides
+run-length grouping of equal consecutive blocks — the unit both encoders
+consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitvector import BitVector
+
+__all__ = ["ALL_ONES", "blocks_from_bitvector", "bitvector_from_blocks", "runs_from_blocks"]
+
+#: A fully-set 31-bit block.
+ALL_ONES = 0x7FFF_FFFF
+
+_POWERS = (1 << np.arange(31, dtype=np.uint64)).astype(np.uint64)
+
+
+def blocks_from_bitvector(vec: BitVector) -> np.ndarray:
+    """Split a bitvector into 31-bit little-endian blocks (zero padded)."""
+    bools = vec.to_bools()
+    n_blocks = (bools.size + 30) // 31
+    if n_blocks == 0:
+        return np.zeros(0, dtype=np.uint32)
+    padded = np.zeros(n_blocks * 31, dtype=np.uint64)
+    padded[: bools.size] = bools
+    return (padded.reshape(n_blocks, 31) * _POWERS).sum(axis=1).astype(np.uint32)
+
+
+def bitvector_from_blocks(blocks: np.ndarray, nbits: int) -> BitVector:
+    """Reassemble a bitvector of *nbits* bits from its 31-bit blocks."""
+    blocks = np.asarray(blocks, dtype=np.uint64)
+    if blocks.size == 0:
+        return BitVector.zeros(nbits)
+    bools = ((blocks[:, None] >> np.arange(31, dtype=np.uint64)) & 1).astype(bool)
+    return BitVector.from_bools(bools.reshape(-1)[:nbits])
+
+
+def runs_from_blocks(blocks: np.ndarray):
+    """Yield ``(block_value, count)`` runs of equal consecutive blocks.
+
+    Pure fills (all-zero / all-one blocks) become multi-block runs; dirty
+    blocks come out as single-block runs.
+    """
+    blocks = np.asarray(blocks, dtype=np.uint32)
+    index = 0
+    total = blocks.size
+    while index < total:
+        value = int(blocks[index])
+        if value == 0 or value == ALL_ONES:
+            end = index + 1
+            while end < total and int(blocks[end]) == value:
+                end += 1
+            yield value, end - index
+            index = end
+        else:
+            yield value, 1
+            index += 1

@@ -1,0 +1,211 @@
+"""CONCISE — Compressed 'n' Composable Integer Set (Colantonio & Di Pietro).
+
+Like WAH, CONCISE works in 31-bit blocks carried by 32-bit words, but its
+fill words can absorb one *dirty bit*:
+
+* **literal**  — MSB 1, low 31 bits verbatim;
+* **sequence** — MSB 0; bit 30 is the fill bit; bits 25–29 hold a 5-bit
+  ``position``: 0 for a pure fill, or ``p`` to flip bit ``p − 1`` of the
+  sequence's **first** block; bits 0–24 count the number of 31-bit blocks
+  in the sequence **minus one**.
+
+A lone set bit followed by a run of zeros (ubiquitous in sparse bitmaps)
+costs one word here versus two (literal + fill) in WAH — that is the whole
+compression-ratio advantage the paper's Fig. 10 reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ._blocks import ALL_ONES, bitvector_from_blocks, blocks_from_bitvector, runs_from_blocks
+from .bitvector import BitVector
+
+__all__ = ["ConciseBitmap"]
+
+_LITERAL_FLAG = 0x8000_0000
+_FILL_BIT = 0x4000_0000
+_POSITION_SHIFT = 25
+_POSITION_MASK = 0x1F << _POSITION_SHIFT
+_MAX_COUNT = (1 << 25) - 1  # stored count field (blocks - 1)
+
+
+def _single_set_bit(block: int) -> int | None:
+    """Bit index if *block* has exactly one set bit, else None."""
+    if block and (block & (block - 1)) == 0:
+        return block.bit_length() - 1
+    return None
+
+
+class ConciseBitmap:
+    """A CONCISE-compressed immutable bitmap."""
+
+    scheme = "concise"
+
+    def __init__(self, words: np.ndarray, nbits: int) -> None:
+        self._words = np.asarray(words, dtype=np.uint32)
+        self._nbits = int(nbits)
+
+    # -- codec ----------------------------------------------------------------
+
+    @classmethod
+    def compress(cls, vec: BitVector) -> "ConciseBitmap":
+        """Encode a plain bitvector."""
+        runs = list(runs_from_blocks(blocks_from_bitvector(vec)))
+        words: list[int] = []
+        i = 0
+        while i < len(runs):
+            value, count = runs[i]
+            if value == 0 or value == ALL_ONES:
+                fill_bit = _FILL_BIT if value == ALL_ONES else 0
+                _emit_fill(words, fill_bit, position=0, blocks=count)
+                i += 1
+                continue
+            # Dirty block: try to open a mixed sequence with the next run.
+            if i + 1 < len(runs):
+                next_value, next_count = runs[i + 1]
+                flipped = _single_set_bit(value)
+                if flipped is not None and next_value == 0:
+                    _emit_fill(words, 0, position=flipped + 1, blocks=1 + next_count)
+                    i += 2
+                    continue
+                cleared = _single_set_bit(value ^ ALL_ONES)
+                if cleared is not None and next_value == ALL_ONES:
+                    _emit_fill(words, _FILL_BIT, position=cleared + 1, blocks=1 + next_count)
+                    i += 2
+                    continue
+            words.append(_LITERAL_FLAG | value)
+            i += 1
+        return cls(np.asarray(words, dtype=np.uint32), len(vec))
+
+    def decompress(self) -> BitVector:
+        """Decode back to a plain bitvector."""
+        blocks: list[int] = []
+        for value, count in self.iter_runs():
+            if count == 1:
+                blocks.append(value)
+            else:
+                blocks.extend([value] * count)
+        return bitvector_from_blocks(np.asarray(blocks, dtype=np.uint32), self._nbits)
+
+    def iter_runs(self):
+        """Yield ``(block_value, count)`` runs (mixed words yield two runs)."""
+        for word in self._words.tolist():
+            if word & _LITERAL_FLAG:
+                yield (word & ALL_ONES), 1
+                continue
+            fill = ALL_ONES if word & _FILL_BIT else 0
+            position = (word & _POSITION_MASK) >> _POSITION_SHIFT
+            blocks = (word & _MAX_COUNT) + 1
+            if position:
+                yield fill ^ (1 << (position - 1)), 1
+                blocks -= 1
+            if blocks:
+                yield fill, blocks
+
+    # -- compressed-domain operations ---------------------------------------
+
+    def logical_and(self, other: "ConciseBitmap") -> "ConciseBitmap":
+        """AND two compressed bitmaps run-by-run."""
+        return self._combine(other, lambda a, b: a & b)
+
+    def logical_or(self, other: "ConciseBitmap") -> "ConciseBitmap":
+        """OR two compressed bitmaps run-by-run."""
+        return self._combine(other, lambda a, b: a | b)
+
+    __and__ = logical_and
+    __or__ = logical_or
+
+    def _combine(self, other: "ConciseBitmap", op) -> "ConciseBitmap":
+        if not isinstance(other, ConciseBitmap):
+            raise InvalidParameterError(f"expected ConciseBitmap, got {type(other).__name__}")
+        if other._nbits != self._nbits:
+            raise InvalidParameterError(f"length mismatch: {self._nbits} vs {other._nbits}")
+        blocks: list[int] = []
+        left = _RunCursor(self.iter_runs())
+        right = _RunCursor(other.iter_runs())
+        while left.active and right.active:
+            take = min(left.remaining, right.remaining)
+            value = op(left.value, right.value)
+            blocks.extend([value] * take)
+            left.advance(take)
+            right.advance(take)
+        return ConciseBitmap.compress(
+            bitvector_from_blocks(np.asarray(blocks, dtype=np.uint32), self._nbits)
+        )
+
+    # -- measurement ------------------------------------------------------------
+
+    def count(self) -> int:
+        """Popcount from the compressed runs."""
+        total = 0
+        for value, count in self.iter_runs():
+            if value == 0:
+                continue
+            if value == ALL_ONES:
+                total += 31 * count
+            else:
+                total += int(value).bit_count() * count
+        return total
+
+    @property
+    def nbits(self) -> int:
+        """Logical (uncompressed) length in bits."""
+        return self._nbits
+
+    @property
+    def words(self) -> np.ndarray:
+        """The 32-bit compressed words."""
+        return self._words
+
+    @property
+    def word_count(self) -> int:
+        """Number of 32-bit words."""
+        return int(self._words.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed size in bytes."""
+        return self.word_count * 4
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ConciseBitmap):
+            return NotImplemented
+        return self._nbits == other._nbits and self.decompress() == other.decompress()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ConciseBitmap nbits={self._nbits} words={self.word_count}>"
+
+
+class _RunCursor:
+    """Stateful walker over ``(value, count)`` runs."""
+
+    __slots__ = ("_iter", "value", "remaining", "active")
+
+    def __init__(self, runs) -> None:
+        self._iter = iter(runs)
+        self.value = 0
+        self.remaining = 0
+        self.active = True
+        self.advance(0)
+
+    def advance(self, used: int) -> None:
+        self.remaining -= used
+        while self.remaining <= 0:
+            try:
+                self.value, self.remaining = next(self._iter)
+            except StopIteration:
+                self.active = False
+                return
+
+
+def _emit_fill(words: list[int], fill_bit: int, *, position: int, blocks: int) -> None:
+    """Append sequence word(s) covering *blocks* blocks (splitting if huge)."""
+    first = min(blocks, _MAX_COUNT + 1)
+    words.append(fill_bit | (position << _POSITION_SHIFT) | (first - 1))
+    blocks -= first
+    while blocks:
+        take = min(blocks, _MAX_COUNT + 1)
+        words.append(fill_bit | (take - 1))
+        blocks -= take

@@ -1,0 +1,226 @@
+"""Roaring bitmap compression (Chambi, Lemire, Kaser & Godin).
+
+A third codec next to WAH and CONCISE, included as a modern comparison
+point for the paper's Fig. 10 experiment. Roaring partitions the bit
+domain into 2^16-bit *chunks*; each non-empty chunk is stored in whichever
+container is smallest for its density:
+
+* **array**  — sorted ``uint16`` positions (sparse, ≤ 4096 bits set);
+* **bitmap** — 1024 × ``uint64`` words (dense);
+* **run**    — ``(start, length)`` pairs (long fills, e.g. the all-ones
+  missing-value columns of the paper's range-encoded index).
+
+Unlike the word-aligned codecs, Roaring is *not* run-length at word
+granularity, so the paper's observation that "range encoding is not
+amenable to compression" gets a second, structurally different test.
+
+The public surface mirrors :class:`~repro.bitmap.wah.WAHBitmap` /
+:class:`~repro.bitmap.concise.ConciseBitmap`: ``compress`` /
+``decompress`` / ``logical_and`` / ``logical_or`` / ``count`` /
+``nbytes``, so it drops into :mod:`repro.bitmap.compression` unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .bitvector import BitVector
+
+__all__ = ["RoaringBitmap"]
+
+#: Bits per chunk (the Roaring paper's fixed 2^16 partition).
+CHUNK_BITS = 1 << 16
+#: Array containers switch to bitmap containers above this cardinality.
+ARRAY_LIMIT = 4096
+#: Bytes of a dense bitmap container (2^16 bits).
+_BITMAP_BYTES = CHUNK_BITS // 8
+
+_ARRAY = "array"
+_BITMAP = "bitmap"
+_RUN = "run"
+
+
+class _Container:
+    """One chunk's payload: positions, bit words, or runs."""
+
+    __slots__ = ("kind", "data", "cardinality")
+
+    def __init__(self, kind: str, data: np.ndarray, cardinality: int) -> None:
+        self.kind = kind
+        self.data = data
+        self.cardinality = int(cardinality)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_positions(cls, positions: np.ndarray) -> "_Container":
+        """Build the cheapest container for sorted uint16 *positions*."""
+        positions = positions.astype(np.uint16)
+        cardinality = positions.size
+        runs = _positions_to_runs(positions)
+        run_bytes = runs.size * 2  # uint16 pairs
+        array_bytes = cardinality * 2
+        if run_bytes < min(array_bytes, _BITMAP_BYTES):
+            return cls(_RUN, runs, cardinality)
+        if cardinality <= ARRAY_LIMIT:
+            return cls(_ARRAY, positions, cardinality)
+        return cls(_BITMAP, _positions_to_words(positions), cardinality)
+
+    # -- access ----------------------------------------------------------------
+
+    def positions(self) -> np.ndarray:
+        """Sorted set positions within the chunk (uint32 for safe math)."""
+        if self.kind == _ARRAY:
+            return self.data.astype(np.uint32)
+        if self.kind == _RUN:
+            starts = self.data[0::2].astype(np.uint32)
+            lengths = self.data[1::2].astype(np.uint32)
+            return np.concatenate(
+                [np.arange(s, s + ln + 1, dtype=np.uint32) for s, ln in zip(starts, lengths)]
+            ) if starts.size else np.empty(0, dtype=np.uint32)
+        words = self.data
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        return np.flatnonzero(bits).astype(np.uint32)
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes (container headers are accounted per-chunk)."""
+        return int(self.data.nbytes)
+
+
+def _positions_to_runs(positions: np.ndarray) -> np.ndarray:
+    """Encode sorted positions as interleaved (start, length-1) uint16 pairs."""
+    if positions.size == 0:
+        return np.empty(0, dtype=np.uint16)
+    as32 = positions.astype(np.int64)
+    breaks = np.flatnonzero(np.diff(as32) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [positions.size - 1]))
+    out = np.empty(starts.size * 2, dtype=np.uint16)
+    out[0::2] = positions[starts]
+    out[1::2] = (as32[ends] - as32[starts]).astype(np.uint16)
+    return out
+
+
+def _positions_to_words(positions: np.ndarray) -> np.ndarray:
+    bits = np.zeros(CHUNK_BITS, dtype=np.uint8)
+    bits[positions] = 1
+    return np.packbits(bits, bitorder="little").view(np.uint64)
+
+
+class RoaringBitmap:
+    """An immutable Roaring-compressed bitmap."""
+
+    scheme = "roaring"
+
+    def __init__(self, keys: np.ndarray, containers: list[_Container], nbits: int) -> None:
+        self._keys = np.asarray(keys, dtype=np.uint32)
+        self._containers = containers
+        self._nbits = int(nbits)
+
+    # -- codec ------------------------------------------------------------
+
+    @classmethod
+    def compress(cls, vec: BitVector) -> "RoaringBitmap":
+        """Encode a plain bitvector."""
+        positions = vec.indices().astype(np.uint64)
+        keys = (positions >> 16).astype(np.uint32)
+        lows = (positions & 0xFFFF).astype(np.uint16)
+        unique_keys, starts = np.unique(keys, return_index=True)
+        containers: list[_Container] = []
+        boundaries = np.append(starts, positions.size)
+        for i, key in enumerate(unique_keys):
+            chunk = lows[boundaries[i] : boundaries[i + 1]]
+            containers.append(_Container.from_positions(chunk))
+        return cls(unique_keys, containers, len(vec))
+
+    def decompress(self) -> BitVector:
+        """Decode back to a plain bitvector."""
+        out = BitVector.zeros(self._nbits)
+        if not self._containers:
+            return out
+        all_positions = [
+            container.positions().astype(np.uint64) + (np.uint64(key) << np.uint64(16))
+            for key, container in zip(self._keys.tolist(), self._containers)
+        ]
+        return BitVector.from_indices(self._nbits, np.concatenate(all_positions))
+
+    # -- compressed-domain operations ----------------------------------------
+
+    def logical_and(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        """AND two roaring bitmaps chunk-by-chunk (skips disjoint chunks)."""
+        self._check_other(other)
+        keys: list[int] = []
+        containers: list[_Container] = []
+        left = {int(k): c for k, c in zip(self._keys.tolist(), self._containers)}
+        for key, container in zip(other._keys.tolist(), other._containers):
+            mine = left.get(int(key))
+            if mine is None:
+                continue
+            merged = np.intersect1d(
+                mine.positions(), container.positions(), assume_unique=True
+            )
+            if merged.size:
+                keys.append(int(key))
+                containers.append(_Container.from_positions(merged))
+        return RoaringBitmap(np.asarray(keys, dtype=np.uint32), containers, self._nbits)
+
+    def logical_or(self, other: "RoaringBitmap") -> "RoaringBitmap":
+        """OR two roaring bitmaps chunk-by-chunk."""
+        self._check_other(other)
+        left = {int(k): c for k, c in zip(self._keys.tolist(), self._containers)}
+        right = {int(k): c for k, c in zip(other._keys.tolist(), other._containers)}
+        keys = sorted(set(left) | set(right))
+        containers: list[_Container] = []
+        for key in keys:
+            a, b = left.get(key), right.get(key)
+            if a is None:
+                positions = b.positions()
+            elif b is None:
+                positions = a.positions()
+            else:
+                positions = np.union1d(a.positions(), b.positions())
+            containers.append(_Container.from_positions(positions))
+        return RoaringBitmap(np.asarray(keys, dtype=np.uint32), containers, self._nbits)
+
+    __and__ = logical_and
+    __or__ = logical_or
+
+    def _check_other(self, other: "RoaringBitmap") -> None:
+        if not isinstance(other, RoaringBitmap):
+            raise InvalidParameterError(f"expected RoaringBitmap, got {type(other).__name__}")
+        if other._nbits != self._nbits:
+            raise InvalidParameterError(f"length mismatch: {self._nbits} vs {other._nbits}")
+
+    # -- measurement --------------------------------------------------------------
+
+    def count(self) -> int:
+        """Popcount from container cardinalities (no decompression)."""
+        return sum(c.cardinality for c in self._containers)
+
+    @property
+    def nbits(self) -> int:
+        """Logical (uncompressed) length in bits."""
+        return self._nbits
+
+    @property
+    def container_kinds(self) -> list[str]:
+        """Kind of every container, aligned with chunk order."""
+        return [c.kind for c in self._containers]
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed size: payloads + 4-byte key/header per chunk."""
+        return sum(c.nbytes for c in self._containers) + 4 * len(self._containers)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RoaringBitmap):
+            return NotImplemented
+        return self._nbits == other._nbits and self.decompress() == other.decompress()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<RoaringBitmap nbits={self._nbits} chunks={len(self._containers)} "
+            f"bytes={self.nbytes}>"
+        )

@@ -1,0 +1,5 @@
+"""B+-tree substrate (order statistics + leaf-linked range scans)."""
+
+from .bptree import BPlusTree
+
+__all__ = ["BPlusTree"]

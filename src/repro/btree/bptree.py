@@ -1,0 +1,501 @@
+"""A B+-tree with order statistics, duplicates, and leaf-linked range scans.
+
+The paper leans on B+-trees twice:
+
+* ``MaxScore`` "can be calculated at O(N·lg N) cost based on the B+-tree
+  structure" (Section 4.2) — that needs *order statistics*, i.e. counting
+  how many entries are ≥ a key without scanning, so every node here caches
+  the payload count of its subtree;
+* IBIG locates a bin's lower boundary in ``log(σN)`` and then walks
+  ``⌈σN/ξ⌉ − 1`` keys sequentially (Section 4.5's cost model) — that needs
+  linked leaves and cheap in-order range scans.
+
+Keys are floats; duplicate keys are aggregated into one slot holding a
+list of payloads (object row indices in this library). Deletion implements
+full borrow/merge rebalancing. :meth:`BPlusTree.validate` checks every
+structural invariant and is exercised by the property-based test-suite.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable, Iterator
+
+from ..errors import InvalidParameterError
+
+__all__ = ["BPlusTree"]
+
+#: Sentinel meaning "delete any one payload under the key".
+_ANY = object()
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next", "size")
+
+    def __init__(self) -> None:
+        self.keys: list[float] = []
+        self.values: list[list] = []
+        self.next: _Leaf | None = None
+        self.size = 0
+
+    is_leaf = True
+
+    def recount(self) -> None:
+        self.size = sum(len(bucket) for bucket in self.values)
+
+
+class _Internal:
+    __slots__ = ("keys", "children", "size")
+
+    def __init__(self) -> None:
+        self.keys: list[float] = []
+        self.children: list = []
+        self.size = 0
+
+    is_leaf = False
+
+    def recount(self) -> None:
+        self.size = sum(child.size for child in self.children)
+
+
+class BPlusTree:
+    """Order-``order`` B+-tree mapping float keys to payload lists."""
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 4:
+            raise InvalidParameterError(f"order must be >= 4, got {order}")
+        self._order = int(order)
+        self._min_keys = self._order // 2
+        self._root: _Leaf | _Internal = _Leaf()
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, pairs: Iterable[tuple[float, object]], order: int = 32) -> "BPlusTree":
+        """Build a tree from ``(key, payload)`` pairs sorted by key.
+
+        Runs in linear time; raises if the keys are out of order.
+        """
+        tree = cls(order=order)
+        keys: list[float] = []
+        buckets: list[list] = []
+        previous = None
+        for key, payload in pairs:
+            key = float(key)
+            if previous is not None and key < previous:
+                raise InvalidParameterError("bulk_load requires key-sorted input")
+            if previous is not None and key == previous:
+                buckets[-1].append(payload)
+            else:
+                keys.append(key)
+                buckets.append([payload])
+            previous = key
+        if not keys:
+            return tree
+
+        fill = max(tree._min_keys, (tree._order * 3) // 4)
+        leaves: list[_Leaf] = []
+        start = 0
+        for size in _balanced_chunks(len(keys), tree._order, fill, tree._min_keys):
+            leaf = _Leaf()
+            leaf.keys = keys[start : start + size]
+            leaf.values = buckets[start : start + size]
+            leaf.recount()
+            leaves.append(leaf)
+            start += size
+        for a, b in zip(leaves, leaves[1:]):
+            a.next = b
+
+        level: list = leaves
+        height = 1
+        max_children = tree._order + 1
+        min_children = tree._min_keys + 1
+        target_children = max(min_children, (max_children * 3) // 4)
+        while len(level) > 1:
+            parents: list = []
+            start = 0
+            for size in _balanced_chunks(len(level), max_children, target_children, min_children):
+                chunk = level[start : start + size]
+                start += size
+                node = _Internal()
+                node.children = chunk
+                node.keys = [_subtree_min(child) for child in chunk[1:]]
+                node.recount()
+                parents.append(node)
+            level = parents
+            height += 1
+        tree._root = level[0]
+        tree._height = height
+        return tree
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: float, payload) -> None:
+        """Insert one ``(key, payload)`` entry (duplicates allowed)."""
+        key = float(key)
+        split = self._insert(self._root, key, payload)
+        if split is not None:
+            separator, right = split
+            root = _Internal()
+            root.keys = [separator]
+            root.children = [self._root, right]
+            root.recount()
+            self._root = root
+            self._height += 1
+
+    def _insert(self, node, key: float, payload):
+        if node.is_leaf:
+            idx = bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx].append(payload)
+            else:
+                node.keys.insert(idx, key)
+                node.values.insert(idx, [payload])
+            node.size += 1
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+
+        idx = bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, payload)
+        node.size += 1
+        if split is not None:
+            separator, right = split
+            node.keys.insert(idx, separator)
+            node.children.insert(idx + 1, right)
+            if len(node.keys) > self._order:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Leaf):
+        mid = len(node.keys) // 2
+        right = _Leaf()
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        node.recount()
+        right.recount()
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        node.recount()
+        right.recount()
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key: float, payload=_ANY) -> bool:
+        """Remove one entry under *key*.
+
+        With the default sentinel any one payload is removed; otherwise the
+        first payload equal to *payload*. Returns False when nothing
+        matched.
+        """
+        key = float(key)
+        removed = self._delete(self._root, key, payload)
+        if removed and not self._root.is_leaf and not self._root.keys:
+            self._root = self._root.children[0]
+            self._height -= 1
+        return removed
+
+    def _delete(self, node, key: float, payload) -> bool:
+        if node.is_leaf:
+            idx = bisect_left(node.keys, key)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                return False
+            bucket = node.values[idx]
+            if payload is _ANY:
+                bucket.pop()
+            else:
+                try:
+                    bucket.remove(payload)
+                except ValueError:
+                    return False
+            if not bucket:
+                node.keys.pop(idx)
+                node.values.pop(idx)
+            node.size -= 1
+            return True
+
+        idx = bisect_right(node.keys, key)
+        removed = self._delete(node.children[idx], key, payload)
+        if removed:
+            node.size -= 1
+            child = node.children[idx]
+            if len(child.keys) < self._min_keys:
+                self._rebalance(node, idx)
+        return removed
+
+    def _rebalance(self, parent: _Internal, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if left is not None and len(left.keys) > self._min_keys:
+            self._borrow_from_left(parent, idx, left, child)
+        elif right is not None and len(right.keys) > self._min_keys:
+            self._borrow_from_right(parent, idx, child, right)
+        elif left is not None:
+            self._merge(parent, idx - 1, left, child)
+        else:
+            self._merge(parent, idx, child, right)
+
+    @staticmethod
+    def _borrow_from_left(parent, idx, left, child) -> None:
+        if child.is_leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            moved = len(child.values[0])
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            node = left.children.pop()
+            child.children.insert(0, node)
+            moved = node.size
+        left.size -= moved
+        child.size += moved
+
+    @staticmethod
+    def _borrow_from_right(parent, idx, child, right) -> None:
+        if child.is_leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            moved = len(child.values[-1])
+            parent.keys[idx] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            node = right.children.pop(0)
+            child.children.append(node)
+            moved = node.size
+        right.size -= moved
+        child.size += moved
+
+    @staticmethod
+    def _merge(parent, left_idx, left, right) -> None:
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        left.size += right.size
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def search(self, key: float) -> list:
+        """Payloads stored under *key* (empty list when absent)."""
+        key = float(key)
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[bisect_right(node.keys, key)]
+        idx = bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return list(node.values[idx])
+        return []
+
+    def __contains__(self, key: float) -> bool:
+        return bool(self.search(float(key)))
+
+    def range_scan(
+        self,
+        low: float | None = None,
+        high: float | None = None,
+        *,
+        include_low: bool = True,
+        include_high: bool = False,
+    ) -> Iterator[tuple[float, object]]:
+        """Yield ``(key, payload)`` in key order over ``[low, high)``.
+
+        Bounds default to open ends; inclusivity flags match the IBIG use
+        case of scanning a bin's ``[lower_edge, o_value)`` prefix.
+        """
+        node = self._root
+        probe = low if low is not None else float("-inf")
+        while not node.is_leaf:
+            node = node.children[bisect_right(node.keys, probe) if low is not None else 0]
+        idx = 0
+        if low is not None:
+            idx = bisect_left(node.keys, low) if include_low else bisect_right(node.keys, low)
+        while node is not None:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if high is not None and (key > high or (key == high and not include_high)):
+                    return
+                for payload in node.values[idx]:
+                    yield key, payload
+                idx += 1
+            node = node.next
+            idx = 0
+
+    # ------------------------------------------------------------------
+    # Order statistics
+    # ------------------------------------------------------------------
+
+    def count_less(self, key: float, *, inclusive: bool = False) -> int:
+        """Number of entries with ``k < key`` (``k ≤ key`` when inclusive)."""
+        key = float(key)
+        node = self._root
+        acc = 0
+        while not node.is_leaf:
+            idx = bisect_right(node.keys, key)
+            for child in node.children[:idx]:
+                acc += child.size
+            node = node.children[idx]
+        leaf_idx = bisect_right(node.keys, key) if inclusive else bisect_left(node.keys, key)
+        for bucket in node.values[:leaf_idx]:
+            acc += len(bucket)
+        return acc
+
+    def count_greater_equal(self, key: float) -> int:
+        """Number of entries with ``k ≥ key`` — the |T_i(o)| building block."""
+        return self.size - self.count_less(key)
+
+    def count_range(
+        self,
+        low: float,
+        high: float,
+        *,
+        include_low: bool = True,
+        include_high: bool = False,
+    ) -> int:
+        """Entries within the given key interval, via two rank queries."""
+        upper = self.count_less(high, inclusive=include_high)
+        lower = self.count_less(low, inclusive=not include_low)
+        return max(0, upper - lower)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total payload entries stored."""
+        return self._root.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves (a lone leaf has height 1)."""
+        return self._height
+
+    @property
+    def order(self) -> int:
+        """Maximum keys per node."""
+        return self._order
+
+    def keys(self) -> Iterator[float]:
+        """All distinct keys in ascending order."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from node.keys
+            node = node.next
+
+    def items(self) -> Iterator[tuple[float, object]]:
+        """All entries in key order."""
+        return self.range_scan()
+
+    def min_key(self) -> float | None:
+        """Smallest key, or None when empty."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0] if node.keys else None
+
+    def max_key(self) -> float | None:
+        """Largest key, or None when empty."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1] if node.keys else None
+
+    # ------------------------------------------------------------------
+    # Invariant checking (test support)
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert every B+-tree invariant; raises AssertionError on breakage."""
+        leaf_depths: set[int] = set()
+        self._validate_node(self._root, None, None, 1, leaf_depths, is_root=True)
+        assert len(leaf_depths) <= 1, f"leaves at different depths: {leaf_depths}"
+        if leaf_depths:
+            assert leaf_depths == {self._height}, "cached height is wrong"
+        # Leaf chain must be globally sorted and complete.
+        chained = list(self.keys())
+        assert chained == sorted(chained), "leaf chain out of order"
+        assert len(set(chained)) == len(chained), "duplicate key slots"
+
+    def _validate_node(self, node, low, high, depth, leaf_depths, *, is_root=False) -> int:
+        assert node.keys == sorted(node.keys), "node keys unsorted"
+        for key in node.keys:
+            if low is not None:
+                assert key >= low, "key below subtree lower bound"
+            if high is not None:
+                assert key < high, "key above subtree upper bound"
+        if node.is_leaf:
+            leaf_depths.add(depth)
+            assert len(node.keys) == len(node.values)
+            assert node.size == sum(len(b) for b in node.values), "leaf size cache wrong"
+            if not is_root:
+                assert len(node.keys) >= self._min_keys, "leaf underfull"
+            assert all(bucket for bucket in node.values), "empty payload bucket"
+            return node.size
+        assert len(node.children) == len(node.keys) + 1, "fanout mismatch"
+        if not is_root:
+            assert len(node.keys) >= self._min_keys, "internal underfull"
+        else:
+            assert len(node.keys) >= 1, "internal root must have a key"
+        total = 0
+        bounds = [low, *node.keys, high]
+        for i, child in enumerate(node.children):
+            total += self._validate_node(child, bounds[i], bounds[i + 1], depth + 1, leaf_depths)
+        assert node.size == total, "internal size cache wrong"
+        return total
+
+
+def _subtree_min(node) -> float:
+    while not node.is_leaf:
+        node = node.children[0]
+    return node.keys[0]
+
+
+def _balanced_chunks(total: int, max_per: int, target: int, min_per: int) -> list[int]:
+    """Split *total* items into chunk sizes within ``[min_per, max_per]``.
+
+    Uses the *target* fill to pick the chunk count, then balances so no
+    chunk can underflow (a single chunk is allowed any size ≤ max_per).
+    """
+    if total <= max_per:
+        return [total] if total else []
+    n_chunks = -(-total // target)  # ceil
+    n_chunks = max(2, min(n_chunks, total // min_per))
+    base, extra = divmod(total, n_chunks)
+    return [base + (1 if i < extra else 0) for i in range(n_chunks)]

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands cover the library's everyday workflow:
+
+* ``query``    — answer a TKD query over a CSV file;
+* ``info``     — dataset statistics (shape, missing rate, domains);
+* ``generate`` — write one of the paper's workloads to CSV;
+* ``compress`` — report codec sizes/ratios for a dataset's bitmap index
+  (the Fig. 10 measurement, for any CSV);
+* ``experiment`` — regenerate a paper figure/table (delegates to
+  :mod:`repro.experiments.figures`).
+
+Examples::
+
+    python -m repro generate ind --n 2000 --dim 8 --out data.csv
+    python -m repro info data.csv
+    python -m repro query data.csv --k 5 --algorithm big
+    python -m repro compress data.csv --schemes wah,concise,roaring
+    python -m repro experiment --experiment fig18 --scale 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .core.dataset import IncompleteDataset
+from .core.query import available_algorithms, top_k_dominating
+from .datasets.loader import DATASET_NAMES, load_dataset
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-k dominating queries on incomplete data (Miao et al., TKDE 2016)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="answer a TKD query over a CSV file")
+    query.add_argument("csv", help="input CSV (empty cells / '-' mean missing)")
+    query.add_argument("--k", type=int, default=5, help="answer size (default 5)")
+    query.add_argument(
+        "--algorithm",
+        default="big",
+        choices=available_algorithms(),
+        help="query algorithm (default big)",
+    )
+    query.add_argument("--id-column", default=None, help="column holding object ids")
+    query.add_argument(
+        "--directions",
+        default="min",
+        help="'min', 'max', or comma-separated per-dimension list",
+    )
+    query.add_argument("--no-header", action="store_true", help="CSV has no header row")
+
+    info = commands.add_parser("info", help="describe an incomplete CSV dataset")
+    info.add_argument("csv")
+    info.add_argument("--id-column", default=None)
+    info.add_argument("--no-header", action="store_true")
+
+    generate = commands.add_parser("generate", help="write a paper workload to CSV")
+    generate.add_argument("dataset", choices=DATASET_NAMES)
+    generate.add_argument("--n", type=int, default=None, help="object count override")
+    generate.add_argument("--dim", type=int, default=10, help="dimensions (synthetic)")
+    generate.add_argument("--cardinality", type=int, default=100)
+    generate.add_argument("--missing-rate", type=float, default=0.1)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output CSV path")
+
+    compress = commands.add_parser(
+        "compress", help="measure bitmap-index compression for a CSV dataset"
+    )
+    compress.add_argument("csv")
+    compress.add_argument("--id-column", default=None)
+    compress.add_argument("--no-header", action="store_true")
+    compress.add_argument(
+        "--schemes",
+        default="wah,concise,roaring",
+        help="comma-separated codec names (default: all three)",
+    )
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper figure/table (see repro.experiments)"
+    )
+    experiment.add_argument("--experiment", default="all")
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--csv", default=None)
+    return parser
+
+
+def _parse_directions(raw: str):
+    if "," in raw:
+        return [token.strip() for token in raw.split(",")]
+    return raw
+
+
+def _load_csv(args) -> IncompleteDataset:
+    kwargs = {"has_header": not args.no_header}
+    if args.id_column is not None:
+        kwargs["id_column"] = args.id_column
+    if getattr(args, "directions", None):
+        kwargs["directions"] = _parse_directions(args.directions)
+    return IncompleteDataset.from_csv(args.csv, **kwargs)
+
+
+def _cmd_query(args) -> int:
+    dataset = _load_csv(args)
+    result = top_k_dominating(dataset, args.k, algorithm=args.algorithm)
+    print(result.as_table())
+    print()
+    print(result.stats.summary())
+    return 0
+
+
+def _cmd_info(args) -> int:
+    args.directions = None
+    dataset = _load_csv(args)
+    print(f"objects:       {dataset.n}")
+    print(f"dimensions:    {dataset.d}")
+    print(f"missing rate:  {dataset.missing_rate:.3f}")
+    print(f"buckets:       {len(set(dataset.patterns))} distinct observed patterns")
+    for dim, name in enumerate(dataset.dim_names):
+        print(
+            f"  {name:>14}: {dataset.dimension_cardinality(dim):>7} distinct, "
+            f"{dataset.missing_count(dim):>7} missing"
+        )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    kwargs = dict(
+        seed=args.seed,
+        dim=args.dim,
+        cardinality=args.cardinality,
+        missing_rate=args.missing_rate,
+    )
+    if args.n is not None:
+        paper_n = {"movielens": 3700, "nba": 16000, "zillow": 200000}.get(args.dataset, 100000)
+        kwargs["scale"] = args.n / paper_n
+    dataset = load_dataset(args.dataset, **kwargs)
+    dataset.to_csv(args.out)
+    print(f"wrote {dataset.n} x {dataset.d} {args.dataset} dataset "
+          f"(missing rate {dataset.missing_rate:.3f}) to {args.out}")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from .bitmap.compression import compress_index
+    from .bitmap.index import BitmapIndex
+
+    args.directions = None
+    dataset = _load_csv(args)
+    index = BitmapIndex(dataset)
+    print(f"bitmap index over {dataset.n} x {dataset.d} ({dataset.missing_rate:.1%} missing)")
+    print(f"{'scheme':>8}  {'bytes':>12}  {'ratio':>7}  {'seconds':>8}")
+    for scheme in (token.strip() for token in args.schemes.split(",") if token.strip()):
+        report = compress_index(index, scheme)
+        print(
+            f"{report.scheme:>8}  {report.compressed_bytes:>12}  "
+            f"{report.ratio:>7.3f}  {report.seconds:>8.3f}"
+        )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .experiments.figures import EXPERIMENTS, _all_experiments, run_experiment
+
+    catalog = _all_experiments()
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment == "ext-all":
+        names = [name for name in catalog if name.startswith("ext-")]
+    else:
+        names = [args.experiment]
+    for name in names:
+        if name not in catalog:
+            print(f"unknown experiment {name!r}; available: {', '.join(catalog)}")
+            return 2
+        run_experiment(name, scale=args.scale, seed=args.seed, csv_path=args.csv)
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "query": _cmd_query,
+    "info": _cmd_info,
+    "generate": _cmd_generate,
+    "compress": _cmd_compress,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

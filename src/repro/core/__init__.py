@@ -1,0 +1,57 @@
+"""Core TKD-on-incomplete-data machinery (the paper's contribution).
+
+Exposes the dataset model, the dominance relation, all five query
+algorithms (Naive, ESB, UBB, BIG, IBIG), and supporting pieces
+(``MaxScore``, results, statistics).
+"""
+
+from .dataset import IncompleteDataset
+from .dominance import (
+    comparable,
+    dominance_matrix,
+    dominated_mask,
+    dominates,
+    dominator_mask,
+    incomparable_mask,
+)
+from .score import score_all, score_many, score_one
+from .result import CandidateSet, TKDResult, select_top_k, validate_k
+from .stats import QueryStats
+from .base import TKDAlgorithm
+from .naive import NaiveTKD, naive_tkd
+from .esb import ESBTKD, esb_candidates, esb_tkd
+from .maxscore import max_scores, max_scores_btree, maxscore_queue
+from .ubb import UBBTKD, ubb_tkd
+from .big import BIGTKD, big_tkd, max_bit_scores
+
+__all__ = [
+    "IncompleteDataset",
+    "dominates",
+    "comparable",
+    "dominated_mask",
+    "dominator_mask",
+    "incomparable_mask",
+    "dominance_matrix",
+    "score_one",
+    "score_many",
+    "score_all",
+    "CandidateSet",
+    "TKDResult",
+    "select_top_k",
+    "validate_k",
+    "QueryStats",
+    "TKDAlgorithm",
+    "NaiveTKD",
+    "naive_tkd",
+    "ESBTKD",
+    "esb_tkd",
+    "esb_candidates",
+    "max_scores",
+    "max_scores_btree",
+    "maxscore_queue",
+    "UBBTKD",
+    "ubb_tkd",
+    "BIGTKD",
+    "big_tkd",
+    "max_bit_scores",
+]

@@ -1,0 +1,110 @@
+"""Common machinery shared by all TKD algorithms.
+
+Every algorithm in the paper follows the same lifecycle:
+
+1. **prepare** — build whatever auxiliary structure it needs (ESB: buckets;
+   UBB: the ``MaxScore`` priority queue ``F``; BIG/IBIG: the (binned)
+   bitmap index plus ``F``). The paper reports this separately as
+   *preprocessing time* (Table 3).
+2. **query** — answer a TKD query for a given ``k``.
+
+:class:`TKDAlgorithm` captures that lifecycle, the timing of both phases,
+and result assembly, so each concrete algorithm only implements
+:meth:`TKDAlgorithm._prepare` and :meth:`TKDAlgorithm._run`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .dataset import IncompleteDataset
+from .result import TKDResult, validate_k
+from .stats import QueryStats
+
+__all__ = ["TKDAlgorithm"]
+
+
+class TKDAlgorithm:
+    """Abstract base for TKD query algorithms on incomplete data."""
+
+    #: Registry name; concrete subclasses override this.
+    name: str = "abstract"
+
+    def __init__(self, dataset: IncompleteDataset) -> None:
+        if not isinstance(dataset, IncompleteDataset):
+            raise InvalidParameterError(
+                f"dataset must be an IncompleteDataset, got {type(dataset).__name__}"
+            )
+        self.dataset = dataset
+        self._prepared = False
+        self._preprocess_seconds = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def prepare(self) -> "TKDAlgorithm":
+        """Build auxiliary structures once; safe to call repeatedly."""
+        if not self._prepared:
+            start = time.perf_counter()
+            self._prepare()
+            self._preprocess_seconds = time.perf_counter() - start
+            self._prepared = True
+        return self
+
+    def query(self, k: int, *, tie_break: str = "index", rng=None) -> TKDResult:
+        """Answer a TKD query: the ``k`` objects with the highest scores."""
+        k = validate_k(k, self.dataset.n)
+        self.prepare()
+        stats = QueryStats(
+            algorithm=self.name,
+            n=self.dataset.n,
+            d=self.dataset.d,
+            k=k,
+            preprocess_seconds=self._preprocess_seconds,
+            index_bytes=self.index_bytes,
+        )
+        start = time.perf_counter()
+        indices, scores = self._run(k, tie_break=tie_break, rng=rng, stats=stats)
+        stats.query_seconds = time.perf_counter() - start
+        return TKDResult.from_selection(
+            self.dataset, indices, scores, k=k, algorithm=self.name, stats=stats
+        )
+
+    # -- to be provided by subclasses ------------------------------------
+
+    def _prepare(self) -> None:
+        """Build indexes/queues. Default: nothing to build."""
+
+    def _run(
+        self, k: int, *, tie_break: str, rng, stats: QueryStats
+    ) -> tuple[Sequence[int], Sequence[int]]:
+        """Return ``(indices, scores)`` of the answer set."""
+        raise NotImplementedError
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def preprocess_seconds(self) -> float:
+        """Wall-clock seconds the last :meth:`prepare` took (0 if pending)."""
+        return self._preprocess_seconds
+
+    @property
+    def index_bytes(self) -> int:
+        """Bytes of index storage this algorithm maintains (0 if none)."""
+        return 0
+
+    # -- shared helpers ---------------------------------------------------
+
+    @staticmethod
+    def _pairwise_cost(n_scored: int, n: int) -> int:
+        """Comparisons implied by *n_scored* exhaustive Get-Score calls."""
+        return int(n_scored) * max(0, int(n) - 1)
+
+    def _full_scores(self) -> np.ndarray:
+        """Exact scores of all objects (used by Naive and as test oracle)."""
+        from .score import score_all
+
+        return score_all(self.dataset)

@@ -1,0 +1,142 @@
+"""Dominance on incomplete data (paper Definition 1).
+
+Given objects ``o`` and ``o'`` with observed-masks, ``o ≻ o'`` iff
+
+1. for every dimension ``i`` observed in **both**, ``o[i] ≤ o'[i]``, and
+2. at least one common observed dimension ``j`` has ``o[j] < o'[j]``.
+
+Objects with no common observed dimension are *incomparable* and never
+dominate each other. Unlike dominance on complete data, this relation is
+**not transitive** and may contain cycles (paper Fig. 2: ``f ≻ e`` and
+``e ≻ b`` yet ``f ⋡ b``); all algorithms in :mod:`repro.core` are designed
+around that loss of transitivity.
+
+All functions here operate on the *minimized* orientation (smaller is
+better). :class:`~repro.core.dataset.IncompleteDataset` exposes that matrix
+directly, so the dataset-level helpers below need no direction handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .dataset import IncompleteDataset
+
+__all__ = [
+    "dominates_rows",
+    "comparable_rows",
+    "dominates",
+    "comparable",
+    "dominated_mask",
+    "dominator_mask",
+    "dominance_matrix",
+    "incomparable_mask",
+]
+
+
+def dominates_rows(
+    a_values: np.ndarray,
+    a_observed: np.ndarray,
+    b_values: np.ndarray,
+    b_observed: np.ndarray,
+) -> bool:
+    """Low-level Definition 1 check on two raw (minimized) rows.
+
+    ``a_values``/``b_values`` are 1-D float rows (NaN allowed in missing
+    slots); ``a_observed``/``b_observed`` the boolean masks.
+    """
+    common = a_observed & b_observed
+    if not common.any():
+        return False
+    av = a_values[common]
+    bv = b_values[common]
+    return bool(np.all(av <= bv) and np.any(av < bv))
+
+
+def comparable_rows(a_observed: np.ndarray, b_observed: np.ndarray) -> bool:
+    """True iff two mask rows share at least one observed dimension."""
+    return bool((a_observed & b_observed).any())
+
+
+def dominates(dataset: IncompleteDataset, i: int, j: int) -> bool:
+    """True iff object *i* dominates object *j* in *dataset* (``o_i ≻ o_j``)."""
+    if i == j:
+        return False
+    return dominates_rows(
+        dataset.minimized[i],
+        dataset.observed[i],
+        dataset.minimized[j],
+        dataset.observed[j],
+    )
+
+
+def comparable(dataset: IncompleteDataset, i: int, j: int) -> bool:
+    """True iff objects *i* and *j* are comparable (``b_i & b_j != 0``)."""
+    return dataset.comparable(i, j)
+
+
+def dominated_mask(dataset: IncompleteDataset, i: int) -> np.ndarray:
+    """Boolean mask of the objects dominated by object *i*.
+
+    Vectorised over the whole dataset: one ``O(n·d)`` pass. The result's
+    ``sum()`` is exactly ``score(o_i)`` (Definition 2).
+    """
+    values = dataset.minimized
+    observed = dataset.observed
+    # Work on NaN-free copies; validity is controlled by the masks.
+    filled = np.where(observed, values, 0.0)
+    row = filled[i]
+    row_mask = observed[i]
+
+    common = observed & row_mask  # (n, d): dims observed in both i and each p
+    le_all = np.all(~common | (row <= filled), axis=1)
+    lt_any = np.any(common & (row < filled), axis=1)
+    out = le_all & lt_any
+    out[i] = False
+    return out
+
+
+def dominator_mask(dataset: IncompleteDataset, j: int) -> np.ndarray:
+    """Boolean mask of the objects that dominate object *j*."""
+    values = dataset.minimized
+    observed = dataset.observed
+    filled = np.where(observed, values, 0.0)
+    row = filled[j]
+    row_mask = observed[j]
+
+    common = observed & row_mask
+    ge_all = np.all(~common | (filled <= row), axis=1)
+    gt_any = np.any(common & (filled < row), axis=1)
+    out = ge_all & gt_any
+    out[j] = False
+    return out
+
+
+def incomparable_mask(dataset: IncompleteDataset, i: int) -> np.ndarray:
+    """Boolean mask of ``F(o_i)``: objects incomparable to object *i*.
+
+    Paper Table 1 — used by BIG/IBIG to correct the ``G(o)``/``L(o)``
+    partition and by Heuristic 3.
+    """
+    out = ~(dataset.observed & dataset.observed[i]).any(axis=1)
+    out[i] = False
+    return out
+
+
+def dominance_matrix(dataset: IncompleteDataset, *, max_n: int = 4000) -> np.ndarray:
+    """Full ``(n, n)`` boolean dominance matrix: ``M[i, j] = (o_i ≻ o_j)``.
+
+    Intended for tests and small analyses; guarded by *max_n* because the
+    result is quadratic in the dataset size.
+    """
+    n = dataset.n
+    if n > max_n:
+        raise InvalidParameterError(
+            f"dominance_matrix on n={n} objects exceeds max_n={max_n}; "
+            "raise max_n explicitly if you really want the quadratic matrix"
+        )
+    out = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        out[i] = dominated_mask(dataset, i)
+    return out

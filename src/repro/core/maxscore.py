@@ -1,0 +1,97 @@
+"""``MaxScore`` — the upper bound score of Lemma 2 (paper Section 4.2).
+
+For each object ``o`` and dimension ``i``::
+
+    T_i(o) = { p ∈ S − {o} : o[i] ≤ p[i] } ∪ S_i     if i ∈ Iset(o)
+    T_i(o) = S                                        otherwise
+
+where ``S_i`` is the set of objects missing dimension ``i``. Every object
+``o`` can possibly dominate only members of each ``T_i(o)``, hence
+
+    MaxScore(o) = min_i |T_i(o)|
+
+is a valid upper bound on ``score(o)``. The UBB/BIG/IBIG algorithms consume
+objects in **descending MaxScore order** (the priority queue ``F``) so that
+Heuristic 1 can stop the whole scan as soon as the head's bound falls to
+the current threshold ``τ``.
+
+Two implementations are provided:
+
+* :func:`max_scores` — vectorised ``O(N·d·log N)`` via per-dimension sorted
+  arrays and ``searchsorted`` (the default everywhere);
+* :func:`max_scores_btree` — per-dimension B+-trees with order-statistic
+  counts, matching the paper's "``O(N lg N)`` based on the B+-tree
+  structure" description. Slower in Python, kept as an executable
+  specification and exercised by tests for agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import IncompleteDataset
+
+__all__ = ["max_scores", "max_scores_btree", "maxscore_queue"]
+
+
+def max_scores(dataset: IncompleteDataset) -> np.ndarray:
+    """``MaxScore(o)`` for every object, vectorised."""
+    n, d = dataset.n, dataset.d
+    values = dataset.minimized
+    observed = dataset.observed
+
+    # For dimensions missing in o, |T_i(o)| = |S| = n.
+    out = np.full(n, n, dtype=np.int64)
+    for dim in range(d):
+        obs = observed[:, dim]
+        col = values[obs, dim]
+        n_obs = col.size
+        if n_obs == 0:
+            continue  # |T_i| = |S_i| = n for everyone; the init already covers it
+        sorted_col = np.sort(col)
+        missing = n - n_obs
+        # #(p != o with p[dim] >= o[dim]) = n_obs - rank_lower(o[dim]) - 1
+        ranks = np.searchsorted(sorted_col, col, side="left")
+        t_sizes = (n_obs - ranks - 1) + missing
+        rows = np.flatnonzero(obs)
+        out[rows] = np.minimum(out[rows], t_sizes)
+    return out
+
+
+def max_scores_btree(dataset: IncompleteDataset) -> np.ndarray:
+    """``MaxScore`` computed through per-dimension B+-trees.
+
+    Builds one :class:`~repro.btree.bptree.BPlusTree` per dimension over the
+    observed values and answers ``|T_i(o)|`` with order-statistic
+    ``count_greater_equal`` queries.
+    """
+    from ..btree.bptree import BPlusTree
+
+    n, d = dataset.n, dataset.d
+    values = dataset.minimized
+    observed = dataset.observed
+
+    out = np.full(n, n, dtype=np.int64)
+    for dim in range(d):
+        rows = np.flatnonzero(observed[:, dim])
+        if rows.size == 0:
+            continue
+        tree = BPlusTree.bulk_load(
+            sorted((float(values[row, dim]), int(row)) for row in rows)
+        )
+        missing = n - rows.size
+        for row in rows:
+            at_least = tree.count_greater_equal(float(values[row, dim])) - 1
+            out[row] = min(out[row], at_least + missing)
+    return out
+
+
+def maxscore_queue(dataset: IncompleteDataset, scores: np.ndarray | None = None) -> np.ndarray:
+    """The priority queue ``F``: object indices by descending ``MaxScore``.
+
+    Ties are broken by ascending row index (stable), which reproduces the
+    paper's Fig. 5 ordering for the running example.
+    """
+    if scores is None:
+        scores = max_scores(dataset)
+    return np.argsort(-scores, kind="stable")

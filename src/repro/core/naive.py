@@ -1,0 +1,41 @@
+"""The Naive baseline (paper Section 4.1, first paragraph).
+
+Compute ``score(o)`` for *every* object by exhaustive pairwise comparison
+and return the ``k`` highest. This is the correctness oracle every other
+algorithm is tested against, and the baseline of the paper's Fig. 12
+(where it is orders of magnitude slower and is dropped from later plots).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import TKDAlgorithm
+from .dataset import IncompleteDataset
+from .result import TKDResult, select_top_k
+from .score import score_all
+from .stats import QueryStats
+
+__all__ = ["NaiveTKD", "naive_tkd"]
+
+
+class NaiveTKD(TKDAlgorithm):
+    """Exhaustive-comparison TKD (no pruning, no index)."""
+
+    name = "naive"
+
+    def __init__(self, dataset: IncompleteDataset, *, block: int = 64) -> None:
+        super().__init__(dataset)
+        self._block = block
+
+    def _run(self, k: int, *, tie_break: str, rng, stats: QueryStats) -> tuple[Sequence[int], Sequence[int]]:
+        scores = score_all(self.dataset, block=self._block)
+        stats.scores_computed = self.dataset.n
+        stats.comparisons = self._pairwise_cost(self.dataset.n, self.dataset.n)
+        selection = select_top_k(scores, k, tie_break=tie_break, rng=rng)
+        return selection, [int(scores[i]) for i in selection]
+
+
+def naive_tkd(dataset: IncompleteDataset, k: int, *, tie_break: str = "index", rng=None) -> TKDResult:
+    """One-shot Naive TKD query (builds nothing, scores everything)."""
+    return NaiveTKD(dataset).query(k, tie_break=tie_break, rng=rng)

@@ -1,0 +1,97 @@
+"""Unified entry point for TKD queries over incomplete data.
+
+:func:`top_k_dominating` hides the algorithm zoo behind one call::
+
+    from repro import IncompleteDataset, top_k_dominating
+
+    ds = IncompleteDataset.from_rows([[5, None, 3], [1, 2, None], ...])
+    result = top_k_dominating(ds, k=2)            # IBIG by default
+    result = top_k_dominating(ds, k=2, algorithm="ubb")
+
+Use :func:`make_algorithm` when you want to reuse a prepared index across
+several queries (the paper separates preprocessing from query time the
+same way, Table 3 vs Figs. 12–17).
+"""
+
+from __future__ import annotations
+
+from ..errors import UnknownAlgorithmError
+from ..indexes.algorithm import BRTreeTKD, MosaicTKD, QuantizationTKD
+from .base import TKDAlgorithm
+from .big import BIGTKD
+from .dataset import IncompleteDataset
+from .esb import ESBTKD
+from .ibig import IBIGTKD
+from .naive import NaiveTKD
+from .partitioned import PartitionedTKD
+from .result import TKDResult
+from .ubb import UBBTKD
+
+__all__ = ["ALGORITHMS", "available_algorithms", "make_algorithm", "top_k_dominating"]
+
+#: Registry of algorithm names to classes. The first five are the paper's
+#: own (Sections 4.1–4.4); the next three answer the same queries through
+#: the alternative Section 2.2 index structures (:mod:`repro.indexes`);
+#: ``"partitioned"`` is the bounded-memory massive-data variant
+#: (:mod:`repro.core.partitioned`).
+ALGORITHMS: dict[str, type[TKDAlgorithm]] = {
+    NaiveTKD.name: NaiveTKD,
+    ESBTKD.name: ESBTKD,
+    UBBTKD.name: UBBTKD,
+    BIGTKD.name: BIGTKD,
+    IBIGTKD.name: IBIGTKD,
+    MosaicTKD.name: MosaicTKD,
+    BRTreeTKD.name: BRTreeTKD,
+    QuantizationTKD.name: QuantizationTKD,
+    PartitionedTKD.name: PartitionedTKD,
+}
+
+#: Default algorithm: the paper's overall recommendation for constrained
+#: storage; switch to "big" for the fastest queries regardless of space.
+DEFAULT_ALGORITHM = "ibig"
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Registered algorithm names in presentation order."""
+    return tuple(ALGORITHMS)
+
+
+def make_algorithm(
+    dataset: IncompleteDataset, algorithm: str = DEFAULT_ALGORITHM, **options
+) -> TKDAlgorithm:
+    """Instantiate (but do not prepare) an algorithm by registry name.
+
+    Keyword *options* are forwarded to the algorithm constructor — e.g.
+    ``bins=`` / ``compress=`` / ``use_btree=`` for IBIG, ``index=`` for
+    BIG, ``buckets=`` for ESB.
+    """
+    try:
+        cls = ALGORITHMS[algorithm.lower()]
+    except (KeyError, AttributeError):
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {algorithm!r}; available: {', '.join(ALGORITHMS)}"
+        ) from None
+    return cls(dataset, **options)
+
+
+def top_k_dominating(
+    dataset: IncompleteDataset,
+    k: int,
+    *,
+    algorithm: str = DEFAULT_ALGORITHM,
+    tie_break: str = "index",
+    rng=None,
+    **options,
+) -> TKDResult:
+    """Answer a top-k dominating query over incomplete data.
+
+    Parameters
+    ----------
+    dataset: the incomplete dataset ``S``.
+    k: number of objects to return (paper Definition 3).
+    algorithm: ``"naive"``, ``"esb"``, ``"ubb"``, ``"big"``, or ``"ibig"``.
+    tie_break: ``"index"`` (deterministic) or ``"random"`` (paper policy).
+    rng: seed or Generator for random tie-breaking.
+    options: forwarded to the algorithm constructor.
+    """
+    return make_algorithm(dataset, algorithm, **options).query(k, tie_break=tie_break, rng=rng)

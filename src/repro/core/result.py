@@ -1,0 +1,221 @@
+"""Query results and tie-breaking for TKD queries.
+
+A TKD query (paper Definition 3) returns the ``k`` objects with highest
+``score``. When several objects tie at the k-th score the paper "adopts
+random selection as a tie breaker"; for reproducible pipelines the library
+defaults to a deterministic lowest-index rule and offers seeded random
+tie-breaking as an option.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .._util import coerce_rng, format_table
+from ..errors import InvalidParameterError
+from .dataset import IncompleteDataset
+from .stats import QueryStats
+
+__all__ = ["TKDResult", "CandidateSet", "select_top_k", "validate_k"]
+
+_TIE_BREAKS = ("index", "random")
+
+
+def validate_k(k, n: int) -> int:
+    """Validate a TKD ``k``; values above ``n`` are clamped to ``n``.
+
+    The paper implicitly assumes ``k ≤ |S|``; clamping (rather than raising)
+    matches what every reasonable engine does when asked for more rows than
+    exist.
+    """
+    if isinstance(k, bool) or not isinstance(k, (int, np.integer)):
+        raise InvalidParameterError(f"k must be a positive integer, got {k!r}")
+    if k <= 0:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    return int(min(k, n))
+
+
+def select_top_k(
+    scores: np.ndarray,
+    k: int,
+    *,
+    tie_break: str = "index",
+    rng=None,
+    eligible: np.ndarray | None = None,
+) -> list[int]:
+    """Pick ``k`` indices with the highest *scores* under a tie-break policy.
+
+    Parameters
+    ----------
+    scores: integer scores per object index (higher is better).
+    k: how many to select (must already be validated).
+    tie_break: ``"index"`` (deterministic, lowest index wins among ties) or
+        ``"random"`` (seeded by *rng*, the paper's stated policy).
+    eligible: optional boolean mask restricting the selectable indices
+        (used by ESB, whose candidates are a subset of the dataset).
+
+    Returns the selected indices ordered by descending score (ties in the
+    returned ordering follow the same policy).
+    """
+    if tie_break not in _TIE_BREAKS:
+        raise InvalidParameterError(f"tie_break must be one of {_TIE_BREAKS}, got {tie_break!r}")
+    scores = np.asarray(scores)
+    candidates = np.flatnonzero(eligible) if eligible is not None else np.arange(scores.size)
+    if k > candidates.size:
+        k = candidates.size
+
+    # Scores may be ints (Definition 2) or floats (MFD weighting) — never
+    # truncate them in the ordering key.
+    if tie_break == "index":
+        order = sorted(candidates.tolist(), key=lambda i: (-float(scores[i]), i))
+        return order[:k]
+
+    rng = coerce_rng(rng)
+    perm = rng.permutation(candidates.size)
+    shuffled = candidates[perm]
+    order = sorted(range(shuffled.size), key=lambda pos: (-float(scores[shuffled[pos]]), pos))
+    return [int(shuffled[pos]) for pos in order[:k]]
+
+
+class CandidateSet:
+    """The ``S_C``/τ maintenance of Algorithm 2 (lines 7–11).
+
+    Keeps at most ``k`` (index, score) candidates. ``tau`` is the paper's
+    ``τ``: the minimum score in a *full* candidate set, or ``-1`` while the
+    set holds fewer than ``k`` objects. When a better candidate arrives and
+    the set is full, one object with score ``τ`` is evicted (the paper
+    leaves the choice arbitrary; we evict the earliest-inserted one, which
+    is deterministic).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise InvalidParameterError(f"CandidateSet needs k >= 1, got {k}")
+        self.k = int(k)
+        self._heap: list[tuple[int, int, int]] = []  # (score, insertion_seq, index)
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        """True once ``k`` candidates are held."""
+        return len(self._heap) >= self.k
+
+    @property
+    def tau(self) -> int:
+        """Current pruning threshold ``τ`` (−1 while not full)."""
+        if not self.full:
+            return -1
+        return self._heap[0][0]
+
+    def offer(self, index: int, score: int) -> bool:
+        """Apply Algorithm 2 lines 7–11 for one scored object.
+
+        Returns True iff the object was enrolled into ``S_C``.
+        """
+        if not self.full:
+            heapq.heappush(self._heap, (int(score), self._seq, int(index)))
+            self._seq += 1
+            return True
+        if score > self.tau:
+            heapq.heappushpop(self._heap, (int(score), self._seq, int(index)))
+            self._seq += 1
+            return True
+        return False
+
+    def items(self) -> list[tuple[int, int]]:
+        """Current ``(index, score)`` pairs ordered by descending score."""
+        ordered = sorted(self._heap, key=lambda t: (-t[0], t[2]))
+        return [(idx, score) for score, _seq, idx in ordered]
+
+
+@dataclass
+class TKDResult:
+    """Outcome of a top-k dominating query.
+
+    Attributes
+    ----------
+    indices: selected object row indices, descending score order.
+    scores: matching ``score(o)`` values.
+    ids: matching object labels.
+    k: the requested (validated) ``k``.
+    algorithm: name of the algorithm that produced the result.
+    stats: the run's :class:`~repro.core.stats.QueryStats`.
+    """
+
+    indices: list[int]
+    scores: list[int]
+    ids: list[str]
+    k: int
+    algorithm: str
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @classmethod
+    def from_selection(
+        cls,
+        dataset: IncompleteDataset,
+        selection: Sequence[int],
+        scores: Sequence[int],
+        *,
+        k: int,
+        algorithm: str,
+        stats: QueryStats | None = None,
+    ) -> "TKDResult":
+        """Assemble a result, resolving ids from the dataset."""
+        indices = [int(i) for i in selection]
+        return cls(
+            indices=indices,
+            scores=[int(s) for s in scores],
+            ids=[dataset.ids[i] for i in indices],
+            k=int(k),
+            algorithm=algorithm,
+            stats=stats if stats is not None else QueryStats(algorithm=algorithm),
+        )
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        """Iterate ``(index, score)`` pairs in rank order."""
+        return iter(zip(self.indices, self.scores))
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def score_multiset(self) -> tuple[int, ...]:
+        """Sorted (descending) tuple of returned scores.
+
+        Because tie-breaking is arbitrary by design, *this* is the
+        algorithm-independent invariant: every correct TKD algorithm must
+        return the same score multiset for the same ``(S, k)``.
+        """
+        return tuple(sorted(self.scores, reverse=True))
+
+    @property
+    def id_set(self) -> frozenset:
+        """The returned object labels as a set (order-insensitive)."""
+        return frozenset(self.ids)
+
+    def jaccard_distance(self, other: "TKDResult") -> float:
+        """Jaccard distance ``1 − |A∩B| / |A∪B|`` between two results.
+
+        Used by the paper's Table 4 to compare the incomplete-data answer
+        with the answer on imputed (completed) data.
+        """
+        a, b = self.id_set, other.id_set
+        union = a | b
+        if not union:
+            return 0.0
+        return 1.0 - len(a & b) / len(union)
+
+    def as_table(self) -> str:
+        """Human-readable ranking table."""
+        rows = [
+            (rank + 1, self.ids[rank], self.indices[rank], self.scores[rank])
+            for rank in range(len(self.indices))
+        ]
+        return format_table(["rank", "id", "row", "score"], rows)

@@ -1,0 +1,80 @@
+"""Execution statistics for TKD queries.
+
+The paper's experimental section reports, beyond CPU time, the *pruning
+effectiveness* of its three heuristics (Fig. 18):
+
+* **Heuristic 1** — upper-bound-score pruning: once the priority queue's
+  head has ``MaxScore(o) ≤ τ``, the head and every remaining object are
+  pruned (early termination).
+* **Heuristic 2** — bitmap pruning: an individual object with
+  ``MaxBitScore(o) = |Q| ≤ τ`` is skipped before its exact score is formed.
+* **Heuristic 3** — partial-score pruning (IBIG only): while verifying the
+  same-bin candidates, as soon as ``|nonD(o)| > |Q| − |F(o)| − τ`` the
+  object is abandoned.
+
+:class:`QueryStats` carries those counters plus general work/timing
+measurements; every algorithm fills in what applies to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Counters and timings for one TKD query execution."""
+
+    #: Name of the algorithm that produced these statistics.
+    algorithm: str = ""
+    #: Dataset cardinality and dimensionality at query time.
+    n: int = 0
+    d: int = 0
+    #: The validated ``k`` of the query.
+    k: int = 0
+
+    #: Objects whose exact score was fully computed.
+    scores_computed: int = 0
+    #: Pairwise object-vs-object comparisons performed by exact scoring.
+    comparisons: int = 0
+    #: Size of the candidate set ESB produced (|S_C| after Lemma 1 pruning).
+    candidates: int = 0
+
+    #: Objects removed by Heuristic 1 (upper-bound-score early termination).
+    pruned_h1: int = 0
+    #: Objects removed by Heuristic 2 (MaxBitScore bitmap pruning).
+    pruned_h2: int = 0
+    #: Objects removed by Heuristic 3 (partial-score pruning, IBIG).
+    pruned_h3: int = 0
+
+    #: Wall-clock seconds spent in preparation (index/queue construction).
+    preprocess_seconds: float = 0.0
+    #: Wall-clock seconds spent answering the query itself.
+    query_seconds: float = 0.0
+
+    #: Bytes of index storage used by the algorithm (0 when index-free).
+    index_bytes: int = 0
+
+    #: Free-form extras (e.g. bin counts, compression ratios).
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def pruned_total(self) -> int:
+        """Objects eliminated without a full score computation."""
+        return self.pruned_h1 + self.pruned_h2 + self.pruned_h3
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        parts = [
+            f"{self.algorithm or '?'}: n={self.n} d={self.d} k={self.k}",
+            f"scored={self.scores_computed}",
+            f"pruned(h1/h2/h3)={self.pruned_h1}/{self.pruned_h2}/{self.pruned_h3}",
+        ]
+        if self.candidates:
+            parts.append(f"candidates={self.candidates}")
+        if self.index_bytes:
+            parts.append(f"index={self.index_bytes}B")
+        parts.append(f"query={self.query_seconds * 1e3:.2f}ms")
+        return " ".join(parts)

@@ -1,0 +1,24 @@
+"""Dataset substrates: synthetic generators, real-data simulators,
+missingness injectors, catalog, and persistence."""
+
+from .loader import DATASET_NAMES, load_dataset, load_npz, save_npz
+from .missing import inject_mar, inject_mcar, inject_nmar
+from .movielens import movielens_like
+from .nba import nba_like
+from .synthetic import anticorrelated_dataset, independent_dataset
+from .zillow import zillow_like
+
+__all__ = [
+    "DATASET_NAMES",
+    "load_dataset",
+    "save_npz",
+    "load_npz",
+    "inject_mcar",
+    "inject_mar",
+    "inject_nmar",
+    "independent_dataset",
+    "anticorrelated_dataset",
+    "movielens_like",
+    "nba_like",
+    "zillow_like",
+]

@@ -1,0 +1,118 @@
+"""Missingness injectors: MCAR, MAR, and NMAR (Little & Rubin's taxonomy).
+
+The paper (Section 3) assumes values are "at least approximately missing
+at random" and simulates incompleteness by removing attribute values
+randomly — that is :func:`inject_mcar`, used by every experiment. The MAR
+and NMAR injectors are provided for robustness studies beyond the paper's
+assumption (the dominance definition itself is missingness-agnostic).
+
+All injectors
+
+* take a **complete** float matrix and return a copy with ``NaN`` holes,
+* hit the requested expected missing rate, and
+* guarantee at least one observed value per row (the paper's model only
+  admits objects with ≥ 1 observed dimension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import coerce_rng, require_fraction
+from ..errors import InvalidParameterError
+
+__all__ = ["inject_mcar", "inject_mar", "inject_nmar"]
+
+
+def _check_input(values: np.ndarray, rate: float) -> tuple[np.ndarray, float]:
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise InvalidParameterError(f"expected a 2-D matrix, got shape {values.shape}")
+    if np.isnan(values).any():
+        raise InvalidParameterError("injectors expect complete input (no NaN)")
+    rate = require_fraction(rate, "missing rate", inclusive_high=False)
+    return values, rate
+
+
+def _injection_rng(rng) -> np.random.Generator:
+    """A child stream decorrelated from the caller's raw draws.
+
+    MAR/NMAR compare uniforms against value-derived probabilities; if a
+    caller seeds the injector with the *same* seed that generated the
+    values, the raw streams coincide and the realised rate collapses.
+    Spawning a child stream keeps determinism while breaking that
+    correlation.
+    """
+    return coerce_rng(rng).spawn(1)[0]
+
+
+def _ensure_one_observed(mask: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Clear one missing flag per fully-masked row."""
+    fully_missing = mask.all(axis=1)
+    for row in np.flatnonzero(fully_missing):
+        mask[row, rng.integers(0, mask.shape[1])] = False
+    return mask
+
+
+def _apply(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    out = values.copy()
+    out[mask] = np.nan
+    return out
+
+
+def inject_mcar(values: np.ndarray, rate: float, *, rng=None) -> np.ndarray:
+    """Missing Completely At Random: every cell drops with probability *rate*."""
+    values, rate = _check_input(values, rate)
+    rng = _injection_rng(rng)
+    if rate == 0.0:
+        return values.copy()
+    mask = rng.random(values.shape) < rate
+    return _apply(values, _ensure_one_observed(mask, rng))
+
+
+def inject_mar(values: np.ndarray, rate: float, *, rng=None, driver_dim: int = 0) -> np.ndarray:
+    """Missing At Random: missingness depends on an always-observed driver.
+
+    Cells of row ``o`` (outside *driver_dim*, which never goes missing)
+    drop with a probability proportional to the row's rank on the driver
+    dimension, scaled so the overall expected missing rate matches *rate*.
+    """
+    values, rate = _check_input(values, rate)
+    rng = _injection_rng(rng)
+    n, d = values.shape
+    if d < 2:
+        raise InvalidParameterError("MAR needs at least 2 dimensions (driver + target)")
+    if not 0 <= driver_dim < d:
+        raise InvalidParameterError(f"driver_dim {driver_dim} outside [0, {d})")
+    if rate == 0.0:
+        return values.copy()
+
+    ranks = np.argsort(np.argsort(values[:, driver_dim])) / max(n - 1, 1)  # 0..1
+    # Per-row drop probability averaging to the target cell rate over the
+    # d-1 non-driver columns: cells_to_drop = rate * n * d.
+    per_row = ranks * 2.0 * rate * d / (d - 1)
+    per_row = np.clip(per_row, 0.0, 0.98)
+    mask = rng.random((n, d)) < per_row[:, None]
+    mask[:, driver_dim] = False
+    return _apply(values, _ensure_one_observed(mask, rng))
+
+
+def inject_nmar(values: np.ndarray, rate: float, *, rng=None) -> np.ndarray:
+    """Not Missing At Random: a cell's own value drives its missingness.
+
+    Larger values (per-column rank) are more likely to be missing —
+    e.g. users declining to reveal high prices. Calibrated to the target
+    expected rate.
+    """
+    values, rate = _check_input(values, rate)
+    rng = _injection_rng(rng)
+    n, d = values.shape
+    if rate == 0.0:
+        return values.copy()
+
+    column_ranks = np.empty_like(values)
+    for dim in range(d):
+        column_ranks[:, dim] = np.argsort(np.argsort(values[:, dim])) / max(n - 1, 1)
+    probabilities = np.clip(column_ranks * 2.0 * rate, 0.0, 0.98)
+    mask = rng.random((n, d)) < probabilities
+    return _apply(values, _ensure_one_observed(mask, rng))

@@ -1,0 +1,92 @@
+"""Synthetic dataset generators: IND and AC (paper Section 5, Table 2).
+
+Follows the methodology of Börzsönyi, Kossmann & Stocker ("The skyline
+operator", ICDE 2001), which the paper cites for its synthetic data:
+
+* **IND** — dimensions independently uniform;
+* **AC**  — anti-correlated: points hover around the hyperplane
+  ``Σ x_i = d/2``, so an object good in one dimension tends to be bad in
+  the others (the skyline/TKD stress case — the paper's Fig. 18 shows
+  Heuristic 1 collapsing on AC).
+
+Both are then discretised to a configurable number of distinct values per
+dimension (the paper's *dimensional cardinality* ``c``, swept in Fig. 17)
+and holed with an MCAR injector (missing rate σ, swept in Fig. 16).
+Smaller is better, matching the paper's Definition 1 convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import coerce_rng, require_fraction, require_positive_int
+from ..core.dataset import IncompleteDataset
+from .missing import inject_mcar
+
+__all__ = ["independent_dataset", "anticorrelated_dataset"]
+
+
+def _discretise(values: np.ndarray, cardinality: int) -> np.ndarray:
+    """Map [0, 1) reals onto integer grades 1 … cardinality."""
+    grades = np.floor(values * cardinality).astype(np.int64) + 1
+    return np.clip(grades, 1, cardinality).astype(np.float64)
+
+
+def independent_dataset(
+    n: int,
+    d: int,
+    *,
+    cardinality: int = 100,
+    missing_rate: float = 0.1,
+    seed=None,
+    name: str = "IND",
+) -> IncompleteDataset:
+    """Uniform independent incomplete dataset (paper's IND workload)."""
+    n = require_positive_int(n, "n")
+    d = require_positive_int(d, "d")
+    cardinality = require_positive_int(cardinality, "cardinality")
+    require_fraction(missing_rate, "missing_rate", inclusive_high=False)
+    rng = coerce_rng(seed)
+    values = _discretise(rng.random((n, d)), cardinality)
+    holed = inject_mcar(values, missing_rate, rng=rng)
+    return IncompleteDataset(holed, name=name)
+
+
+def anticorrelated_dataset(
+    n: int,
+    d: int,
+    *,
+    cardinality: int = 100,
+    missing_rate: float = 0.1,
+    spread: float = 0.15,
+    seed=None,
+    name: str = "AC",
+) -> IncompleteDataset:
+    """Anti-correlated incomplete dataset (paper's AC workload).
+
+    Each point draws an overall "budget" tightly concentrated around
+    ``d/2`` (normal with std *spread*) and splits it across dimensions with
+    a symmetric Dirichlet draw — the standard Börzsönyi-style construction:
+    a point strong in one dimension must be weak elsewhere, so pairwise
+    coordinate correlations come out negative (asserted in the tests).
+    """
+    n = require_positive_int(n, "n")
+    d = require_positive_int(d, "d")
+    cardinality = require_positive_int(cardinality, "cardinality")
+    require_fraction(missing_rate, "missing_rate", inclusive_high=False)
+    rng = coerce_rng(seed)
+
+    if d == 1:
+        plane = np.clip(rng.normal(0.5, spread, size=(n, 1)), 0.0, 1.0)
+        values = _discretise(plane, cardinality)
+        holed = inject_mcar(values, missing_rate, rng=rng)
+        return IncompleteDataset(holed, name=name)
+
+    # Budget jitter stays small so the negative within-plane correlation
+    # dominates the (positively correlating) shared-budget factor.
+    budget = np.clip(rng.normal(0.5, spread / d, size=n), 0.25, 0.75) * d
+    shares = rng.dirichlet(np.full(d, 2.0), size=n)
+    points = np.clip(shares * budget[:, None], 0.0, 1.0 - 1e-12)
+    values = _discretise(points, cardinality)
+    holed = inject_mcar(values, missing_rate, rng=rng)
+    return IncompleteDataset(holed, name=name)

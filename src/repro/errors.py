@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish data problems from query problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DataError",
+    "EmptyDatasetError",
+    "AllMissingObjectError",
+    "DimensionMismatchError",
+    "QueryError",
+    "InvalidParameterError",
+    "UnknownAlgorithmError",
+    "IndexBuildError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed or violates the incomplete-data model."""
+
+
+class EmptyDatasetError(DataError):
+    """Raised when a dataset with zero objects or zero dimensions is built."""
+
+
+class AllMissingObjectError(DataError):
+    """Raised for an object with no observed dimension.
+
+    The paper's model (Section 3) only considers objects with at least one
+    observed dimensional value; such objects can never dominate nor be
+    dominated and would silently distort scores.
+    """
+
+
+class DimensionMismatchError(DataError):
+    """Raised when rows, masks, names, or directions disagree on ``d``."""
+
+
+class QueryError(ReproError):
+    """A query cannot be answered as specified."""
+
+
+class InvalidParameterError(QueryError):
+    """A query or construction parameter is out of its legal range."""
+
+
+class UnknownAlgorithmError(QueryError):
+    """The requested algorithm name is not in the registry."""
+
+
+class IndexBuildError(ReproError):
+    """An index (bitmap, binned bitmap, B+-tree) could not be built."""

@@ -1,0 +1,14 @@
+"""Experiment harness regenerating every figure/table of the paper."""
+
+from .harness import PAPER, DatasetCache, PaperDefaults, env_scale, time_algorithm
+from .figures import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "PAPER",
+    "PaperDefaults",
+    "DatasetCache",
+    "env_scale",
+    "time_algorithm",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,212 @@
+"""Regenerators for the extension experiments (EXPERIMENTS.md "EXT-*").
+
+These quantify the design choices the paper makes implicitly — which
+incomplete-data index family, which codec, which imputer — and its
+future-work directions (massive data, answer quality). Each function
+mirrors the :mod:`repro.experiments.figures` contract: keyword ``scale``
+and ``seed``, rows of plain dicts back. They are registered in the same
+CLI::
+
+    python -m repro.experiments.figures --experiment ext-idx
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..analysis.stability import missingness_sensitivity, perturbation_stability
+from ..bitmap.compression import compress_index
+from ..bitmap.index import BitmapIndex
+from ..core.complete import complete_tkd
+from ..core.partitioned import PartitionedTKD
+from ..core.query import top_k_dominating
+from ..core.score import score_all
+from ..imputation import EMImputer, FactorizationImputer, KNNImputer, SimpleImputer
+from ..indexes import INDEX_BACKENDS
+from ..rtree import ARTree, counting_guided_tkd, skyline_based_tkd
+from .harness import PAPER, DatasetCache, time_algorithm
+
+__all__ = [
+    "ext_indexes",
+    "ext_sigma0",
+    "ext_imputers",
+    "ext_roaring",
+    "ext_partitioned",
+    "ext_stability",
+    "EXTENSION_EXPERIMENTS",
+]
+
+
+def ext_indexes(scale: float | None = None, seed: int = 0, k: int | None = None) -> list[dict]:
+    """Bitmap vs MOSAIC/BR-tree/quantization: build, storage, bounds, query."""
+    k = PAPER.default_k if k is None else k
+    cache = DatasetCache(scale, seed)
+    dataset = cache.get("ind")
+    oracle = score_all(dataset)
+    sample = range(0, dataset.n, max(1, dataset.n // 100))
+
+    rows = [dict(time_algorithm(dataset, "big", k), backend="bitmap(big)", bound_slack=None)]
+    for backend, cls in INDEX_BACKENDS.items():
+        index = cls(dataset).build()
+        slack = float(
+            np.mean([index.upper_bound_score(row) - int(oracle[row]) for row in sample])
+        )
+        row = time_algorithm(dataset, backend, k)
+        row["backend"] = backend
+        row["build_s"] = index.build_seconds
+        row["bound_slack"] = slack
+        rows.append(row)
+    for row in rows:
+        row.pop("stats", None), row.pop("result", None)
+    return rows
+
+
+def ext_sigma0(scale: float | None = None, seed: int = 0, k: int | None = None) -> list[dict]:
+    """σ = 0: the paper's algorithms vs the classic aR-tree baselines."""
+    k = PAPER.default_k if k is None else k
+    cache = DatasetCache(scale, seed)
+    complete = cache.get("ind", missing_rate=0.0)
+    values = complete.minimized
+
+    rows = []
+    for algorithm in ("ubb", "big", "ibig"):
+        row = time_algorithm(complete, algorithm, k)
+        row.pop("stats", None), row.pop("result", None)
+        row["method"] = algorithm
+        rows.append(row)
+
+    tree = ARTree(values)
+    for method, run in (("counting", counting_guided_tkd), ("skyline", skyline_based_tkd)):
+        start = time.perf_counter()
+        _, scores = run(values, k, tree=tree)
+        rows.append(
+            {
+                "dataset": complete.name or "ind",
+                "method": f"artree-{method}",
+                "k": k,
+                "n": complete.n,
+                "query_s": time.perf_counter() - start,
+                "top_score": scores[0],
+            }
+        )
+    return rows
+
+
+def ext_imputers(scale: float | None = None, seed: int = 0, k: int = 16) -> list[dict]:
+    """Table 4 across imputers: fit cost + answer distance (NBA-like)."""
+    cache = DatasetCache(scale, seed)
+    dataset = cache.get("nba")
+    incomplete = top_k_dominating(dataset, k, algorithm="big")
+
+    imputers = {
+        "factorization": FactorizationImputer(n_factors=8, max_iter=50, seed=seed),
+        "em": EMImputer(max_iter=50),
+        "knn": KNNImputer(n_neighbors=5),
+        "mean": SimpleImputer("mean"),
+    }
+    rows = []
+    for name, imputer in imputers.items():
+        start = time.perf_counter()
+        completed = imputer.impute_dataset(dataset)
+        fit_s = time.perf_counter() - start
+        answer = complete_tkd(completed, k, ids=dataset.ids)
+        a, b = incomplete.id_set, set(answer.ids)
+        rows.append(
+            {
+                "dataset": "nba",
+                "imputer": name,
+                "k": k,
+                "fit_s": fit_s,
+                "jaccard_distance": 1.0 - len(a & b) / len(a | b),
+                "shared": len(a & b),
+            }
+        )
+    return rows
+
+
+def ext_roaring(scale: float | None = None, seed: int = 0) -> list[dict]:
+    """Fig. 10 with the Roaring extension codec alongside WAH/CONCISE."""
+    cache = DatasetCache(scale, seed)
+    rows = []
+    for name in ("movielens", "nba", "zillow"):
+        index = BitmapIndex(cache.get(name))
+        for scheme in ("wah", "concise", "roaring"):
+            report = compress_index(index, scheme)
+            rows.append(
+                {
+                    "dataset": name,
+                    "scheme": scheme,
+                    "cpu_s": report.seconds,
+                    "ratio": report.ratio,
+                }
+            )
+    return rows
+
+
+def ext_partitioned(
+    scale: float | None = None,
+    seed: int = 0,
+    k: int | None = None,
+    budgets=(128, 512, 2048),
+) -> list[dict]:
+    """Bounded-memory TKD across partition budgets (TDEP-inspired)."""
+    k = PAPER.default_k if k is None else k
+    cache = DatasetCache(scale, seed)
+    dataset = cache.get("ind")
+    rows = []
+    for budget in budgets:
+        algorithm = PartitionedTKD(dataset, partition_rows=budget)
+        algorithm.prepare()
+        result = algorithm.query(k)
+        rows.append(
+            {
+                "dataset": dataset.name or "ind",
+                "partition_rows": budget,
+                "partitions": result.stats.extra.get("partitions"),
+                "skipped": result.stats.extra.get("partitions_skipped", 0),
+                "query_s": result.stats.query_seconds,
+                "synopsis_bytes": algorithm.index_bytes,
+            }
+        )
+    return rows
+
+
+def ext_stability(scale: float | None = None, seed: int = 0, k: int | None = None) -> list[dict]:
+    """Answer drift under injected missingness + bootstrap churn."""
+    k = PAPER.default_k if k is None else k
+    cache = DatasetCache(scale, seed)
+    # Ground truth: a complete IND matrix of the cache's scaled size.
+    complete = cache.get("ind", missing_rate=0.0)
+    rows = missingness_sensitivity(
+        complete.minimized, k, rates=(0.1, 0.2, 0.4), trials=2, rng=seed
+    )
+    incomplete = cache.get("ind")
+    churn = perturbation_stability(incomplete, k, trials=5, rng=seed)
+    rows.append(
+        {
+            "mechanism": "bootstrap-5%drop",
+            "rate": churn["drop_fraction"],
+            "k": k,
+            "trials": churn["trials"],
+            "jaccard_mean": churn["jaccard_mean"],
+            "jaccard_max": churn["jaccard_max"],
+            "oracle_kept_mean": float(
+                np.mean(list(churn["persistence"].values())) if churn["persistence"] else 0.0
+            ),
+        }
+    )
+    return rows
+
+
+#: Registry consumed by :mod:`repro.experiments.figures` (id → function +
+#: default series spec for the printed pivot).
+EXTENSION_EXPERIMENTS = {
+    "ext-idx": (ext_indexes, dict(x="backend", series="k", y="query_s")),
+    "ext-sigma0": (ext_sigma0, dict(x="method", series="k", y="query_s")),
+    "ext-imp": (ext_imputers, dict(x="imputer", series="k", y="jaccard_distance")),
+    "ext-roar": (ext_roaring, dict(x="dataset", series="scheme", y="ratio")),
+    "ext-part": (ext_partitioned, dict(x="partition_rows", series="dataset", y="query_s")),
+    "ext-stab": (ext_stability, dict(x="rate", series="mechanism", y="jaccard_mean")),
+}

@@ -1,0 +1,76 @@
+"""Row/series rendering for experiment output.
+
+The harness produces lists of plain dict rows; this module renders them as
+the paper renders its figures — one series per algorithm across the swept
+parameter — plus CSV export for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Sequence
+
+from .._util import format_table
+
+__all__ = ["print_rows", "rows_to_csv", "pivot_series", "format_series"]
+
+
+def print_rows(rows: Sequence[dict], columns: Sequence[str] | None = None, *, title: str = "") -> None:
+    """Print rows as an aligned table (skips non-scalar cells)."""
+    if not rows:
+        print(f"{title}: (no rows)")
+        return
+    if columns is None:
+        columns = [key for key, value in rows[0].items() if isinstance(value, (int, float, str))]
+    table = format_table(columns, [[row.get(col, "") for col in columns] for row in rows])
+    if title:
+        print(f"== {title} ==")
+    print(table)
+
+
+def rows_to_csv(rows: Sequence[dict], path, columns: Sequence[str] | None = None) -> None:
+    """Write rows to CSV (scalar columns only)."""
+    if not rows:
+        return
+    if columns is None:
+        columns = [key for key, value in rows[0].items() if isinstance(value, (int, float, str))]
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: row.get(col, "") for col in columns})
+
+
+def pivot_series(
+    rows: Sequence[dict],
+    *,
+    x: str,
+    series: str = "algorithm",
+    y: str = "query_s",
+) -> dict[str, list[tuple]]:
+    """Group rows into per-series ``(x, y)`` point lists (a paper figure)."""
+    out: dict[str, list[tuple]] = {}
+    for row in rows:
+        out.setdefault(str(row[series]), []).append((row[x], row[y]))
+    for points in out.values():
+        # x values may mix numbers with labels like "C+1" (Fig. 11); group
+        # numbers first, labels last, each internally ordered.
+        points.sort(key=lambda pair: (isinstance(pair[0], str), pair[0]))
+    return out
+
+
+def format_series(
+    rows: Sequence[dict],
+    *,
+    x: str,
+    series: str = "algorithm",
+    y: str = "query_s",
+    y_format: str = "{:.4g}",
+) -> str:
+    """Render a figure as one line per series: ``name: x=y, x=y, …``."""
+    pivoted = pivot_series(rows, x=x, series=series, y=y)
+    lines = []
+    for name in sorted(pivoted):
+        points = ", ".join(f"{xv}={y_format.format(yv)}" for xv, yv in pivoted[name])
+        lines.append(f"{name:>8}: {points}")
+    return "\n".join(lines)

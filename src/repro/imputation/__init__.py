@@ -1,0 +1,19 @@
+"""Missing-value inference substrates (the paper's Table 4 comparator).
+
+Four ways to complete an incomplete matrix, all sharing the same
+``fit`` / ``transform`` / ``fit_transform`` / ``impute_dataset`` surface:
+
+* :class:`FactorizationImputer` — ALS matrix factorization, the
+  reconstruction of the paper's GraphLab Create setup;
+* :class:`EMImputer` — multivariate-Gaussian EM, the classic inference
+  route the paper defers to future work;
+* :class:`KNNImputer` — instance-based common-dimension neighbours;
+* :class:`SimpleImputer` — per-column mean/median/constant baselines.
+"""
+
+from .em import EMImputer
+from .factorization import FactorizationImputer
+from .knn import KNNImputer
+from .simple import SimpleImputer
+
+__all__ = ["FactorizationImputer", "EMImputer", "KNNImputer", "SimpleImputer"]

@@ -1,0 +1,176 @@
+"""Matrix-factorization imputation — the paper's Table 4 comparator.
+
+The paper contrasts its incomplete-data TKD answers with answers obtained
+after *inferring* the missing values with GraphLab Create's factorization
+model ("the number of factors set to 8 and L2 regularizations used on the
+factors … iterated at a maximum of 50 times"). GraphLab is proprietary
+and long discontinued, so this module implements the equivalent model from
+scratch:
+
+    R[i, j] ≈ μ + b_row[i] + b_col[j] + U[i] · V[j]
+
+fit on the observed cells by **alternating least squares** with L2
+regularisation on factors and biases, at most ``max_iter`` sweeps, early
+stopping on training-RMSE plateau. Missing cells are then filled with the
+model's predictions (observed cells are kept verbatim).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import coerce_rng, require_positive_int
+from ..core.dataset import IncompleteDataset
+from ..errors import InvalidParameterError
+
+__all__ = ["FactorizationImputer"]
+
+
+class FactorizationImputer:
+    """ALS matrix-factorization imputer with biases.
+
+    Parameters mirror the paper's GraphLab configuration: ``n_factors=8``,
+    L2 regularisation, ``max_iter=50``.
+    """
+
+    def __init__(
+        self,
+        n_factors: int = 8,
+        *,
+        l2: float = 1.0,
+        max_iter: int = 50,
+        tol: float = 1e-4,
+        standardize: bool = True,
+        seed=0,
+    ) -> None:
+        self.n_factors = require_positive_int(n_factors, "n_factors")
+        if l2 < 0:
+            raise InvalidParameterError(f"l2 must be >= 0, got {l2}")
+        self.l2 = float(l2)
+        self.max_iter = require_positive_int(max_iter, "max_iter")
+        self.tol = float(tol)
+        #: Z-score each column on its observed cells before fitting (and
+        #: un-scale the predictions). Columns of real data differ by orders
+        #: of magnitude (NBA: games vs total points), and an unscaled
+        #: least-squares fit would be dominated by the big columns.
+        self.standardize = bool(standardize)
+        self._rng = coerce_rng(seed)
+        self._fitted = False
+        self.training_rmse_: list[float] = []
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, matrix: np.ndarray) -> "FactorizationImputer":
+        """Fit on a float matrix with NaN marking the missing cells."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise InvalidParameterError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        observed = ~np.isnan(matrix)
+        if not observed.any():
+            raise InvalidParameterError("matrix has no observed cells to fit on")
+        self._raw_matrix = matrix
+        if self.standardize:
+            center = np.zeros(matrix.shape[1])
+            spread = np.ones(matrix.shape[1])
+            for dim in range(matrix.shape[1]):
+                column = matrix[observed[:, dim], dim]
+                if column.size:
+                    center[dim] = float(column.mean())
+                    sd = float(column.std())
+                    spread[dim] = sd if sd > 0 else 1.0
+            self._center, self._spread = center, spread
+            matrix = (matrix - center) / spread
+        else:
+            self._center = np.zeros(matrix.shape[1])
+            self._spread = np.ones(matrix.shape[1])
+        n, d = matrix.shape
+        factors = self.n_factors
+
+        self._observed = observed
+        self._matrix = matrix
+        self.mu_ = float(matrix[observed].mean())
+        self.b_row_ = np.zeros(n)
+        self.b_col_ = np.zeros(d)
+        self.row_factors_ = self._rng.normal(0.0, 0.1, size=(n, factors))
+        self.col_factors_ = self._rng.normal(0.0, 0.1, size=(d, factors))
+
+        filled = np.where(observed, matrix, 0.0)
+        self.training_rmse_ = []
+        previous = np.inf
+        eye = np.eye(factors)
+        for _ in range(self.max_iter):
+            residual = filled - self.mu_ - self.b_col_[None, :]
+            self._update_biases(residual, observed, axis=1, biases=self.b_row_)
+            residual = filled - self.mu_ - self.b_row_[:, None]
+            self._update_biases(residual, observed, axis=0, biases=self.b_col_)
+
+            base = self.mu_ + self.b_row_[:, None] + self.b_col_[None, :]
+            target = filled - base
+            self._solve_side(target, observed, self.row_factors_, self.col_factors_, eye, rows=True)
+            self._solve_side(target, observed, self.col_factors_, self.row_factors_, eye, rows=False)
+
+            rmse = self._rmse()
+            self.training_rmse_.append(rmse)
+            if previous - rmse < self.tol:
+                break
+            previous = rmse
+        self._fitted = True
+        return self
+
+    def _update_biases(self, residual: np.ndarray, observed: np.ndarray, *, axis: int, biases: np.ndarray) -> None:
+        interaction = self.row_factors_ @ self.col_factors_.T
+        err = np.where(observed, residual - interaction, 0.0)
+        counts = observed.sum(axis=axis)
+        sums = err.sum(axis=axis)
+        np.copyto(biases, sums / (counts + self.l2), where=counts > 0)
+
+    def _solve_side(self, target, observed, own, other, eye, *, rows: bool) -> None:
+        """One ALS half-step: solve ridge regressions for ``own`` factors."""
+        count = own.shape[0]
+        for i in range(count):
+            mask = observed[i] if rows else observed[:, i]
+            if not mask.any():
+                continue
+            design = other[mask]
+            response = (target[i, mask] if rows else target[mask, i])
+            gram = design.T @ design + self.l2 * eye
+            own[i] = np.linalg.solve(gram, design.T @ response)
+
+    def _rmse(self) -> float:
+        predictions = self._predict_matrix()
+        err = (self._matrix - predictions)[self._observed]
+        return float(np.sqrt(np.mean(err**2)))
+
+    def _predict_matrix(self) -> np.ndarray:
+        return (
+            self.mu_
+            + self.b_row_[:, None]
+            + self.b_col_[None, :]
+            + self.row_factors_ @ self.col_factors_.T
+        )
+
+    # -- transform ------------------------------------------------------------
+
+    def transform(self) -> np.ndarray:
+        """Completed matrix: observed cells verbatim, missing cells predicted.
+
+        Predictions are mapped back to the original column scales when
+        ``standardize`` is on.
+        """
+        if not self._fitted:
+            raise InvalidParameterError("call fit() before transform()")
+        predictions = self._predict_matrix() * self._spread + self._center
+        return np.where(self._observed, self._raw_matrix, predictions)
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit and complete in one call."""
+        return self.fit(matrix).transform()
+
+    def impute_dataset(self, dataset: IncompleteDataset) -> np.ndarray:
+        """Complete an :class:`IncompleteDataset`'s *minimized* matrix.
+
+        The output feeds straight into
+        :func:`repro.core.complete.complete_tkd` (smaller is better), which
+        is exactly the Table 4 pipeline.
+        """
+        return self.fit_transform(dataset.minimized)

@@ -1,0 +1,67 @@
+"""Baseline imputers: column mean / median / constant.
+
+Sanity baselines for the Table 4 pipeline — if factorization imputation
+were no better than a column mean, inferring missing values would add
+nothing over the incomplete-data model. They share the
+:class:`~repro.imputation.factorization.FactorizationImputer` surface
+(``fit`` / ``transform`` / ``impute_dataset``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import IncompleteDataset
+from ..errors import InvalidParameterError
+
+__all__ = ["SimpleImputer"]
+
+_STRATEGIES = ("mean", "median", "constant")
+
+
+class SimpleImputer:
+    """Per-column statistic imputer."""
+
+    def __init__(self, strategy: str = "mean", *, fill_value: float = 0.0) -> None:
+        if strategy not in _STRATEGIES:
+            raise InvalidParameterError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
+        self.strategy = strategy
+        self.fill_value = float(fill_value)
+        self._fitted = False
+
+    def fit(self, matrix: np.ndarray) -> "SimpleImputer":
+        """Learn per-column fill statistics from the observed cells."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise InvalidParameterError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        self._matrix = matrix
+        observed = ~np.isnan(matrix)
+        fills = np.full(matrix.shape[1], self.fill_value)
+        if self.strategy != "constant":
+            for dim in range(matrix.shape[1]):
+                column = matrix[observed[:, dim], dim]
+                if column.size == 0:
+                    continue  # keep the constant fallback
+                fills[dim] = float(np.mean(column) if self.strategy == "mean" else np.median(column))
+        self.fills_ = fills
+        self._fitted = True
+        return self
+
+    def transform(self) -> np.ndarray:
+        """Completed matrix (observed cells verbatim)."""
+        if not self._fitted:
+            raise InvalidParameterError("call fit() before transform()")
+        out = self._matrix.copy()
+        missing = np.isnan(out)
+        out[missing] = np.broadcast_to(self.fills_, out.shape)[missing]
+        return out
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Fit and complete in one call."""
+        return self.fit(matrix).transform()
+
+    def impute_dataset(self, dataset: IncompleteDataset) -> np.ndarray:
+        """Complete a dataset's minimized matrix."""
+        return self.fit_transform(dataset.minimized)

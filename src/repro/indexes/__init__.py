@@ -1,0 +1,37 @@
+"""Alternative incomplete-data index structures (paper Section 2.2).
+
+The paper's related work names four index families for incomplete data:
+the bitmap index its own BIG/IBIG algorithms build on
+(:mod:`repro.bitmap`), plus MOSAIC, the bitstring-augmented R-tree, and
+the quantization index. The latter three are implemented here behind the
+:class:`~repro.indexes.base.IncompleteIndex` filter-and-verify interface
+and wired into the TKD query engine as the ``"mosaic"``, ``"brtree"``,
+and ``"quantization"`` algorithms, so the paper's implicit design choice
+— *bitmaps beat the alternatives for dominance counting* — can be
+measured rather than assumed (``benchmarks/bench_indexes.py``).
+"""
+
+from .algorithm import (
+    INDEX_BACKENDS,
+    BRTreeTKD,
+    IndexBackedTKD,
+    MosaicTKD,
+    QuantizationTKD,
+)
+from .base import IncompleteIndex, dominated_within
+from .brtree import BRTreeIndex
+from .mosaic import MosaicIndex
+from .quantization import QuantizationIndex
+
+__all__ = [
+    "IncompleteIndex",
+    "dominated_within",
+    "MosaicIndex",
+    "BRTreeIndex",
+    "QuantizationIndex",
+    "INDEX_BACKENDS",
+    "IndexBackedTKD",
+    "MosaicTKD",
+    "BRTreeTKD",
+    "QuantizationTKD",
+]

@@ -1,0 +1,124 @@
+"""Common interface for incomplete-data index structures (paper Section 2.2).
+
+The paper lists four ways to index incomplete data: the bitmap index (the
+one its BIG/IBIG algorithms adopt, :mod:`repro.bitmap`), MOSAIC, the
+bitstring-augmented R-tree, and the quantization index. This subpackage
+implements the other three behind one interface so they can be compared
+as candidate-generation backends for TKD processing.
+
+Every :class:`IncompleteIndex` supports, for a probe object ``o``:
+
+* :meth:`~IncompleteIndex.upper_bound_score` — a cheap count that is
+  **provably ≥ score(o)** (a superset count of the objects ``o`` might
+  dominate). This is what makes UBB-style early termination sound.
+* :meth:`~IncompleteIndex.candidate_rows` — the rows of that superset.
+* :meth:`~IncompleteIndex.score` — the exact Definition 2 score, obtained
+  by refining the candidates with the real dominance test.
+
+The exactness contract (superset ⊇ dominated set) is property-tested in
+``tests/test_indexes.py`` for every backend.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.dataset import IncompleteDataset
+from ..errors import InvalidParameterError
+
+__all__ = ["IncompleteIndex", "dominated_within"]
+
+
+def dominated_within(
+    dataset: IncompleteDataset, row: int, rows: np.ndarray
+) -> np.ndarray:
+    """Definition 1 refinement: which of *rows* does object *row* dominate.
+
+    One vectorised pass over the candidate subset — the "verify" half of
+    every filter-and-verify index backend. Returns a boolean mask aligned
+    with *rows*; *row* itself is never marked.
+    """
+    rows = np.asarray(rows, dtype=np.intp)
+    if rows.size == 0:
+        return np.zeros(0, dtype=bool)
+    observed = dataset.observed
+    filled = np.where(observed, dataset.minimized, 0.0)
+    probe_values = filled[row]
+    probe_mask = observed[row]
+
+    sub_values = filled[rows]
+    sub_mask = observed[rows]
+    common = sub_mask & probe_mask
+    le_all = np.all(~common | (probe_values <= sub_values), axis=1)
+    lt_any = np.any(common & (probe_values < sub_values), axis=1)
+    out = le_all & lt_any
+    out[rows == row] = False
+    return out
+
+
+class IncompleteIndex:
+    """Abstract filter-and-verify index over an incomplete dataset."""
+
+    #: Registry/reporting name; concrete subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, dataset: IncompleteDataset) -> None:
+        if not isinstance(dataset, IncompleteDataset):
+            raise InvalidParameterError(
+                f"dataset must be an IncompleteDataset, got {type(dataset).__name__}"
+            )
+        self.dataset = dataset
+        self._built = False
+        self._build_seconds = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def build(self) -> "IncompleteIndex":
+        """Construct the index once; safe to call repeatedly."""
+        if not self._built:
+            start = time.perf_counter()
+            self._build()
+            self._build_seconds = time.perf_counter() - start
+            self._built = True
+        return self
+
+    def _build(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def build_seconds(self) -> float:
+        """Wall-clock seconds of the last :meth:`build` (0 if pending)."""
+        return self._build_seconds
+
+    @property
+    def index_bytes(self) -> int:
+        """Approximate storage footprint of the built index."""
+        raise NotImplementedError
+
+    # -- probe operations ----------------------------------------------------
+
+    def upper_bound_score(self, row: int) -> int:
+        """A count ≥ ``score(row)`` obtained without verifying dominance."""
+        raise NotImplementedError
+
+    def candidate_rows(self, row: int) -> np.ndarray:
+        """Sorted rows of a superset of the objects dominated by *row*."""
+        raise NotImplementedError
+
+    def score(self, row: int) -> int:
+        """Exact ``score(row)``: filter via the index, verify Definition 1."""
+        self.build()
+        candidates = self.candidate_rows(row)
+        return int(dominated_within(self.dataset, row, candidates).sum())
+
+    # -- shared validation -----------------------------------------------------
+
+    def _check_row(self, row: int) -> int:
+        row = int(row)
+        if row < 0 or row >= self.dataset.n:
+            raise InvalidParameterError(
+                f"row {row} outside dataset of {self.dataset.n} objects"
+            )
+        return row

@@ -1,0 +1,147 @@
+"""Bitstring-augmented R-tree (BR-tree) for incomplete data.
+
+One of the four incomplete-data index structures the paper's related work
+surveys (Canahuate, Gibas & Ferhatosmanoglu, EDBT 2006). Missing values
+are substituted with a per-dimension representative so that MBRs exist
+again, and every node is augmented with two observed-pattern bitstrings
+aggregated over its subtree:
+
+* ``pattern_or`` — dimensions observed by *some* descendant. A probe
+  sharing no bit with it is incomparable to everything below: skip.
+* ``pattern_and`` — dimensions observed by *all* descendants. On these
+  dimensions the node's MBR reflects only genuine (non-substituted)
+  values, so geometric pruning is sound there: if the MBR's upper edge on
+  such a dimension lies strictly below the probe's value, no descendant
+  can be dominated by the probe.
+
+This turns the classic R-tree into a *conservative* filter for incomplete
+data — exactly the repair the paper says plain R-trees need and why its
+bitmap approach avoids the substitution altogether.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import IncompleteDataset
+from ..rtree import ARTree, DEFAULT_FANOUT
+from ..rtree.artree import ARTreeNode
+from .base import IncompleteIndex
+
+__all__ = ["BRTreeIndex"]
+
+
+class BRTreeIndex(IncompleteIndex):
+    """R-tree over substituted values with per-node pattern bitstrings."""
+
+    name = "brtree"
+
+    def __init__(self, dataset: IncompleteDataset, *, fanout: int = DEFAULT_FANOUT) -> None:
+        super().__init__(dataset)
+        self._fanout = int(fanout)
+        self._tree: ARTree | None = None
+        self._filled: np.ndarray | None = None
+
+    def _build(self) -> None:
+        observed = self.dataset.observed
+        minimized = self.dataset.minimized
+        # Substitute each missing value with the dimension's observed mean —
+        # any in-domain representative works, the bitstrings carry soundness.
+        with np.errstate(invalid="ignore"):
+            column_sum = np.where(observed, minimized, 0.0).sum(axis=0)
+            column_cnt = observed.sum(axis=0)
+        fill = np.where(column_cnt > 0, column_sum / np.maximum(column_cnt, 1), 0.0)
+        self._filled = np.where(observed, minimized, fill)
+        self._tree = ARTree(self._filled, fanout=self._fanout)
+        self._annotate(self._tree.root)
+
+    def _annotate(self, node: ARTreeNode) -> tuple[int, int]:
+        """Attach ``(pattern_or, pattern_and)`` to every node, bottom-up."""
+        patterns = self.dataset.patterns
+        if node.is_leaf:
+            pattern_or = 0
+            pattern_and = -1
+            for row in node.row_indices:
+                pattern = patterns[row]
+                pattern_or |= pattern
+                pattern_and &= pattern
+        else:
+            pattern_or = 0
+            pattern_and = -1
+            for child in node.children:
+                child_or, child_and = self._annotate(child)
+                pattern_or |= child_or
+                pattern_and &= child_and
+        node.meta = (pattern_or, pattern_and)
+        return pattern_or, pattern_and
+
+    @property
+    def tree(self) -> ARTree:
+        """The underlying annotated R-tree."""
+        self.build()
+        return self._tree
+
+    @property
+    def index_bytes(self) -> int:
+        """Substituted matrix plus node rectangles and bitstrings."""
+        self.build()
+        total = self._filled.nbytes
+        pattern_bytes = max(1, (self.dataset.d + 7) // 8) * 2
+        for node in self._tree.iter_nodes():
+            total += node.rect.low.nbytes + node.rect.high.nbytes + pattern_bytes
+        return total
+
+    # -- traversal ---------------------------------------------------------
+
+    def _surviving_leaf_rows(self, row: int) -> list[np.ndarray]:
+        """Leaf row groups that survive bitstring + geometric pruning."""
+        probe_pattern = self.dataset.patterns[row]
+        probe = self.dataset.minimized[row]
+        observed = self.dataset.observed
+        d = self.dataset.d
+        probe_dims = np.array(
+            [i for i in range(d) if (probe_pattern >> i) & 1], dtype=np.intp
+        )
+
+        survivors: list[np.ndarray] = []
+        stack = [self._tree.root]
+        while stack:
+            node = stack.pop()
+            pattern_or, pattern_and = node.meta
+            if (pattern_or & probe_pattern) == 0:
+                continue  # everything below is incomparable to the probe
+            safe = pattern_and & probe_pattern
+            if safe:
+                prunable = False
+                for i in probe_dims:
+                    if (safe >> int(i)) & 1 and node.rect.high[i] < probe[i]:
+                        prunable = True
+                        break
+                if prunable:
+                    continue
+            if node.is_leaf:
+                rows = node.row_indices
+                sub_mask = observed[rows]
+                common = sub_mask & observed[row]
+                filled_vals = np.where(sub_mask, self.dataset.minimized[rows], 0.0)
+                viable = ~np.any(common & (filled_vals < probe), axis=1)
+                viable &= common.any(axis=1)
+                viable &= rows != row
+                if viable.any():
+                    survivors.append(rows[viable])
+            else:
+                stack.extend(node.children)
+        return survivors
+
+    def upper_bound_score(self, row: int) -> int:
+        row = self._check_row(row)
+        self.build()
+        return sum(group.size for group in self._surviving_leaf_rows(row))
+
+    def candidate_rows(self, row: int) -> np.ndarray:
+        row = self._check_row(row)
+        self.build()
+        groups = self._surviving_leaf_rows(row)
+        if not groups:
+            return np.empty(0, dtype=np.intp)
+        return np.sort(np.concatenate(groups))

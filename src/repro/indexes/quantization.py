@@ -1,0 +1,100 @@
+"""Quantization index for incomplete data (Canahuate et al., EDBT 2006).
+
+The second structure of the "Indexing incomplete databases" paper: every
+dimension is quantized into a small number of ranks (equal-frequency
+bins) and each object is stored as a vector of small integers, with a
+reserved code for *missing*. Dominance-candidate filtering is then a
+single vectorized scan over the rank matrix:
+
+``q`` can only be dominated by the probe ``o`` if, on every dimension
+observed in both, ``bin(o) <= bin(q)`` — because bins are value-ordered,
+``bin(q) < bin(o)`` certifies ``q[i] < o[i]``.
+
+Compared with the paper's bitmap index this trades the bit-vector algebra
+for a tiny footprint (one byte-ish per cell) and sequential-scan probes;
+the TKD bench in ``benchmarks/bench_indexes.py`` quantifies that trade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..core.dataset import IncompleteDataset
+from .base import IncompleteIndex
+
+__all__ = ["QuantizationIndex"]
+
+#: Rank code reserved for missing cells.
+MISSING_RANK = -1
+
+
+class QuantizationIndex(IncompleteIndex):
+    """Equal-frequency per-dimension ranks with a missing code."""
+
+    name = "quantization"
+
+    def __init__(self, dataset: IncompleteDataset, *, bins: int = 16) -> None:
+        super().__init__(dataset)
+        self._bins = require_positive_int(bins, "bins")
+        self._ranks: np.ndarray | None = None
+        self._edges: list[np.ndarray] = []
+
+    def _build(self) -> None:
+        observed = self.dataset.observed
+        minimized = self.dataset.minimized
+        n, d = minimized.shape
+        ranks = np.full((n, d), MISSING_RANK, dtype=np.int16)
+        self._edges = []
+        for dim in range(d):
+            column = minimized[observed[:, dim], dim]
+            if column.size == 0:
+                self._edges.append(np.empty(0))
+                continue
+            # Interior equal-frequency cut points; duplicates collapse so
+            # heavily repeated values never straddle a bin boundary.
+            quantiles = np.linspace(0.0, 1.0, self._bins + 1)[1:-1]
+            edges = np.unique(np.quantile(column, quantiles))
+            self._edges.append(edges)
+            codes = np.searchsorted(edges, minimized[:, dim], side="right")
+            ranks[observed[:, dim], dim] = codes[observed[:, dim]].astype(np.int16)
+        self._ranks = ranks
+
+    @property
+    def ranks(self) -> np.ndarray:
+        """The ``(n, d)`` rank matrix (``MISSING_RANK`` for missing cells)."""
+        self.build()
+        return self._ranks
+
+    @property
+    def bins(self) -> int:
+        """Requested number of bins per dimension."""
+        return self._bins
+
+    @property
+    def index_bytes(self) -> int:
+        self.build()
+        return self._ranks.nbytes + sum(edges.nbytes for edges in self._edges)
+
+    # -- probes --------------------------------------------------------------
+
+    def _candidate_mask(self, row: int) -> np.ndarray:
+        ranks = self._ranks
+        probe = ranks[row]
+        probe_observed = probe != MISSING_RANK
+        others_observed = ranks != MISSING_RANK
+        common = others_observed & probe_observed
+        certified_worse = common & (ranks < probe)
+        mask = ~certified_worse.any(axis=1) & common.any(axis=1)
+        mask[row] = False
+        return mask
+
+    def upper_bound_score(self, row: int) -> int:
+        row = self._check_row(row)
+        self.build()
+        return int(self._candidate_mask(row).sum())
+
+    def candidate_rows(self, row: int) -> np.ndarray:
+        row = self._check_row(row)
+        self.build()
+        return np.flatnonzero(self._candidate_mask(row))

@@ -1,0 +1,33 @@
+"""R-tree substrate: MBRs, STR bulk loading, aR-tree, BBS, complete TKD.
+
+The complete-data machinery the paper contrasts against (Sections 1 and
+2.1). It exists here for three reasons:
+
+1. to reproduce the classic complete-data TKD baselines (Papadias et
+   al.; Yiu & Mamoulis) that anchor the σ = 0 end of Fig. 16;
+2. to power the bitstring-augmented R-tree (BR-tree) incomplete-data
+   index of :mod:`repro.indexes`;
+3. to make the paper's motivating claim concrete — these structures
+   require complete MBRs and genuinely cannot ingest missing values
+   (:class:`ARTree` raises on NaN by design).
+"""
+
+from .artree import ARTree, ARTreeNode, DEFAULT_FANOUT
+from .bbs import bbs_skyline, bbs_skyline_mask
+from .rect import Rect
+from .str_bulk import str_partition
+from .tkd import ARTREE_METHODS, artree_tkd, counting_guided_tkd, skyline_based_tkd
+
+__all__ = [
+    "Rect",
+    "str_partition",
+    "ARTree",
+    "ARTreeNode",
+    "DEFAULT_FANOUT",
+    "bbs_skyline",
+    "bbs_skyline_mask",
+    "skyline_based_tkd",
+    "counting_guided_tkd",
+    "artree_tkd",
+    "ARTREE_METHODS",
+]

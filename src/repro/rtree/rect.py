@@ -1,0 +1,158 @@
+"""Axis-aligned (hyper-)rectangles — the MBR primitive of the R-tree.
+
+The paper's Section 1 motivates the incomplete-data algorithms by noting
+that "the MBRs of tree nodes do not exist due to the missing dimensional
+values of data objects". This module is the *complete-data* side of that
+argument: the minimum bounding rectangles that the classic TKD machinery
+(Papadias et al. [5]; Yiu & Mamoulis [6], [7]) is built on.
+
+A :class:`Rect` stores the componentwise ``low`` and ``high`` corners of a
+box in minimized orientation (smaller is better everywhere in this
+package). Dominance-region tests used by the aR-tree counting algorithms
+live here too, so the tree code stays purely structural.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["Rect"]
+
+
+class Rect:
+    """A closed axis-aligned box ``[low, high]`` in d dimensions."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Sequence[float], high: Sequence[float]) -> None:
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        if low.ndim != 1 or low.shape != high.shape:
+            raise InvalidParameterError(
+                f"rect corners must be equal-length 1-D vectors, got {low.shape} vs {high.shape}"
+            )
+        if low.size == 0:
+            raise InvalidParameterError("rect must have at least one dimension")
+        if np.isnan(low).any() or np.isnan(high).any():
+            raise InvalidParameterError("rect corners must not contain NaN")
+        if (low > high).any():
+            raise InvalidParameterError("rect low corner must be <= high corner componentwise")
+        self.low = low
+        self.high = high
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "Rect":
+        """Degenerate box around a single point."""
+        point = np.asarray(point, dtype=np.float64)
+        return cls(point, point.copy())
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "Rect":
+        """Tightest box around the rows of a ``(m, d)`` matrix."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise InvalidParameterError(
+                f"from_points expects a non-empty (m, d) matrix, got shape {points.shape}"
+            )
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    @classmethod
+    def union_of(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Tightest box enclosing every rect in *rects* (must be non-empty)."""
+        rects = list(rects)
+        if not rects:
+            raise InvalidParameterError("union_of needs at least one rect")
+        low = rects[0].low.copy()
+        high = rects[0].high.copy()
+        for rect in rects[1:]:
+            np.minimum(low, rect.low, out=low)
+            np.maximum(high, rect.high, out=high)
+        return cls(low, high)
+
+    # -- basic geometry ---------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        """Dimensionality of the box."""
+        return self.low.size
+
+    @property
+    def center(self) -> np.ndarray:
+        """Componentwise midpoint."""
+        return (self.low + self.high) / 2.0
+
+    @property
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree margin metric)."""
+        return float(np.sum(self.high - self.low))
+
+    @property
+    def area(self) -> float:
+        """Product of side lengths (volume for d > 2)."""
+        return float(np.prod(self.high - self.low))
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """True when *point* lies inside the closed box."""
+        point = np.asarray(point, dtype=np.float64)
+        return bool(np.all(self.low <= point) and np.all(point <= self.high))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when *other* lies entirely inside this box."""
+        return bool(np.all(self.low <= other.low) and np.all(other.high <= self.high))
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the closed boxes share at least one point."""
+        return bool(np.all(self.low <= other.high) and np.all(other.low <= self.high))
+
+    def union(self, other: "Rect") -> "Rect":
+        """Tightest box enclosing this box and *other*."""
+        return Rect(np.minimum(self.low, other.low), np.maximum(self.high, other.high))
+
+    # -- dominance-region tests (minimized orientation) --------------------
+
+    def inside_dominance_region(self, anchor: Sequence[float]) -> bool:
+        """True when every point of the box satisfies ``anchor <= point``.
+
+        The non-strict dominance region of *anchor* is ``[anchor, +inf)``;
+        an aR-tree node entirely inside it contributes its whole aggregate
+        count to ``count(anchor <= q)``.
+        """
+        anchor = np.asarray(anchor, dtype=np.float64)
+        return bool(np.all(anchor <= self.low))
+
+    def intersects_dominance_region(self, anchor: Sequence[float]) -> bool:
+        """True when some point of the box satisfies ``anchor <= point``."""
+        anchor = np.asarray(anchor, dtype=np.float64)
+        return bool(np.all(anchor <= self.high))
+
+    def mindist_to_origin(self) -> float:
+        """L1 distance from the origin to the box's best corner.
+
+        This is the BBS traversal key: with minimized coordinates the most
+        promising corner of an MBR is its low corner, and sorting entries
+        by the sum of its coordinates yields the skyline in one pass.
+        """
+        return float(np.sum(self.low))
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return bool(np.array_equal(self.low, other.low) and np.array_equal(self.high, other.high))
+
+    def __hash__(self):  # Rects are mutable ndarray holders; keep them unhashable.
+        return None  # pragma: no cover - mirrors list/ndarray behaviour
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        low = np.array2string(self.low, precision=4, separator=", ")
+        high = np.array2string(self.high, precision=4, separator=", ")
+        return f"Rect(low={low}, high={high})"

@@ -1,0 +1,74 @@
+"""Sort-Tile-Recursive (STR) bulk loading for R-trees.
+
+STR (Leutenegger et al.) packs ``n`` points into ``ceil(n / B)`` full
+leaves by recursively sorting on one dimension at a time and slicing the
+data into vertical "slabs" whose point counts match whole numbers of
+leaves. It produces well-clustered, fully-packed trees — the standard way
+to build the aR-trees that complete-data TKD algorithms assume.
+
+Only the grouping logic lives here; tree assembly is in
+:mod:`repro.rtree.artree`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..errors import InvalidParameterError
+
+__all__ = ["str_partition"]
+
+
+def str_partition(points: np.ndarray, capacity: int) -> list[np.ndarray]:
+    """Group row indices of *points* into STR tiles of at most *capacity*.
+
+    Parameters
+    ----------
+    points: ``(n, d)`` matrix of complete coordinates.
+    capacity: maximum rows per tile (leaf fan-out ``B``).
+
+    Returns
+    -------
+    A list of index arrays; every input row appears in exactly one tile,
+    and all tiles except possibly the last few within a slab are full.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise InvalidParameterError(f"expected a (n, d) matrix, got shape {points.shape}")
+    if np.isnan(points).any():
+        raise InvalidParameterError("STR bulk loading requires complete coordinates (no NaN)")
+    capacity = require_positive_int(capacity, "capacity")
+    n = points.shape[0]
+    if n == 0:
+        return []
+    indices = np.arange(n, dtype=np.intp)
+    return _tile(points, indices, capacity, dim=0)
+
+
+def _tile(points: np.ndarray, indices: np.ndarray, capacity: int, dim: int) -> list[np.ndarray]:
+    """Recursively slab-sort *indices* starting at dimension *dim*."""
+    n = indices.size
+    if n <= capacity:
+        return [indices]
+    d = points.shape[1]
+    if dim >= d - 1:
+        # Last dimension: sort and chop into consecutive full tiles.
+        order = indices[np.argsort(points[indices, dim], kind="stable")]
+        return [order[i : i + capacity] for i in range(0, n, capacity)]
+
+    # Number of leaves still needed below this level, spread across
+    # ceil(S^(1/r)) slabs where r counts the remaining dimensions.
+    leaves = math.ceil(n / capacity)
+    remaining_dims = d - dim
+    slabs = math.ceil(leaves ** (1.0 / remaining_dims))
+    per_slab = math.ceil(n / slabs)
+
+    order = indices[np.argsort(points[indices, dim], kind="stable")]
+    tiles: list[np.ndarray] = []
+    for start in range(0, n, per_slab):
+        slab = order[start : start + per_slab]
+        tiles.extend(_tile(points, slab, capacity, dim + 1))
+    return tiles

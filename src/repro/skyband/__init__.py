@@ -1,0 +1,12 @@
+"""Skyline/k-skyband substrates and bucket partitioning."""
+
+from .buckets import Bucket, BucketIndex
+from .skyband import dominated_counts_complete, k_skyband_complete, skyline_complete
+
+__all__ = [
+    "Bucket",
+    "BucketIndex",
+    "k_skyband_complete",
+    "skyline_complete",
+    "dominated_counts_complete",
+]

@@ -1,0 +1,127 @@
+"""Bucket partitioning by observed-dimension pattern (paper Section 4.1).
+
+Objects whose observed attributes fall in exactly the same subset of
+dimensions share a bit pattern ``b_o``; within such a *bucket* the data is
+complete (in the bucket's ``d' ≤ d`` dimensions) and dominance **is
+transitive** — the property Lemma 1 exploits for ESB's local-skyband
+pruning.
+
+Buckets also drive the ``F(o)`` (incomparable set) computation for BIG and
+IBIG: two objects are incomparable iff their patterns are disjoint, so
+``F(o)`` depends only on ``b_o`` and is shared by the whole bucket. The
+:class:`BucketIndex` memoises one packed mask per distinct pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitmap.bitvector import BitVector
+from ..core.dataset import IncompleteDataset
+from ..errors import InvalidParameterError
+
+__all__ = ["Bucket", "BucketIndex"]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One bucket ``O_b``: the objects sharing bit pattern ``pattern``."""
+
+    #: The shared bit pattern ``b`` (bit ``i`` set iff dimension ``i`` observed).
+    pattern: int
+    #: Observed dimension indices, ascending (the bucket's ``d'`` dims).
+    dims: tuple[int, ...]
+    #: Row indices of member objects, ascending.
+    indices: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.indices.size)
+
+
+class BucketIndex:
+    """All buckets of a dataset plus pattern-level incomparability masks."""
+
+    def __init__(self, dataset: IncompleteDataset) -> None:
+        self.dataset = dataset
+        patterns = dataset.patterns
+        groups: dict[int, list[int]] = {}
+        for row, pattern in enumerate(patterns):
+            groups.setdefault(pattern, []).append(row)
+
+        self._buckets: list[Bucket] = []
+        self._by_pattern: dict[int, Bucket] = {}
+        for pattern, rows in groups.items():
+            dims = tuple(i for i in range(dataset.d) if (pattern >> i) & 1)
+            bucket = Bucket(
+                pattern=pattern,
+                dims=dims,
+                indices=np.asarray(rows, dtype=np.intp),
+            )
+            self._buckets.append(bucket)
+            self._by_pattern[pattern] = bucket
+
+        self._member_masks: dict[int, BitVector] = {}
+        self._incomparable_masks: dict[int, BitVector] = {}
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def buckets(self) -> list[Bucket]:
+        """All buckets (in order of first pattern appearance)."""
+        return list(self._buckets)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __iter__(self):
+        return iter(self._buckets)
+
+    def bucket_of(self, row: int) -> Bucket:
+        """The bucket containing object *row*."""
+        return self._by_pattern[self.dataset.patterns[row]]
+
+    def by_pattern(self, pattern: int) -> Bucket:
+        """The bucket for an exact bit pattern."""
+        try:
+            return self._by_pattern[pattern]
+        except KeyError:
+            raise InvalidParameterError(f"no bucket with pattern {pattern:#x}") from None
+
+    # -- masks --------------------------------------------------------------
+
+    def member_mask(self, pattern: int) -> BitVector:
+        """Packed membership mask of the bucket with *pattern*."""
+        if pattern not in self._member_masks:
+            bucket = self.by_pattern(pattern)
+            self._member_masks[pattern] = BitVector.from_indices(
+                self.dataset.n, bucket.indices
+            )
+        return self._member_masks[pattern]
+
+    def incomparable_mask(self, pattern: int) -> BitVector:
+        """``F(o)`` as a packed mask, for any object with bit pattern *pattern*.
+
+        An object is incomparable to ``o`` iff the patterns are disjoint
+        (``b_o & b_p == 0``); the mask is the union of all such buckets'
+        members. Memoised per pattern — BIG/IBIG typically touch only the
+        few patterns near the head of the ``MaxScore`` queue.
+        """
+        if pattern not in self._incomparable_masks:
+            mask = BitVector.zeros(self.dataset.n)
+            for bucket in self._buckets:
+                if (bucket.pattern & pattern) == 0:
+                    mask.ior(self.member_mask(bucket.pattern))
+            self._incomparable_masks[pattern] = mask
+        return self._incomparable_masks[pattern]
+
+    def incomparable_count(self, pattern: int) -> int:
+        """``|F(o)|`` for any object with the given pattern."""
+        return self.incomparable_mask(pattern).count()
+
+    # -- stats ----------------------------------------------------------------
+
+    def sizes(self) -> list[int]:
+        """Bucket sizes, aligned with :attr:`buckets`."""
+        return [len(bucket) for bucket in self._buckets]

@@ -1,0 +1,47 @@
+"""Skyline and k-skyband directly on incomplete data.
+
+These are the related-work substrates the paper builds on — Khalefa et
+al.'s ISkyline model [1] and Gao et al.'s k-skyband on incomplete data [2]
+— under the same Definition 1 dominance. Since that dominance is
+non-transitive, no skyband-vs-skyband shortcut applies; membership is
+decided by exact dominator counting (vectorised one object at a time),
+optionally stopping a count early once it reaches ``k``.
+
+They are used by the examples (a skyline is the natural companion output
+to a TKD ranking) and give ESB's bucket-local complete-data skyband a
+whole-dataset counterpart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require_positive_int
+from ..core.dataset import IncompleteDataset
+from ..core.dominance import dominator_mask
+
+__all__ = [
+    "dominator_counts_incomplete",
+    "k_skyband_incomplete",
+    "skyline_incomplete",
+]
+
+
+def dominator_counts_incomplete(dataset: IncompleteDataset) -> np.ndarray:
+    """Number of objects dominating each object (Definition 1 dominance)."""
+    out = np.empty(dataset.n, dtype=np.int64)
+    for row in range(dataset.n):
+        out[row] = int(dominator_mask(dataset, row).sum())
+    return out
+
+
+def k_skyband_incomplete(dataset: IncompleteDataset, k: int) -> np.ndarray:
+    """Row indices of objects dominated by fewer than *k* others."""
+    k = require_positive_int(k, "k")
+    counts = dominator_counts_incomplete(dataset)
+    return np.flatnonzero(counts < k)
+
+
+def skyline_incomplete(dataset: IncompleteDataset) -> np.ndarray:
+    """Row indices of the incomplete-data skyline (dominated by nobody)."""
+    return k_skyband_incomplete(dataset, 1)

@@ -1,0 +1,57 @@
+"""The heuristic ablation switches must never change answers, only work."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.big import BIGTKD
+from repro.core.ibig import IBIGTKD
+from repro.core.naive import naive_tkd
+from repro.core.ubb import UBBTKD
+
+
+class TestUBBFlags:
+    def test_h1_off_scores_everything(self, make_incomplete):
+        ds = make_incomplete(50, 4, missing_rate=0.3, seed=0)
+        full = UBBTKD(ds).query(4)
+        unpruned = UBBTKD(ds, enable_h1=False).query(4)
+        assert unpruned.score_multiset == full.score_multiset
+        assert unpruned.stats.scores_computed == ds.n
+        assert unpruned.stats.pruned_h1 == 0
+
+
+class TestBIGFlags:
+    @pytest.mark.parametrize("h1,h2", list(itertools.product([True, False], repeat=2)))
+    def test_every_combination_exact(self, make_incomplete, h1, h2):
+        ds = make_incomplete(45, 4, missing_rate=0.35, seed=1)
+        expected = naive_tkd(ds, 5).score_multiset
+        result = BIGTKD(ds, enable_h1=h1, enable_h2=h2).query(5)
+        assert result.score_multiset == expected
+
+    def test_h2_off_disables_counter(self, make_incomplete):
+        ds = make_incomplete(60, 4, missing_rate=0.5, seed=2)
+        result = BIGTKD(ds, enable_h2=False).query(3)
+        assert result.stats.pruned_h2 == 0
+
+
+class TestIBIGFlags:
+    @pytest.mark.parametrize(
+        "h1,h2,h3", list(itertools.product([True, False], repeat=3))
+    )
+    def test_every_combination_exact(self, make_incomplete, h1, h2, h3):
+        ds = make_incomplete(40, 4, missing_rate=0.3, cardinality=12, seed=3)
+        expected = naive_tkd(ds, 4).score_multiset
+        result = IBIGTKD(
+            ds, bins=3, enable_h1=h1, enable_h2=h2, enable_h3=h3
+        ).query(4)
+        assert result.score_multiset == expected
+
+    def test_flags_reduce_pruning_monotonically(self, make_incomplete):
+        ds = make_incomplete(80, 4, missing_rate=0.3, cardinality=20, seed=4)
+        full = IBIGTKD(ds, bins=4).query(4).stats
+        no_h2 = IBIGTKD(ds, bins=4, enable_h2=False).query(4).stats
+        assert no_h2.pruned_h2 == 0
+        # Work shifts to scoring (or H3) when H2 is off.
+        assert no_h2.scores_computed + no_h2.pruned_h3 >= full.scores_computed

@@ -1,0 +1,100 @@
+"""Tests for the binned bitmap index (repro.bitmap.binned)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap.binned import BinnedBitmapIndex
+from repro.bitmap.index import BitmapIndex
+from repro.core.dataset import IncompleteDataset
+from repro.errors import InvalidParameterError
+
+
+class TestDegeneracy:
+    """ξ ≥ C_i must reproduce the exact index (paper Section 4.5)."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_equals_exact_index_when_bins_cover_domain(self, make_incomplete, seed):
+        ds = make_incomplete(25, 3, missing_rate=0.3, cardinality=5, seed=seed)
+        exact = BitmapIndex(ds)
+        binned = BinnedBitmapIndex(ds, 10_000)
+        for dim in range(ds.d):
+            assert binned.bin_count(dim) == ds.dimension_cardinality(dim)
+            for row in range(ds.n):
+                assert binned.q_vector(row, dim) == exact.q_vector(row, dim)
+                assert binned.p_vector(row, dim) == exact.p_vector(row, dim)
+
+
+class TestSemantics:
+    def test_q_contains_same_bin_and_higher_and_missing(self):
+        ds = IncompleteDataset([[1, 0], [2, 0], [3, 0], [4, 0], [None, 0]])
+        binned = BinnedBitmapIndex(ds, 2)  # bins {1,2} and {3,4} on dim 0
+        q_of_first = binned.q_vector(0, 0)
+        assert q_of_first.to_bools().tolist() == [True] * 5
+        q_of_third = binned.q_vector(2, 0)
+        assert q_of_third.to_bools().tolist() == [False, False, True, True, True]
+
+    def test_p_contains_strictly_higher_bins_only(self):
+        ds = IncompleteDataset([[1, 0], [2, 0], [3, 0], [4, 0], [None, 0]])
+        binned = BinnedBitmapIndex(ds, 2)
+        p_of_first = binned.p_vector(0, 0)
+        # Same-bin object 2 is NOT in P (might not be strictly worse).
+        assert p_of_first.to_bools().tolist() == [False, False, True, True, True]
+
+    def test_missing_dimension_is_all_ones(self):
+        ds = IncompleteDataset([[1, None], [2, 3]])
+        binned = BinnedBitmapIndex(ds, 2)
+        assert binned.q_vector(0, 1).count() == ds.n
+
+    def test_bin_rank_and_lower_edge(self):
+        ds = IncompleteDataset([[1], [2], [3], [4]])
+        binned = BinnedBitmapIndex(ds, 2)
+        assert binned.bin_rank(0, 0) == 1
+        assert binned.bin_rank(3, 0) == 2
+        assert binned.bin_lower_edge(0, 0) == 1.0
+        assert binned.bin_lower_edge(3, 0) == 2.0  # previous bin's upper edge
+
+    def test_per_dimension_bin_counts(self):
+        ds = IncompleteDataset([[1, 10], [2, 20], [3, 30], [4, 40]])
+        binned = BinnedBitmapIndex(ds, [2, 4])
+        assert binned.bin_count(0) == 2
+        assert binned.bin_count(1) == 4
+
+    def test_horizontal_bits_fig9_style(self):
+        # Fig. 9: with 2 bins on dim 1, D4 (value 4, second bin) is "110".
+        ds = IncompleteDataset([[2], [2], [2], [2], [3], [3], [3], [3], [4], [5]])
+        binned = BinnedBitmapIndex(ds, 2)
+        assert binned.horizontal_bits(8, 0) == "110"
+        assert binned.horizontal_bits(0, 0) == "100"
+
+
+class TestStorage:
+    def test_smaller_than_exact_index(self, make_incomplete):
+        ds = make_incomplete(60, 4, missing_rate=0.2, cardinality=30, seed=5)
+        exact = BitmapIndex(ds)
+        binned = BinnedBitmapIndex(ds, 4)
+        assert binned.size_bits < exact.size_bits
+
+    def test_size_grows_with_bins(self, make_incomplete):
+        ds = make_incomplete(60, 4, missing_rate=0.2, cardinality=30, seed=5)
+        sizes = [BinnedBitmapIndex(ds, xi).size_bits for xi in (2, 4, 8, 16)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_with_optimal_bins(self, make_incomplete):
+        ds = make_incomplete(100, 3, missing_rate=0.2, cardinality=40, seed=2)
+        binned = BinnedBitmapIndex.with_optimal_bins(ds)
+        assert 1 <= binned.bin_count(0) <= 40
+
+
+class TestValidation:
+    def test_zero_bins_rejected(self, make_incomplete):
+        ds = make_incomplete(5, 2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            BinnedBitmapIndex(ds, 0)
+
+    def test_wrong_bin_list_length_rejected(self, make_incomplete):
+        ds = make_incomplete(5, 2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            BinnedBitmapIndex(ds, [2, 2, 2])

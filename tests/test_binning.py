@@ -1,0 +1,118 @@
+"""Tests for the binning strategy and its cost model (repro.bitmap.binning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap.binning import (
+    BinLayout,
+    combined_cost,
+    compute_bins,
+    optimal_bin_count,
+    space_cost,
+    time_cost,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestComputeBinsPaperExample:
+    """The Section 4.4 walk-through: dim 1 of Fig. 3 with ξ = 2."""
+
+    def test_first_bin_covers_value_2_only(self):
+        distinct = np.array([2.0, 3.0, 4.0, 5.0])
+        counts = np.array([4, 4, 1, 1])
+        layout = compute_bins(distinct, counts, 2)
+        # capacity (N - |S_i|)/xi = 10/2 = 5; value 2 (4 objects) fits,
+        # adding value 3 would reach 8 > 5 — so v(b_11) = 2, last bin to max.
+        assert layout.upper_edges.tolist() == [2.0, 5.0]
+
+    def test_bin_assignment(self):
+        layout = BinLayout(upper_edges=np.array([2.0, 5.0]))
+        assert layout.bin_of(np.array([2.0, 3.0, 4.0, 5.0])).tolist() == [0, 1, 1, 1]
+
+    def test_lower_edges(self):
+        layout = BinLayout(upper_edges=np.array([2.0, 5.0]))
+        assert layout.lower_edge(0, minimum=2.0) == 2.0
+        assert layout.lower_edge(1, minimum=2.0) == 2.0  # exclusive lower bound
+
+
+class TestComputeBinsGeneral:
+    def test_requested_at_least_domain_gives_identity(self):
+        distinct = np.array([1.0, 2.0, 3.0])
+        layout = compute_bins(distinct, np.array([1, 1, 1]), 7)
+        assert layout.upper_edges.tolist() == [1.0, 2.0, 3.0]
+
+    def test_single_bin(self):
+        layout = compute_bins(np.array([1.0, 5.0, 9.0]), np.array([3, 3, 3]), 1)
+        assert layout.upper_edges.tolist() == [9.0]
+
+    def test_heavy_head_value_gets_own_bin(self):
+        distinct = np.array([1.0, 2.0, 3.0, 4.0])
+        counts = np.array([100, 1, 1, 1])
+        layout = compute_bins(distinct, counts, 2)
+        assert layout.upper_edges.tolist() == [1.0, 4.0]
+
+    def test_uniform_counts_balanced(self):
+        distinct = np.arange(1.0, 13.0)
+        counts = np.full(12, 5)
+        layout = compute_bins(distinct, counts, 4)
+        assert layout.bin_count == 4
+        widths = np.diff(np.concatenate([[0.0], layout.upper_edges]))
+        assert (widths == 3).all()
+
+    def test_bins_cover_domain_and_are_monotone(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            size = int(rng.integers(1, 30))
+            distinct = np.unique(rng.random(size))
+            counts = rng.integers(1, 20, size=distinct.size)
+            requested = int(rng.integers(1, 12))
+            layout = compute_bins(distinct, counts, requested)
+            edges = layout.upper_edges
+            assert layout.bin_count <= max(requested, 1)
+            assert edges[-1] == distinct[-1]  # last bin reaches max_i
+            assert (np.diff(edges) > 0).all()
+            # every distinct value lands in a valid bin
+            assert (layout.bin_of(distinct) < layout.bin_count).all()
+
+    def test_empty_domain(self):
+        layout = compute_bins(np.zeros(0), np.zeros(0, dtype=int), 4)
+        assert layout.bin_count == 0
+
+    def test_misaligned_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            compute_bins(np.array([1.0]), np.array([1, 2]), 2)
+
+
+class TestCostModel:
+    def test_space_cost_eq5(self):
+        assert space_cost(1000, 4, 7) == 1000 * 8 * 4
+
+    def test_time_cost_decreases_with_bins(self):
+        costs = [time_cost(100_000, 10, 0.1, xi) for xi in (2, 8, 32, 128)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_combined_cost_is_product(self):
+        n, d, sigma, xi = 50_000, 5, 0.2, 16
+        assert combined_cost(n, d, sigma, xi) == pytest.approx(
+            space_cost(n, d, xi) * time_cost(n, d, sigma, xi)
+        )
+
+    def test_paper_optimum_100k(self):
+        # Section 4.5: "for N = 100K and sigma = 0.1 ... optimal bin size 29"
+        assert optimal_bin_count(100_000, 0.1) == 29
+
+    def test_paper_optimum_16k(self):
+        # "When N = 16K and sigma = 0.2, the optimal bin size is 17"
+        assert optimal_bin_count(16_000, 0.2) == 17
+
+    def test_optimum_near_argmin_of_combined_cost(self):
+        n, d, sigma = 100_000, 10, 0.1
+        xi_star = optimal_bin_count(n, sigma)
+        best = min(range(2, 200), key=lambda xi: combined_cost(n, d, sigma, xi))
+        assert abs(best - xi_star) <= max(2, best // 5)
+
+    def test_degenerate_sigma(self):
+        assert optimal_bin_count(1000, 0.0) == 2
+        assert optimal_bin_count(10, 0.1) == 2

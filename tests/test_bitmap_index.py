@@ -1,0 +1,114 @@
+"""Tests for the range-encoded bitmap index (repro.bitmap.index)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap.index import BitmapIndex
+from repro.core.dataset import IncompleteDataset
+
+
+def brute_q(ds: IncompleteDataset, row: int, dim: int) -> list[bool]:
+    """Definition 4's Qi, written directly."""
+    if not ds.observed[row, dim]:
+        return [True] * ds.n
+    value = ds.minimized[row, dim]
+    return [
+        (not ds.observed[p, dim]) or ds.minimized[p, dim] >= value
+        for p in range(ds.n)
+    ]
+
+
+def brute_p(ds: IncompleteDataset, row: int, dim: int) -> list[bool]:
+    """Definition 4's Pi, written directly."""
+    if not ds.observed[row, dim]:
+        return [True] * ds.n
+    value = ds.minimized[row, dim]
+    return [
+        (not ds.observed[p, dim]) or ds.minimized[p, dim] > value
+        for p in range(ds.n)
+    ]
+
+
+class TestVerticalVectors:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_q_and_p_match_definition_4(self, make_incomplete, seed):
+        ds = make_incomplete(25, 3, missing_rate=0.3, cardinality=6, seed=seed)
+        index = BitmapIndex(ds)
+        for row in range(ds.n):
+            for dim in range(ds.d):
+                assert index.q_vector(row, dim).to_bools().tolist() == brute_q(ds, row, dim)
+                assert index.p_vector(row, dim).to_bools().tolist() == brute_p(ds, row, dim)
+
+    def test_intersections_match_per_dim_ands(self, make_incomplete):
+        ds = make_incomplete(30, 4, missing_rate=0.25, cardinality=5, seed=7)
+        index = BitmapIndex(ds)
+        for row in range(ds.n):
+            q = index.q_vector(row, 0)
+            p = index.p_vector(row, 0)
+            for dim in range(1, ds.d):
+                q = q & index.q_vector(row, dim)
+                p = p & index.p_vector(row, dim)
+            assert index.q_intersection(row) == q
+            assert index.p_intersection(row) == p
+
+    def test_object_is_inside_own_q_but_not_p(self, make_incomplete):
+        ds = make_incomplete(20, 3, missing_rate=0.3, seed=3)
+        index = BitmapIndex(ds)
+        for row in range(ds.n):
+            assert index.q_intersection(row).get(row)
+            assert not index.p_intersection(row).get(row)
+
+
+class TestEncoding:
+    def test_ranks(self):
+        ds = IncompleteDataset([[2, 0], [5, 0], [None, 0], [2, 0]])
+        index = BitmapIndex(ds)
+        assert index.rank(0, 0) == 1
+        assert index.rank(1, 0) == 2
+        assert index.rank(2, 0) == 3  # missing sentinel = C + 1
+        assert index.rank(3, 0) == 1
+
+    def test_missing_encodes_all_ones(self):
+        ds = IncompleteDataset([[2, 1], [None, 3]])
+        index = BitmapIndex(ds)
+        assert index.horizontal_bits(1, 0) == "11"
+
+    def test_minimum_value_sets_only_missing_bit(self):
+        ds = IncompleteDataset([[2], [3], [4]])
+        index = BitmapIndex(ds)
+        assert index.horizontal_bits(0, 0) == "1000"
+
+    def test_float_values_supported(self):
+        # "our bitmap index does support floating-point numbers"
+        ds = IncompleteDataset([[0.5, 0], [0.25, 0], [None, 0]])
+        index = BitmapIndex(ds)
+        assert index.rank(1, 0) == 1
+        assert index.rank(0, 0) == 2
+
+    def test_column_count_matches_cardinality(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.2, cardinality=9, seed=1)
+        index = BitmapIndex(ds)
+        for dim in range(ds.d):
+            assert index.column_count(dim) == ds.dimension_cardinality(dim) + 1
+
+
+class TestSizeAccounting:
+    def test_size_bits_formula(self, make_incomplete):
+        ds = make_incomplete(30, 3, cardinality=7, seed=2)
+        index = BitmapIndex(ds)
+        expected = sum(ds.dimension_cardinality(j) + 1 for j in range(ds.d)) * ds.n
+        assert index.size_bits == expected
+
+    def test_size_bytes_positive(self, make_incomplete):
+        index = BitmapIndex(make_incomplete(10, 2, seed=0))
+        assert index.size_bytes > 0
+
+    def test_columns_accessor(self, make_incomplete):
+        ds = make_incomplete(10, 2, cardinality=4, seed=0)
+        index = BitmapIndex(ds)
+        cols = index.columns(0)
+        assert len(cols) == index.column_count(0)
+        # Column 0 is the "rank > 0" column: always all-ones.
+        assert cols[0].count() == ds.n

@@ -1,0 +1,219 @@
+"""Tests for the B+-tree substrate (repro.btree.bptree)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree.bptree import BPlusTree
+from repro.errors import InvalidParameterError
+
+
+def reference_count_less(entries, key, inclusive=False):
+    if inclusive:
+        return sum(1 for k, _ in entries if k <= key)
+    return sum(1 for k, _ in entries if k < key)
+
+
+class TestInsertSearch:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(1.0) == []
+        assert 1.0 not in tree
+        assert tree.min_key() is None and tree.max_key() is None
+
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        for key in [5, 1, 9, 3, 7]:
+            tree.insert(key, f"p{key}")
+        assert tree.search(9) == ["p9"]
+        assert tree.search(2) == []
+        assert 3 in tree
+
+    def test_duplicates_aggregate(self):
+        tree = BPlusTree(order=4)
+        for payload in range(5):
+            tree.insert(2.5, payload)
+        assert sorted(tree.search(2.5)) == [0, 1, 2, 3, 4]
+        assert len(tree) == 5
+
+    def test_many_inserts_stay_valid(self):
+        tree = BPlusTree(order=4)
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 200, size=500)
+        for i, key in enumerate(keys):
+            tree.insert(float(key), i)
+        tree.validate()
+        assert len(tree) == 500
+        assert tree.height > 1
+        assert list(tree.keys()) == sorted(set(float(k) for k in keys))
+
+    def test_min_order_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            BPlusTree(order=3)
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_inserts(self):
+        rng = np.random.default_rng(1)
+        keys = sorted(float(k) for k in rng.integers(0, 100, size=300))
+        pairs = [(k, i) for i, k in enumerate(keys)]
+        tree = BPlusTree.bulk_load(pairs, order=8)
+        tree.validate()
+        assert len(tree) == 300
+        assert [k for k, _ in tree.items()] == keys
+
+    def test_bulk_load_rejects_unsorted(self):
+        with pytest.raises(InvalidParameterError):
+            BPlusTree.bulk_load([(2.0, "a"), (1.0, "b")])
+
+    def test_bulk_load_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        tree.validate()
+
+    @pytest.mark.parametrize("count", [1, 5, 24, 25, 26, 100, 257])
+    def test_bulk_load_sizes(self, count):
+        tree = BPlusTree.bulk_load([(float(i), i) for i in range(count)], order=8)
+        tree.validate()
+        assert len(tree) == count
+
+
+class TestRangeScan:
+    @pytest.fixture()
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 40, 2):  # evens 0..38
+            tree.insert(float(key), key)
+        return tree
+
+    def test_closed_open(self, tree):
+        got = [k for k, _ in tree.range_scan(10, 20)]
+        assert got == [10, 12, 14, 16, 18]
+
+    def test_inclusive_high(self, tree):
+        got = [k for k, _ in tree.range_scan(10, 20, include_high=True)]
+        assert got[-1] == 20
+
+    def test_exclusive_low(self, tree):
+        got = [k for k, _ in tree.range_scan(10, 20, include_low=False)]
+        assert got[0] == 12
+
+    def test_open_ended(self, tree):
+        assert len(list(tree.range_scan())) == 20
+        assert [k for k, _ in tree.range_scan(low=34)] == [34, 36, 38]
+        assert [k for k, _ in tree.range_scan(high=4)] == [0, 2]
+
+    def test_bounds_between_keys(self, tree):
+        got = [k for k, _ in tree.range_scan(9.5, 14.5)]
+        assert got == [10, 12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_scan(11, 12)) == []
+
+
+class TestOrderStatistics:
+    def test_count_less_matches_reference(self):
+        rng = np.random.default_rng(2)
+        entries = [(float(k), i) for i, k in enumerate(rng.integers(0, 50, size=400))]
+        tree = BPlusTree(order=6)
+        for key, payload in entries:
+            tree.insert(key, payload)
+        for probe in range(-1, 52):
+            assert tree.count_less(probe) == reference_count_less(entries, probe)
+            assert tree.count_less(probe, inclusive=True) == reference_count_less(
+                entries, probe, inclusive=True
+            )
+            assert tree.count_greater_equal(probe) == len(entries) - reference_count_less(
+                entries, probe
+            )
+
+    def test_count_range(self):
+        tree = BPlusTree.bulk_load([(float(i), i) for i in range(100)])
+        assert tree.count_range(10, 20) == 10
+        assert tree.count_range(10, 20, include_high=True) == 11
+        assert tree.count_range(10, 20, include_low=False) == 9
+        assert tree.count_range(200, 300) == 0
+
+
+class TestDeletion:
+    def test_delete_simple(self):
+        tree = BPlusTree(order=4)
+        for key in range(10):
+            tree.insert(float(key), key)
+        assert tree.delete(5.0)
+        assert 5.0 not in tree
+        assert len(tree) == 9
+        tree.validate()
+
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1.0, "a")
+        assert not tree.delete(9.0)
+        assert not tree.delete(1.0, payload="zzz")
+
+    def test_delete_specific_payload(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1.0, "a")
+        tree.insert(1.0, "b")
+        assert tree.delete(1.0, payload="a")
+        assert tree.search(1.0) == ["b"]
+
+    def test_mass_delete_keeps_invariants(self):
+        tree = BPlusTree(order=4)
+        rng = np.random.default_rng(3)
+        keys = [float(k) for k in rng.integers(0, 120, size=400)]
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        rng.shuffle(keys)
+        for step, key in enumerate(keys):
+            assert tree.delete(key)
+            if step % 37 == 0:
+                tree.validate()
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_delete_to_empty_then_reinsert(self):
+        tree = BPlusTree(order=4)
+        for key in range(50):
+            tree.insert(float(key), key)
+        for key in range(50):
+            tree.delete(float(key))
+        tree.insert(7.0, "back")
+        assert tree.search(7.0) == ["back"]
+        tree.validate()
+
+
+class TestHypothesisWorkout:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.sampled_from(["insert", "delete"])),
+            max_size=200,
+        ),
+        st.integers(4, 12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_operation_sequences(self, operations, order):
+        tree = BPlusTree(order=order)
+        shadow: dict[float, int] = {}
+        for key, op in operations:
+            key = float(key)
+            if op == "insert":
+                tree.insert(key, None)
+                shadow[key] = shadow.get(key, 0) + 1
+            else:
+                expected = shadow.get(key, 0) > 0
+                assert tree.delete(key) == expected
+                if expected:
+                    shadow[key] -= 1
+                    if not shadow[key]:
+                        del shadow[key]
+        tree.validate()
+        assert len(tree) == sum(shadow.values())
+        assert list(tree.keys()) == sorted(shadow)
+        for probe in range(42):
+            expected_less = sum(c for k, c in shadow.items() if k < probe)
+            assert tree.count_less(probe) == expected_less

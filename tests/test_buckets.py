@@ -1,0 +1,88 @@
+"""Tests for bucket partitioning and F(o) masks (repro.skyband.buckets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.dominance import incomparable_mask
+from repro.errors import InvalidParameterError
+from repro.skyband.buckets import BucketIndex
+
+
+class TestPartitioning:
+    def test_buckets_cover_dataset_exactly_once(self, make_incomplete):
+        ds = make_incomplete(50, 4, missing_rate=0.4, seed=1)
+        buckets = BucketIndex(ds)
+        seen = np.concatenate([bucket.indices for bucket in buckets])
+        assert sorted(seen.tolist()) == list(range(ds.n))
+
+    def test_members_share_pattern(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.5, seed=2)
+        for bucket in BucketIndex(ds):
+            for row in bucket.indices:
+                assert ds.patterns[row] == bucket.pattern
+
+    def test_dims_match_pattern_bits(self, make_incomplete):
+        ds = make_incomplete(30, 5, missing_rate=0.3, seed=3)
+        for bucket in BucketIndex(ds):
+            assert bucket.dims == tuple(
+                i for i in range(ds.d) if (bucket.pattern >> i) & 1
+            )
+
+    def test_fig3_buckets(self, fig3_dataset):
+        buckets = BucketIndex(fig3_dataset)
+        assert len(buckets) == 4
+        assert sorted(buckets.sizes()) == [5, 5, 5, 5]
+        bucket_of_a1 = buckets.bucket_of(fig3_dataset.index_of("A1"))
+        assert bucket_of_a1.dims == (1, 2, 3)
+
+    def test_complete_data_single_bucket(self):
+        ds = IncompleteDataset([[1, 2], [3, 4], [5, 6]])
+        buckets = BucketIndex(ds)
+        assert len(buckets) == 1
+        assert len(buckets.buckets[0]) == 3
+
+    def test_by_pattern_unknown(self, fig3_dataset):
+        with pytest.raises(InvalidParameterError):
+            BucketIndex(fig3_dataset).by_pattern(0b1111111)
+
+
+class TestMasks:
+    def test_member_mask(self, make_incomplete):
+        ds = make_incomplete(30, 3, missing_rate=0.5, seed=4)
+        buckets = BucketIndex(ds)
+        for bucket in buckets:
+            mask = buckets.member_mask(bucket.pattern)
+            assert mask.indices().tolist() == bucket.indices.tolist()
+
+    @pytest.mark.parametrize("seed", [0, 5, 6])
+    def test_incomparable_mask_matches_brute_force(self, make_incomplete, seed):
+        ds = make_incomplete(40, 4, missing_rate=0.6, seed=seed)
+        buckets = BucketIndex(ds)
+        for row in range(ds.n):
+            expected = incomparable_mask(ds, row)
+            got = buckets.incomparable_mask(ds.patterns[row]).to_bools()
+            # The pattern-level mask includes every member of disjoint
+            # buckets; the per-object mask additionally excludes the object
+            # itself — but an object is never disjoint from its own pattern.
+            assert got.tolist() == expected.tolist()
+
+    def test_incomparable_count(self, fig3_dataset):
+        buckets = BucketIndex(fig3_dataset)
+        # Every pair of Fig. 3 buckets shares dimension 4 -> F(o) is empty.
+        for pattern in {p for p in fig3_dataset.patterns}:
+            assert buckets.incomparable_count(pattern) == 0
+
+    def test_incomparable_nonempty_when_disjoint_patterns_exist(self):
+        ds = IncompleteDataset([[1, None], [None, 2], [3, 4]])
+        buckets = BucketIndex(ds)
+        assert buckets.incomparable_count(ds.patterns[0]) == 1
+        assert buckets.incomparable_count(ds.patterns[2]) == 0
+
+    def test_masks_are_memoised(self, make_incomplete):
+        ds = make_incomplete(20, 3, missing_rate=0.5, seed=7)
+        buckets = BucketIndex(ds)
+        pattern = ds.patterns[0]
+        assert buckets.incomparable_mask(pattern) is buckets.incomparable_mask(pattern)

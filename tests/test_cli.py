@@ -1,0 +1,138 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.dataset import IncompleteDataset
+
+
+@pytest.fixture()
+def sample_csv(tmp_path):
+    path = tmp_path / "sample.csv"
+    ds = IncompleteDataset(
+        [[1, 2, None], [2, None, 1], [3, 3, 3], [None, 1, 2]],
+        ids=["a", "b", "c", "d"],
+        dim_names=["x", "y", "z"],
+    )
+    ds.to_csv(path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_basic_query(self, sample_csv, capsys):
+        code = main(["query", str(sample_csv), "--k", "2", "--id-column", "id"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rank" in out and "score" in out
+        assert "big:" in out  # stats summary line
+
+    def test_all_algorithms(self, sample_csv, capsys):
+        from repro import available_algorithms
+
+        for algorithm in available_algorithms():
+            code = main(
+                ["query", str(sample_csv), "--k", "1", "--id-column", "id",
+                 "--algorithm", algorithm]
+            )
+            assert code == 0
+        capsys.readouterr()
+
+    def test_per_dimension_directions(self, sample_csv, capsys):
+        code = main(
+            ["query", str(sample_csv), "--k", "1", "--id-column", "id",
+             "--directions", "max,max,max"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_missing_file_is_reported(self, capsys):
+        code = main(["query", "/does/not/exist.csv", "--k", "1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_k_is_reported(self, sample_csv, capsys):
+        code = main(["query", str(sample_csv), "--k", "0", "--id-column", "id"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info_output(self, sample_csv, capsys):
+        code = main(["info", str(sample_csv), "--id-column", "id"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "objects:       4" in out
+        assert "dimensions:    3" in out
+        assert "x" in out and "z" in out
+
+
+class TestGenerate:
+    def test_generate_then_query_roundtrip(self, tmp_path, capsys):
+        out_csv = tmp_path / "ind.csv"
+        code = main(
+            ["generate", "ind", "--n", "120", "--dim", "4", "--out", str(out_csv)]
+        )
+        assert code == 0
+        assert out_csv.exists()
+        capsys.readouterr()
+
+        code = main(["query", str(out_csv), "--k", "3", "--id-column", "id"])
+        assert code == 0
+        assert "rank" in capsys.readouterr().out
+
+    def test_generate_real_simulator(self, tmp_path, capsys):
+        out_csv = tmp_path / "nba.csv"
+        code = main(["generate", "nba", "--n", "200", "--out", str(out_csv)])
+        assert code == 0
+        assert "nba" in capsys.readouterr().out
+
+
+class TestCompress:
+    def test_reports_all_three_codecs(self, sample_csv, capsys):
+        code = main(["compress", str(sample_csv), "--id-column", "id"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for scheme in ("wah", "concise", "roaring"):
+            assert scheme in out
+        assert "ratio" in out
+
+    def test_scheme_subset(self, sample_csv, capsys):
+        code = main(
+            ["compress", str(sample_csv), "--id-column", "id", "--schemes", "wah"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wah" in out and "concise" not in out
+
+    def test_unknown_scheme_reported(self, sample_csv, capsys):
+        code = main(
+            ["compress", str(sample_csv), "--id-column", "id", "--schemes", "zip"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment(self, capsys):
+        code = main(["experiment", "--experiment", "fig99"])
+        assert code == 2
+        capsys.readouterr()
+
+    @pytest.mark.slow
+    def test_single_experiment_runs(self, capsys):
+        code = main(["experiment", "--experiment", "table3", "--scale", "0.004"])
+        assert code == 0
+        assert "table3" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Tests for complete-data TKD (repro.core.complete)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.complete import complete_scores, complete_tkd, complete_tkd_indices
+from repro.core.dataset import IncompleteDataset
+from repro.core.score import score_all
+from repro.errors import InvalidParameterError
+
+
+class TestCompleteScores:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_incomplete_machinery_on_complete_data(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 10, size=(40, 4)).astype(float)
+        fast = complete_scores(values)
+        oracle = score_all(IncompleteDataset(values))
+        assert fast.tolist() == oracle.tolist()
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            complete_scores(np.array([[1.0, np.nan]]))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(InvalidParameterError):
+            complete_scores(np.array([1.0, 2.0]))
+
+    def test_chain(self):
+        values = np.array([[1.0], [2.0], [3.0]])
+        assert complete_scores(values).tolist() == [2, 1, 0]
+
+
+class TestCompleteTKD:
+    def test_indices_and_result(self):
+        values = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
+        assert complete_tkd_indices(values, 1) == [0]
+        result = complete_tkd(values, 2, ids=["a", "b", "c"])
+        assert result.ids[0] == "a"
+        assert result.scores[0] == 1
+        assert result.id_set <= {"a", "b", "c"}
+
+    def test_default_ids(self):
+        result = complete_tkd(np.array([[1.0], [2.0]]), 1)
+        assert result.ids == ["o0"]
+
+    def test_k_clamped(self):
+        result = complete_tkd(np.array([[1.0], [2.0]]), 10)
+        assert len(result.indices) == 2

@@ -1,0 +1,75 @@
+"""Tests for the codec facade and index compression (repro.bitmap.compression)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitmap.compression import (
+    CODECS,
+    CompressedColumnStore,
+    compress_columns,
+    compress_index,
+    get_codec,
+)
+from repro.bitmap.concise import ConciseBitmap
+from repro.bitmap.index import BitmapIndex
+from repro.bitmap.wah import WAHBitmap
+from repro.errors import InvalidParameterError
+
+
+class TestRegistry:
+    def test_codecs(self):
+        assert get_codec("wah") is WAHBitmap
+        assert get_codec("CONCISE") is ConciseBitmap
+        assert set(CODECS) == {"wah", "concise", "roaring"}
+
+    def test_unknown_scheme(self):
+        with pytest.raises(InvalidParameterError):
+            get_codec("zip")
+
+
+class TestCompressColumns:
+    def test_report_fields(self, make_incomplete):
+        ds = make_incomplete(64, 3, missing_rate=0.3, cardinality=6, seed=0)
+        index = BitmapIndex(ds)
+        compressed, report = compress_columns(index.columns(0), "concise")
+        assert report.columns == len(index.columns(0))
+        assert report.original_bytes == sum(c.nbytes for c in index.columns(0))
+        assert report.compressed_bytes == sum(c.nbytes for c in compressed)
+        assert report.seconds >= 0
+        assert report.ratio > 0
+
+    def test_compress_index_covers_all_dims(self, make_incomplete):
+        ds = make_incomplete(40, 4, missing_rate=0.2, cardinality=5, seed=1)
+        index = BitmapIndex(ds)
+        report = compress_index(index, "wah")
+        assert report.columns == sum(index.column_count(j) for j in range(ds.d))
+
+    def test_empty_ratio_defaults_to_one(self):
+        _, report = compress_columns([], "wah")
+        assert report.ratio == 1.0
+
+
+class TestCompressedColumnStore:
+    def test_roundtrip_columns(self, make_incomplete):
+        ds = make_incomplete(50, 3, missing_rate=0.25, cardinality=8, seed=2)
+        index = BitmapIndex(ds)
+        store = CompressedColumnStore(index, "concise")
+        for dim in range(ds.d):
+            for position, column in enumerate(index.columns(dim)):
+                assert store.column(dim, position) == column
+
+    def test_cache_eviction(self, make_incomplete):
+        ds = make_incomplete(30, 2, missing_rate=0.2, cardinality=12, seed=3)
+        index = BitmapIndex(ds)
+        store = CompressedColumnStore(index, "wah", cache_size=2)
+        for position in range(index.column_count(0)):
+            store.column(0, position)
+        assert len(store._cache) <= 2
+
+    def test_report(self, make_incomplete):
+        ds = make_incomplete(30, 2, missing_rate=0.2, seed=4)
+        store = CompressedColumnStore(BitmapIndex(ds), "concise")
+        report = store.report
+        assert report.scheme == "concise"
+        assert report.compressed_bytes == store.compressed_bytes

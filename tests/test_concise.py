@@ -1,0 +1,96 @@
+"""Tests for CONCISE compression (repro.bitmap.concise)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.concise import ConciseBitmap
+from repro.bitmap.wah import WAHBitmap
+from repro.errors import InvalidParameterError
+
+bit_patterns = st.one_of(
+    st.lists(st.booleans(), min_size=0, max_size=300),
+    st.lists(st.tuples(st.booleans(), st.integers(1, 90)), max_size=8).map(
+        lambda runs: [bit for value, count in runs for bit in [value] * count]
+    ),
+    # The CONCISE sweet spot: isolated set bits in a sea of zeros.
+    st.lists(st.integers(0, 280), min_size=0, max_size=6).map(
+        lambda positions: [i in set(positions) for i in range(300)]
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(bit_patterns)
+    @settings(max_examples=80, deadline=None)
+    def test_compress_decompress_identity(self, flags):
+        vec = BitVector.from_bools(np.asarray(flags, dtype=bool))
+        assert ConciseBitmap.compress(vec).decompress() == vec
+
+    def test_empty(self):
+        vec = BitVector.zeros(0)
+        assert ConciseBitmap.compress(vec).decompress() == vec
+
+    def test_single_set_bit_in_long_zeros_is_one_word(self):
+        # literal-then-fill collapses into one mixed sequence word — the
+        # structural advantage over WAH.
+        vec = BitVector.from_indices(31 * 100, [5])
+        concise = ConciseBitmap.compress(vec)
+        wah = WAHBitmap.compress(vec)
+        assert concise.word_count == 1
+        assert wah.word_count == 2
+
+    def test_single_clear_bit_in_long_ones(self):
+        flags = np.ones(31 * 50, dtype=bool)
+        flags[7] = False
+        vec = BitVector.from_bools(flags)
+        concise = ConciseBitmap.compress(vec)
+        assert concise.word_count == 1
+        assert concise.decompress() == vec
+
+
+class TestCounting:
+    @given(bit_patterns)
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_plain(self, flags):
+        vec = BitVector.from_bools(np.asarray(flags, dtype=bool))
+        assert ConciseBitmap.compress(vec).count() == vec.count()
+
+
+class TestCompressedOps:
+    @given(bit_patterns, st.integers(0, 2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_and_or_match_plain(self, flags, seed):
+        flags = np.asarray(flags, dtype=bool)
+        rng = np.random.default_rng(seed)
+        other_flags = rng.random(flags.size) < rng.random()
+        left = BitVector.from_bools(flags)
+        right = BitVector.from_bools(other_flags)
+        concise_left = ConciseBitmap.compress(left)
+        concise_right = ConciseBitmap.compress(right)
+        assert (concise_left & concise_right).decompress() == (left & right)
+        assert (concise_left | concise_right).decompress() == (left | right)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ConciseBitmap.compress(BitVector.zeros(10)) & ConciseBitmap.compress(
+                BitVector.zeros(20)
+            )
+
+
+class TestVersusWAH:
+    @given(bit_patterns)
+    @settings(max_examples=60, deadline=None)
+    def test_never_larger_than_wah(self, flags):
+        """CONCISE's mixed-fill words strictly generalise WAH's words."""
+        vec = BitVector.from_bools(np.asarray(flags, dtype=bool))
+        assert ConciseBitmap.compress(vec).word_count <= WAHBitmap.compress(vec).word_count
+
+    def test_equality(self):
+        a = ConciseBitmap.compress(BitVector.from_indices(40, [3]))
+        b = ConciseBitmap.compress(BitVector.from_indices(40, [3]))
+        assert a == b

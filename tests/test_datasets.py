@@ -1,0 +1,144 @@
+"""Tests for the dataset generators and catalog (repro.datasets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import numpy.ma as ma
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    anticorrelated_dataset,
+    independent_dataset,
+    load_dataset,
+    load_npz,
+    movielens_like,
+    nba_like,
+    save_npz,
+    zillow_like,
+)
+from repro.errors import InvalidParameterError
+
+
+def offdiag_corr(dataset):
+    masked = ma.masked_invalid(dataset.values)
+    corr = ma.corrcoef(masked.T)
+    d = dataset.d
+    return float(np.mean([corr[i, j] for i in range(d) for j in range(d) if i != j]))
+
+
+class TestSynthetic:
+    def test_ind_shape_and_rate(self):
+        ds = independent_dataset(500, 6, cardinality=50, missing_rate=0.2, seed=0)
+        assert (ds.n, ds.d) == (500, 6)
+        assert ds.missing_rate == pytest.approx(0.2, abs=0.05)
+        assert all(c <= 50 for c in ds.dimension_cardinalities)
+        observed = ds.values[ds.observed]
+        assert observed.min() >= 1 and observed.max() <= 50
+
+    def test_ind_nearly_uncorrelated(self):
+        ds = independent_dataset(3000, 5, missing_rate=0.05, seed=1)
+        assert abs(offdiag_corr(ds)) < 0.05
+
+    def test_ac_is_anticorrelated(self):
+        ds = anticorrelated_dataset(3000, 5, missing_rate=0.05, seed=1)
+        assert offdiag_corr(ds) < -0.1
+
+    def test_ac_shape_and_rate(self):
+        ds = anticorrelated_dataset(400, 8, cardinality=64, missing_rate=0.15, seed=2)
+        assert (ds.n, ds.d) == (400, 8)
+        assert ds.missing_rate == pytest.approx(0.15, abs=0.06)
+        assert all(c <= 64 for c in ds.dimension_cardinalities)
+
+    def test_ac_single_dimension(self):
+        ds = anticorrelated_dataset(100, 1, missing_rate=0.0, seed=3)
+        assert ds.d == 1
+
+    def test_seeded_determinism(self):
+        a = independent_dataset(50, 3, seed=42)
+        b = independent_dataset(50, 3, seed=42)
+        assert np.array_equal(a.observed, b.observed)
+        assert np.allclose(a.values[a.observed], b.values[b.observed])
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            independent_dataset(0, 3)
+        with pytest.raises(InvalidParameterError):
+            anticorrelated_dataset(10, 3, missing_rate=1.0)
+
+
+class TestRealSimulators:
+    def test_movielens_shape(self):
+        ds = movielens_like(400, 40, seed=0)
+        assert (ds.n, ds.d) == (400, 40)
+        assert ds.directions == ("max",) * 40
+        observed = ds.values[ds.observed]
+        assert observed.min() >= 1 and observed.max() <= 5
+        assert 0.9 < ds.missing_rate < 0.96
+        assert all(c <= 5 for c in ds.dimension_cardinalities)
+
+    def test_movielens_paper_scale_missing_rate(self):
+        ds = movielens_like(1500, 60, seed=1)
+        assert ds.missing_rate == pytest.approx(0.95, abs=0.01)
+
+    def test_nba_shape_and_correlation(self):
+        ds = nba_like(2000, seed=0)
+        assert ds.d == 4
+        assert ds.dim_names == ("games", "minutes", "points", "off_rebounds")
+        assert ds.missing_rate == pytest.approx(0.2, abs=0.03)
+        assert offdiag_corr(ds) > 0.4  # strongly positively correlated
+
+    def test_nba_values_are_counts(self):
+        ds = nba_like(500, seed=1)
+        observed = ds.values[ds.observed]
+        assert (observed >= 0).all()
+        assert np.allclose(observed, np.rint(observed))
+
+    def test_zillow_shape(self):
+        ds = zillow_like(2000, seed=0)
+        assert ds.d == 5
+        assert ds.directions[-1] == "min"  # price: lower is better
+        assert ds.missing_rate == pytest.approx(0.142, abs=0.03)
+        cards = ds.dimension_cardinalities
+        assert cards[0] <= 10 and cards[1] <= 12  # beds/baths tiny domains
+        assert cards[4] > 100  # price huge domain
+
+    def test_zillow_price_correlates_with_area(self):
+        ds = zillow_like(3000, seed=1)
+        masked = ma.masked_invalid(ds.values)
+        corr = float(ma.corrcoef(masked[:, 2], masked[:, 4])[0, 1])
+        assert corr > 0.4
+
+
+class TestCatalog:
+    def test_names(self):
+        assert set(DATASET_NAMES) == {"movielens", "nba", "zillow", "ind", "ac"}
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_load_scaled(self, name):
+        ds = load_dataset(name, scale=0.02, seed=0)
+        assert ds.n >= 2
+        assert ds.missing_rate > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("imdb")
+
+    def test_synthetic_knobs_forwarded(self):
+        ds = load_dataset("ind", scale=0.01, dim=7, cardinality=13, missing_rate=0.25)
+        assert ds.d == 7
+        assert all(c <= 13 for c in ds.dimension_cardinalities)
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        ds = zillow_like(100, seed=5)
+        path = tmp_path / "zillow.npz"
+        save_npz(ds, path)
+        back = load_npz(path)
+        assert back.n == ds.n
+        assert back.ids == ds.ids
+        assert back.dim_names == ds.dim_names
+        assert back.directions == ds.directions
+        assert np.array_equal(back.observed, ds.observed)
+        assert np.allclose(back.values[back.observed], ds.values[ds.observed])

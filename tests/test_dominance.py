@@ -1,0 +1,132 @@
+"""Tests for the Definition 1 dominance relation (repro.core.dominance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.dominance import (
+    comparable,
+    dominance_matrix,
+    dominated_mask,
+    dominates,
+    dominator_mask,
+    incomparable_mask,
+)
+from repro.errors import InvalidParameterError
+
+
+def brute_dominates(ds: IncompleteDataset, i: int, j: int) -> bool:
+    """Literal Definition 1, written independently of the library code."""
+    if i == j:
+        return False
+    le_all = True
+    lt_some = False
+    for dim in range(ds.d):
+        if ds.observed[i, dim] and ds.observed[j, dim]:
+            a, b = ds.minimized[i, dim], ds.minimized[j, dim]
+            if a > b:
+                le_all = False
+            if a < b:
+                lt_some = True
+    return le_all and lt_some
+
+
+class TestBasics:
+    def test_strictly_smaller_dominates(self):
+        ds = IncompleteDataset([[1, 1], [2, 2]])
+        assert dominates(ds, 0, 1)
+        assert not dominates(ds, 1, 0)
+
+    def test_equal_objects_do_not_dominate(self):
+        ds = IncompleteDataset([[1, 2], [1, 2]])
+        assert not dominates(ds, 0, 1)
+        assert not dominates(ds, 1, 0)
+
+    def test_needs_strict_improvement_somewhere(self):
+        ds = IncompleteDataset([[1, 2], [1, 3]])
+        assert dominates(ds, 0, 1)
+
+    def test_no_dominance_when_mixed(self):
+        ds = IncompleteDataset([[1, 3], [2, 2]])
+        assert not dominates(ds, 0, 1)
+        assert not dominates(ds, 1, 0)
+
+    def test_missing_dims_are_ignored(self):
+        # paper: f = (4, 2) dominates c = (5, -) on the only common dim
+        ds = IncompleteDataset([[4, 2], [5, None]])
+        assert dominates(ds, 0, 1)
+
+    def test_incomparable_objects_never_dominate(self):
+        ds = IncompleteDataset([[1, None], [None, 1]])
+        assert not dominates(ds, 0, 1)
+        assert not dominates(ds, 1, 0)
+        assert not comparable(ds, 0, 1)
+
+    def test_self_dominance_is_false(self):
+        ds = IncompleteDataset([[1, 2]])
+        assert not dominates(ds, 0, 0)
+
+    def test_cyclic_dominance_is_possible(self):
+        # The paper notes cycles can exist on incomplete data.
+        ds = IncompleteDataset(
+            [
+                [1, None, 2],
+                [2, 1, None],
+                [None, 2, 1],
+            ]
+        )
+        assert dominates(ds, 0, 1)  # common dim 0: 1 < 2
+        assert dominates(ds, 1, 2)  # common dim 1: 1 < 2
+        assert dominates(ds, 2, 0)  # common dim 2: 1 < 2
+
+
+class TestMasksAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_dominated_mask(self, make_incomplete, seed):
+        ds = make_incomplete(30, 4, missing_rate=0.3, seed=seed)
+        for i in range(ds.n):
+            mask = dominated_mask(ds, i)
+            expected = [brute_dominates(ds, i, j) for j in range(ds.n)]
+            assert mask.tolist() == expected
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_dominator_mask(self, make_incomplete, seed):
+        ds = make_incomplete(25, 3, missing_rate=0.25, seed=seed)
+        for j in range(ds.n):
+            mask = dominator_mask(ds, j)
+            expected = [brute_dominates(ds, i, j) for i in range(ds.n)]
+            assert mask.tolist() == expected
+
+    def test_masks_are_transposes(self, make_incomplete):
+        ds = make_incomplete(20, 3, missing_rate=0.4, seed=9)
+        matrix = dominance_matrix(ds)
+        for j in range(ds.n):
+            assert dominator_mask(ds, j).tolist() == matrix[:, j].tolist()
+
+    def test_incomparable_mask(self, make_incomplete):
+        ds = make_incomplete(30, 4, missing_rate=0.6, seed=5)
+        for i in range(ds.n):
+            mask = incomparable_mask(ds, i)
+            expected = [j != i and not ds.comparable(i, j) for j in range(ds.n)]
+            assert mask.tolist() == expected
+
+    def test_dominance_matrix_guard(self, make_incomplete):
+        ds = make_incomplete(10, 2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            dominance_matrix(ds, max_n=5)
+
+
+class TestDirectionHandling:
+    def test_max_orientation_matches_negated_min(self, make_incomplete):
+        rng = np.random.default_rng(3)
+        values = rng.integers(1, 9, size=(15, 3)).astype(float)
+        holes = rng.random((15, 3)) < 0.2
+        values[holes] = np.nan
+        values[np.isnan(values).all(axis=1)] = 1.0
+        ds_max = IncompleteDataset(values, directions="max")
+        ds_min = IncompleteDataset(np.where(np.isnan(values), np.nan, -values))
+        matrix_max = dominance_matrix(ds_max)
+        matrix_min = dominance_matrix(ds_min)
+        assert np.array_equal(matrix_max, matrix_min)

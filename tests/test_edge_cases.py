@@ -1,0 +1,128 @@
+"""Edge-case battery: degenerate shapes every algorithm must survive.
+
+Each scenario runs **every registered algorithm** — the paper's five plus
+the alternative-index and partitioned variants — and cross-checks the
+score multiset: the cheap way to catch shape-specific breakage (empty
+buckets, single columns, saturated missingness, duplicate-heavy
+domains…).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import available_algorithms, top_k_dominating
+from repro.core.dataset import IncompleteDataset
+
+ALGORITHMS = available_algorithms()
+
+
+def all_agree(ds, k):
+    reference = top_k_dominating(ds, k, algorithm="naive").score_multiset
+    for algorithm in ALGORITHMS[1:]:
+        got = top_k_dominating(ds, k, algorithm=algorithm).score_multiset
+        assert got == reference, (algorithm, got, reference)
+    return reference
+
+
+class TestDegenerateShapes:
+    def test_single_object(self):
+        ds = IncompleteDataset([[1, None, 3]])
+        assert all_agree(ds, 1) == (0,)
+
+    def test_two_identical_objects(self):
+        ds = IncompleteDataset([[2, 2], [2, 2]])
+        assert all_agree(ds, 2) == (0, 0)
+
+    def test_single_dimension(self):
+        # The two tied minima each dominate {3, 2}; the 2 dominates only {3}.
+        ds = IncompleteDataset([[3], [1], [2], [1]])
+        assert all_agree(ds, 2) == (2, 2)
+
+    def test_all_objects_identical(self):
+        ds = IncompleteDataset([[5, 5]] * 12)
+        assert all_agree(ds, 4) == (0, 0, 0, 0)
+
+    def test_complete_dataset(self):
+        rng = np.random.default_rng(0)
+        ds = IncompleteDataset(rng.integers(0, 6, size=(40, 3)).astype(float))
+        all_agree(ds, 5)
+
+    def test_chain_dataset(self):
+        ds = IncompleteDataset([[i, i] for i in range(20)])
+        assert all_agree(ds, 3) == (19, 18, 17)
+
+    def test_every_object_observes_one_disjoint_dim(self):
+        # Fully pairwise-incomparable: all scores zero, every bucket singleton.
+        d = 6
+        rows = []
+        for i in range(d):
+            row = [None] * d
+            row[i] = 1
+            rows.append(row)
+        ds = IncompleteDataset(rows)
+        assert all_agree(ds, 3) == (0, 0, 0)
+
+    def test_one_shared_dimension_only(self):
+        # Objects observe exactly dim 0 plus a private dim.
+        rows = []
+        for i in range(8):
+            row = [i + 1] + [None] * 8
+            row[1 + i % 8] = 1
+            rows.append(row)
+        ds = IncompleteDataset(rows)
+        all_agree(ds, 4)
+
+    def test_extreme_missingness(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(1, 4, size=(30, 10)).astype(float)
+        mask = rng.random((30, 10)) < 0.93
+        for row in range(30):
+            if mask[row].all():
+                mask[row, rng.integers(0, 10)] = False
+        values[mask] = np.nan
+        ds = IncompleteDataset(values)
+        all_agree(ds, 5)
+
+    def test_wide_dataset_beyond_64_dims(self):
+        rng = np.random.default_rng(2)
+        d = 80
+        values = rng.integers(1, 5, size=(25, d)).astype(float)
+        mask = rng.random((25, d)) < 0.5
+        for row in range(25):
+            if mask[row].all():
+                mask[row, 0] = False
+        values[mask] = np.nan
+        ds = IncompleteDataset(values)
+        all_agree(ds, 4)
+
+    def test_float_heavy_domains(self):
+        rng = np.random.default_rng(3)
+        values = rng.random((30, 3)) * 1e6
+        holes = rng.random((30, 3)) < 0.25
+        values[holes] = np.nan
+        values[np.isnan(values).all(axis=1), 0] = 1.0
+        ds = IncompleteDataset(values)
+        all_agree(ds, 5)  # every value distinct: C_i == observed count
+
+    def test_negative_values(self):
+        ds = IncompleteDataset([[-5, -1], [-3, None], [0, -9], [None, -2]])
+        all_agree(ds, 2)
+
+
+class TestKEdges:
+    def test_k_equals_n(self, make_incomplete):
+        ds = make_incomplete(20, 3, missing_rate=0.3, seed=0)
+        for algorithm in ALGORITHMS:
+            result = top_k_dominating(ds, 20, algorithm=algorithm)
+            assert len(result) == 20
+
+    def test_k_exceeds_n_clamped(self, make_incomplete):
+        ds = make_incomplete(10, 3, seed=1)
+        for algorithm in ALGORITHMS:
+            assert len(top_k_dominating(ds, 1000, algorithm=algorithm)) == 10
+
+    def test_k_one(self, make_incomplete):
+        ds = make_incomplete(30, 3, missing_rate=0.2, seed=2)
+        all_agree(ds, 1)

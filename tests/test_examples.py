@@ -1,0 +1,76 @@
+"""The shipped examples must run end-to-end and print their headline output."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        # Every algorithm must report the paper's T2D answer.
+        assert out.count("score=16") >= 10
+        assert "ibig" in out and "naive" in out
+
+    def test_movie_recommender(self):
+        out = run_example("movie_recommender.py")
+        assert "Top-10 dominating movies" in out
+        assert "MFD" in out
+        assert "skyline" in out
+
+    def test_nba_scouting(self):
+        out = run_example("nba_scouting.py")
+        assert "Top-10 dominating players" in out
+        assert "Jaccard distance" in out
+        assert "Heuristic-1" in out
+
+    def test_real_estate_search(self):
+        out = run_example("real_estate_search.py")
+        assert "Top-8 dominating listings" in out
+        assert "Eq.8 optimum" in out
+        # IBIG answers must match BIG on every tested bin budget.
+        assert "False" not in out.splitlines()[-6:]
+
+    def test_live_leaderboard(self):
+        out = run_example("live_leaderboard.py")
+        assert "initial top-5" in out
+        assert "relation transitive? False" in out
+        assert "comparable pairs" in out
+
+    def test_sensor_network(self):
+        out = run_example("sensor_network.py")
+        assert "oracle top-5" in out
+        assert "mcar" in out and "mar" in out and "nmar" in out
+        assert "partitioned query" in out
+        assert "answer unchanged" in out
+
+    def test_index_showdown(self):
+        out = run_example("index_showdown.py")
+        assert "same score multiset" in out
+        assert "counting-guided" in out and "skyline-guided" in out
+        assert "MBRs do not exist" in out
+
+    def test_market_segments(self):
+        out = run_example("market_segments.py")
+        assert "global top-3" in out
+        assert "top-3 within budget" in out
+        assert "strongest listing per bedroom count" in out
+        assert "? beds" in out  # the missing-bedrooms segment exists

@@ -1,0 +1,182 @@
+"""Smoke + shape tests for the experiment harness (repro.experiments).
+
+Each paper experiment runs at a tiny scale; beyond "it runs", the key
+qualitative shapes the paper reports are asserted where they are robust
+at small N (compression ordering, index-size ordering, missing-rate
+trend, heuristic accounting, Jaccard threshold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    fig10_compression,
+    fig11_bins,
+    fig12_real_k,
+    fig13_synthetic_k,
+    fig14_cardinality,
+    fig15_dimensionality,
+    fig16_missing_rate,
+    fig17_dim_cardinality,
+    fig18_heuristics,
+    table3_preprocessing,
+    table4_jaccard,
+)
+from repro.experiments.harness import PAPER, DatasetCache, env_scale, time_algorithm
+from repro.experiments.reporting import format_series, pivot_series, print_rows, rows_to_csv
+
+TINY = 0.008  # ~800 objects for the synthetic datasets
+
+
+class TestHarness:
+    def test_paper_defaults_match_table2(self):
+        assert PAPER.k_values == (4, 8, 16, 32, 64)
+        assert PAPER.n_values == (50_000, 100_000, 150_000, 200_000, 250_000)
+        assert PAPER.dim_values == (5, 10, 15, 20, 25)
+        assert PAPER.missing_rates == (0.0, 0.05, 0.10, 0.20, 0.30, 0.40)
+        assert PAPER.cardinalities == (50, 100, 200, 400, 800)
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale(0.2) == 0.2
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert env_scale() == 0.5
+        monkeypatch.setenv("REPRO_SCALE", "junk")
+        assert env_scale(0.3) == 0.3
+
+    def test_dataset_cache_memoises(self):
+        cache = DatasetCache(scale=TINY)
+        assert cache.get("ind") is cache.get("ind")
+        assert cache.get("ind") is not cache.get("ac")
+
+    def test_time_algorithm_row(self):
+        cache = DatasetCache(scale=TINY)
+        row = time_algorithm(cache.get("ind"), "big", 4)
+        assert row["algorithm"] == "big"
+        assert row["query_s"] >= 0
+        assert row["result"].k == 4
+
+
+class TestReporting:
+    def test_pivot_and_format(self):
+        rows = [
+            {"algorithm": "big", "k": 4, "query_s": 0.1},
+            {"algorithm": "big", "k": 8, "query_s": 0.2},
+            {"algorithm": "esb", "k": 4, "query_s": 0.5},
+        ]
+        series = pivot_series(rows, x="k")
+        assert series["big"] == [(4, 0.1), (8, 0.2)]
+        text = format_series(rows, x="k")
+        assert "big" in text and "esb" in text
+
+    def test_print_rows_runs(self, capsys):
+        print_rows([{"a": 1, "b": "x"}], title="demo")
+        captured = capsys.readouterr().out
+        assert "demo" in captured and "x" in captured
+
+    def test_rows_to_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv([{"a": 1, "stats": object()}], path)
+        content = path.read_text()
+        assert "a" in content and "stats" not in content
+
+
+@pytest.mark.slow
+class TestExperimentsRun:
+    def test_fig10_shapes(self):
+        rows = fig10_compression(scale=0.05)
+        assert len(rows) == 6  # 3 datasets x 2 schemes
+        by_dataset = {}
+        for row in rows:
+            by_dataset.setdefault(row["dataset"], {})[row["scheme"]] = row["ratio"]
+        for dataset, ratios in by_dataset.items():
+            # CONCISE compresses at least as well as WAH (paper Fig. 10b).
+            assert ratios["concise"] <= ratios["wah"] + 1e-9, dataset
+
+    def test_fig11_shapes(self):
+        rows = fig11_bins(scale=TINY, bin_counts=(2, 8, 32))
+        ibig = [row for row in rows if row["algorithm"] == "ibig"]
+        big = {row["dataset"]: row for row in rows if row["algorithm"] == "big"}
+        for dataset in big:
+            sizes = [row["index_bytes"] for row in ibig if row["dataset"] == dataset]
+            # IBIG index grows with xi and stays below BIG's (paper Fig. 11).
+            assert sizes == sorted(sizes)
+            assert sizes[-1] <= big[dataset]["index_bytes"]
+
+    def test_table3_runs(self):
+        rows = table3_preprocessing(scale=TINY)
+        assert {row["dataset"] for row in rows} == {"movielens", "nba", "zillow", "ind", "ac"}
+        for row in rows:
+            assert row["maxscore_s"] >= 0 and row["bitmap_s"] >= 0 and row["binned_s"] >= 0
+
+    def test_fig12_naive_is_slowest(self):
+        rows = fig12_real_k(scale=TINY, ks=(8,))
+        assert {row["dataset"] for row in rows} == {"movielens", "nba", "zillow"}
+        # NBA/Zillow show order-of-magnitude gaps even at tiny scale;
+        # MovieLens (95% missing) has the paper's smallest gaps and at a few
+        # hundred objects the constant factors dominate, so it is excluded
+        # from the ordering assertion.
+        for dataset in ("nba", "zillow"):
+            subset = {row["algorithm"]: row["query_s"] for row in rows if row["dataset"] == dataset}
+            fastest_pruner = min(v for key, v in subset.items() if key != "naive")
+            assert subset["naive"] >= fastest_pruner
+
+    def test_fig13_runs(self):
+        rows = fig13_synthetic_k(scale=TINY, ks=(4, 16))
+        assert {row["dataset"] for row in rows} == {"ind", "ac"}
+        assert len(rows) == 2 * 2 * 4
+
+    def test_table4_threshold(self):
+        rows = table4_jaccard(scale=0.15, ks=(16, 32))
+        for row in rows:
+            # Paper Table 4: more than half the answers shared -> DJ <= 2/3.
+            assert row["jaccard_distance"] <= 2.0 / 3.0 + 1e-9
+
+    def test_fig14_runs(self):
+        rows = fig14_cardinality(scale=TINY, ns=(50_000, 100_000))
+        ns = sorted({row["n"] for row in rows})
+        assert len(ns) == 2
+
+    def test_fig15_runs(self):
+        rows = fig15_dimensionality(scale=TINY, dims=(5, 10))
+        assert {row["d"] for row in rows} == {5, 10}
+
+    def test_fig16_cost_drops_with_missing_rate(self):
+        rows = fig16_missing_rate(scale=0.02, rates=(0.0, 0.4))
+        for dataset in ("ind", "ac"):
+            for algorithm in ("esb",):
+                cheap = [
+                    row["query_s"]
+                    for row in rows
+                    if row["dataset"] == dataset
+                    and row["algorithm"] == algorithm
+                    and row["missing_rate"] == 0.4
+                ][0]
+                costly = [
+                    row["query_s"]
+                    for row in rows
+                    if row["dataset"] == dataset
+                    and row["algorithm"] == algorithm
+                    and row["missing_rate"] == 0.0
+                ][0]
+                # Paper Fig. 16: CPU time decreases as sigma grows.
+                assert cheap <= costly * 1.5
+
+    def test_fig17_runs(self):
+        rows = fig17_dim_cardinality(scale=TINY, cs=(50, 200))
+        assert {row["cardinality"] for row in rows} == {50, 200}
+
+    def test_fig18_accounting(self):
+        rows = fig18_heuristics(scale=TINY, ks=(4, 64))
+        for row in rows:
+            total = row["pruned_h1"] + row["pruned_h2"] + row["pruned_h3"] + row["scored"]
+            assert total == row["n"]
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig10", "fig11", "table3", "fig12", "table4",
+            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        }

@@ -1,0 +1,101 @@
+"""Smoke + shape tests for the extension regenerators (repro.experiments.extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.extensions import (
+    EXTENSION_EXPERIMENTS,
+    ext_imputers,
+    ext_indexes,
+    ext_partitioned,
+    ext_roaring,
+    ext_sigma0,
+    ext_stability,
+)
+from repro.experiments.figures import EXPERIMENTS, _all_experiments, run_experiment
+
+TINY = 0.008  # ~800 synthetic objects
+
+
+class TestRegistry:
+    def test_all_ext_ids_prefixed(self):
+        assert all(name.startswith("ext-") for name in EXTENSION_EXPERIMENTS)
+
+    def test_merged_catalog_disjoint(self):
+        catalog = _all_experiments()
+        assert set(EXPERIMENTS) <= set(catalog)
+        assert set(EXTENSION_EXPERIMENTS) <= set(catalog)
+        assert not set(EXPERIMENTS) & set(EXTENSION_EXPERIMENTS)
+
+    def test_run_experiment_accepts_extension_id(self, capsys):
+        rows = run_experiment("ext-part", scale=TINY)
+        out = capsys.readouterr().out
+        assert rows and "partition_rows" in out
+
+
+class TestExtIndexes:
+    def test_rows_and_shape(self):
+        rows = ext_indexes(scale=TINY, k=4)
+        backends = {row["backend"] for row in rows}
+        assert backends == {"bitmap(big)", "mosaic", "brtree", "quantization"}
+        for row in rows:
+            assert row["query_s"] >= 0
+            assert row["index_bytes"] > 0
+        slacks = {row["backend"]: row["bound_slack"] for row in rows}
+        # Tree-backed bounds are at least as tight as the rank filter.
+        assert slacks["mosaic"] <= slacks["quantization"] + 1e-9
+        assert slacks["brtree"] <= slacks["quantization"] + 1e-9
+
+
+class TestExtSigmaZero:
+    def test_all_methods_present(self):
+        rows = ext_sigma0(scale=TINY, k=4)
+        methods = {row["method"] for row in rows}
+        assert methods == {"ubb", "big", "ibig", "artree-counting", "artree-skyline"}
+
+    def test_top_scores_agree(self):
+        rows = ext_sigma0(scale=TINY, k=4)
+        artree_scores = {
+            row["top_score"] for row in rows if row["method"].startswith("artree")
+        }
+        assert len(artree_scores) == 1
+
+
+class TestExtImputers:
+    def test_mean_is_worst_model_best(self):
+        rows = ext_imputers(scale=TINY, k=8)
+        distance = {row["imputer"]: row["jaccard_distance"] for row in rows}
+        assert set(distance) == {"factorization", "em", "knn", "mean"}
+        assert min(distance["factorization"], distance["em"], distance["knn"]) <= distance["mean"]
+
+
+class TestExtRoaring:
+    def test_word_aligned_beat_roaring_on_range_encoding(self):
+        rows = ext_roaring(scale=TINY)
+        by_key = {(row["dataset"], row["scheme"]): row["ratio"] for row in rows}
+        for dataset in ("movielens", "nba", "zillow"):
+            assert by_key[(dataset, "concise")] <= by_key[(dataset, "roaring")]
+
+
+class TestExtPartitioned:
+    def test_budget_sweep(self):
+        rows = ext_partitioned(scale=TINY, k=4, budgets=(64, 256))
+        assert [row["partition_rows"] for row in rows] == [64, 256]
+        assert rows[0]["partitions"] > rows[1]["partitions"]
+        assert all(row["synopsis_bytes"] > 0 for row in rows)
+
+
+class TestExtStability:
+    def test_drift_grows_with_rate(self):
+        rows = ext_stability(scale=TINY, k=4)
+        mcar = [row for row in rows if row["mechanism"] == "mcar"]
+        assert len(mcar) == 3
+        # More missingness cannot make the answer *more* faithful (allow
+        # small-sample noise of one tie swap).
+        assert mcar[0]["jaccard_mean"] <= mcar[-1]["jaccard_mean"] + 0.3
+
+    def test_bootstrap_row_appended(self):
+        rows = ext_stability(scale=TINY, k=4)
+        assert rows[-1]["mechanism"] == "bootstrap-5%drop"
+        assert 0.0 <= rows[-1]["jaccard_mean"] <= 1.0

@@ -1,0 +1,104 @@
+"""Tests for dominance-graph analysis (repro.analysis.graph)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    comparability_stats,
+    dominance_graph,
+    find_dominance_cycles,
+    is_transitive,
+)
+from repro.core.dataset import IncompleteDataset
+from repro.core.score import score_all
+from repro.errors import InvalidParameterError
+
+CYCLIC_ROWS = [
+    [1, None, 2],
+    [2, 1, None],
+    [None, 2, 1],
+]
+
+
+class TestGraph:
+    def test_out_degree_is_score(self, make_incomplete):
+        ds = make_incomplete(30, 4, missing_rate=0.3, seed=0)
+        graph = dominance_graph(ds)
+        scores = score_all(ds)
+        for row, object_id in enumerate(ds.ids):
+            assert graph.out_degree(object_id) == scores[row]
+            assert graph.nodes[object_id]["score"] == scores[row]
+
+    def test_fig2_edges(self, fig2_dataset):
+        graph = dominance_graph(fig2_dataset)
+        assert graph.has_edge("f", "e")
+        assert graph.has_edge("e", "b")
+        assert not graph.has_edge("f", "b")  # the non-transitivity witness
+
+    def test_guard(self, make_incomplete):
+        ds = make_incomplete(30, 2, seed=1)
+        with pytest.raises(InvalidParameterError):
+            dominance_graph(ds, max_n=10)
+
+
+class TestCycles:
+    def test_crafted_cycle_found(self):
+        ds = IncompleteDataset(CYCLIC_ROWS, ids=["x", "y", "z"])
+        cycles = find_dominance_cycles(ds)
+        assert cycles
+        assert set(cycles[0]) == {"x", "y", "z"}
+
+    def test_complete_data_never_cyclic(self):
+        rng = np.random.default_rng(0)
+        ds = IncompleteDataset(rng.integers(0, 10, size=(40, 3)).astype(float))
+        assert find_dominance_cycles(ds) == []
+        graph = dominance_graph(ds)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_limit_respected(self, make_incomplete):
+        ds = make_incomplete(40, 4, missing_rate=0.5, seed=2)
+        assert len(find_dominance_cycles(ds, limit=3)) <= 3
+
+
+class TestTransitivity:
+    def test_complete_data_transitive(self):
+        rng = np.random.default_rng(1)
+        ds = IncompleteDataset(rng.integers(0, 8, size=(30, 3)).astype(float))
+        assert is_transitive(ds)
+
+    def test_fig2_not_transitive(self, fig2_dataset):
+        assert not is_transitive(fig2_dataset)
+
+    def test_cyclic_not_transitive(self):
+        assert not is_transitive(IncompleteDataset(CYCLIC_ROWS))
+
+
+class TestComparabilityStats:
+    def test_complete_data_fully_comparable(self):
+        ds = IncompleteDataset(np.arange(20.0).reshape(10, 2))
+        stats = comparability_stats(ds)
+        assert stats.comparable_fraction == 1.0
+        assert stats.total_pairs == 45
+
+    def test_disjoint_patterns_incomparable(self):
+        ds = IncompleteDataset([[1, None], [None, 1], [2, None]])
+        stats = comparability_stats(ds)
+        assert stats.comparable_pairs == 1  # only the two dim-0 observers
+        assert stats.comparable_fraction == pytest.approx(1 / 3)
+
+    def test_dominance_pairs_match_graph(self, make_incomplete):
+        ds = make_incomplete(25, 3, missing_rate=0.4, seed=3)
+        stats = comparability_stats(ds)
+        graph = dominance_graph(ds)
+        assert stats.dominance_pairs == graph.number_of_edges()
+
+    def test_comparability_drops_with_missing_rate(self, make_incomplete):
+        dense = make_incomplete(60, 4, missing_rate=0.1, seed=4)
+        sparse = make_incomplete(60, 4, missing_rate=0.7, seed=4)
+        assert (
+            comparability_stats(sparse).comparable_fraction
+            < comparability_stats(dense).comparable_fraction
+        )

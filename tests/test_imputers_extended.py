@@ -1,0 +1,165 @@
+"""Tests for the kNN and EM imputers (repro.imputation.knn / .em)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IncompleteDataset
+from repro.errors import InvalidParameterError
+from repro.imputation import EMImputer, KNNImputer, SimpleImputer
+
+
+def masked(matrix, missing_cells):
+    out = np.asarray(matrix, dtype=float).copy()
+    for i, j in missing_cells:
+        out[i, j] = np.nan
+    return out
+
+
+def correlated_matrix(n, seed, noise=0.05):
+    """Two strongly correlated columns — the imputable case."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    return np.column_stack([x, 2 * x + rng.normal(scale=noise, size=n)])
+
+
+IMPUTERS = {
+    "knn": lambda: KNNImputer(n_neighbors=3),
+    "em": lambda: EMImputer(),
+}
+
+
+@pytest.mark.parametrize("name", tuple(IMPUTERS))
+class TestSharedContract:
+    def test_observed_cells_untouched(self, name):
+        matrix = masked(np.arange(20, dtype=float).reshape(5, 4), [(1, 2), (3, 0)])
+        completed = IMPUTERS[name]().fit_transform(matrix)
+        observed = ~np.isnan(matrix)
+        assert np.array_equal(completed[observed], matrix[observed])
+
+    def test_output_is_complete(self, name):
+        matrix = masked(np.random.default_rng(0).random((30, 4)), [(0, 0), (5, 3), (7, 1)])
+        completed = IMPUTERS[name]().fit_transform(matrix)
+        assert not np.isnan(completed).any()
+
+    def test_complete_input_is_identity(self, name):
+        matrix = np.random.default_rng(1).random((10, 3))
+        completed = IMPUTERS[name]().fit_transform(matrix)
+        assert np.allclose(completed, matrix)
+
+    def test_transform_before_fit_raises(self, name):
+        with pytest.raises(InvalidParameterError):
+            IMPUTERS[name]().transform()
+
+    def test_rejects_non_2d(self, name):
+        with pytest.raises(InvalidParameterError):
+            IMPUTERS[name]().fit(np.arange(5.0))
+
+    def test_impute_dataset_roundtrip(self, name):
+        ds = IncompleteDataset.from_rows([[1, None, 3], [2, 5, None], [3, 4, 1]])
+        completed = IMPUTERS[name]().impute_dataset(ds)
+        assert completed.shape == (3, 3)
+        assert not np.isnan(completed).any()
+
+    def test_beats_constant_on_correlated_data(self, name):
+        """On strongly correlated columns both model imputers must beat a
+        constant-fill baseline by a wide margin (the Table 4 rationale)."""
+        truth = correlated_matrix(200, seed=2)
+        rng = np.random.default_rng(3)
+        holes = [(int(i), 1) for i in rng.choice(200, size=40, replace=False)]
+        matrix = masked(truth, holes)
+
+        completed = IMPUTERS[name]().fit_transform(matrix)
+        baseline = SimpleImputer("constant", fill_value=0.0).fit_transform(matrix)
+
+        idx = tuple(zip(*holes))
+        model_err = float(np.mean((completed[idx] - truth[idx]) ** 2))
+        baseline_err = float(np.mean((baseline[idx] - truth[idx]) ** 2))
+        assert model_err < baseline_err / 2
+
+
+class TestKNNSpecifics:
+    def test_exact_duplicate_neighbor_wins(self):
+        # Row 2 is identical to row 0 on observed dims; with one neighbour
+        # its missing cell must copy row 0's value exactly.
+        matrix = np.array([[1.0, 2.0, 7.0], [9.0, 9.0, 0.0], [1.0, 2.0, np.nan]])
+        completed = KNNImputer(n_neighbors=1).fit_transform(matrix)
+        assert completed[2, 2] == pytest.approx(7.0)
+
+    def test_unweighted_is_plain_average(self):
+        matrix = np.array(
+            [[0.0, 10.0], [0.1, 20.0], [5.0, 100.0], [0.05, np.nan]]
+        )
+        completed = KNNImputer(n_neighbors=2, weighted=False).fit_transform(matrix)
+        assert completed[3, 1] == pytest.approx(15.0)
+
+    def test_no_informative_neighbor_falls_back_to_column_mean(self):
+        # Rows 0/1 share no observed dimension with row 2's donors for dim 1.
+        matrix = np.array([[1.0, np.nan], [2.0, np.nan], [1.5, np.nan]])
+        completed = KNNImputer(n_neighbors=2).fit_transform(matrix)
+        # Nobody observes column 1: fallback is the (empty→0.0) column mean.
+        assert completed[2, 1] == pytest.approx(0.0)
+
+    def test_n_neighbors_validated(self):
+        with pytest.raises(InvalidParameterError):
+            KNNImputer(n_neighbors=0)
+
+    @given(
+        n=st.integers(4, 40),
+        d=st.integers(2, 5),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_always_completes(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((n, d))
+        holes = rng.random((n, d)) < 0.3
+        holes[:, 0] = False  # keep one fully observed column as anchor
+        matrix[holes] = np.nan
+        completed = KNNImputer().fit_transform(matrix)
+        assert not np.isnan(completed).any()
+
+
+class TestEMSpecifics:
+    def test_convergence_recorded_and_monotone_ish(self):
+        truth = correlated_matrix(150, seed=4)
+        rng = np.random.default_rng(5)
+        holes = [(int(i), int(rng.integers(0, 2))) for i in rng.choice(150, 40, False)]
+        imputer = EMImputer(max_iter=50).fit(masked(truth, holes))
+        assert imputer.n_iter_ >= 1
+        assert imputer.convergence_[-1] <= imputer.convergence_[0] + 1e-9
+
+    def test_learns_covariance_sign(self):
+        truth = correlated_matrix(300, seed=6)
+        rng = np.random.default_rng(7)
+        holes = [(int(i), 1) for i in rng.choice(300, 60, False)]
+        imputer = EMImputer().fit(masked(truth, holes))
+        assert imputer.covariance_[0, 1] > 0  # strong positive correlation
+
+    def test_rejects_fully_missing_column(self):
+        matrix = np.array([[1.0, np.nan], [2.0, np.nan]])
+        with pytest.raises(InvalidParameterError):
+            EMImputer().fit(matrix)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            EMImputer().fit(np.empty((0, 3)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            EMImputer(max_iter=0)
+        with pytest.raises(InvalidParameterError):
+            EMImputer(tol=0.0)
+        with pytest.raises(InvalidParameterError):
+            EMImputer(ridge=-1.0)
+
+    def test_tolerance_stops_early(self):
+        truth = correlated_matrix(100, seed=8)
+        rng = np.random.default_rng(9)
+        holes = [(int(i), 0) for i in rng.choice(100, 20, False)]
+        loose = EMImputer(tol=1.0).fit(masked(truth, holes))
+        tight = EMImputer(tol=1e-10, max_iter=30).fit(masked(truth, holes))
+        assert loose.n_iter_ <= tight.n_iter_

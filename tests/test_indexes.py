@@ -1,0 +1,236 @@
+"""Tests for the alternative incomplete-data indexes (repro.indexes).
+
+Every backend must satisfy the filter-and-verify contract:
+
+* ``candidate_rows(o)`` is a superset of the objects ``o`` dominates;
+* ``upper_bound_score(o) >= score(o)``;
+* ``score(o)`` equals the exact Definition 2 score.
+
+These are checked against the paper's Fig. 3 running example and with
+hypothesis-generated random incomplete datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IncompleteDataset, top_k_dominating
+from repro.core.dominance import dominated_mask
+from repro.core.score import score_all, score_one
+from repro.errors import InvalidParameterError
+from repro.indexes import (
+    INDEX_BACKENDS,
+    BRTreeIndex,
+    IndexBackedTKD,
+    MosaicIndex,
+    QuantizationIndex,
+    dominated_within,
+)
+
+BACKENDS = tuple(INDEX_BACKENDS)
+
+
+def random_incomplete(n, d, domain, missing_rate, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, domain, size=(n, d)).astype(float)
+    mask = rng.random((n, d)) < missing_rate
+    # Keep at least one observed value per row (model requirement).
+    for i in range(n):
+        if mask[i].all():
+            mask[i, rng.integers(0, d)] = False
+    values[mask] = np.nan
+    return IncompleteDataset.from_rows(values.tolist())
+
+
+incomplete_datasets = st.builds(
+    random_incomplete,
+    n=st.integers(2, 50),
+    d=st.integers(1, 5),
+    domain=st.integers(2, 6),
+    missing_rate=st.floats(0.0, 0.8),
+    seed=st.integers(0, 2**16),
+)
+
+
+# ---------------------------------------------------------------------------
+# dominated_within refinement helper
+# ---------------------------------------------------------------------------
+
+
+class TestDominatedWithin:
+    def test_matches_dominated_mask_on_full_range(self, fig3_dataset):
+        everyone = np.arange(fig3_dataset.n)
+        for row in range(fig3_dataset.n):
+            expected = dominated_mask(fig3_dataset, row)
+            got = dominated_within(fig3_dataset, row, everyone)
+            assert np.array_equal(got, expected)
+
+    def test_empty_candidates(self, fig3_dataset):
+        assert dominated_within(fig3_dataset, 0, np.empty(0, dtype=np.intp)).size == 0
+
+    def test_never_marks_self(self, fig3_dataset):
+        got = dominated_within(fig3_dataset, 3, np.array([3]))
+        assert not got.any()
+
+
+# ---------------------------------------------------------------------------
+# Backend contract (shared)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackendContract:
+    def test_exact_scores_on_fig3(self, backend, fig3_dataset):
+        index = INDEX_BACKENDS[backend](fig3_dataset).build()
+        for row in range(fig3_dataset.n):
+            assert index.score(row) == score_one(fig3_dataset, row)
+
+    def test_upper_bound_dominates_score_on_fig3(self, backend, fig3_dataset):
+        index = INDEX_BACKENDS[backend](fig3_dataset).build()
+        for row in range(fig3_dataset.n):
+            assert index.upper_bound_score(row) >= score_one(fig3_dataset, row)
+
+    def test_candidates_are_superset_on_fig3(self, backend, fig3_dataset):
+        index = INDEX_BACKENDS[backend](fig3_dataset).build()
+        for row in range(fig3_dataset.n):
+            dominated = set(np.flatnonzero(dominated_mask(fig3_dataset, row)).tolist())
+            candidates = set(index.candidate_rows(row).tolist())
+            assert dominated <= candidates
+            assert row not in candidates
+
+    def test_row_validation(self, backend, fig3_dataset):
+        index = INDEX_BACKENDS[backend](fig3_dataset).build()
+        with pytest.raises(InvalidParameterError):
+            index.upper_bound_score(fig3_dataset.n)
+        with pytest.raises(InvalidParameterError):
+            index.candidate_rows(-1)
+
+    def test_index_reports_storage_and_build_time(self, backend, fig3_dataset):
+        index = INDEX_BACKENDS[backend](fig3_dataset).build()
+        assert index.index_bytes > 0
+        assert index.build_seconds >= 0.0
+
+    @given(dataset=incomplete_datasets)
+    @settings(max_examples=25, deadline=None)
+    def test_property_scores_exact(self, backend, dataset):
+        index = INDEX_BACKENDS[backend](dataset).build()
+        oracle = score_all(dataset)
+        for row in range(dataset.n):
+            assert index.score(row) == oracle[row]
+            assert index.upper_bound_score(row) >= oracle[row]
+
+
+# ---------------------------------------------------------------------------
+# Backend specifics
+# ---------------------------------------------------------------------------
+
+
+class TestMosaicSpecifics:
+    def test_one_tree_per_bucket(self, fig3_dataset):
+        index = MosaicIndex(fig3_dataset).build()
+        assert len(index.buckets) == 4  # Fig. 3's four patterns
+
+    def test_incomparable_bucket_skipped(self):
+        # Two disjoint patterns: candidates across them must be empty.
+        ds = IncompleteDataset.from_rows([[1, None], [None, 2]])
+        index = MosaicIndex(ds).build()
+        assert index.candidate_rows(0).size == 0
+        assert index.upper_bound_score(0) == 0
+
+
+class TestBRTreeSpecifics:
+    def test_pattern_bitstrings_cover_members(self, fig3_dataset):
+        index = BRTreeIndex(fig3_dataset).build()
+        patterns = fig3_dataset.patterns
+        root_or, root_and = index.tree.root.meta
+        assert root_or == int(np.bitwise_or.reduce(np.asarray(patterns, dtype=object)))
+        for node in index.tree.iter_nodes():
+            node_or, node_and = node.meta
+            assert node_and & node_or == node_and
+
+    def test_substituted_matrix_has_no_nan(self, fig3_dataset):
+        index = BRTreeIndex(fig3_dataset).build()
+        assert not np.isnan(index.tree.points).any()
+
+
+class TestQuantizationSpecifics:
+    def test_ranks_shape_and_missing_code(self, fig3_dataset):
+        index = QuantizationIndex(fig3_dataset, bins=4).build()
+        assert index.ranks.shape == (fig3_dataset.n, fig3_dataset.d)
+        assert (index.ranks[~fig3_dataset.observed] == -1).all()
+        assert (index.ranks[fig3_dataset.observed] >= 0).all()
+
+    def test_rank_monotone_in_value(self, fig3_dataset):
+        index = QuantizationIndex(fig3_dataset, bins=4).build()
+        ranks = index.ranks
+        minimized = fig3_dataset.minimized
+        observed = fig3_dataset.observed
+        for dim in range(fig3_dataset.d):
+            rows = np.flatnonzero(observed[:, dim])
+            order = rows[np.argsort(minimized[rows, dim])]
+            assert (np.diff(ranks[order, dim]) >= 0).all()
+
+    def test_single_bin_degenerates_to_comparability_filter(self, fig3_dataset):
+        index = QuantizationIndex(fig3_dataset, bins=1).build()
+        # With one bin no value is certified worse: candidates = comparable.
+        for row in range(fig3_dataset.n):
+            comparable = [
+                j
+                for j in range(fig3_dataset.n)
+                if j != row and fig3_dataset.comparable(row, j)
+            ]
+            assert index.candidate_rows(row).tolist() == comparable
+
+    def test_more_bins_tighter_bounds(self, fig3_dataset):
+        coarse = QuantizationIndex(fig3_dataset, bins=1).build()
+        fine = QuantizationIndex(fig3_dataset, bins=16).build()
+        for row in range(fig3_dataset.n):
+            assert fine.upper_bound_score(row) <= coarse.upper_bound_score(row)
+
+
+# ---------------------------------------------------------------------------
+# Index-backed TKD algorithms
+# ---------------------------------------------------------------------------
+
+
+class TestIndexBackedTKD:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fig3_answer(self, backend, fig3_dataset):
+        result = top_k_dominating(fig3_dataset, 2, algorithm=backend)
+        assert set(result.ids) == {"C2", "A2"}
+        assert result.score_multiset == (16, 16)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_agreement_with_big_on_random_data(self, backend):
+        ds = random_incomplete(120, 4, 8, 0.25, seed=7)
+        expected = top_k_dominating(ds, 10, algorithm="big").score_multiset
+        got = top_k_dominating(ds, 10, algorithm=backend).score_multiset
+        assert got == expected
+
+    def test_unknown_backend_raises(self, fig3_dataset):
+        with pytest.raises(InvalidParameterError):
+            IndexBackedTKD(fig3_dataset, backend="btree-of-lies")
+
+    def test_h1_ablation_same_answer_more_work(self, fig3_dataset):
+        fast = IndexBackedTKD(fig3_dataset, backend="mosaic")
+        slow = IndexBackedTKD(fig3_dataset, backend="mosaic", enable_h1=False)
+        r_fast = fast.query(2)
+        r_slow = slow.query(2)
+        assert r_fast.score_multiset == r_slow.score_multiset
+        assert r_slow.stats.scores_computed >= r_fast.stats.scores_computed
+
+    def test_stats_populated(self, fig3_dataset):
+        result = top_k_dominating(fig3_dataset, 2, algorithm="quantization")
+        assert result.stats.scores_computed >= 2
+        assert result.stats.index_bytes > 0
+
+    @given(dataset=incomplete_datasets, k=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_agreement_with_naive(self, dataset, k):
+        expected = top_k_dominating(dataset, k, algorithm="naive").score_multiset
+        for backend in BACKENDS:
+            got = top_k_dominating(dataset, k, algorithm=backend).score_multiset
+            assert got == expected

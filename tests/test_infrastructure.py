@@ -1,0 +1,108 @@
+"""Tests for the small shared infrastructure: base class, stats, errors,
+and the internal utility helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    format_table,
+    is_missing_cell,
+    parse_cell,
+    require_fraction,
+    require_positive_int,
+)
+from repro.core.base import TKDAlgorithm
+from repro.core.naive import NaiveTKD
+from repro.core.stats import QueryStats
+from repro.errors import (
+    DataError,
+    InvalidParameterError,
+    QueryError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+
+
+class TestErrorsHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (DataError, QueryError, InvalidParameterError, UnknownAlgorithmError):
+            assert issubclass(cls, ReproError)
+
+    def test_specialisations(self):
+        assert issubclass(InvalidParameterError, QueryError)
+        assert issubclass(UnknownAlgorithmError, QueryError)
+
+
+class TestBaseLifecycle:
+    def test_prepare_is_idempotent(self, fig3_dataset):
+        algorithm = NaiveTKD(fig3_dataset)
+        algorithm.prepare()
+        first = algorithm.preprocess_seconds
+        algorithm.prepare()
+        assert algorithm.preprocess_seconds == first
+
+    def test_query_auto_prepares(self, fig3_dataset):
+        algorithm = NaiveTKD(fig3_dataset)
+        result = algorithm.query(1)
+        assert result.stats.preprocess_seconds >= 0
+
+    def test_abstract_run_raises(self, fig3_dataset):
+        with pytest.raises(NotImplementedError):
+            TKDAlgorithm(fig3_dataset).query(1)
+
+    def test_pairwise_cost(self):
+        assert TKDAlgorithm._pairwise_cost(5, 100) == 5 * 99
+        assert TKDAlgorithm._pairwise_cost(0, 100) == 0
+
+
+class TestQueryStats:
+    def test_pruned_total(self):
+        stats = QueryStats(pruned_h1=2, pruned_h2=3, pruned_h3=4)
+        assert stats.pruned_total == 9
+
+    def test_summary_mentions_everything(self):
+        stats = QueryStats(
+            algorithm="big", n=10, d=3, k=2,
+            scores_computed=4, pruned_h1=6, candidates=7, index_bytes=128,
+        )
+        text = stats.summary()
+        for token in ("big", "n=10", "scored=4", "6/0/0", "candidates=7", "128B"):
+            assert token in text
+
+
+class TestUtilHelpers:
+    @pytest.mark.parametrize("cell", [None, float("nan"), "", "-", "NA", "null", "?"])
+    def test_missing_cells(self, cell):
+        assert is_missing_cell(cell)
+
+    @pytest.mark.parametrize("cell", [0, 0.0, "0", "3.5", -1])
+    def test_present_cells(self, cell):
+        assert not is_missing_cell(cell)
+
+    def test_parse_cell(self):
+        assert parse_cell(" 2.5 ") == 2.5
+        assert np.isnan(parse_cell("-"))
+
+    def test_require_positive_int(self):
+        assert require_positive_int(3, "x") == 3
+        for bad in (0, -1, 1.5, "2", True):
+            with pytest.raises(InvalidParameterError):
+                require_positive_int(bad, "x")
+
+    def test_require_fraction(self):
+        assert require_fraction(0.5, "x") == 0.5
+        with pytest.raises(InvalidParameterError):
+            require_fraction(1.5, "x")
+        with pytest.raises(InvalidParameterError):
+            require_fraction(1.0, "x", inclusive_high=False)
+        with pytest.raises(InvalidParameterError):
+            require_fraction("much", "x")
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.23456], ["long-name", 2]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+        assert "1.235" in table  # float formatting applied

@@ -1,0 +1,105 @@
+"""End-to-end integration: realistic pipelines across module boundaries.
+
+These tests chain the public APIs the way a downstream user would —
+generate → persist → reload → index → query → verify → analyse — so that
+interface drift between subsystems cannot hide behind per-module tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    IncompleteDataset,
+    StreamingTKD,
+    make_algorithm,
+    subspace_tkd,
+    top_k_dominating,
+)
+from repro.analysis import comparability_stats
+from repro.bitmap.compression import compress_index
+from repro.core.complete import complete_tkd
+from repro.core.validate import verify_result
+from repro.datasets import load_dataset, load_npz, save_npz, zillow_like
+from repro.imputation import FactorizationImputer
+from repro.skyband.constrained import constrained_skyline
+
+
+@pytest.mark.slow
+class TestFullPipelines:
+    def test_generate_persist_query_verify(self, tmp_path):
+        """The primary workflow: data in, certified TKD answer out."""
+        dataset = load_dataset("ind", scale=0.008, seed=7, dim=6)
+
+        # Round-trip through both persistence formats.
+        csv_path = tmp_path / "data.csv"
+        npz_path = tmp_path / "data.npz"
+        dataset.to_csv(csv_path)
+        save_npz(dataset, npz_path)
+        from_csv = IncompleteDataset.from_csv(csv_path, id_column="id")
+        from_npz = load_npz(npz_path)
+        assert np.array_equal(from_csv.observed, from_npz.observed)
+
+        # Prepared algorithm, multiple queries, certified answers.
+        algorithm = make_algorithm(from_npz, "ibig", bins=16).prepare()
+        for k in (1, 5, 12):
+            result = algorithm.query(k)
+            verify_result(from_npz, result).raise_if_failed()
+
+    def test_real_estate_analyst_session(self):
+        """Zillow-style session: query, constrain, slice, stream an update."""
+        listings = zillow_like(600, seed=3)
+
+        full_answer = top_k_dominating(listings, 8, algorithm="big")
+        verify_result(listings, full_answer).raise_if_failed()
+
+        # Constrained skyline: affordable three-beds.
+        affordable = constrained_skyline(
+            listings, {"price": (None, 1_000_000), "bedrooms": (3, None)}
+        )
+        assert all(
+            not listings.observed[row, 4] or listings.values[row, 4] <= 1_000_000
+            for row in affordable
+        )
+
+        # Subspace view: who wins on price/living-area only?
+        sub = subspace_tkd(listings, ["living_area", "price"], 8, algorithm="big")
+        assert len(sub) == 8
+
+        # Stream a hot new listing; it must appear in the maintained top-k.
+        stream = StreamingTKD.from_dataset(listings)
+        stream.insert([8, 6, 20000, 400000, 100], object_id="dream-house")
+        top_ids = [object_id for object_id, _ in stream.top_k(3)]
+        assert "dream-house" in top_ids
+
+    def test_movie_platform_session(self):
+        """MovieLens-style session: rank, weight, impute, compare."""
+        movies = load_dataset("movielens", scale=0.12, seed=5)
+
+        ranking = top_k_dominating(movies, 10, algorithm="ibig", bins=2)
+        verify_result(movies, ranking, full=False).raise_if_failed()
+
+        completed = FactorizationImputer(n_factors=4, max_iter=15, seed=0).impute_dataset(
+            movies
+        )
+        imputed = complete_tkd(completed, 10, ids=movies.ids)
+        union = ranking.id_set | set(imputed.ids)
+        jaccard = 1 - len(ranking.id_set & set(imputed.ids)) / len(union)
+        assert 0.0 <= jaccard <= 1.0
+
+        stats = comparability_stats(movies)
+        # At ~95% missing, most pairs are still comparable through the
+        # handful of very active audiences, but far from all.
+        assert stats.comparable_fraction < 1.0
+
+    def test_index_compression_pipeline(self):
+        """Build exact index → compress both codecs → sizes consistent."""
+        dataset = load_dataset("nba", scale=0.05, seed=1)
+        algorithm = make_algorithm(dataset, "big").prepare()
+        wah_report = compress_index(algorithm.index, "wah")
+        concise_report = compress_index(algorithm.index, "concise")
+        assert wah_report.original_bytes == concise_report.original_bytes
+        assert concise_report.compressed_bytes <= wah_report.compressed_bytes
+        # Queries still come straight off the uncompressed-at-work index.
+        assert len(algorithm.query(4)) == 4

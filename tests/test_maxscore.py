@@ -1,0 +1,82 @@
+"""Tests for Lemma 2's MaxScore bound (repro.core.maxscore)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.maxscore import max_scores, max_scores_btree, maxscore_queue
+from repro.core.score import score_all
+
+
+def brute_max_scores(ds: IncompleteDataset) -> list[int]:
+    """Literal Lemma 2: MaxScore(o) = min_i |T_i(o)|."""
+    out = []
+    for o in range(ds.n):
+        best = ds.n
+        for dim in range(ds.d):
+            if not ds.observed[o, dim]:
+                continue  # T_i = S
+            t_size = 0
+            for p in range(ds.n):
+                if p == o:
+                    continue
+                if not ds.observed[p, dim] or ds.minimized[p, dim] >= ds.minimized[o, dim]:
+                    t_size += 1
+            best = min(best, t_size)
+        out.append(best)
+    return out
+
+
+class TestMaxScores:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force(self, make_incomplete, seed):
+        ds = make_incomplete(30, 4, missing_rate=0.35, cardinality=6, seed=seed)
+        assert max_scores(ds).tolist() == brute_max_scores(ds)
+
+    def test_is_upper_bound_on_score(self, make_incomplete):
+        ds = make_incomplete(50, 4, missing_rate=0.25, seed=4)
+        assert (max_scores(ds) >= score_all(ds)).all()
+
+    def test_duplicate_values_counted_ge(self):
+        ds = IncompleteDataset([[1], [1], [1]])
+        # Everyone else has an equal value -> |T| = 2 each.
+        assert max_scores(ds).tolist() == [2, 2, 2]
+
+    def test_fully_observed_single_dim(self):
+        ds = IncompleteDataset([[1], [2], [3]])
+        assert max_scores(ds).tolist() == [2, 1, 0]
+
+    def test_column_with_all_missing_except_one(self):
+        ds = IncompleteDataset([[1, 1], [None, 2], [None, 3]])
+        scores = max_scores(ds)
+        # Object 0's dim-0 bound: nobody else observed there -> |T_0| = 2.
+        assert scores[0] == 2
+
+
+class TestBTreeVariant:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_agrees_with_vectorised(self, make_incomplete, seed):
+        ds = make_incomplete(40, 3, missing_rate=0.3, cardinality=8, seed=seed)
+        assert max_scores_btree(ds).tolist() == max_scores(ds).tolist()
+
+    def test_agrees_on_fig3(self, fig3_dataset):
+        assert max_scores_btree(fig3_dataset).tolist() == max_scores(fig3_dataset).tolist()
+
+
+class TestQueue:
+    def test_descending_order(self, make_incomplete):
+        ds = make_incomplete(40, 4, missing_rate=0.3, seed=5)
+        scores = max_scores(ds)
+        queue = maxscore_queue(ds, scores)
+        ordered = scores[queue]
+        assert (np.diff(ordered) <= 0).all()
+
+    def test_stable_ties_by_index(self):
+        ds = IncompleteDataset([[1], [1], [1]])
+        assert maxscore_queue(ds).tolist() == [0, 1, 2]
+
+    def test_precomputed_scores_optional(self, make_incomplete):
+        ds = make_incomplete(20, 3, seed=6)
+        assert maxscore_queue(ds).tolist() == maxscore_queue(ds, max_scores(ds)).tolist()

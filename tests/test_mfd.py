@@ -1,0 +1,92 @@
+"""Tests for the MFD weighted operator (repro.core.mfd)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.dominance import dominated_mask
+from repro.core.mfd import mfd_scores, mfd_weight, top_k_dominating_mfd
+from repro.errors import InvalidParameterError
+
+
+class TestWeight:
+    def test_paper_example(self):
+        # o1 = (-, 3, 2), o2 = (-, 2, -): W(o1, o2) = w2 + lam * w3.
+        ds = IncompleteDataset([[None, 3, 2], [None, 2, None]])
+        weights = np.array([0.2, 0.3, 0.5])
+        value = mfd_weight(ds, 0, 1, weights=weights, lam=0.25)
+        assert value == pytest.approx(0.3 + 0.25 * 0.5)
+
+    def test_dims_missing_in_both_ignored(self):
+        ds = IncompleteDataset([[None, 1], [None, 2]])
+        weights = np.array([0.9, 0.1])
+        assert mfd_weight(ds, 0, 1, weights=weights, lam=0.5) == pytest.approx(0.1)
+
+    def test_default_weights_uniform(self):
+        ds = IncompleteDataset([[1, 1], [2, 2]])
+        assert mfd_weight(ds, 0, 1, lam=0.5) == pytest.approx(1.0)
+
+    def test_invalid_lambda(self):
+        ds = IncompleteDataset([[1], [2]])
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(InvalidParameterError):
+                mfd_weight(ds, 0, 1, lam=bad)
+
+    def test_invalid_weights(self):
+        ds = IncompleteDataset([[1, 2], [2, 3]])
+        with pytest.raises(InvalidParameterError):
+            mfd_weight(ds, 0, 1, weights=[1.0], lam=0.5)
+        with pytest.raises(InvalidParameterError):
+            mfd_weight(ds, 0, 1, weights=[-1.0, 1.0], lam=0.5)
+
+
+class TestScores:
+    def test_complete_data_uniform_weights_equal_plain_score(self, make_incomplete):
+        # On complete data D2 is empty, so each dominated object adds
+        # exactly sum(w) = 1: MFD score == plain score.
+        rng = np.random.default_rng(0)
+        values = rng.integers(1, 9, size=(30, 3)).astype(float)
+        ds = IncompleteDataset(values)
+        weighted = mfd_scores(ds, lam=0.5)
+        plain = np.array([int(dominated_mask(ds, i).sum()) for i in range(ds.n)])
+        assert np.allclose(weighted, plain)
+
+    def test_scores_sum_weights_over_dominated(self, make_incomplete):
+        ds = make_incomplete(25, 3, missing_rate=0.3, seed=1)
+        weights = np.array([0.5, 0.25, 0.25])
+        lam = 0.5
+        got = mfd_scores(ds, weights=weights, lam=lam)
+        for i in range(ds.n):
+            expected = sum(
+                mfd_weight(ds, i, j, weights=weights, lam=lam)
+                for j in np.flatnonzero(dominated_mask(ds, i))
+            )
+            assert got[i] == pytest.approx(expected)
+
+    def test_monotone_in_lambda(self, make_incomplete):
+        # Larger lambda gives one-sided dimensions more credit, so scores
+        # can only grow.
+        ds = make_incomplete(30, 3, missing_rate=0.4, seed=2)
+        low = mfd_scores(ds, lam=0.1)
+        high = mfd_scores(ds, lam=0.9)
+        assert (high >= low - 1e-12).all()
+
+
+class TestTopK:
+    def test_result_structure(self, fig3_dataset):
+        result = top_k_dominating_mfd(fig3_dataset, 3, lam=0.5)
+        assert len(result.indices) == 3
+        assert result.scores == sorted(result.scores, reverse=True)
+        assert result.id_set <= set(fig3_dataset.ids)
+
+    def test_k_clamped(self, fig2_dataset):
+        result = top_k_dominating_mfd(fig2_dataset, 100, lam=0.5)
+        assert len(result.indices) == fig2_dataset.n
+
+    def test_fig2_winner_still_f(self, fig2_dataset):
+        # f dominates the most objects on substantial overlaps; it should
+        # stay on top under uniform MFD weighting.
+        result = top_k_dominating_mfd(fig2_dataset, 1, lam=0.5)
+        assert result.ids == ["f"]

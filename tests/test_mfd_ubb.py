@@ -1,0 +1,77 @@
+"""Tests for the UBB-style MFD evaluation (the paper's "easily generalized"
+claim, implemented in repro.core.mfd)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mfd import mfd_max_scores, mfd_scores, top_k_dominating_mfd
+from repro.errors import InvalidParameterError
+
+from test_agreement import incomplete_datasets
+
+
+class TestMFDMaxScores:
+    def test_upper_bounds_exact_scores(self, make_incomplete):
+        for seed in range(4):
+            ds = make_incomplete(35, 4, missing_rate=0.35, seed=seed)
+            bounds = mfd_max_scores(ds, lam=0.5)
+            exact = mfd_scores(ds, lam=0.5)
+            assert (bounds >= exact - 1e-9).all()
+
+    @given(incomplete_datasets(max_n=18), st.floats(0.05, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_upper_bound_property(self, ds, lam):
+        bounds = mfd_max_scores(ds, lam=lam)
+        exact = mfd_scores(ds, lam=lam)
+        assert (bounds >= exact - 1e-9).all()
+
+    def test_complete_data_bound_equals_maxscore(self):
+        from repro.core.maxscore import max_scores
+        from repro.core.dataset import IncompleteDataset
+
+        rng = np.random.default_rng(0)
+        ds = IncompleteDataset(rng.integers(0, 9, size=(25, 3)).astype(float))
+        # Uniform weights sum to 1 and nothing is missing, so Wmax = 1.
+        assert np.allclose(mfd_max_scores(ds, lam=0.5), max_scores(ds))
+
+
+class TestUBBMethod:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_naive_method(self, make_incomplete, seed):
+        ds = make_incomplete(45, 4, missing_rate=0.3, seed=seed)
+        naive = top_k_dominating_mfd(ds, 5, method="naive")
+        pruned = top_k_dominating_mfd(ds, 5, method="ubb")
+        assert pruned.score_multiset == naive.score_multiset
+
+    def test_prunes_work(self, make_incomplete):
+        ds = make_incomplete(120, 4, missing_rate=0.2, seed=9)
+        result = top_k_dominating_mfd(ds, 3, method="ubb")
+        assert result.evaluated < ds.n  # early termination actually fired
+
+    def test_naive_evaluates_everything(self, make_incomplete):
+        ds = make_incomplete(30, 3, missing_rate=0.3, seed=2)
+        result = top_k_dominating_mfd(ds, 3, method="naive")
+        assert result.evaluated == ds.n
+
+    def test_custom_weights(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.3, seed=3)
+        weights = np.array([0.7, 0.2, 0.1])
+        naive = top_k_dominating_mfd(ds, 4, weights=weights, method="naive")
+        pruned = top_k_dominating_mfd(ds, 4, weights=weights, method="ubb")
+        assert pruned.score_multiset == naive.score_multiset
+
+    def test_unknown_method(self, make_incomplete):
+        ds = make_incomplete(10, 2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            top_k_dominating_mfd(ds, 2, method="turbo")
+
+    @given(incomplete_datasets(max_n=16), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_property(self, ds, k):
+        naive = top_k_dominating_mfd(ds, k, method="naive")
+        pruned = top_k_dominating_mfd(ds, k, method="ubb")
+        assert pruned.score_multiset == naive.score_multiset

@@ -1,0 +1,89 @@
+"""Tests for the missingness injectors (repro.datasets.missing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.missing import inject_mar, inject_mcar, inject_nmar
+from repro.errors import InvalidParameterError
+
+
+def complete(n=400, d=5, seed=0):
+    return np.random.default_rng(seed).random((n, d)) * 100
+
+
+class TestMCAR:
+    def test_rate_is_hit_approximately(self):
+        holed = inject_mcar(complete(), 0.3, rng=0)
+        assert np.isnan(holed).mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_zero_rate_changes_nothing(self):
+        values = complete()
+        holed = inject_mcar(values, 0.0, rng=0)
+        assert np.array_equal(values, holed)
+
+    def test_at_least_one_observed_per_row(self):
+        holed = inject_mcar(complete(d=2), 0.9, rng=1)
+        assert (~np.isnan(holed)).any(axis=1).all()
+
+    def test_input_not_mutated(self):
+        values = complete()
+        snapshot = values.copy()
+        inject_mcar(values, 0.5, rng=2)
+        assert np.array_equal(values, snapshot)
+
+    def test_rejects_incomplete_input(self):
+        values = complete()
+        values[0, 0] = np.nan
+        with pytest.raises(InvalidParameterError):
+            inject_mcar(values, 0.1)
+
+    def test_rejects_rate_one(self):
+        with pytest.raises(InvalidParameterError):
+            inject_mcar(complete(), 1.0)
+
+
+class TestMAR:
+    def test_rate_approximate(self):
+        holed = inject_mar(complete(), 0.2, rng=0)
+        assert np.isnan(holed).mean() == pytest.approx(0.2, abs=0.06)
+
+    def test_driver_dimension_never_missing(self):
+        holed = inject_mar(complete(), 0.4, rng=1, driver_dim=2)
+        assert not np.isnan(holed[:, 2]).any()
+
+    def test_missingness_depends_on_driver(self):
+        values = complete(n=2000)
+        holed = inject_mar(values, 0.3, rng=2, driver_dim=0)
+        driver = values[:, 0]
+        high = driver > np.median(driver)
+        missing_per_row = np.isnan(holed).sum(axis=1)
+        assert missing_per_row[high].mean() > missing_per_row[~high].mean() * 1.5
+
+    def test_needs_two_dims(self):
+        with pytest.raises(InvalidParameterError):
+            inject_mar(complete(d=1), 0.2)
+
+    def test_bad_driver_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            inject_mar(complete(), 0.2, driver_dim=99)
+
+
+class TestNMAR:
+    def test_rate_approximate(self):
+        holed = inject_nmar(complete(), 0.25, rng=0)
+        assert np.isnan(holed).mean() == pytest.approx(0.25, abs=0.06)
+
+    def test_large_values_more_likely_missing(self):
+        values = complete(n=3000, d=3)
+        holed = inject_nmar(values, 0.3, rng=1)
+        for dim in range(3):
+            column = values[:, dim]
+            missing = np.isnan(holed[:, dim])
+            if missing.any() and (~missing).any():
+                assert column[missing].mean() > column[~missing].mean()
+
+    def test_at_least_one_observed_per_row(self):
+        holed = inject_nmar(complete(d=2), 0.8, rng=2)
+        assert (~np.isnan(holed)).any(axis=1).all()

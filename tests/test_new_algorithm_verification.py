@@ -1,0 +1,68 @@
+"""Independent verification of the extension algorithms' answers.
+
+`repro.core.validate.verify_result` re-scores an answer from scratch and
+certifies the top-k multiset; here every non-paper algorithm must pass
+it, and the partitioned algorithm's synopsis skip rules are
+property-tested for soundness (a skipped partition must truly contribute
+zero to the probe's score).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import top_k_dominating
+from repro.core.dominance import dominated_mask
+from repro.core.partitioned import PartitionedTKD
+from repro.core.validate import verify_result
+
+from test_indexes import incomplete_datasets, random_incomplete
+
+EXTENSION_ALGORITHMS = ("mosaic", "brtree", "quantization", "partitioned")
+
+
+class TestIndependentVerification:
+    @pytest.mark.parametrize("algorithm", EXTENSION_ALGORITHMS)
+    def test_fig3_answers_certified(self, algorithm, fig3_dataset):
+        result = top_k_dominating(fig3_dataset, 3, algorithm=algorithm)
+        report = verify_result(fig3_dataset, result)
+        assert report.ok, report
+
+    @pytest.mark.parametrize("algorithm", EXTENSION_ALGORITHMS)
+    def test_random_answers_certified(self, algorithm):
+        ds = random_incomplete(130, 5, 10, 0.3, seed=31)
+        result = top_k_dominating(ds, 7, algorithm=algorithm)
+        report = verify_result(ds, result)
+        assert report.ok, report
+
+    @given(dataset=incomplete_datasets, k=st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_property_partitioned_certified(self, dataset, k):
+        result = top_k_dominating(dataset, k, algorithm="partitioned", partition_rows=7)
+        assert verify_result(dataset, result).ok
+
+
+class TestSynopsisSoundness:
+    """A skipped partition must contain nothing the probe dominates."""
+
+    @given(
+        dataset=incomplete_datasets,
+        rows=st.integers(1, 12),
+        probe_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_skips_never_lose_score(self, dataset, rows, probe_seed):
+        algorithm = PartitionedTKD(dataset, partition_rows=rows).prepare()
+        probe = int(np.random.default_rng(probe_seed).integers(0, dataset.n))
+        dominated = dominated_mask(dataset, probe)
+        probe_pattern = dataset.patterns[probe]
+        observed = dataset.observed
+        probe_values = np.where(observed[probe], dataset.minimized[probe], 0.0)
+        for synopsis in algorithm.synopses:
+            if algorithm._can_skip(synopsis, probe_pattern, probe_values):
+                assert not dominated[synopsis.start : synopsis.stop].any(), (
+                    "synopsis skipped a partition containing dominated objects"
+                )

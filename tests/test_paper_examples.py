@@ -1,0 +1,218 @@
+"""Oracle tests pinned to the worked examples printed in the paper.
+
+Every expected number in this module appears verbatim in the paper (or is
+derived in its prose): Fig. 2's score walk-through, Fig. 3's running
+dataset with Figs. 4–8, the Section 4.3 BIG-Score trace for object C2, and
+the Fig. 1 movie scenario. These are the strongest correctness anchors the
+reproduction has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bitmap.index import BitmapIndex
+from repro.core.big import BIGTKD, big_tkd, max_bit_scores
+from repro.core.dominance import dominates, dominance_matrix
+from repro.core.esb import esb_candidates, esb_tkd
+from repro.core.maxscore import max_scores, maxscore_queue
+from repro.core.naive import naive_tkd
+from repro.core.score import score_all, score_one
+from repro.core.ubb import ubb_tkd
+
+from conftest import (
+    FIG2_DOMINATED_BY_F,
+    FIG2_SCORES,
+    FIG3_T2D_ANSWER,
+    FIG3_T2D_SCORE,
+    FIG4_ESB_CANDIDATES,
+    FIG5_QUEUE,
+    FIG8_MAXBITSCORE,
+    MOVIE_SCORES,
+)
+
+
+class TestFig2:
+    """Section 3's six-object illustration (Fig. 2)."""
+
+    def test_scores_match_paper(self, fig2_dataset):
+        scores = score_all(fig2_dataset)
+        for object_id, expected in FIG2_SCORES.items():
+            row = fig2_dataset.index_of(object_id)
+            assert scores[row] == expected, object_id
+
+    def test_f_dominates_exactly_a_c_e(self, fig2_dataset):
+        f = fig2_dataset.index_of("f")
+        dominated = {
+            fig2_dataset.ids[j]
+            for j in range(fig2_dataset.n)
+            if dominates(fig2_dataset, f, j)
+        }
+        assert dominated == FIG2_DOMINATED_BY_F
+
+    def test_dominance_is_not_transitive(self, fig2_dataset):
+        f = fig2_dataset.index_of("f")
+        e = fig2_dataset.index_of("e")
+        b = fig2_dataset.index_of("b")
+        assert dominates(fig2_dataset, f, e)
+        assert dominates(fig2_dataset, e, b)
+        assert not dominates(fig2_dataset, f, b)  # transitivity fails
+
+    def test_c_and_e_are_incomparable(self, fig2_dataset):
+        c = fig2_dataset.index_of("c")
+        e = fig2_dataset.index_of("e")
+        assert not fig2_dataset.comparable(c, e)
+        assert not dominates(fig2_dataset, c, e)
+        assert not dominates(fig2_dataset, e, c)
+
+    def test_t1d_returns_f(self, fig2_dataset):
+        result = naive_tkd(fig2_dataset, 1)
+        assert result.ids == ["f"]
+        assert result.scores == [3]
+
+
+class TestFig3Scores:
+    """The 20-object running example: exact scores and the T2D answer."""
+
+    def test_c2_and_a2_score_sixteen(self, fig3_dataset):
+        assert score_one(fig3_dataset, fig3_dataset.index_of("C2")) == FIG3_T2D_SCORE
+        assert score_one(fig3_dataset, fig3_dataset.index_of("A2")) == FIG3_T2D_SCORE
+
+    @pytest.mark.parametrize("algorithm", [naive_tkd, esb_tkd, ubb_tkd, big_tkd])
+    def test_t2d_answer(self, fig3_dataset, algorithm):
+        result = algorithm(fig3_dataset, 2)
+        assert set(result.ids) == FIG3_T2D_ANSWER
+        assert result.scores == [FIG3_T2D_SCORE, FIG3_T2D_SCORE]
+
+    def test_example_1_m2_dominates_m3_style_pairs(self, fig3_dataset):
+        # Spot checks from the Section 3 prose around the running example.
+        c2 = fig3_dataset.index_of("C2")
+        matrix = dominance_matrix(fig3_dataset)
+        assert matrix[c2].sum() == FIG3_T2D_SCORE
+
+
+class TestFig5MaxScore:
+    """Lemma 2's MaxScore values and the priority queue order (Fig. 5)."""
+
+    def test_maxscore_values(self, fig3_dataset):
+        scores = max_scores(fig3_dataset)
+        for object_id, expected in FIG5_QUEUE:
+            assert scores[fig3_dataset.index_of(object_id)] == expected, object_id
+
+    def test_queue_order(self, fig3_dataset):
+        queue = maxscore_queue(fig3_dataset)
+        ordered_ids = [fig3_dataset.ids[i] for i in queue]
+        assert ordered_ids == [object_id for object_id, _ in FIG5_QUEUE]
+
+    def test_maxscore_b3_derivation(self, fig3_dataset):
+        # The paper derives MaxScore(B3) = 0 from |T4(B3)| = 0.
+        assert max_scores(fig3_dataset)[fig3_dataset.index_of("B3")] == 0
+
+
+class TestFig6Bitmap:
+    """Range-encoded bitmap index encodings (Fig. 6)."""
+
+    @pytest.fixture(scope="class")
+    def index(self, fig3_dataset):
+        return BitmapIndex(fig3_dataset)
+
+    def test_horizontal_substrings(self, fig3_dataset, index):
+        assert index.horizontal_bits(fig3_dataset.index_of("C1"), 0) == "10000"
+        assert index.horizontal_bits(fig3_dataset.index_of("D4"), 0) == "11100"
+        assert index.horizontal_bits(fig3_dataset.index_of("A1"), 0) == "11111"
+
+    def test_column_counts(self, fig3_dataset, index):
+        # Dim 1 domain {2,3,4,5} -> 5 positions; dim 2 {1,3,4,5,7} -> 6;
+        # dim 3 {1,2,3,4,7,8} -> 7; dim 4 {1,2,3,4,5,7,9} -> 8.
+        assert [index.column_count(j) for j in range(4)] == [5, 6, 7, 8]
+
+    def test_q3_vector_of_b3(self, fig3_dataset, index):
+        b3 = fig3_dataset.index_of("B3")
+        assert index.q_vector(b3, 2).to_bitstring() == "00011001011111111111"
+
+    def test_p1_vector_of_c2_matches_example_3(self, fig3_dataset, index):
+        c2 = fig3_dataset.index_of("C2")
+        assert index.p_vector(c2, 0).to_bitstring() == "11111111110011110011"
+        assert index.p_vector(c2, 3).to_bitstring() == "10111101111011111011"
+        assert index.q_vector(c2, 0).to_bitstring() == "1" * 20
+
+    def test_index_size_formula(self, fig3_dataset, index):
+        assert index.size_bits == (5 + 6 + 7 + 8) * 20
+
+
+class TestFig8MaxBitScore:
+    """Heuristic 2's MaxBitScore (Fig. 8) and Lemma 3."""
+
+    def test_maxbitscore_values(self, fig3_dataset):
+        values = max_bit_scores(fig3_dataset)
+        for (object_id, _), expected in zip(FIG5_QUEUE, FIG8_MAXBITSCORE):
+            assert values[fig3_dataset.index_of(object_id)] == expected, object_id
+
+    def test_lemma_3_upper_bound_ordering(self, fig3_dataset):
+        assert (max_bit_scores(fig3_dataset) <= max_scores(fig3_dataset)).all()
+
+
+class TestBigScoreTraceC2:
+    """The Example 3 BIG-Score trace for object C2."""
+
+    def test_p_intersection_has_14_objects(self, fig3_dataset):
+        index = BitmapIndex(fig3_dataset)
+        c2 = fig3_dataset.index_of("C2")
+        p_vec = index.p_intersection(c2)
+        assert p_vec.count() == 14
+
+    def test_q_minus_p_rim(self, fig3_dataset):
+        index = BitmapIndex(fig3_dataset)
+        c2 = fig3_dataset.index_of("C2")
+        q_vec = index.q_intersection(c2)
+        q_vec.set(c2, False)
+        rim = q_vec.andnot(index.p_intersection(c2))
+        rim_ids = {fig3_dataset.ids[i] for i in rim.indices()}
+        assert rim_ids == {"A2", "B2", "C1", "D2", "D3"}
+
+    def test_big_score_of_c2_is_16(self, fig3_dataset):
+        algorithm = BIGTKD(fig3_dataset).prepare()
+        from repro.core.result import CandidateSet
+        from repro.core.stats import QueryStats
+
+        score = algorithm._bit_score(
+            fig3_dataset.index_of("C2"), CandidateSet(2), QueryStats()
+        )
+        assert score == 16
+
+
+class TestFig4ESB:
+    """ESB's bucket structure and candidate set (Example 1 / Fig. 4)."""
+
+    def test_four_buckets_of_five(self, fig3_dataset):
+        from repro.skyband.buckets import BucketIndex
+
+        buckets = BucketIndex(fig3_dataset)
+        assert sorted(buckets.sizes()) == [5, 5, 5, 5]
+
+    def test_candidate_set_matches_fig4(self, fig3_dataset):
+        candidates = esb_candidates(fig3_dataset, 2)
+        ids = {fig3_dataset.ids[i] for i in candidates}
+        assert ids == FIG4_ESB_CANDIDATES
+
+
+class TestFig1Movies:
+    """The movie-recommender scenario (Fig. 1), larger-is-better ratings."""
+
+    def test_scores(self, movies_dataset):
+        scores = score_all(movies_dataset)
+        for movie, expected in MOVIE_SCORES.items():
+            assert scores[movies_dataset.index_of(movie)] == expected, movie
+
+    def test_m2_dominates_m3_and_m1(self, movies_dataset):
+        m1 = movies_dataset.index_of("m1")
+        m2 = movies_dataset.index_of("m2")
+        m3 = movies_dataset.index_of("m3")
+        assert dominates(movies_dataset, m2, m3)
+        assert dominates(movies_dataset, m2, m1)
+
+    def test_t1d_returns_m2(self, movies_dataset):
+        result = naive_tkd(movies_dataset, 1)
+        assert result.ids == ["m2"]
+        assert result.scores == [2]

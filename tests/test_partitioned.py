@@ -1,0 +1,109 @@
+"""Tests for the bounded-memory partitioned TKD (repro.core.partitioned)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IncompleteDataset, top_k_dominating
+from repro.core.partitioned import PartitionedTKD, partitioned_tkd
+from repro.errors import InvalidParameterError
+
+from test_indexes import incomplete_datasets, random_incomplete
+
+
+class TestSynopses:
+    def test_partition_cover(self, fig3_dataset):
+        algorithm = PartitionedTKD(fig3_dataset, partition_rows=6).prepare()
+        synopses = algorithm.synopses
+        assert synopses[0].start == 0
+        assert synopses[-1].stop == fig3_dataset.n
+        for left, right in zip(synopses, synopses[1:]):
+            assert left.stop == right.start
+        assert all(0 < s.count <= 6 for s in synopses)
+
+    def test_single_partition_when_budget_large(self, fig3_dataset):
+        algorithm = PartitionedTKD(fig3_dataset, partition_rows=10_000).prepare()
+        assert len(algorithm.synopses) == 1
+
+    def test_patterns_aggregate_members(self, fig3_dataset):
+        algorithm = PartitionedTKD(fig3_dataset, partition_rows=5).prepare()
+        patterns = fig3_dataset.patterns
+        for synopsis in algorithm.synopses:
+            member_patterns = [patterns[r] for r in range(synopsis.start, synopsis.stop)]
+            assert synopsis.pattern_or == int(np.bitwise_or.reduce(member_patterns))
+            expected_and = member_patterns[0]
+            for p in member_patterns[1:]:
+                expected_and &= p
+            assert synopsis.pattern_and == expected_and
+
+    def test_max_observed_matches_members(self, fig3_dataset):
+        algorithm = PartitionedTKD(fig3_dataset, partition_rows=7).prepare()
+        observed = fig3_dataset.observed
+        minimized = fig3_dataset.minimized
+        for synopsis in algorithm.synopses:
+            block = slice(synopsis.start, synopsis.stop)
+            expected = np.where(observed[block], minimized[block], -np.inf).max(axis=0)
+            assert np.array_equal(synopsis.max_observed, expected)
+
+    def test_partition_rows_validated(self, fig3_dataset):
+        with pytest.raises(InvalidParameterError):
+            PartitionedTKD(fig3_dataset, partition_rows=0)
+
+
+class TestAnswers:
+    def test_fig3_answer(self, fig3_dataset):
+        result = top_k_dominating(fig3_dataset, 2, algorithm="partitioned")
+        assert set(result.ids) == {"C2", "A2"}
+        assert result.score_multiset == (16, 16)
+
+    @pytest.mark.parametrize("partition_rows", [1, 3, 7, 100])
+    def test_partition_size_never_changes_answers(self, fig3_dataset, partition_rows):
+        result = partitioned_tkd(fig3_dataset, 4, partition_rows=partition_rows)
+        expected = top_k_dominating(fig3_dataset, 4, algorithm="naive")
+        assert result.score_multiset == expected.score_multiset
+
+    @given(dataset=incomplete_datasets, k=st.integers(1, 6), rows=st.integers(1, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_property_agreement_with_naive(self, dataset, k, rows):
+        expected = top_k_dominating(dataset, k, algorithm="naive").score_multiset
+        got = partitioned_tkd(dataset, k, partition_rows=rows).score_multiset
+        assert got == expected
+
+    def test_h1_ablation_same_answer(self):
+        ds = random_incomplete(150, 4, 8, 0.2, seed=11)
+        fast = PartitionedTKD(ds, partition_rows=32).query(5)
+        slow = PartitionedTKD(ds, partition_rows=32, enable_h1=False).query(5)
+        assert fast.score_multiset == slow.score_multiset
+        assert slow.stats.scores_computed >= fast.stats.scores_computed
+
+
+class TestWorkAccounting:
+    def test_partition_counters_recorded(self):
+        ds = random_incomplete(200, 4, 8, 0.3, seed=12)
+        result = partitioned_tkd(ds, 4, partition_rows=25)
+        stats = result.stats
+        assert stats.extra["partitions"] == 8
+        assert stats.extra["partition_rows"] == 25
+        scanned = stats.extra.get("partitions_scanned", 0)
+        skipped = stats.extra.get("partitions_skipped", 0)
+        assert scanned + skipped == stats.scores_computed * 8
+
+    def test_disjoint_patterns_are_skipped(self):
+        # Two pattern groups with no shared dimension, partition-aligned:
+        # scoring a probe from one group must skip the other's partition.
+        rows = [[float(i), float(i), None, None] for i in range(8)]
+        rows += [[None, None, float(i), float(i)] for i in range(8)]
+        ds = IncompleteDataset.from_rows(rows)
+        result = partitioned_tkd(ds, 2, partition_rows=8)
+        assert result.stats.extra.get("partitions_skipped", 0) > 0
+
+    def test_synopsis_bytes_reported(self, fig3_dataset):
+        algorithm = PartitionedTKD(fig3_dataset, partition_rows=5)
+        assert algorithm.index_bytes == 0  # not prepared yet
+        algorithm.prepare()
+        assert algorithm.index_bytes > 0
+        # Synopses are tiny compared to the data they summarise.
+        assert algorithm.index_bytes < fig3_dataset.minimized.nbytes

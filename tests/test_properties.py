@@ -1,0 +1,104 @@
+"""Central property-based suite: the paper's lemmas on arbitrary data.
+
+Complements the per-module tests with hypothesis-driven checks of the
+paper's formal claims (Lemmas 1–3, Heuristic soundness) plus structural
+invariants of the dominance relation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.index import BitmapIndex
+from repro.core.big import max_bit_scores
+from repro.core.dominance import dominates
+from repro.core.esb import esb_candidates
+from repro.core.maxscore import max_scores
+from repro.core.score import score_all
+
+from test_agreement import incomplete_datasets
+
+
+class TestDominanceProperties:
+    @given(incomplete_datasets(max_n=15))
+    @settings(max_examples=40, deadline=None)
+    def test_irreflexive(self, ds):
+        for i in range(ds.n):
+            assert not dominates(ds, i, i)
+
+    @given(incomplete_datasets(max_n=15))
+    @settings(max_examples=40, deadline=None)
+    def test_asymmetric_on_pairs(self, ds):
+        for i in range(ds.n):
+            for j in range(ds.n):
+                if dominates(ds, i, j):
+                    assert not dominates(ds, j, i)
+
+    @given(incomplete_datasets(max_n=15))
+    @settings(max_examples=30, deadline=None)
+    def test_incomparable_pairs_never_dominate(self, ds):
+        for i in range(ds.n):
+            for j in range(ds.n):
+                if i != j and not ds.comparable(i, j):
+                    assert not dominates(ds, i, j)
+
+
+class TestLemma2MaxScore:
+    @given(incomplete_datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_upper_bounds_score(self, ds):
+        assert (max_scores(ds) >= score_all(ds)).all()
+
+
+class TestLemma3MaxBitScore:
+    @given(incomplete_datasets())
+    @settings(max_examples=30, deadline=None)
+    def test_tighter_than_maxscore(self, ds):
+        index = BitmapIndex(ds)
+        assert (max_bit_scores(ds, index=index) <= max_scores(ds)).all()
+
+    @given(incomplete_datasets())
+    @settings(max_examples=30, deadline=None)
+    def test_still_an_upper_bound(self, ds):
+        assert (max_bit_scores(ds) >= score_all(ds)).all()
+
+
+class TestLemma1ESB:
+    @given(incomplete_datasets(), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_candidates_contain_a_valid_answer(self, ds, k):
+        scores = score_all(ds)
+        candidates = esb_candidates(ds, k)
+        top_k = sorted(scores.tolist(), reverse=True)[: min(k, ds.n)]
+        candidate_top = sorted(scores[candidates].tolist(), reverse=True)[: min(k, ds.n)]
+        assert candidate_top == top_k
+
+    @given(incomplete_datasets())
+    @settings(max_examples=30, deadline=None)
+    def test_k_equal_n_keeps_everything_with_positive_score_reachable(self, ds):
+        candidates = set(esb_candidates(ds, ds.n).tolist())
+        # With k = n the local skybands cannot prune anything.
+        assert candidates == set(range(ds.n))
+
+
+class TestBitmapStructure:
+    @given(incomplete_datasets(max_n=20, max_d=3))
+    @settings(max_examples=30, deadline=None)
+    def test_q_always_contains_p(self, ds):
+        index = BitmapIndex(ds)
+        for row in range(ds.n):
+            q_vec = index.q_intersection(row)
+            p_vec = index.p_intersection(row)
+            assert (p_vec.andnot(q_vec)).count() == 0  # P is a subset of Q
+
+    @given(incomplete_datasets(max_n=20, max_d=3))
+    @settings(max_examples=30, deadline=None)
+    def test_p_members_are_dominated_unless_incomparable(self, ds):
+        index = BitmapIndex(ds)
+        for row in range(ds.n):
+            p_vec = index.p_intersection(row)
+            for member in p_vec.indices():
+                if ds.comparable(row, int(member)):
+                    assert dominates(ds, row, int(member))

@@ -1,0 +1,68 @@
+"""Tests for the unified query facade (repro.core.query)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import available_algorithms, make_algorithm, top_k_dominating
+from repro.core.base import TKDAlgorithm
+from repro.core.ibig import IBIGTKD
+from repro.errors import InvalidParameterError, UnknownAlgorithmError
+
+
+class TestRegistry:
+    def test_paper_algorithms_registered(self):
+        assert {"naive", "esb", "ubb", "big", "ibig"} <= set(available_algorithms())
+
+    def test_alternative_index_algorithms_registered(self):
+        assert {"mosaic", "brtree", "quantization"} <= set(available_algorithms())
+
+    def test_make_algorithm_case_insensitive(self, fig3_dataset):
+        assert isinstance(make_algorithm(fig3_dataset, "BIG"), TKDAlgorithm)
+
+    def test_unknown_algorithm(self, fig3_dataset):
+        with pytest.raises(UnknownAlgorithmError):
+            make_algorithm(fig3_dataset, "quantum")
+
+    def test_options_forwarded(self, fig3_dataset):
+        algorithm = make_algorithm(fig3_dataset, "ibig", bins=3, compress=None)
+        assert isinstance(algorithm, IBIGTKD)
+        algorithm.prepare()
+        assert algorithm.index.bin_count(0) <= 3
+
+    def test_dataset_type_checked(self):
+        with pytest.raises(InvalidParameterError):
+            make_algorithm([[1, 2]], "big")
+
+
+class TestFacade:
+    def test_top_k_dominating_runs(self, fig3_dataset):
+        result = top_k_dominating(fig3_dataset, 2)
+        assert set(result.ids) == {"C2", "A2"}
+
+    def test_invalid_k(self, fig3_dataset):
+        with pytest.raises(InvalidParameterError):
+            top_k_dominating(fig3_dataset, 0)
+
+    def test_k_clamped_to_n(self, fig3_dataset):
+        result = top_k_dominating(fig3_dataset, 1000, algorithm="naive")
+        assert len(result) == fig3_dataset.n
+
+    def test_random_tie_break_accepted(self, fig3_dataset):
+        result = top_k_dominating(fig3_dataset, 2, algorithm="naive", tie_break="random", rng=1)
+        assert result.score_multiset == (16, 16)
+
+    def test_prepared_algorithm_reusable(self, fig3_dataset):
+        algorithm = make_algorithm(fig3_dataset, "big").prepare()
+        first = algorithm.query(2)
+        second = algorithm.query(4)
+        assert len(first) == 2 and len(second) == 4
+        assert first.score_multiset == (16, 16)
+
+    def test_stats_populated(self, fig3_dataset):
+        stats = top_k_dominating(fig3_dataset, 2, algorithm="ubb").stats
+        assert stats.algorithm == "ubb"
+        assert stats.n == fig3_dataset.n
+        assert stats.k == 2
+        assert stats.query_seconds >= 0
+        assert stats.scores_computed > 0

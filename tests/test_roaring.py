@@ -1,0 +1,142 @@
+"""Tests for Roaring compression (repro.bitmap.roaring)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.compression import CODECS, get_codec
+from repro.bitmap.roaring import ARRAY_LIMIT, CHUNK_BITS, RoaringBitmap
+from repro.errors import InvalidParameterError
+
+bit_patterns = st.one_of(
+    st.lists(st.booleans(), min_size=0, max_size=300),
+    # run-heavy inputs, the run-container case
+    st.lists(st.tuples(st.booleans(), st.integers(1, 90)), max_size=8).map(
+        lambda runs: [bit for value, count in runs for bit in [value] * count]
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(bit_patterns)
+    @settings(max_examples=80, deadline=None)
+    def test_compress_decompress_identity(self, flags):
+        vec = BitVector.from_bools(np.asarray(flags, dtype=bool))
+        assert RoaringBitmap.compress(vec).decompress() == vec
+
+    def test_empty(self):
+        vec = BitVector.zeros(0)
+        compressed = RoaringBitmap.compress(vec)
+        assert compressed.count() == 0
+        assert compressed.decompress() == vec
+
+    def test_multi_chunk_roundtrip(self):
+        # Bits straddling three 2^16 chunks.
+        indices = [5, CHUNK_BITS - 1, CHUNK_BITS, 2 * CHUNK_BITS + 7]
+        vec = BitVector.from_indices(2 * CHUNK_BITS + 100, indices)
+        compressed = RoaringBitmap.compress(vec)
+        assert len(compressed.container_kinds) == 3
+        assert compressed.decompress() == vec
+
+    def test_all_zeros_costs_nothing(self):
+        compressed = RoaringBitmap.compress(BitVector.zeros(10 * CHUNK_BITS))
+        assert compressed.nbytes == 0
+        assert compressed.count() == 0
+
+
+class TestContainerSelection:
+    def test_sparse_chunk_uses_array(self):
+        vec = BitVector.from_indices(CHUNK_BITS, range(0, 4000 * 16, 16))
+        compressed = RoaringBitmap.compress(vec)
+        assert compressed.container_kinds == ["array"]
+
+    def test_dense_scattered_chunk_uses_bitmap(self):
+        # > 4096 set bits, alternating so runs don't help.
+        vec = BitVector.from_indices(CHUNK_BITS, range(0, 2 * (ARRAY_LIMIT + 100), 2))
+        compressed = RoaringBitmap.compress(vec)
+        assert compressed.container_kinds == ["bitmap"]
+
+    def test_long_fill_uses_run(self):
+        vec = BitVector.ones(CHUNK_BITS)
+        compressed = RoaringBitmap.compress(vec)
+        assert compressed.container_kinds == ["run"]
+        assert compressed.nbytes < 16  # one run pair + header
+
+    def test_range_encoded_column_shape(self):
+        # The paper's missing-value columns are all-ones: run containers
+        # make them nearly free, unlike WAH's one-word-per-31-bits.
+        vec = BitVector.ones(5 * CHUNK_BITS)
+        compressed = RoaringBitmap.compress(vec)
+        assert all(kind == "run" for kind in compressed.container_kinds)
+
+
+class TestCounting:
+    @given(bit_patterns)
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_plain(self, flags):
+        vec = BitVector.from_bools(np.asarray(flags, dtype=bool))
+        assert RoaringBitmap.compress(vec).count() == vec.count()
+
+
+class TestCompressedOps:
+    @given(bit_patterns, st.integers(0, 2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_and_or_match_plain(self, flags, seed):
+        flags = np.asarray(flags, dtype=bool)
+        rng = np.random.default_rng(seed)
+        other_flags = rng.random(flags.size) < rng.random()
+        left = BitVector.from_bools(flags)
+        right = BitVector.from_bools(other_flags)
+        r_left = RoaringBitmap.compress(left)
+        r_right = RoaringBitmap.compress(right)
+        assert (r_left & r_right).decompress() == (left & right)
+        assert (r_left | r_right).decompress() == (left | right)
+
+    def test_and_skips_disjoint_chunks(self):
+        left = RoaringBitmap.compress(BitVector.from_indices(2 * CHUNK_BITS, [1]))
+        right = RoaringBitmap.compress(
+            BitVector.from_indices(2 * CHUNK_BITS, [CHUNK_BITS + 1])
+        )
+        assert (left & right).count() == 0
+
+    def test_or_across_chunks(self):
+        n = 2 * CHUNK_BITS
+        left = RoaringBitmap.compress(BitVector.from_indices(n, [1]))
+        right = RoaringBitmap.compress(BitVector.from_indices(n, [CHUNK_BITS + 1]))
+        merged = left | right
+        assert merged.count() == 2
+        assert merged.decompress() == BitVector.from_indices(n, [1, CHUNK_BITS + 1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RoaringBitmap.compress(BitVector.zeros(10)) & RoaringBitmap.compress(
+                BitVector.zeros(20)
+            )
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RoaringBitmap.compress(BitVector.zeros(10)).logical_or(object())
+
+
+class TestRegistryIntegration:
+    def test_registered_in_codecs(self):
+        assert CODECS["roaring"] is RoaringBitmap
+        assert get_codec("ROARING") is RoaringBitmap
+
+    def test_equality(self):
+        a = RoaringBitmap.compress(BitVector.from_indices(40, [3]))
+        b = RoaringBitmap.compress(BitVector.from_indices(40, [3]))
+        c = RoaringBitmap.compress(BitVector.from_indices(40, [4]))
+        assert a == b and a != c
+
+    def test_compress_index_accepts_roaring(self, fig3_dataset):
+        from repro.bitmap.compression import compress_index
+        from repro.bitmap.index import BitmapIndex
+
+        report = compress_index(BitmapIndex(fig3_dataset), "roaring")
+        assert report.scheme == "roaring"
+        assert report.compressed_bytes > 0

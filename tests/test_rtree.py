@@ -1,0 +1,286 @@
+"""Tests for the R-tree substrate: Rect, STR bulk loading, ARTree counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.rtree import ARTree, Rect, str_partition
+
+# ---------------------------------------------------------------------------
+# Rect
+# ---------------------------------------------------------------------------
+
+
+class TestRect:
+    def test_basic_properties(self):
+        rect = Rect([0.0, 1.0], [2.0, 5.0])
+        assert rect.d == 2
+        assert rect.margin == pytest.approx(6.0)
+        assert rect.area == pytest.approx(8.0)
+        assert np.allclose(rect.center, [1.0, 3.0])
+
+    def test_from_point_is_degenerate(self):
+        rect = Rect.from_point([3.0, 4.0])
+        assert rect.area == 0.0
+        assert rect.contains_point([3.0, 4.0])
+        assert not rect.contains_point([3.0, 4.1])
+
+    def test_from_points_is_tight(self):
+        pts = np.array([[0.0, 5.0], [2.0, 1.0], [1.0, 3.0]])
+        rect = Rect.from_points(pts)
+        assert np.array_equal(rect.low, [0.0, 1.0])
+        assert np.array_equal(rect.high, [2.0, 5.0])
+
+    def test_union_of_encloses_all(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([2, -1], [3, 0.5])
+        u = Rect.union_of([a, b])
+        assert u.contains_rect(a) and u.contains_rect(b)
+        assert np.array_equal(u.low, [0, -1]) and np.array_equal(u.high, [3, 1])
+
+    def test_union_pairwise_matches_union_of(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([0.5, -2], [4, 0])
+        assert a.union(b) == Rect.union_of([a, b])
+
+    def test_intersects_and_containment(self):
+        a = Rect([0, 0], [2, 2])
+        b = Rect([1, 1], [3, 3])
+        c = Rect([2.5, 2.5], [4, 4])
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c)
+        assert b.intersects(c)  # touching at a corner counts (closed boxes)
+        assert a.contains_rect(Rect([0.5, 0.5], [1.5, 1.5]))
+        assert not a.contains_rect(b)
+
+    def test_dominance_region_tests(self):
+        rect = Rect([2, 3], [5, 6])
+        assert rect.inside_dominance_region([1, 2])
+        assert rect.inside_dominance_region([2, 3])  # closed boundary
+        assert not rect.inside_dominance_region([3, 2])
+        assert rect.intersects_dominance_region([4, 5])
+        assert not rect.intersects_dominance_region([6, 1])
+
+    def test_mindist_is_low_corner_sum(self):
+        assert Rect([1, 2], [9, 9]).mindist_to_origin() == pytest.approx(3.0)
+
+    def test_invalid_rects_raise(self):
+        with pytest.raises(InvalidParameterError):
+            Rect([1, 2], [0, 3])  # low > high
+        with pytest.raises(InvalidParameterError):
+            Rect([1], [1, 2])  # shape mismatch
+        with pytest.raises(InvalidParameterError):
+            Rect([np.nan], [1.0])
+        with pytest.raises(InvalidParameterError):
+            Rect.from_points(np.empty((0, 2)))
+        with pytest.raises(InvalidParameterError):
+            Rect.union_of([])
+
+    def test_rect_equality(self):
+        assert Rect([0, 0], [1, 1]) == Rect([0, 0], [1, 1])
+        assert Rect([0, 0], [1, 1]) != Rect([0, 0], [1, 2])
+
+
+# ---------------------------------------------------------------------------
+# STR partitioning
+# ---------------------------------------------------------------------------
+
+
+class TestSTRPartition:
+    def test_small_input_single_tile(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        tiles = str_partition(pts, capacity=8)
+        assert len(tiles) == 1
+        assert sorted(tiles[0].tolist()) == [0, 1]
+
+    def test_empty_input(self):
+        assert str_partition(np.empty((0, 3)), capacity=4) == []
+
+    def test_partition_is_exact_cover(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((137, 3))
+        tiles = str_partition(pts, capacity=10)
+        seen = np.concatenate(tiles)
+        assert len(seen) == 137
+        assert set(seen.tolist()) == set(range(137))
+
+    def test_capacity_respected(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((100, 2))
+        tiles = str_partition(pts, capacity=7)
+        assert all(len(t) <= 7 for t in tiles)
+
+    def test_number_of_tiles_near_optimal(self):
+        rng = np.random.default_rng(2)
+        pts = rng.random((256, 2))
+        tiles = str_partition(pts, capacity=16)
+        # Optimal is 16 tiles; STR may overshoot slightly at slab borders.
+        assert 16 <= len(tiles) <= 20
+
+    def test_rejects_nan(self):
+        pts = np.array([[0.0, np.nan]])
+        with pytest.raises(InvalidParameterError):
+            str_partition(pts, capacity=4)
+
+    def test_one_dimensional_points(self):
+        pts = np.arange(10.0).reshape(-1, 1)[::-1]  # descending input
+        tiles = str_partition(pts, capacity=3)
+        # 1-d STR sorts then chops: tiles are contiguous value ranges.
+        firsts = [np.min(pts[t]) for t in tiles]
+        assert firsts == sorted(firsts)
+
+    @given(
+        n=st.integers(1, 120),
+        d=st.integers(1, 4),
+        capacity=st.integers(1, 16),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_exact_cover_and_capacity(self, n, d, capacity, seed):
+        pts = np.random.default_rng(seed).random((n, d))
+        tiles = str_partition(pts, capacity)
+        seen = sorted(np.concatenate(tiles).tolist())
+        assert seen == list(range(n))
+        assert all(0 < len(t) <= capacity for t in tiles)
+
+
+# ---------------------------------------------------------------------------
+# ARTree structure
+# ---------------------------------------------------------------------------
+
+
+def brute_count_in_box(points, low, high):
+    inside = np.all(points >= low, axis=1) & np.all(points <= high, axis=1)
+    return int(np.count_nonzero(inside))
+
+
+class TestARTreeStructure:
+    def test_root_count_is_n(self):
+        pts = np.random.default_rng(0).random((200, 3))
+        tree = ARTree(pts, fanout=8)
+        assert tree.root.count == 200
+        assert tree.n == 200 and tree.d == 3
+
+    def test_all_points_covered_by_leaf_mbrs(self):
+        pts = np.random.default_rng(1).random((150, 2))
+        tree = ARTree(pts, fanout=8)
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                for row in node.row_indices:
+                    assert node.rect.contains_point(pts[row])
+
+    def test_parent_rect_contains_children(self):
+        pts = np.random.default_rng(2).random((300, 3))
+        tree = ARTree(pts, fanout=8)
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                assert node.count == sum(c.count for c in node.children)
+                for child in node.children:
+                    assert node.rect.contains_rect(child.rect)
+
+    def test_height_grows_with_n(self):
+        small = ARTree(np.random.default_rng(3).random((10, 2)), fanout=4)
+        large = ARTree(np.random.default_rng(3).random((1000, 2)), fanout=4)
+        assert small.height < large.height
+
+    def test_single_point_tree(self):
+        tree = ARTree(np.array([[1.0, 2.0]]))
+        assert tree.height == 1
+        assert tree.root.is_leaf
+        assert tree.count_dominated([1.0, 2.0]) == 0
+
+    def test_rejects_nan_by_design(self):
+        with pytest.raises(InvalidParameterError):
+            ARTree(np.array([[1.0, np.nan]]))
+
+    def test_rejects_empty_and_bad_fanout(self):
+        with pytest.raises(InvalidParameterError):
+            ARTree(np.empty((0, 2)))
+        with pytest.raises(InvalidParameterError):
+            ARTree(np.ones((3, 2)), fanout=1)
+
+
+class TestARTreeCounting:
+    def test_count_in_box_matches_brute_force(self):
+        rng = np.random.default_rng(4)
+        pts = rng.integers(0, 10, size=(400, 3)).astype(float)
+        tree = ARTree(pts, fanout=8)
+        for _ in range(25):
+            low = rng.integers(0, 8, size=3).astype(float)
+            high = low + rng.integers(0, 5, size=3)
+            assert tree.count_in_box(low, high) == brute_count_in_box(pts, low, high)
+
+    def test_query_box_matches_brute_force(self):
+        rng = np.random.default_rng(5)
+        pts = rng.integers(0, 6, size=(120, 2)).astype(float)
+        tree = ARTree(pts, fanout=4)
+        low, high = np.array([1.0, 2.0]), np.array([4.0, 5.0])
+        expected = [
+            i for i in range(120) if np.all(pts[i] >= low) and np.all(pts[i] <= high)
+        ]
+        assert tree.query_box(low, high).tolist() == expected
+
+    def test_count_equal_counts_duplicates(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        tree = ARTree(pts)
+        assert tree.count_equal([1.0, 1.0]) == 2
+        assert tree.count_equal([3.0, 3.0]) == 0
+
+    def test_count_dominated_excludes_duplicates(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0], [1.0, 3.0]])
+        tree = ARTree(pts)
+        # (1,1) dominates (2,2) and (1,3) but not its own duplicate.
+        assert tree.count_dominated([1.0, 1.0]) == 2
+
+    def test_count_dominators_is_mirror(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0], [0.0, 5.0]])
+        tree = ARTree(pts)
+        assert tree.count_dominators([2.0, 2.0]) == 1
+        assert tree.count_dominators([1.0, 1.0]) == 0
+
+    @given(
+        n=st.integers(1, 80),
+        d=st.integers(1, 3),
+        domain=st.integers(2, 6),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_scores_match_complete_oracle(self, n, d, domain, seed):
+        from repro.core.complete import complete_scores
+
+        pts = np.random.default_rng(seed).integers(0, domain, size=(n, d)).astype(float)
+        tree = ARTree(pts, fanout=4)
+        oracle = complete_scores(pts)
+        for i in range(n):
+            assert tree.count_dominated(pts[i]) == oracle[i]
+
+    def test_upper_bound_in_rect_is_valid_bound(self):
+        rng = np.random.default_rng(6)
+        pts = rng.integers(0, 8, size=(100, 2)).astype(float)
+        tree = ARTree(pts, fanout=4)
+        from repro.core.complete import complete_scores
+
+        oracle = complete_scores(pts)
+        for node in tree.iter_nodes():
+            bound = tree.upper_bound_in_rect(node.rect)
+            rows = (
+                node.row_indices
+                if node.is_leaf
+                else [r for leaf in _leaves_below(node) for r in leaf.row_indices]
+            )
+            for row in rows:
+                assert oracle[row] <= bound
+
+
+def _leaves_below(node):
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            yield current
+        else:
+            stack.extend(current.children)

@@ -1,0 +1,66 @@
+"""Tests for Definition 2 scoring (repro.core.score)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.dominance import dominated_mask
+from repro.core.score import ScoreCounter, score_all, score_many, score_one
+from repro.errors import InvalidParameterError
+
+
+class TestScoreOne:
+    def test_matches_dominated_mask(self, make_incomplete):
+        ds = make_incomplete(40, 4, missing_rate=0.3, seed=2)
+        for i in range(ds.n):
+            assert score_one(ds, i) == int(dominated_mask(ds, i).sum())
+
+    def test_single_object_scores_zero(self):
+        ds = IncompleteDataset([[1, 2]])
+        assert score_one(ds, 0) == 0
+
+    def test_duplicates_score_zero_against_each_other(self):
+        ds = IncompleteDataset([[1, 2], [1, 2], [9, 9]])
+        assert score_one(ds, 0) == 1  # only the (9, 9) object
+        assert score_one(ds, 1) == 1
+
+
+class TestScoreMany:
+    @pytest.mark.parametrize("block", [1, 3, 64])
+    def test_blocked_equals_individual(self, make_incomplete, block):
+        ds = make_incomplete(35, 5, missing_rate=0.25, seed=4)
+        indices = [0, 5, 7, 34, 12]
+        batch = score_many(ds, indices, block=block)
+        assert batch.tolist() == [score_one(ds, i) for i in indices]
+
+    def test_empty_indices(self, make_incomplete):
+        ds = make_incomplete(10, 2, seed=0)
+        assert score_many(ds, []).size == 0
+
+    def test_invalid_block_rejected(self, make_incomplete):
+        ds = make_incomplete(5, 2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            score_many(ds, [0], block=0)
+
+    def test_score_all(self, make_incomplete):
+        ds = make_incomplete(25, 3, missing_rate=0.35, seed=6)
+        all_scores = score_all(ds)
+        assert all_scores.tolist() == [score_one(ds, i) for i in range(ds.n)]
+
+    def test_scores_on_complete_data(self):
+        # sigma = 0 degenerates to classic dominance counting.
+        ds = IncompleteDataset([[1, 1], [2, 2], [3, 3], [2, 3]])
+        assert score_all(ds).tolist() == [3, 2, 0, 1]
+
+
+class TestScoreCounter:
+    def test_record_and_merge(self):
+        counter = ScoreCounter()
+        counter.record(3, 300)
+        other = ScoreCounter()
+        other.record(2, 100)
+        counter.merge(other)
+        assert counter.scores_computed == 5
+        assert counter.comparisons == 400

@@ -1,0 +1,93 @@
+"""Tests for complete-data skyband/skyline and the incomplete variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.dominance import dominator_mask
+from repro.errors import InvalidParameterError
+from repro.skyband.incomplete import (
+    dominator_counts_incomplete,
+    k_skyband_incomplete,
+    skyline_incomplete,
+)
+from repro.skyband.skyband import (
+    dominated_counts_complete,
+    k_skyband_complete,
+    skyline_complete,
+)
+
+complete_matrices = st.integers(0, 2**32).flatmap(
+    lambda seed: st.tuples(st.integers(1, 40), st.integers(1, 4)).map(
+        lambda shape: np.random.default_rng(seed).integers(0, 8, size=shape).astype(float)
+    )
+)
+
+
+class TestCompleteSkyband:
+    @given(complete_matrices, st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_exhaustive_counts(self, values, k):
+        mask = k_skyband_complete(values, k)
+        counts = dominated_counts_complete(values)
+        assert (mask == (counts < k)).all()
+
+    def test_skyline_of_chain(self):
+        values = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        assert skyline_complete(values).tolist() == [True, False, False]
+
+    def test_two_skyband_of_chain(self):
+        values = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        assert k_skyband_complete(values, 2).tolist() == [True, True, False]
+
+    def test_incomparable_points_all_in_skyline(self):
+        values = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]])
+        assert skyline_complete(values).all()
+
+    def test_duplicates_do_not_dominate_each_other(self):
+        values = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert skyline_complete(values).all()
+
+    def test_empty_matrix(self):
+        assert k_skyband_complete(np.zeros((0, 2)), 3).size == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            k_skyband_complete(np.array([[np.nan, 1.0]]), 1)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            k_skyband_complete(np.ones((2, 2)), 0)
+
+
+class TestIncompleteSkyband:
+    def test_counts_match_dominator_masks(self, make_incomplete):
+        ds = make_incomplete(30, 4, missing_rate=0.35, seed=8)
+        counts = dominator_counts_incomplete(ds)
+        for row in range(ds.n):
+            assert counts[row] == int(dominator_mask(ds, row).sum())
+
+    def test_skyline_members_have_no_dominators(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.3, seed=9)
+        skyline = set(skyline_incomplete(ds).tolist())
+        counts = dominator_counts_incomplete(ds)
+        assert skyline == {i for i in range(ds.n) if counts[i] == 0}
+
+    def test_skyband_grows_with_k(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.3, seed=10)
+        sizes = [k_skyband_incomplete(ds, k).size for k in (1, 2, 4, 8)]
+        assert sizes == sorted(sizes)
+
+    def test_incomparable_objects_are_skyline(self):
+        ds = IncompleteDataset([[1, None], [None, 1]])
+        assert skyline_incomplete(ds).tolist() == [0, 1]
+
+    def test_fig2_skyline(self, fig2_dataset):
+        skyline_ids = {fig2_dataset.ids[i] for i in skyline_incomplete(fig2_dataset)}
+        # From the Fig. 2 scores: d, e and f have no dominators; b is only
+        # dominated by e; a, c are dominated.
+        assert "f" in skyline_ids and "a" not in skyline_ids

@@ -1,0 +1,112 @@
+"""Tests for answer-stability analysis (repro.analysis.stability)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    jaccard_distance,
+    missingness_sensitivity,
+    perturbation_stability,
+)
+from repro.core.dataset import IncompleteDataset
+from repro.errors import InvalidParameterError
+
+from test_indexes import random_incomplete
+
+
+class TestJaccardDistance:
+    def test_identical_sets(self):
+        assert jaccard_distance({"a", "b"}, ["b", "a"]) == 0.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_distance({"a"}, {"b"}) == 1.0
+
+    def test_partial_overlap(self):
+        assert jaccard_distance({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard_distance(set(), set()) == 0.0
+
+
+class TestMissingnessSensitivity:
+    @pytest.fixture(scope="class")
+    def truth(self):
+        return np.random.default_rng(0).integers(0, 50, size=(120, 4)).astype(float)
+
+    def test_row_schema(self, truth):
+        rows = missingness_sensitivity(
+            truth, 5, rates=(0.1, 0.3), mechanisms=("mcar",), trials=2, rng=0
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert {"mechanism", "rate", "jaccard_mean", "oracle_kept_mean"} <= set(row)
+            assert 0.0 <= row["jaccard_mean"] <= 1.0
+            assert 0.0 <= row["oracle_kept_mean"] <= 1.0
+
+    def test_zero_like_rate_keeps_answer(self, truth):
+        rows = missingness_sensitivity(
+            truth, 5, rates=(0.001,), mechanisms=("mcar",), trials=2, rng=1
+        )
+        assert rows[0]["jaccard_mean"] <= 0.35  # nearly nothing hidden
+
+    def test_all_mechanisms_produce_rows(self, truth):
+        rows = missingness_sensitivity(
+            truth, 4, rates=(0.2,), mechanisms=("mcar", "mar", "nmar"), trials=1, rng=2
+        )
+        assert [row["mechanism"] for row in rows] == ["mcar", "mar", "nmar"]
+
+    def test_rejects_incomplete_ground_truth(self):
+        bad = np.array([[1.0, np.nan], [2.0, 3.0]])
+        with pytest.raises(InvalidParameterError):
+            missingness_sensitivity(bad, 1)
+
+    def test_rejects_unknown_mechanism(self, truth):
+        with pytest.raises(InvalidParameterError):
+            missingness_sensitivity(truth, 3, mechanisms=("mcar", "chaos"))
+
+    def test_rejects_rate_one(self, truth):
+        with pytest.raises(InvalidParameterError):
+            missingness_sensitivity(truth, 3, rates=(1.0,), trials=1)
+
+
+class TestPerturbationStability:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return random_incomplete(100, 4, 20, 0.2, seed=5)
+
+    def test_report_schema(self, dataset):
+        report = perturbation_stability(dataset, 5, trials=4, rng=0)
+        assert report["trials"] == 4
+        assert 0.0 <= report["jaccard_mean"] <= 1.0
+        assert set(report["persistence"]) == set(report["baseline_ids"])
+        assert all(0.0 <= p <= 1.0 for p in report["persistence"].values())
+
+    def test_tiny_drop_is_stable(self, dataset):
+        report = perturbation_stability(
+            dataset, 5, drop_fraction=0.001, trials=3, rng=1
+        )
+        assert report["jaccard_mean"] <= 0.5
+
+    def test_never_blanks_an_object(self):
+        # Objects with a single observed value must survive every trial.
+        ds = IncompleteDataset.from_rows(
+            [[1, None], [None, 2], [3, 4], [2, 2], [5, None]]
+        )
+        report = perturbation_stability(ds, 2, drop_fraction=0.5, trials=8, rng=2)
+        assert report["trials"] == 8  # no AllMissingObjectError along the way
+
+    def test_validation(self, dataset):
+        with pytest.raises(InvalidParameterError):
+            perturbation_stability(dataset, 0)
+        with pytest.raises(InvalidParameterError):
+            perturbation_stability(dataset, 3, drop_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            perturbation_stability(dataset, 3, drop_fraction=1.0)
+
+    def test_deterministic_under_seed(self, dataset):
+        a = perturbation_stability(dataset, 4, trials=3, rng=42)
+        b = perturbation_stability(dataset, 4, trials=3, rng=42)
+        assert a["jaccard_mean"] == b["jaccard_mean"]
+        assert a["persistence"] == b["persistence"]

@@ -1,0 +1,164 @@
+"""Tests for continuous TKD maintenance (repro.core.streaming)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.naive import naive_tkd
+from repro.core.score import score_all
+from repro.core.streaming import StreamingTKD
+from repro.errors import (
+    AllMissingObjectError,
+    DimensionMismatchError,
+    InvalidParameterError,
+)
+
+
+def assert_scores_match_oracle(stream: StreamingTKD):
+    """Every maintained score equals a fresh recomputation."""
+    if stream.n == 0:
+        return
+    snapshot = stream.to_dataset()
+    oracle = score_all(snapshot)
+    for row, object_id in enumerate(snapshot.ids):
+        assert stream.score_of(object_id) == int(oracle[row]), object_id
+
+
+class TestBasics:
+    def test_insert_and_topk(self):
+        stream = StreamingTKD(2)
+        stream.insert([1, 1], object_id="best")
+        stream.insert([2, 2], object_id="mid")
+        stream.insert([3, 3], object_id="worst")
+        assert stream.top_k(1) == [("best", 2)]
+        assert stream.n == 3
+        assert "mid" in stream
+
+    def test_insert_updates_existing_scores(self):
+        stream = StreamingTKD(1)
+        stream.insert([5], object_id="a")
+        assert stream.score_of("a") == 0
+        stream.insert([9], object_id="b")
+        assert stream.score_of("a") == 1  # a now dominates b
+
+    def test_delete_rebates_scores(self):
+        stream = StreamingTKD(1)
+        stream.insert([5], object_id="a")
+        stream.insert([9], object_id="b")
+        stream.delete("b")
+        assert stream.score_of("a") == 0
+        assert stream.n == 1
+        assert "b" not in stream
+
+    def test_missing_values_respected(self):
+        stream = StreamingTKD(3)
+        stream.insert([1, None, 2], object_id="x")
+        stream.insert([None, 1, 3], object_id="y")
+        # Common dim 3: x is better, so x > y there.
+        assert stream.score_of("x") == 1
+        assert stream.score_of("y") == 0
+
+    def test_directions(self):
+        stream = StreamingTKD(1, directions="max")
+        stream.insert([10], object_id="hi")
+        stream.insert([1], object_id="lo")
+        assert stream.top_k(1) == [("hi", 1)]
+
+    def test_empty_topk(self):
+        assert StreamingTKD(2).top_k(3) == []
+
+
+class TestValidation:
+    def test_all_missing_rejected(self):
+        with pytest.raises(AllMissingObjectError):
+            StreamingTKD(2).insert([None, None])
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            StreamingTKD(2).insert([1])
+
+    def test_duplicate_id_rejected(self):
+        stream = StreamingTKD(1)
+        stream.insert([1], object_id="a")
+        with pytest.raises(InvalidParameterError):
+            stream.insert([2], object_id="a")
+
+    def test_delete_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingTKD(1).delete("ghost")
+
+    def test_snapshot_of_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingTKD(1).to_dataset()
+
+    def test_bad_directions(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingTKD(2, directions="sideways")
+        with pytest.raises(DimensionMismatchError):
+            StreamingTKD(2, directions=["min"])
+
+
+class TestAgainstOracle:
+    def test_growth_across_capacity_doubling(self):
+        stream = StreamingTKD(3)
+        rng = np.random.default_rng(0)
+        for i in range(80):  # crosses several doublings
+            cells = [
+                None if rng.random() < 0.3 else int(rng.integers(0, 6))
+                for _ in range(3)
+            ]
+            if all(c is None for c in cells):
+                cells[0] = 1
+            stream.insert(cells)
+        assert_scores_match_oracle(stream)
+
+    def test_from_dataset_matches(self, fig3_dataset):
+        stream = StreamingTKD.from_dataset(fig3_dataset)
+        assert stream.n == fig3_dataset.n
+        assert_scores_match_oracle(stream)
+        top = stream.top_k(2)
+        assert {object_id for object_id, _ in top} == {"C2", "A2"}
+        assert all(score == 16 for _, score in top)
+
+    def test_topk_matches_static_query(self, make_incomplete):
+        ds = make_incomplete(40, 4, missing_rate=0.3, seed=3)
+        stream = StreamingTKD.from_dataset(ds)
+        static = naive_tkd(ds, 5)
+        streamed = stream.top_k(5)
+        assert tuple(sorted((s for _, s in streamed), reverse=True)) == static.score_multiset
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("insert"),
+                    st.lists(st.one_of(st.none(), st.integers(0, 4)), min_size=2, max_size=2),
+                ),
+                st.tuples(st.just("delete"), st.integers(0, 200)),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_operation_sequences(self, operations):
+        stream = StreamingTKD(2)
+        counter = 0
+        live: list[str] = []
+        for op, payload in operations:
+            if op == "insert":
+                cells = list(payload)
+                if all(c is None for c in cells):
+                    cells[0] = 0
+                object_id = f"obj{counter}"
+                counter += 1
+                stream.insert(cells, object_id=object_id)
+                live.append(object_id)
+            elif live:
+                victim = live.pop(payload % len(live))
+                stream.delete(victim)
+        assert stream.n == len(live)
+        assert_scores_match_oracle(stream)

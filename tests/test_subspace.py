@@ -1,0 +1,59 @@
+"""Tests for subspace TKD queries (repro.core.subspace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import IncompleteDataset
+from repro.core.naive import naive_tkd
+from repro.core.subspace import subspace_tkd
+from repro.errors import InvalidParameterError
+
+
+class TestSubspace:
+    def test_matches_manual_projection(self, fig3_dataset):
+        direct = subspace_tkd(fig3_dataset, [2, 3], 3, algorithm="naive")
+        manual = naive_tkd(fig3_dataset.project([2, 3]), 3)
+        assert direct.score_multiset == manual.score_multiset
+
+    def test_dimension_names_resolved(self):
+        ds = IncompleteDataset(
+            [[1, 9, 1], [2, 1, 2], [3, 2, 3]],
+            dim_names=["price", "noise", "distance"],
+        )
+        by_name = subspace_tkd(ds, ["price", "distance"], 1, algorithm="naive")
+        by_index = subspace_tkd(ds, [0, 2], 1, algorithm="naive")
+        assert by_name.ids == by_index.ids == ["o0"]
+
+    def test_full_space_equals_plain_query(self, fig3_dataset):
+        sub = subspace_tkd(fig3_dataset, list(range(4)), 2, algorithm="big")
+        assert set(sub.ids) == {"C2", "A2"}
+
+    def test_objects_missing_whole_subspace_excluded(self):
+        ds = IncompleteDataset(
+            [[1, None], [2, None], [None, 3]],
+            ids=["a", "b", "c"],
+        )
+        result = subspace_tkd(ds, [0], 3, algorithm="naive")
+        assert set(result.ids) <= {"a", "b"}
+
+    def test_ids_preserved(self, fig3_dataset):
+        result = subspace_tkd(fig3_dataset, [3], 4, algorithm="naive")
+        assert set(result.ids) <= set(fig3_dataset.ids)
+
+    def test_algorithms_agree_in_subspace(self, make_incomplete):
+        ds = make_incomplete(50, 5, missing_rate=0.3, seed=1)
+        reference = subspace_tkd(ds, [1, 3, 4], 4, algorithm="naive").score_multiset
+        for algorithm in ("esb", "ubb", "big", "ibig"):
+            got = subspace_tkd(ds, [1, 3, 4], 4, algorithm=algorithm).score_multiset
+            assert got == reference, algorithm
+
+    def test_validation(self, fig3_dataset):
+        with pytest.raises(InvalidParameterError):
+            subspace_tkd(fig3_dataset, [], 2)
+        with pytest.raises(InvalidParameterError):
+            subspace_tkd(fig3_dataset, ["nope"], 2)
+        with pytest.raises(InvalidParameterError):
+            subspace_tkd(fig3_dataset, [0, 0], 2)
+        with pytest.raises(InvalidParameterError):
+            subspace_tkd(fig3_dataset, [99], 2)

@@ -1,0 +1,93 @@
+"""Tests for answer verification (repro.core.validate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import available_algorithms, top_k_dominating
+from repro.core.result import TKDResult
+from repro.core.validate import verify_result
+from repro.errors import InvalidParameterError
+
+
+class TestVerifyGoodAnswers:
+    @pytest.mark.parametrize("algorithm", ["naive", "esb", "ubb", "big", "ibig"])
+    def test_every_algorithm_verifies(self, make_incomplete, algorithm):
+        ds = make_incomplete(40, 4, missing_rate=0.3, seed=0)
+        result = top_k_dominating(ds, 5, algorithm=algorithm)
+        report = verify_result(ds, result)
+        assert report.ok, report.problems
+        assert report.expected_multiset == result.score_multiset
+
+    def test_quick_mode_skips_exhaustive(self, fig3_dataset):
+        result = top_k_dominating(fig3_dataset, 2)
+        report = verify_result(fig3_dataset, result, full=False)
+        assert report.ok
+        assert report.expected_multiset is None
+        assert report.recomputed_scores == [16, 16]
+
+
+class TestVerifyCatchesTampering:
+    def tampered(self, ds, **overrides):
+        result = top_k_dominating(ds, 3, algorithm="naive")
+        payload = dict(
+            indices=list(result.indices),
+            scores=list(result.scores),
+            ids=list(result.ids),
+            k=result.k,
+            algorithm="tampered",
+        )
+        payload.update(overrides)
+        return TKDResult(**payload)
+
+    def test_inflated_score_detected(self, fig3_dataset):
+        bad = self.tampered(fig3_dataset, scores=[999, 16, 14])
+        report = verify_result(fig3_dataset, bad)
+        assert not report.ok
+        assert any("claims score" in p for p in report.problems)
+
+    def test_wrong_object_detected(self, fig3_dataset):
+        good = top_k_dominating(fig3_dataset, 3, algorithm="naive")
+        worst = min(range(fig3_dataset.n), key=lambda i: i in good.indices)
+        bad = self.tampered(
+            fig3_dataset,
+            indices=[good.indices[0], good.indices[1], worst],
+            ids=[good.ids[0], good.ids[1], fig3_dataset.ids[worst]],
+        )
+        report = verify_result(fig3_dataset, bad)
+        assert not report.ok
+
+    def test_duplicate_objects_detected(self, fig3_dataset):
+        good = top_k_dominating(fig3_dataset, 3, algorithm="naive")
+        bad = self.tampered(
+            fig3_dataset,
+            indices=[good.indices[0]] * 3,
+            ids=[good.ids[0]] * 3,
+        )
+        report = verify_result(fig3_dataset, bad)
+        assert not report.ok
+        assert any("unique" in p for p in report.problems)
+
+    def test_out_of_range_index_detected(self, fig3_dataset):
+        bad = self.tampered(fig3_dataset, indices=[999, 0, 1])
+        assert not verify_result(fig3_dataset, bad).ok
+
+    def test_misordered_scores_detected(self, fig3_dataset):
+        good = top_k_dominating(fig3_dataset, 3, algorithm="naive")
+        bad = self.tampered(
+            fig3_dataset,
+            indices=list(reversed(good.indices)),
+            scores=list(reversed(good.scores)),
+            ids=list(reversed(good.ids)),
+        )
+        report = verify_result(fig3_dataset, bad)
+        assert not report.ok
+
+    def test_raise_if_failed(self, fig3_dataset):
+        bad = self.tampered(fig3_dataset, scores=[999, 16, 14])
+        with pytest.raises(InvalidParameterError):
+            verify_result(fig3_dataset, bad).raise_if_failed()
+
+    def test_good_answer_does_not_raise(self, fig3_dataset):
+        good = top_k_dominating(fig3_dataset, 2)
+        verify_result(fig3_dataset, good).raise_if_failed()

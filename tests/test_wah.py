@@ -1,0 +1,101 @@
+"""Tests for WAH compression (repro.bitmap.wah)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.wah import WAHBitmap
+from repro.errors import InvalidParameterError
+
+bit_patterns = st.one_of(
+    st.lists(st.booleans(), min_size=0, max_size=300),
+    # run-heavy inputs: the compressible case WAH exists for
+    st.lists(st.tuples(st.booleans(), st.integers(1, 90)), max_size=8).map(
+        lambda runs: [bit for value, count in runs for bit in [value] * count]
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(bit_patterns)
+    @settings(max_examples=80, deadline=None)
+    def test_compress_decompress_identity(self, flags):
+        vec = BitVector.from_bools(np.asarray(flags, dtype=bool))
+        assert WAHBitmap.compress(vec).decompress() == vec
+
+    def test_empty(self):
+        vec = BitVector.zeros(0)
+        compressed = WAHBitmap.compress(vec)
+        assert compressed.word_count == 0
+        assert compressed.decompress() == vec
+
+    def test_long_zero_run_is_one_word(self):
+        compressed = WAHBitmap.compress(BitVector.zeros(31 * 1000))
+        assert compressed.word_count == 1
+
+    def test_long_one_run_is_one_word(self):
+        compressed = WAHBitmap.compress(BitVector.ones(31 * 1000))
+        assert compressed.word_count == 1
+
+    def test_alternating_bits_stay_literal(self):
+        flags = np.tile([True, False], 31 * 4)
+        compressed = WAHBitmap.compress(BitVector.from_bools(flags))
+        # Dirty blocks cannot be filled: one literal word per 31-bit block.
+        assert compressed.word_count == (flags.size + 30) // 31
+
+
+class TestCounting:
+    @given(bit_patterns)
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_plain(self, flags):
+        vec = BitVector.from_bools(np.asarray(flags, dtype=bool))
+        assert WAHBitmap.compress(vec).count() == vec.count()
+
+
+class TestCompressedOps:
+    @given(bit_patterns, st.integers(0, 2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_and_or_match_plain(self, flags, seed):
+        flags = np.asarray(flags, dtype=bool)
+        rng = np.random.default_rng(seed)
+        other_flags = rng.random(flags.size) < rng.random()
+        left = BitVector.from_bools(flags)
+        right = BitVector.from_bools(other_flags)
+        wah_left = WAHBitmap.compress(left)
+        wah_right = WAHBitmap.compress(right)
+        assert (wah_left & wah_right).decompress() == (left & right)
+        assert (wah_left | wah_right).decompress() == (left | right)
+
+    def test_fill_merging_after_and(self):
+        # AND of two half-filled vectors creates a fresh long zero fill,
+        # which must re-merge into a single fill word.
+        n = 31 * 60
+        left = BitVector.from_bools(np.arange(n) < n // 2)
+        right = BitVector.from_bools(np.arange(n) >= n // 2)
+        combined = WAHBitmap.compress(left) & WAHBitmap.compress(right)
+        assert combined.count() == 0
+        assert combined.word_count == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WAHBitmap.compress(BitVector.zeros(10)) & WAHBitmap.compress(BitVector.zeros(20))
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WAHBitmap.compress(BitVector.zeros(10)).logical_and(object())
+
+
+class TestSizeAccounting:
+    def test_nbytes(self):
+        compressed = WAHBitmap.compress(BitVector.zeros(31 * 10))
+        assert compressed.nbytes == compressed.word_count * 4
+
+    def test_equality(self):
+        a = WAHBitmap.compress(BitVector.from_indices(40, [3]))
+        b = WAHBitmap.compress(BitVector.from_indices(40, [3]))
+        c = WAHBitmap.compress(BitVector.from_indices(40, [4]))
+        assert a == b and a != c
