@@ -1,13 +1,17 @@
 #!/usr/bin/env python
 """Live leaderboard: continuous TKD maintenance + dominance-graph anatomy.
 
-Two extensions beyond the paper's static queries:
+Three extensions beyond the paper's static queries:
 
 1. **Streaming maintenance** — products enter and leave a marketplace;
    :class:`repro.StreamingTKD` keeps every dominance score current with
    one O(n·d) pass per update instead of O(n²·d) recomputation, so the
    "top products right now" leaderboard is always warm.
-2. **Dominance-graph analysis** — why can't classic index tricks rank
+2. **Engine sessions** — dashboard widgets re-ask the same questions
+   (top-3, top-5, top-10 of the current snapshot); one
+   :class:`repro.QueryEngine` answers the whole ladder against a single
+   preparation and serves repeats from its result cache.
+3. **Dominance-graph analysis** — why can't classic index tricks rank
    these products? Because incomplete-data dominance is not transitive
    and can even be cyclic; `repro.analysis` materialises the relation
    with networkx and finds the witnesses.
@@ -20,7 +24,7 @@ Run:  python examples/live_leaderboard.py
 
 import numpy as np
 
-from repro import StreamingTKD
+from repro import QueryEngine, StreamingTKD
 from repro.analysis import comparability_stats, find_dominance_cycles, is_transitive
 from repro.datasets import inject_mcar
 
@@ -61,8 +65,19 @@ def main() -> None:
         print(f"  {object_id:>8}  dominates {score} products")
     print()
 
-    # Why incomplete-data dominance resists classic machinery:
+    # Dashboard widgets ask overlapping questions about the same snapshot;
+    # one engine session answers the ladder with a single preparation and
+    # serves the repeat from cache.
     snapshot = stream.to_dataset()
+    engine = QueryEngine()
+    for result in engine.query_many([(snapshot, k) for k in (3, 5, 10)]):
+        podium = ", ".join(result.ids[:3])
+        print(f"widget top-{result.k:<2} (algorithm={result.algorithm}): {podium}, ...")
+    engine.query(snapshot, 5)  # refresh tick: served from the result cache
+    print(engine.stats.summary())
+    print()
+
+    # Why incomplete-data dominance resists classic machinery:
     stats = comparability_stats(snapshot)
     print(f"comparable pairs: {stats.comparable_fraction:.1%} of all pairs")
     print(f"dominance pairs:  {stats.dominance_fraction:.1%} of all pairs")

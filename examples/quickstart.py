@@ -2,13 +2,14 @@
 """Quickstart: top-k dominating queries on incomplete data in 60 seconds.
 
 Builds the paper's own 20-object running example (Fig. 3), answers the
-T2D query with every algorithm, and shows the pruning statistics — a
-miniature of the whole library.
+T2D query with every algorithm (including the cost-based ``auto``
+choice), and reuses one QueryEngine session for a k-ladder — a miniature
+of the whole library.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import IncompleteDataset, available_algorithms, top_k_dominating
+from repro import IncompleteDataset, QueryEngine, available_algorithms, top_k_dominating
 
 # The paper's Fig. 3 sample dataset: 20 objects, 4 dimensions, "-" = missing
 # (smaller is better, as in the paper's Definition 1).
@@ -48,6 +49,16 @@ def main() -> None:
     result = top_k_dominating(dataset, k=5, algorithm="big")
     print("Top-5 dominating objects (BIG):")
     print(result.as_table())
+    print()
+
+    # For repeated queries, a QueryEngine session caches preparations and
+    # results: the k-ladder below builds each algorithm's state once, and
+    # asking again answers from the result cache.
+    engine = QueryEngine()
+    for result in engine.query_many([(dataset, k) for k in (1, 2, 3, 5)]):
+        print(f"engine k={result.k}: {', '.join(result.ids)} via {result.algorithm}")
+    engine.query(dataset, 5)  # answered from cache, no recomputation
+    print(engine.stats.summary())
 
 
 if __name__ == "__main__":

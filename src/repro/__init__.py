@@ -20,7 +20,17 @@ Quickstart::
 
 The five algorithms of the paper are available by name: ``"naive"``,
 ``"esb"``, ``"ubb"``, ``"big"``, and ``"ibig"`` — see
-:mod:`repro.core.query`. Substrates (bitmap indexes, WAH/CONCISE
+:mod:`repro.core.query` — plus ``"auto"``, which lets the engine's cost
+model choose. For repeated or parametrised queries, reuse one
+:class:`repro.engine.QueryEngine` session::
+
+    from repro import QueryEngine
+
+    engine = QueryEngine()
+    for k in (4, 8, 16):
+        result = engine.query(ds, k)   # indexes built once, results cached
+
+Substrates (blocked dominance kernels, bitmap indexes, WAH/CONCISE
 compression, B+-trees, skybands, dataset simulators, imputation) live in
 their own subpackages and are fully public.
 """
@@ -41,6 +51,7 @@ from .core.score import score_all, score_one
 from .core.stats import QueryStats
 from .core.streaming import StreamingTKD
 from .core.subspace import subspace_tkd
+from .engine import QueryEngine, QueryPlan, plan_query
 from .errors import (
     DataError,
     InvalidParameterError,
@@ -64,6 +75,9 @@ __all__ = [
     "make_algorithm",
     "available_algorithms",
     "ALGORITHMS",
+    "QueryEngine",
+    "QueryPlan",
+    "plan_query",
     "TKDResult",
     "QueryStats",
     "dominates",

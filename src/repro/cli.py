@@ -49,7 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         default="big",
         choices=available_algorithms(),
-        help="query algorithm (default big)",
+        help="query algorithm (default big); 'auto' picks via the engine's cost model",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the cost-based plan (modelled per-algorithm costs) before the answer",
     )
     query.add_argument("--id-column", default=None, help="column holding object ids")
     query.add_argument(
@@ -112,6 +117,12 @@ def _load_csv(args) -> IncompleteDataset:
 
 def _cmd_query(args) -> int:
     dataset = _load_csv(args)
+    if args.explain:
+        from .engine.planner import explain_plan
+
+        print(explain_plan(dataset, args.k))
+        if args.algorithm != "auto":
+            print(f"(plan not applied: --algorithm {args.algorithm} was given explicitly)")
     result = top_k_dominating(dataset, args.k, algorithm=args.algorithm)
     print(result.as_table())
     print()

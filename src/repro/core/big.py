@@ -141,9 +141,16 @@ def max_bit_scores(dataset: IncompleteDataset, *, index: BitmapIndex | None = No
     """``MaxBitScore(o) = |Q|`` for every object (paper Heuristic 2, Fig. 8).
 
     Always ≤ ``MaxScore`` for the exact (unbinned) index — Lemma 3.
+
+    Without an *index* the values come from the blocked broadcast kernel
+    (:func:`repro.engine.kernels.max_bit_score_counts`) — no bitmap needed;
+    pass an existing index to exercise the packed-AND route instead (both
+    are property-tested to agree).
     """
     if index is None:
-        index = BitmapIndex(dataset)
+        from ..engine.kernels import max_bit_score_counts
+
+        return max_bit_score_counts(dataset)
     out = np.empty(dataset.n, dtype=np.int64)
     for row in range(dataset.n):
         q_vec = index.q_intersection(row)

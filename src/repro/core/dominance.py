@@ -136,7 +136,6 @@ def dominance_matrix(dataset: IncompleteDataset, *, max_n: int = 4000) -> np.nda
             f"dominance_matrix on n={n} objects exceeds max_n={max_n}; "
             "raise max_n explicitly if you really want the quadratic matrix"
         )
-    out = np.zeros((n, n), dtype=bool)
-    for i in range(n):
-        out[i] = dominated_mask(dataset, i)
-    return out
+    from ..engine.kernels import dominance_matrix_blocked
+
+    return dominance_matrix_blocked(dataset)

@@ -18,12 +18,12 @@ from typing import Sequence
 
 import numpy as np
 
+from ..engine.kernels import dominated_counts
 from ..skyband.buckets import BucketIndex
 from ..skyband.skyband import k_skyband_complete
 from .base import TKDAlgorithm
 from .dataset import IncompleteDataset
 from .result import TKDResult, select_top_k
-from .score import score_many
 from .stats import QueryStats
 
 __all__ = ["ESBTKD", "esb_tkd", "esb_candidates"]
@@ -72,7 +72,9 @@ class ESBTKD(TKDAlgorithm):
         stats.candidates = int(candidates.size)
         stats.pruned_h1 = self.dataset.n - int(candidates.size)  # Lemma 1 pruning
 
-        scores = score_many(self.dataset, candidates)
+        # Exact scores for the surviving candidates only, one blocked
+        # broadcast kernel sweep (the block size adapts to (n, d)).
+        scores = dominated_counts(self.dataset, candidates)
         stats.scores_computed = int(candidates.size)
         stats.comparisons = self._pairwise_cost(candidates.size, self.dataset.n)
 

@@ -35,27 +35,14 @@ __all__ = ["max_scores", "max_scores_btree", "maxscore_queue"]
 
 
 def max_scores(dataset: IncompleteDataset) -> np.ndarray:
-    """``MaxScore(o)`` for every object, vectorised."""
-    n, d = dataset.n, dataset.d
-    values = dataset.minimized
-    observed = dataset.observed
+    """``MaxScore(o)`` for every object, vectorised.
 
-    # For dimensions missing in o, |T_i(o)| = |S| = n.
-    out = np.full(n, n, dtype=np.int64)
-    for dim in range(d):
-        obs = observed[:, dim]
-        col = values[obs, dim]
-        n_obs = col.size
-        if n_obs == 0:
-            continue  # |T_i| = |S_i| = n for everyone; the init already covers it
-        sorted_col = np.sort(col)
-        missing = n - n_obs
-        # #(p != o with p[dim] >= o[dim]) = n_obs - rank_lower(o[dim]) - 1
-        ranks = np.searchsorted(sorted_col, col, side="left")
-        t_sizes = (n_obs - ranks - 1) + missing
-        rows = np.flatnonzero(obs)
-        out[rows] = np.minimum(out[rows], t_sizes)
-    return out
+    Thin front over :func:`repro.engine.kernels.upper_bound_scores` — the
+    shared upper-bound phase of UBB, BIG and IBIG all runs on that kernel.
+    """
+    from ..engine.kernels import upper_bound_scores
+
+    return upper_bound_scores(dataset)
 
 
 def max_scores_btree(dataset: IncompleteDataset) -> np.ndarray:

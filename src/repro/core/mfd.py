@@ -72,20 +72,39 @@ def mfd_scores(
     *,
     weights=None,
     lam: float = 0.5,
+    block: int | None = None,
 ) -> np.ndarray:
-    """MFD score of every object: ``Σ_{o' : o ≻ o'} W(o, o')``."""
+    """MFD score of every object: ``Σ_{o' : o ≻ o'} W(o, o')``.
+
+    Blocked and fully vectorised: dominated-masks come from
+    :func:`repro.engine.kernels.score_block` a block at a time, and the
+    pairwise weights are assembled without materialising per-pair masks via
+
+        ``W(o, p) = λ·(a_o + a_p) + (1 − 2λ)·b_op``
+
+    where ``a_o = Σ_i w_i·[i ∈ Iset(o)]`` and ``b_op`` weights the shared
+    observed dimensions (one matmul per block).
+    """
+    from ..engine.kernels import auto_block, score_block
+
     weights = _coerce_weights(weights, dataset.d)
     lam = require_fraction(lam, "lam", inclusive_low=False, inclusive_high=False)
     observed = dataset.observed
-    out = np.zeros(dataset.n, dtype=np.float64)
-    for row in range(dataset.n):
-        dominated = dominated_mask(dataset, row)
-        if not dominated.any():
-            continue
-        both = observed[dominated] & observed[row]
-        one = observed[dominated] ^ observed[row]
-        pair_weights = both @ weights + lam * (one @ weights)
-        out[row] = float(pair_weights.sum())
+    n = dataset.n
+    if block is None:
+        block = auto_block(n, dataset.d)
+
+    observed_weight = observed @ weights  # a_o per object, (n,)
+    weighted_masks = observed * weights  # (n, d)
+    out = np.zeros(n, dtype=np.float64)
+    for start in range(0, n, block):
+        rows = np.arange(start, min(start + block, n), dtype=np.intp)
+        dominated = score_block(dataset, rows)  # (b, n)
+        shared_weight = weighted_masks[rows] @ observed.T  # b_op, (b, n)
+        pair_weights = lam * (
+            observed_weight[rows][:, None] + observed_weight[None, :]
+        ) + (1.0 - 2.0 * lam) * shared_weight
+        out[rows] = (dominated * pair_weights).sum(axis=1)
     return out
 
 

@@ -24,8 +24,9 @@ class NaiveTKD(TKDAlgorithm):
 
     name = "naive"
 
-    def __init__(self, dataset: IncompleteDataset, *, block: int = 64) -> None:
+    def __init__(self, dataset: IncompleteDataset, *, block: int | None = None) -> None:
         super().__init__(dataset)
+        #: Kernel block size; None lets the engine pick from ``(n, d)``.
         self._block = block
 
     def _run(self, k: int, *, tie_break: str, rng, stats: QueryStats) -> tuple[Sequence[int], Sequence[int]]:

@@ -7,10 +7,17 @@
     ds = IncompleteDataset.from_rows([[5, None, 3], [1, 2, None], ...])
     result = top_k_dominating(ds, k=2)            # IBIG by default
     result = top_k_dominating(ds, k=2, algorithm="ubb")
+    result = top_k_dominating(ds, k=2, algorithm="auto")   # cost-based
+
+``algorithm="auto"`` delegates the choice to the engine's cost model
+(:func:`repro.engine.planner.plan_query`) over ``(n, d, missing rate,
+k)``; the answer is exact whichever algorithm the planner picks.
 
 Use :func:`make_algorithm` when you want to reuse a prepared index across
 several queries (the paper separates preprocessing from query time the
-same way, Table 3 vs Figs. 12–17).
+same way, Table 3 vs Figs. 12–17) — or, better, a
+:class:`repro.engine.QueryEngine`, which does the reuse and caching for
+you.
 """
 
 from __future__ import annotations
@@ -27,7 +34,13 @@ from .partitioned import PartitionedTKD
 from .result import TKDResult
 from .ubb import UBBTKD
 
-__all__ = ["ALGORITHMS", "available_algorithms", "make_algorithm", "top_k_dominating"]
+__all__ = [
+    "ALGORITHMS",
+    "AUTO_ALGORITHM",
+    "available_algorithms",
+    "make_algorithm",
+    "top_k_dominating",
+]
 
 #: Registry of algorithm names to classes. The first five are the paper's
 #: own (Sections 4.1–4.4); the next three answer the same queries through
@@ -50,10 +63,13 @@ ALGORITHMS: dict[str, type[TKDAlgorithm]] = {
 #: storage; switch to "big" for the fastest queries regardless of space.
 DEFAULT_ALGORITHM = "ibig"
 
+#: Planner-backed pseudo-algorithm resolved at :func:`make_algorithm` time.
+AUTO_ALGORITHM = "auto"
+
 
 def available_algorithms() -> tuple[str, ...]:
-    """Registered algorithm names in presentation order."""
-    return tuple(ALGORITHMS)
+    """Registered algorithm names in presentation order (plus ``"auto"``)."""
+    return tuple(ALGORITHMS) + (AUTO_ALGORITHM,)
 
 
 def make_algorithm(
@@ -64,13 +80,37 @@ def make_algorithm(
     Keyword *options* are forwarded to the algorithm constructor — e.g.
     ``bins=`` / ``compress=`` / ``use_btree=`` for IBIG, ``index=`` for
     BIG, ``buckets=`` for ESB.
+
+    ``algorithm="auto"`` resolves through the engine's cost model first
+    (:func:`repro.engine.planner.plan_query`, using ``options["k"]`` as
+    the planning k when provided); explicit caller options override the
+    plan's own.
     """
     try:
-        cls = ALGORITHMS[algorithm.lower()]
-    except (KeyError, AttributeError):
+        name = algorithm.lower()
+    except AttributeError:
         raise UnknownAlgorithmError(
             f"unknown algorithm {algorithm!r}; available: {', '.join(ALGORITHMS)}"
         ) from None
+    was_auto = name == AUTO_ALGORITHM
+    if was_auto:
+        from ..engine.planner import merge_plan_options, plan_query
+
+        plan = plan_query(dataset, int(options.pop("k", 8)))
+        name = plan.algorithm
+        options = merge_plan_options(plan, options)
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {algorithm!r}; available: {', '.join(ALGORITHMS)}"
+        ) from None
+    if was_auto:
+        from ..engine.planner import supported_options
+
+        # Callers may pass options for one algorithm family while the
+        # planner picks another; keep only what the choice understands.
+        options = supported_options(cls, options)
     return cls(dataset, **options)
 
 
@@ -89,9 +129,12 @@ def top_k_dominating(
     ----------
     dataset: the incomplete dataset ``S``.
     k: number of objects to return (paper Definition 3).
-    algorithm: ``"naive"``, ``"esb"``, ``"ubb"``, ``"big"``, or ``"ibig"``.
+    algorithm: ``"naive"``, ``"esb"``, ``"ubb"``, ``"big"``, ``"ibig"``, …
+        or ``"auto"`` for the engine's cost-based choice.
     tie_break: ``"index"`` (deterministic) or ``"random"`` (paper policy).
     rng: seed or Generator for random tie-breaking.
     options: forwarded to the algorithm constructor.
     """
+    if isinstance(algorithm, str) and algorithm.lower() == AUTO_ALGORITHM:
+        options.setdefault("k", k)  # let the planner see the real answer size
     return make_algorithm(dataset, algorithm, **options).query(k, tie_break=tie_break, rng=rng)

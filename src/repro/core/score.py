@@ -7,7 +7,8 @@ provides
 * :func:`score_one` — ``Get-Score`` for a single object, one vectorised
   ``O(n·d)`` pass (what UBB calls per candidate, Algorithm 2 line 6),
 * :func:`score_many` / :func:`score_all` — blocked batch scoring used by the
-  Naive baseline and by ESB's filtering step,
+  Naive baseline and by ESB's filtering step; both are thin fronts over the
+  :mod:`repro.engine.kernels` broadcast kernels,
 * :class:`ScoreCounter` — a tiny accounting helper so algorithms can report
   how many full score computations they performed (drives the Fig. 18-style
   effectiveness reporting).
@@ -23,7 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..errors import InvalidParameterError
+from ..engine.kernels import dominated_counts
 from .dataset import IncompleteDataset
 from .dominance import dominated_mask
 
@@ -39,43 +40,22 @@ def score_many(
     dataset: IncompleteDataset,
     indices: Sequence[int],
     *,
-    block: int = 64,
+    block: int | None = None,
 ) -> np.ndarray:
     """Exact scores for a set of objects, blocked for cache friendliness.
 
     Compares *block* query objects against the full dataset at a time using
-    a single broadcast ``(block, n, d)`` boolean kernel, which is
-    substantially faster than ``score_one`` in a Python loop.
+    a single broadcast ``(block, n, d)`` boolean kernel
+    (:func:`repro.engine.kernels.score_block`), which is substantially
+    faster than ``score_one`` in a Python loop. ``block=None`` sizes the
+    blocks automatically from ``(n, d)``.
     """
-    if block <= 0:
-        raise InvalidParameterError(f"block must be >= 1, got {block}")
-    idx = np.asarray(list(indices), dtype=np.intp)
-    if idx.size == 0:
-        return np.zeros(0, dtype=np.int64)
-
-    observed = dataset.observed
-    filled = np.where(observed, dataset.minimized, 0.0)
-    n = dataset.n
-
-    out = np.empty(idx.size, dtype=np.int64)
-    for start in range(0, idx.size, block):
-        chunk = idx[start : start + block]  # (b,)
-        q_vals = filled[chunk][:, None, :]  # (b, 1, d)
-        q_mask = observed[chunk][:, None, :]  # (b, 1, d)
-        common = q_mask & observed[None, :, :]  # (b, n, d)
-        le_all = np.all(~common | (q_vals <= filled[None, :, :]), axis=2)
-        lt_any = np.any(common & (q_vals < filled[None, :, :]), axis=2)
-        dominated = le_all & lt_any  # (b, n)
-        # An object never dominates itself (all common dims equal), but be
-        # explicit so ties in floating point can never sneak through.
-        dominated[np.arange(chunk.size), chunk] = False
-        out[start : start + chunk.size] = dominated.sum(axis=1)
-    return out
+    return dominated_counts(dataset, indices, block=block)
 
 
-def score_all(dataset: IncompleteDataset, *, block: int = 64) -> np.ndarray:
+def score_all(dataset: IncompleteDataset, *, block: int | None = None) -> np.ndarray:
     """Exact scores of every object (the Naive algorithm's main loop)."""
-    return score_many(dataset, range(dataset.n), block=block)
+    return dominated_counts(dataset, None, block=block)
 
 
 @dataclass

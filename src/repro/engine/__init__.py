@@ -1,0 +1,43 @@
+"""The vectorised query-engine layer: kernels → planner → session.
+
+Three layers, each consumable on its own:
+
+* :mod:`repro.engine.kernels` — blocked ``(b, n, d)`` NumPy dominance
+  kernels every algorithm's hot path now runs on;
+* :mod:`repro.engine.planner` — the cost model behind
+  ``top_k_dominating(..., algorithm="auto")``;
+* :mod:`repro.engine.session` — :class:`QueryEngine`, a reusable session
+  that fingerprints datasets and caches preparations and results across
+  repeated/parametrised queries.
+"""
+
+from .kernels import (
+    auto_block,
+    dominance_matrix_blocked,
+    dominated_counts,
+    dominator_counts,
+    incomparable_counts,
+    max_bit_score_counts,
+    score_block,
+    upper_bound_scores,
+)
+from .planner import QueryPlan, estimate_costs, explain_plan, plan_query
+from .session import EngineStats, QueryEngine, dataset_fingerprint
+
+__all__ = [
+    "score_block",
+    "dominated_counts",
+    "dominator_counts",
+    "incomparable_counts",
+    "max_bit_score_counts",
+    "upper_bound_scores",
+    "dominance_matrix_blocked",
+    "auto_block",
+    "QueryPlan",
+    "estimate_costs",
+    "plan_query",
+    "explain_plan",
+    "QueryEngine",
+    "EngineStats",
+    "dataset_fingerprint",
+]

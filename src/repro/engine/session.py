@@ -1,0 +1,322 @@
+"""A reusable query session: prepared-structure and result caching.
+
+The paper charges preprocessing (Table 3) separately from query time
+(Figs. 12–17) precisely because one preparation serves many queries — but
+the seed API rebuilt indexes and MaxScore queues on every
+:func:`~repro.core.query.top_k_dominating` call. :class:`QueryEngine` is
+the session object that makes the amortisation real:
+
+* **dataset fingerprinting** — a content hash of the value matrix,
+  observed masks and directions, so caching works across distinct
+  :class:`~repro.core.dataset.IncompleteDataset` instances holding the
+  same data (and never serves stale answers for different data);
+* **prepared-structure cache** — one prepared
+  :class:`~repro.core.base.TKDAlgorithm` per (dataset, algorithm,
+  options), LRU-bounded; the planner is told which structures exist so
+  ``algorithm="auto"`` prefers an index that is already paid for;
+* **result cache** — an LRU over (dataset, k, algorithm, options)
+  answering repeated queries in O(1) (deterministic tie-breaking only;
+  ``tie_break="random"`` always executes);
+* **batch API** — :meth:`QueryEngine.query_many` runs a parametrised
+  sweep (the Fig. 12–17 loops, a leaderboard's k-ladder) against shared
+  preparations.
+
+Usage::
+
+    engine = QueryEngine()
+    for k in (4, 8, 16, 32, 64):
+        result = engine.query(dataset, k)          # one preparation total
+    results = engine.query_many([(dataset, 2), (dataset, 8)])
+    print(engine.stats.summary())
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import InvalidParameterError
+from .planner import QueryPlan, merge_plan_options, plan_query, supported_options
+
+__all__ = ["QueryEngine", "EngineStats", "dataset_fingerprint"]
+
+
+def dataset_fingerprint(dataset) -> str:
+    """Content hash identifying a dataset's query-relevant state.
+
+    Two datasets with identical values, missing patterns and per-dimension
+    directions produce identical TKD answers, so they share a fingerprint;
+    ids/names are presentation-only and excluded deliberately.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(dataset.values.shape).encode())
+    digest.update(dataset.values.tobytes())
+    digest.update(dataset.observed.tobytes())
+    digest.update(",".join(dataset.directions).encode())
+    return digest.hexdigest()
+
+
+def _freeze(value):
+    """Make an options value hashable for cache keys."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return tuple(_freeze(v) for v in value)
+    if hasattr(value, "tolist"):  # numpy scalars/arrays
+        return _freeze(value.tolist())
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value
+
+
+def _options_key(options: dict) -> tuple:
+    return tuple(sorted((name, _freeze(value)) for name, value in options.items()))
+
+
+@dataclass
+class EngineStats:
+    """Cache-effectiveness counters of one :class:`QueryEngine`."""
+
+    queries: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    prepared_hits: int = 0
+    prepared_misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Result-cache hit rate over all answered queries (0 when idle)."""
+        answered = self.result_hits + self.result_misses
+        return self.result_hits / answered if answered else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"engine: {self.queries} queries, "
+            f"results {self.result_hits}/{self.result_hits + self.result_misses} cached "
+            f"({self.hit_rate:.0%}), "
+            f"prepared reused {self.prepared_hits}x, evictions {self.evictions}"
+        )
+
+
+class _LRU:
+    """Minimal ordered-dict LRU used for both engine caches."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise InvalidParameterError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> int:
+        """Insert and return how many entries were evicted (0 or 1)."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            return 1
+        return 0
+
+    def keys(self):
+        return list(self._data.keys())
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class QueryEngine:
+    """A session that amortises preparation and caching across TKD queries.
+
+    Parameters
+    ----------
+    max_prepared: LRU capacity for prepared algorithm instances (each may
+        hold an index; bound this by available memory).
+    max_results: LRU capacity for cached query results (small objects).
+    """
+
+    def __init__(self, *, max_prepared: int = 16, max_results: int = 256) -> None:
+        self._prepared = _LRU(max_prepared)
+        self._results = _LRU(max_results)
+        self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
+        self.stats = EngineStats()
+
+    # -- identity -----------------------------------------------------------
+
+    def fingerprint(self, dataset) -> str:
+        """Fingerprint with per-instance memoisation (datasets are immutable).
+
+        The memo is keyed by ``id()`` but guarded by a weak reference to
+        the instance: CPython recycles ids of freed objects, so a bare id
+        hit could otherwise serve a *different* dataset's fingerprint (and
+        through it, another dataset's cached answers).
+        """
+        key = id(dataset)
+        entry = self._fingerprints.get(key)
+        if entry is not None and entry[0]() is dataset:
+            return entry[1]
+        fingerprint = dataset_fingerprint(dataset)
+        # Bound the memo so long-lived engines can't grow unboundedly over
+        # throwaway datasets.
+        if len(self._fingerprints) >= 4 * self._prepared.capacity:
+            self._fingerprints.clear()
+        self._fingerprints[key] = (weakref.ref(dataset), fingerprint)
+        return fingerprint
+
+    # -- planning -----------------------------------------------------------
+
+    def prepared_algorithms(self, dataset) -> tuple[str, ...]:
+        """Names of algorithms already prepared for *dataset* in this session."""
+        fingerprint = self.fingerprint(dataset)
+        return tuple(
+            sorted({key[1] for key in self._prepared.keys() if key[0] == fingerprint})
+        )
+
+    def plan(self, dataset, k: int, *, repeats: int = 1) -> QueryPlan:
+        """Cost-based plan for one query, aware of this session's caches."""
+        return plan_query(
+            dataset, k, prepared=self.prepared_algorithms(dataset), repeats=repeats
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def prepared(self, dataset, algorithm: str, **options):
+        """Fetch (or build and cache) a prepared algorithm instance."""
+        from ..core.query import make_algorithm  # deferred: core imports the engine
+
+        fingerprint = self.fingerprint(dataset)
+        key = (fingerprint, algorithm.lower(), _options_key(options))
+        instance = self._prepared.get(key)
+        if instance is not None:
+            self.stats.prepared_hits += 1
+            return instance
+        self.stats.prepared_misses += 1
+        instance = make_algorithm(dataset, algorithm, **options).prepare()
+        self.stats.evictions += self._prepared.put(key, instance)
+        return instance
+
+    def query(
+        self,
+        dataset,
+        k: int,
+        *,
+        algorithm: str = "auto",
+        tie_break: str = "index",
+        rng=None,
+        repeats: int = 1,
+        **options,
+    ):
+        """Answer one TKD query through the session caches.
+
+        ``algorithm="auto"`` resolves through :meth:`plan` (crediting
+        already-prepared structures); any explicit name behaves like
+        :func:`~repro.core.query.top_k_dominating` but with reuse.
+        """
+        self.stats.queries += 1
+        if algorithm.lower() == "auto":
+            from ..core.query import ALGORITHMS  # deferred: core imports the engine
+
+            plan = self.plan(dataset, k, repeats=repeats)
+            algorithm = plan.algorithm
+            # Keep only the options the planned algorithm understands (the
+            # caller may have passed options meant for another family).
+            options = supported_options(ALGORITHMS[algorithm], merge_plan_options(plan, options))
+
+        cacheable = tie_break == "index"
+        result_key = None
+        if cacheable:
+            result_key = (
+                self.fingerprint(dataset),
+                int(k),
+                algorithm.lower(),
+                _options_key(options),
+            )
+            cached = self._results.get(result_key)
+            if cached is not None:
+                self.stats.result_hits += 1
+                return cached
+            self.stats.result_misses += 1
+
+        instance = self.prepared(dataset, algorithm, **options)
+        result = instance.query(k, tie_break=tie_break, rng=rng)
+        if cacheable:
+            self.stats.evictions += self._results.put(result_key, result)
+        return result
+
+    def query_many(self, requests: Iterable, *, algorithm: str = "auto", **common_options):
+        """Answer a batch of queries against shared preparations.
+
+        Each request is ``(dataset, k)``, ``(dataset, k, algorithm)`` or a
+        dict with ``dataset``/``k`` and optional ``algorithm``/``options``.
+        The expected repeat count handed to the planner is the batch size,
+        so index builds amortised across the sweep are priced as such.
+        """
+        materialised = [self._coerce_request(req, algorithm) for req in requests]
+        repeats = max(len(materialised), 1)
+        return [
+            self.query(
+                dataset,
+                k,
+                algorithm=request_algorithm,
+                repeats=repeats,
+                **{**common_options, **request_options},
+            )
+            for dataset, k, request_algorithm, request_options in materialised
+        ]
+
+    @staticmethod
+    def _coerce_request(request, default_algorithm: str):
+        if isinstance(request, dict):
+            try:
+                dataset, k = request["dataset"], request["k"]
+            except KeyError as missing:
+                raise InvalidParameterError(
+                    f"query_many dict requests need 'dataset' and 'k'; missing {missing}"
+                ) from None
+            return (
+                dataset,
+                k,
+                request.get("algorithm", default_algorithm),
+                dict(request.get("options", {})),
+            )
+        if (
+            isinstance(request, Sequence)
+            and not isinstance(request, (str, bytes))
+            and 2 <= len(request) <= 3
+        ):
+            dataset, k = request[0], request[1]
+            request_algorithm = request[2] if len(request) == 3 else default_algorithm
+            return dataset, k, request_algorithm, {}
+        raise InvalidParameterError(
+            "query_many requests must be (dataset, k[, algorithm]) tuples or dicts"
+        )
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all cached preparations, results and fingerprints."""
+        self._prepared.clear()
+        self._results.clear()
+        self._fingerprints.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<QueryEngine prepared={len(self._prepared)}/{self._prepared.capacity} "
+            f"results={len(self._results)}/{self._results.capacity}>"
+        )

@@ -25,6 +25,7 @@ from ..core.complete import complete_tkd
 from ..core.ibig import IBIGTKD
 from ..core.maxscore import max_scores, maxscore_queue
 from ..core.query import top_k_dominating
+from ..engine.session import QueryEngine
 from ..imputation.factorization import FactorizationImputer
 from ..skyband.buckets import BucketIndex
 from .harness import PAPER, DatasetCache, time_algorithm
@@ -58,12 +59,14 @@ def _ibig_options(name: str) -> dict:
     return {"bins": PAPER.ibig_bins.get(name, 32)}
 
 
-def _query_rows(cache: DatasetCache, dataset_name: str, algorithms, k: int, **dataset_kw) -> list[dict]:
+def _query_rows(
+    cache: DatasetCache, dataset_name: str, algorithms, k: int, *, engine=None, **dataset_kw
+) -> list[dict]:
     dataset = cache.get(dataset_name, **dataset_kw)
     rows = []
     for algorithm in algorithms:
         options = _ibig_options(dataset_name) if algorithm == "ibig" else {}
-        row = time_algorithm(dataset, algorithm, k, **options)
+        row = time_algorithm(dataset, algorithm, k, engine=engine, **options)
         row["dataset"] = dataset_name
         rows.append(row)
     return rows
@@ -180,20 +183,24 @@ def fig12_real_k(
     """CPU time vs k on the real datasets, Naive included (paper Fig. 12)."""
     algorithms = (("naive",) if include_naive else ()) + PRUNING_ALGORITHMS
     cache = DatasetCache(scale, seed)
+    # One engine for the whole sweep: each (dataset, algorithm) pair builds
+    # its indexes/queues once and every k in the ladder reuses them.
+    engine = QueryEngine(max_prepared=len(REAL_DATASETS) * (len(algorithms) + 1))
     rows = []
     for name in REAL_DATASETS:
         for k in ks:
-            rows.extend(_query_rows(cache, name, algorithms, k))
+            rows.extend(_query_rows(cache, name, algorithms, k, engine=engine))
     return rows
 
 
 def fig13_synthetic_k(scale: float | None = None, seed: int = 0, ks=PAPER.k_values) -> list[dict]:
     """CPU time vs k on IND/AC (paper Fig. 13; Naive dropped as in paper)."""
     cache = DatasetCache(scale, seed)
+    engine = QueryEngine(max_prepared=len(SYNTHETIC_DATASETS) * (len(PRUNING_ALGORITHMS) + 1))
     rows = []
     for name in SYNTHETIC_DATASETS:
         for k in ks:
-            rows.extend(_query_rows(cache, name, PRUNING_ALGORITHMS, k))
+            rows.extend(_query_rows(cache, name, PRUNING_ALGORITHMS, k, engine=engine))
     return rows
 
 

@@ -142,15 +142,24 @@ def time_algorithm(
     k: int,
     *,
     repeats: int = 1,
+    engine=None,
     **options,
 ) -> dict:
     """Prepare once, run the query *repeats* times, report both timings.
 
     Returns a row dict with preprocessing seconds, best query seconds, and
     the run's :class:`~repro.core.stats.QueryStats` (from the last run).
+
+    Pass a :class:`repro.engine.QueryEngine` to share preparations across
+    an entire sweep: the first point of a series pays the index build, the
+    remaining points reuse it (exactly the paper's Table 3 vs Figs. 12–17
+    separation, now enforced by the session instead of by discipline).
     """
-    instance = make_algorithm(dataset, algorithm, **options)
-    instance.prepare()
+    if engine is not None:
+        instance = engine.prepared(dataset, algorithm, **options)
+    else:
+        instance = make_algorithm(dataset, algorithm, **options)
+        instance.prepare()
     best = float("inf")
     result = None
     for _ in range(max(1, repeats)):
@@ -178,10 +187,17 @@ def run_query_series(
     *,
     options_for: Callable[[str], dict] | None = None,
     repeats: int = 1,
+    engine=None,
 ) -> list[dict]:
-    """One figure point per algorithm on a fixed dataset/k."""
+    """One figure point per algorithm on a fixed dataset/k.
+
+    With an *engine*, preparations are cached across the series (and any
+    other series sharing the same engine and dataset).
+    """
     rows = []
     for algorithm in algorithms:
         options = options_for(algorithm) if options_for else {}
-        rows.append(time_algorithm(dataset, algorithm, k, repeats=repeats, **options))
+        rows.append(
+            time_algorithm(dataset, algorithm, k, repeats=repeats, engine=engine, **options)
+        )
     return rows

@@ -1,15 +1,13 @@
 """Shared fixtures: the paper's running examples and dataset factories.
 
-* ``fig2_dataset`` — the six 2-d objects of paper Fig. 2. The paper states
-  ``f=(4,2)``, ``c=(5,-)``, ``e=(-,4)`` and a set of dominance facts; the
-  remaining coordinates (a, b, d) are reconstructed so that *every* stated
-  fact holds: score(f)=3 via {a,c,e}, score(b)=score(c)=score(e)=2,
-  score(d)=1, score(a)=0, f≻e, e≻b, f⋡b, and c/e incomparable.
-* ``fig3_dataset`` — the 20-object 4-d running example of Fig. 3,
-  transcribed exactly; used with the paper's Figs. 4–8 oracle values.
+The oracle tables themselves live in :mod:`_paper_fixtures` (plain data,
+importable by name from any test module); this file turns them into
+session fixtures:
+
+* ``fig2_dataset`` — the six 2-d objects of paper Fig. 2.
+* ``fig3_dataset`` — the 20-object 4-d running example of Fig. 3.
 * ``movies_dataset`` — the Fig. 1 movie-recommender example (ratings,
-  larger-is-better). m1's three ratings are reconstructed as (3, 2, 4) on
-  audiences a3–a5 so all prose facts hold (the figure scan is ambiguous).
+  larger-is-better).
 * ``make_incomplete`` — a seeded random incomplete-dataset factory.
 """
 
@@ -18,72 +16,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from _paper_fixtures import FIG2_ROWS, FIG3_ROWS, MOVIE_ROWS
 from repro.core.dataset import IncompleteDataset
-
-_ = None  # readability alias for a missing cell in literal rows below
-
-FIG2_ROWS = {
-    "a": (6, 7),
-    "b": (2, 6),
-    "c": (5, _),
-    "d": (7, 1),
-    "e": (_, 4),
-    "f": (4, 2),
-}
-
-#: Paper Fig. 2 facts (Definition 2 walk-through in Section 3).
-FIG2_SCORES = {"a": 0, "b": 2, "c": 2, "d": 1, "e": 2, "f": 3}
-FIG2_DOMINATED_BY_F = {"a", "c", "e"}
-
-FIG3_ROWS = {
-    "A1": (_, 3, 1, 3),
-    "A2": (_, 1, 2, 1),
-    "A3": (_, 1, 3, 4),
-    "A4": (_, 7, 4, 5),
-    "A5": (_, 4, 8, 3),
-    "B1": (_, _, 1, 2),
-    "B2": (_, _, 3, 1),
-    "B3": (_, _, 4, 9),
-    "B4": (_, _, 3, 7),
-    "B5": (_, _, 7, 4),
-    "C1": (2, _, _, 3),
-    "C2": (2, _, _, 1),
-    "C3": (3, _, _, 2),
-    "C4": (3, _, _, 3),
-    "C5": (3, _, _, 4),
-    "D1": (3, 5, _, 2),
-    "D2": (2, 1, _, 4),
-    "D3": (2, 4, _, 1),
-    "D4": (4, 4, _, 5),
-    "D5": (5, 5, _, 4),
-}
-
-#: Fig. 5 — the priority queue F: ids in order with their MaxScore values.
-FIG5_QUEUE = [
-    ("C2", 19), ("A2", 17), ("B2", 16), ("B1", 15), ("C3", 15), ("D3", 15),
-    ("A1", 12), ("C1", 12), ("C4", 12), ("D1", 12), ("A5", 10), ("A3", 8),
-    ("B5", 8), ("C5", 8), ("D2", 8), ("D5", 8), ("A4", 3), ("D4", 3),
-    ("B4", 1), ("B3", 0),
-]
-
-#: Fig. 8 — MaxBitScore in the same (Fig. 5 queue) order.
-FIG8_MAXBITSCORE = [19, 17, 16, 15, 13, 15, 10, 12, 10, 9, 5, 8, 4, 7, 8, 4, 1, 3, 1, 0]
-
-#: Fig. 4 — ESB candidate set for the T2D query.
-FIG4_ESB_CANDIDATES = {"A1", "A2", "A3", "B1", "B2", "C1", "C2", "C3", "D1", "D2", "D3"}
-
-#: T2D answer over Fig. 3 (Examples 1–3): C2 and A2, both with score 16.
-FIG3_T2D_ANSWER = {"C2", "A2"}
-FIG3_T2D_SCORE = 16
-
-#: Fig. 1 movie example (ratings 1–5, larger is better); see module docstring.
-MOVIE_ROWS = {
-    "m1": (_, _, 3, 2, 4),
-    "m2": (5, 3, 4, _, _),
-    "m3": (_, 2, 1, 5, 3),
-    "m4": (3, 1, 5, 3, 4),
-}
-MOVIE_SCORES = {"m1": 0, "m2": 2, "m3": 0, "m4": 1}
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,111 @@
+"""Tests for the cost-based planner and the ``algorithm="auto"`` facade.
+
+Correctness first: whatever the model picks must return the Naive
+oracle's answer (planning may only ever change speed). Shape second: the
+cost model must at least rank the obvious regimes correctly (tiny data →
+no index; prepared index → cheaper than unprepared).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import top_k_dominating
+from repro.core.naive import naive_tkd
+from repro.core.query import available_algorithms, make_algorithm
+from repro.engine.planner import (
+    QueryPlan,
+    estimate_costs,
+    explain_plan,
+    plan_query,
+)
+from repro.errors import InvalidParameterError, UnknownAlgorithmError
+
+
+class TestAutoFacade:
+    def test_auto_is_registered(self):
+        assert "auto" in available_algorithms()
+
+    @pytest.mark.parametrize("missing_rate", [0.0, 0.2, 0.6])
+    @pytest.mark.parametrize("k", [1, 4, 12])
+    def test_auto_matches_naive_oracle(self, make_incomplete, missing_rate, k):
+        ds = make_incomplete(90, 5, missing_rate=missing_rate, seed=k)
+        oracle = naive_tkd(ds, k)
+        result = top_k_dominating(ds, k, algorithm="auto")
+        assert result.score_multiset == oracle.score_multiset
+        # With deterministic scoring the score multiset fixes the boundary;
+        # every non-boundary member must agree exactly.
+        boundary = oracle.score_multiset[-1]
+        assert {i for i, s in oracle if s > boundary} == {
+            i for i, s in result if s > boundary
+        }
+
+    def test_auto_on_paper_example(self, fig3_dataset):
+        result = top_k_dominating(fig3_dataset, 2, algorithm="auto")
+        assert set(result.ids) == {"C2", "A2"}
+        assert result.scores == [16, 16]
+
+    def test_auto_case_insensitive(self, fig3_dataset):
+        result = top_k_dominating(fig3_dataset, 2, algorithm="AUTO")
+        assert result.score_multiset == (16, 16)
+
+    def test_make_algorithm_resolves_auto(self, fig3_dataset):
+        instance = make_algorithm(fig3_dataset, "auto", k=2)
+        assert instance.name in available_algorithms()
+        assert instance.name != "auto"
+
+    def test_unknown_still_rejected(self, fig3_dataset):
+        with pytest.raises(UnknownAlgorithmError):
+            make_algorithm(fig3_dataset, "autopilot")
+
+    def test_foreign_options_dropped_on_auto(self, make_incomplete):
+        # enable_h1 belongs to UBB/BIG/IBIG; on a tiny dataset the planner
+        # picks naive, which must not crash on the foreign option.
+        ds = make_incomplete(40, 3, missing_rate=0.1, seed=2)
+        result = top_k_dominating(ds, 2, algorithm="auto", enable_h1=False)
+        assert result.score_multiset == naive_tkd(ds, 2).score_multiset
+
+
+class TestCostModel:
+    def test_plan_fields(self, make_incomplete):
+        ds = make_incomplete(100, 4, missing_rate=0.2, seed=0)
+        plan = plan_query(ds, 5)
+        assert isinstance(plan, QueryPlan)
+        assert plan.algorithm in plan.candidate_seconds
+        assert plan.estimated_seconds == min(plan.candidate_seconds.values())
+        assert plan.reason
+        assert plan.algorithm in explain_plan(ds, 5)
+
+    def test_tiny_dataset_avoids_index_build(self, make_incomplete):
+        ds = make_incomplete(50, 3, missing_rate=0.1, seed=1)
+        assert plan_query(ds, 3).algorithm == "naive"
+
+    def test_prepared_index_is_credited(self):
+        unprepared = estimate_costs(20_000, 8, 0.1, 8)
+        prepared = estimate_costs(20_000, 8, 0.1, 8, prepared=("big",))
+        assert prepared["big"] < unprepared["big"]
+        assert prepared["naive"] == unprepared["naive"]
+
+    def test_repeats_amortise_preparation(self):
+        one_shot = estimate_costs(20_000, 8, 0.1, 8, repeats=1)
+        sweep = estimate_costs(20_000, 8, 0.1, 8, repeats=50)
+        assert sweep["big"] < one_shot["big"]
+        assert sweep["ubb"] <= one_shot["ubb"]
+
+    def test_bounds_weaken_with_missing_rate(self):
+        low = estimate_costs(20_000, 8, 0.05, 8)
+        high = estimate_costs(20_000, 8, 0.6, 8)
+        # Naive's cost ignores sigma; bound-based costs must grow with it.
+        assert high["ubb"] > low["ubb"]
+        assert high["big"] > low["big"]
+        assert high["naive"] == low["naive"]
+
+    def test_large_low_missing_prefers_pruning(self):
+        costs = estimate_costs(100_000, 10, 0.1, 8, prepared=("big",))
+        assert min(costs, key=costs.get) != "naive"
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            estimate_costs(0, 4, 0.1, 5)
+        with pytest.raises(InvalidParameterError):
+            estimate_costs(100, 4, 1.5, 5)

@@ -1,0 +1,185 @@
+"""Tests for the :class:`repro.engine.QueryEngine` session layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IncompleteDataset, QueryEngine, top_k_dominating
+from repro.engine.session import dataset_fingerprint
+from repro.errors import InvalidParameterError
+
+
+class TestFingerprint:
+    def test_identical_content_shares_fingerprint(self, make_incomplete):
+        ds = make_incomplete(30, 4, missing_rate=0.3, seed=5)
+        clone = IncompleteDataset(ds.values, directions=ds.directions, name="other-name")
+        assert dataset_fingerprint(ds) == dataset_fingerprint(clone)
+
+    def test_different_values_differ(self, make_incomplete):
+        a = make_incomplete(30, 4, missing_rate=0.3, seed=5)
+        b = make_incomplete(30, 4, missing_rate=0.3, seed=6)
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_directions_matter(self):
+        values = [[1, 2], [2, 1], [3, 3]]
+        as_min = IncompleteDataset(values, directions="min")
+        as_max = IncompleteDataset(values, directions="max")
+        assert dataset_fingerprint(as_min) != dataset_fingerprint(as_max)
+
+    def test_missing_pattern_matters(self):
+        a = IncompleteDataset([[1, None], [2, 2]])
+        b = IncompleteDataset([[1, 3], [2, 2]])
+        assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_id_reuse_never_serves_stale_answers(self):
+        # Regression: CPython recycles ids of freed objects; a bare-id memo
+        # once served another dataset's fingerprint (and cached answer).
+        from repro.core.naive import naive_tkd
+
+        engine = QueryEngine()
+        rng = np.random.default_rng(0)
+        for _ in range(400):  # fresh short-lived datasets force id reuse
+            values = rng.integers(1, 30, size=(20, 3)).astype(float)
+            mask = rng.random((20, 3)) < 0.3
+            mask[mask.all(axis=1), 0] = False
+            values[mask] = np.nan
+            ds = IncompleteDataset(values)
+            assert engine.query(ds, 3).score_multiset == naive_tkd(ds, 3).score_multiset
+
+
+class TestResultCache:
+    def test_repeat_query_is_cached(self, make_incomplete):
+        ds = make_incomplete(60, 4, missing_rate=0.2, seed=1)
+        engine = QueryEngine()
+        first = engine.query(ds, 5)
+        second = engine.query(ds, 5)
+        assert second is first
+        assert engine.stats.result_hits == 1
+        assert engine.stats.queries == 2
+
+    def test_cache_keys_include_k_and_algorithm(self, make_incomplete):
+        ds = make_incomplete(60, 4, missing_rate=0.2, seed=1)
+        engine = QueryEngine()
+        assert engine.query(ds, 3) is not engine.query(ds, 5)
+        assert engine.query(ds, 3, algorithm="naive") is not engine.query(
+            ds, 3, algorithm="big"
+        )
+
+    def test_equal_content_different_instance_hits(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.25, seed=2)
+        clone = IncompleteDataset(ds.values, name="clone")
+        engine = QueryEngine()
+        first = engine.query(ds, 4)
+        second = engine.query(clone, 4)
+        assert second is first  # fingerprints match, answer reused
+
+    def test_random_tie_break_bypasses_cache(self, fig3_dataset):
+        engine = QueryEngine()
+        first = engine.query(fig3_dataset, 2, tie_break="random", rng=1)
+        second = engine.query(fig3_dataset, 2, tie_break="random", rng=1)
+        assert first is not second
+        assert engine.stats.result_hits == 0
+
+    def test_lru_evicts_oldest(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.2, seed=3)
+        engine = QueryEngine(max_results=2)
+        engine.query(ds, 1)
+        engine.query(ds, 2)
+        engine.query(ds, 3)  # evicts the k=1 entry
+        engine.query(ds, 1)
+        assert engine.stats.result_hits == 0
+        assert engine.stats.result_misses == 4
+
+    def test_results_match_one_shot_api(self, make_incomplete):
+        ds = make_incomplete(70, 5, missing_rate=0.3, seed=4)
+        engine = QueryEngine()
+        for algorithm in ("naive", "ubb", "big", "auto"):
+            via_engine = engine.query(ds, 6, algorithm=algorithm)
+            one_shot = top_k_dominating(ds, 6, algorithm=algorithm)
+            assert via_engine.score_multiset == one_shot.score_multiset
+
+
+class TestPreparedCache:
+    def test_preparation_is_shared_across_ks(self, make_incomplete):
+        ds = make_incomplete(60, 4, missing_rate=0.2, seed=6)
+        engine = QueryEngine()
+        for k in (2, 4, 8):
+            engine.query(ds, k, algorithm="big")
+        assert engine.stats.prepared_misses == 1
+        assert engine.stats.prepared_hits == 2
+        assert engine.prepared_algorithms(ds) == ("big",)
+
+    def test_planner_sees_prepared_structures(self, make_incomplete):
+        ds = make_incomplete(60, 4, missing_rate=0.2, seed=6)
+        engine = QueryEngine()
+        engine.prepared(ds, "big")
+        plan = engine.plan(ds, 4)
+        assert plan.candidate_seconds["big"] <= QueryEngine().plan(ds, 4).candidate_seconds["big"]
+
+    def test_clear_resets_everything(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.2, seed=7)
+        engine = QueryEngine()
+        engine.query(ds, 3)
+        engine.clear()
+        assert engine.prepared_algorithms(ds) == ()
+        engine.query(ds, 3)
+        assert engine.stats.result_hits == 0
+
+
+class TestQueryMany:
+    def test_tuple_and_dict_requests(self, make_incomplete):
+        ds = make_incomplete(50, 4, missing_rate=0.25, seed=8)
+        engine = QueryEngine()
+        results = engine.query_many(
+            [
+                (ds, 2),
+                (ds, 4, "naive"),
+                {"dataset": ds, "k": 6, "algorithm": "big", "options": {}},
+            ]
+        )
+        assert [len(r) for r in results] == [2, 4, 6]
+        oracle = top_k_dominating(ds, 6, algorithm="naive")
+        assert results[2].score_multiset == oracle.score_multiset
+
+    def test_sweep_reuses_preparation(self, make_incomplete):
+        ds = make_incomplete(50, 4, missing_rate=0.25, seed=9)
+        engine = QueryEngine()
+        engine.query_many([(ds, k, "ubb") for k in (1, 2, 3, 4, 5)])
+        assert engine.stats.prepared_misses == 1
+        assert engine.stats.prepared_hits == 4
+
+    def test_bad_requests_rejected(self, make_incomplete):
+        ds = make_incomplete(10, 2, seed=0)
+        engine = QueryEngine()
+        with pytest.raises(InvalidParameterError):
+            engine.query_many([(ds,)])
+        with pytest.raises(InvalidParameterError):
+            engine.query_many([{"dataset": ds}])
+        with pytest.raises(InvalidParameterError):
+            engine.query_many(["ab"])  # a str is a len-2 Sequence, still invalid
+
+    def test_foreign_options_dropped_when_auto_resolves(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.1, seed=12)
+        engine = QueryEngine()
+        result = engine.query(ds, 2, enable_h1=False)  # planner picks naive here
+        assert len(result) == 2
+
+
+class TestEngineStats:
+    def test_summary_renders(self, make_incomplete):
+        ds = make_incomplete(30, 3, missing_rate=0.2, seed=10)
+        engine = QueryEngine()
+        engine.query(ds, 2)
+        engine.query(ds, 2)
+        text = engine.stats.summary()
+        assert "queries" in text and "cached" in text
+        assert engine.stats.hit_rate == 0.5
+
+    def test_options_with_arrays_are_cacheable(self, fig3_dataset):
+        engine = QueryEngine()
+        bins = np.asarray([3, 3, 3, 3])
+        first = engine.query(fig3_dataset, 2, algorithm="ibig", bins=bins)
+        second = engine.query(fig3_dataset, 2, algorithm="ibig", bins=[3, 3, 3, 3])
+        assert first.score_multiset == (16, 16)
+        assert second is first  # ndarray and list freeze to the same key

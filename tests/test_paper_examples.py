@@ -21,7 +21,7 @@ from repro.core.naive import naive_tkd
 from repro.core.score import score_all, score_one
 from repro.core.ubb import ubb_tkd
 
-from conftest import (
+from _paper_fixtures import (
     FIG2_DOMINATED_BY_F,
     FIG2_SCORES,
     FIG3_T2D_ANSWER,
