@@ -15,6 +15,7 @@ Examples::
     python -m repro generate ind --n 2000 --dim 8 --out data.csv
     python -m repro info data.csv
     python -m repro query data.csv --k 5 --algorithm big
+    python -m repro query data.csv --sweep-k 4,8,16,32 --workers 2
     python -m repro compress data.csv --schemes wah,concise,roaring
     python -m repro experiment --experiment fig18 --scale 0.02
 """
@@ -55,6 +56,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="print the cost-based plan (modelled per-algorithm costs) before the answer",
+    )
+    query.add_argument(
+        "--sweep-k",
+        default=None,
+        metavar="K1,K2,...",
+        help="answer a whole k-ladder as one QueryEngine batch (shared "
+        "preparations; combine with --workers to shard across processes)",
+    )
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard a --sweep-k batch across N worker processes (default: in-process)",
     )
     query.add_argument("--id-column", default=None, help="column holding object ids")
     query.add_argument(
@@ -117,6 +132,11 @@ def _load_csv(args) -> IncompleteDataset:
 
 def _cmd_query(args) -> int:
     dataset = _load_csv(args)
+    if args.sweep_k is not None:
+        return _run_sweep(args, dataset)
+    if args.workers is not None:
+        print("error: --workers requires --sweep-k (single queries run in-process)", file=sys.stderr)
+        return 2
     if args.explain:
         from .engine.planner import explain_plan
 
@@ -127,6 +147,32 @@ def _cmd_query(args) -> int:
     print(result.as_table())
     print()
     print(result.stats.summary())
+    return 0
+
+
+def _run_sweep(args, dataset) -> int:
+    """``query --sweep-k``: one QueryEngine batch, optionally sharded."""
+    from .engine.session import QueryEngine
+
+    try:
+        ks = [int(token) for token in args.sweep_k.split(",") if token.strip()]
+    except ValueError:
+        print(f"error: --sweep-k expects comma-separated integers, got {args.sweep_k!r}", file=sys.stderr)
+        return 2
+    if not ks:
+        print("error: --sweep-k got no k values", file=sys.stderr)
+        return 2
+    engine = QueryEngine()
+    if args.explain:
+        print(engine.plan(dataset, ks[0], repeats=len(ks)).summary())
+    results = engine.query_many(
+        [(dataset, k) for k in ks], algorithm=args.algorithm, workers=args.workers
+    )
+    for k, result in zip(ks, results):
+        answer = "  ".join(f"{oid}({score})" for oid, score in zip(result.ids, result.scores))
+        print(f"k={k:<4d} {answer}")
+    print()
+    print(engine.stats.summary())
     return 0
 
 

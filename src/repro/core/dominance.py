@@ -124,11 +124,17 @@ def incomparable_mask(dataset: IncompleteDataset, i: int) -> np.ndarray:
     return out
 
 
-def dominance_matrix(dataset: IncompleteDataset, *, max_n: int = 4000) -> np.ndarray:
+def dominance_matrix(
+    dataset: IncompleteDataset, *, max_n: int = 4000, route: str = "auto"
+) -> np.ndarray:
     """Full ``(n, n)`` boolean dominance matrix: ``M[i, j] = (o_i ≻ o_j)``.
 
     Intended for tests and small analyses; guarded by *max_n* because the
-    result is quadratic in the dataset size.
+    result is quadratic in the dataset size. Served by the engine's
+    mask-emitting kernels: the packed-bitset tables (cached per dataset
+    fingerprint by the session layer) when available or worth building,
+    the blocked broadcast otherwise; *route* forces one of
+    ``"bitset"``/``"broadcast"`` explicitly.
     """
     n = dataset.n
     if n > max_n:
@@ -138,4 +144,4 @@ def dominance_matrix(dataset: IncompleteDataset, *, max_n: int = 4000) -> np.nda
         )
     from ..engine.kernels import dominance_matrix_blocked
 
-    return dominance_matrix_blocked(dataset)
+    return dominance_matrix_blocked(dataset, route=route)

@@ -24,7 +24,6 @@ import numpy as np
 from .._util import require_fraction
 from ..errors import InvalidParameterError
 from .dataset import IncompleteDataset
-from .dominance import dominated_mask
 from .result import select_top_k, validate_k
 
 __all__ = [
@@ -77,15 +76,18 @@ def mfd_scores(
     """MFD score of every object: ``Σ_{o' : o ≻ o'} W(o, o')``.
 
     Blocked and fully vectorised: dominated-masks come from
-    :func:`repro.engine.kernels.score_block` a block at a time, and the
-    pairwise weights are assembled without materialising per-pair masks via
+    :func:`repro.engine.kernels.dominated_masks` a block at a time — the
+    packed-bitset tables when the engine session has them cached (or the
+    full scan justifies building them), the broadcast kernel otherwise —
+    and the pairwise weights are assembled without materialising per-pair
+    masks via
 
         ``W(o, p) = λ·(a_o + a_p) + (1 − 2λ)·b_op``
 
     where ``a_o = Σ_i w_i·[i ∈ Iset(o)]`` and ``b_op`` weights the shared
     observed dimensions (one matmul per block).
     """
-    from ..engine.kernels import auto_block, score_block
+    from ..engine.kernels import auto_block, dominated_masks, prepared_for_scan
 
     weights = _coerce_weights(weights, dataset.d)
     lam = require_fraction(lam, "lam", inclusive_low=False, inclusive_high=False)
@@ -93,13 +95,16 @@ def mfd_scores(
     n = dataset.n
     if block is None:
         block = auto_block(n, dataset.d)
+    # One eligibility decision for the whole scan: the per-block batches
+    # below are too small to trigger a table build on their own.
+    prepared = prepared_for_scan(dataset)
 
     observed_weight = observed @ weights  # a_o per object, (n,)
     weighted_masks = observed * weights  # (n, d)
     out = np.zeros(n, dtype=np.float64)
     for start in range(0, n, block):
         rows = np.arange(start, min(start + block, n), dtype=np.intp)
-        dominated = score_block(dataset, rows)  # (b, n)
+        dominated = dominated_masks(dataset, rows, prepared=prepared)  # (b, n)
         shared_weight = weighted_masks[rows] @ observed.T  # b_op, (b, n)
         pair_weights = lam * (
             observed_weight[rows][:, None] + observed_weight[None, :]
@@ -109,10 +114,17 @@ def mfd_scores(
 
 
 def _mfd_score_one(
-    dataset: IncompleteDataset, row: int, weights: np.ndarray, lam: float
+    dataset: IncompleteDataset, row: int, weights: np.ndarray, lam: float, prepared=None
 ) -> float:
-    """Exact MFD score of a single object (one vectorised pass)."""
-    dominated = dominated_mask(dataset, row)
+    """Exact MFD score of a single object (one vectorised pass).
+
+    With cached bitset tables (*prepared*) the dominated-mask costs
+    ``2·d`` packed row gathers instead of an ``O(n·d)`` broadcast — the
+    fast path of the UBB-style candidate loop below.
+    """
+    from ..engine.kernels import dominated_masks
+
+    dominated = dominated_masks(dataset, [row], prepared=prepared)[0]
     if not dominated.any():
         return 0.0
     observed = dataset.observed
@@ -198,15 +210,25 @@ def top_k_dominating_mfd(
         evaluated = dataset.n
         chosen_scores = [float(scores[i]) for i in selection]
     else:
+        from ..engine.kernels import prepared_for_scan
+
         bounds = mfd_max_scores(dataset, weights=weights_arr, lam=lam)
         order = np.argsort(-bounds, kind="stable")
+        # The candidate loop scores objects one at a time. Ride bitset
+        # tables that are already cached, but don't build them upfront —
+        # Heuristic 1 may prune the loop to ~k evaluations, where the
+        # O(d·n²/64) build would dominate. If evaluation count proves the
+        # bounds loose, build once and let the tail of the loop fly.
+        prepared = prepared_for_scan(dataset, batch=1)
         kept: list[tuple[int, float]] = []
         tau = -1.0
         evaluated = 0
         for index in order.tolist():
             if len(kept) == k and bounds[index] <= tau:
                 break  # Heuristic 1, weighted form
-            score = _mfd_score_one(dataset, index, weights_arr, lam)
+            if evaluated == 256 and prepared is not None:
+                prepared.warm()  # loose bounds: the scan now justifies tables
+            score = _mfd_score_one(dataset, index, weights_arr, lam, prepared=prepared)
             evaluated += 1
             if len(kept) < k:
                 kept.append((index, score))

@@ -41,21 +41,32 @@ def score_many(
     indices: Sequence[int],
     *,
     block: int | None = None,
+    prepared=None,
 ) -> np.ndarray:
     """Exact scores for a set of objects, blocked for cache friendliness.
 
-    Compares *block* query objects against the full dataset at a time using
-    a single broadcast ``(block, n, d)`` boolean kernel
-    (:func:`repro.engine.kernels.score_block`), which is substantially
-    faster than ``score_one`` in a Python loop. ``block=None`` sizes the
-    blocks automatically from ``(n, d)``.
+    A thin front over :func:`repro.engine.kernels.dominated_counts`: large
+    batches — or any batch once the engine session has cached this
+    dataset's packed-bitset tables — ride the bitset route; the rest use
+    one broadcast ``(block, n, d)`` boolean kernel per block, still
+    substantially faster than ``score_one`` in a Python loop.
+    ``block=None`` sizes the blocks automatically from ``(n, d)``; pass a
+    :class:`~repro.engine.kernels.PreparedDataset` as *prepared* to pin
+    specific cached structures.
     """
-    return dominated_counts(dataset, indices, block=block)
+    return dominated_counts(dataset, indices, block=block, prepared=prepared)
 
 
-def score_all(dataset: IncompleteDataset, *, block: int | None = None) -> np.ndarray:
-    """Exact scores of every object (the Naive algorithm's main loop)."""
-    return dominated_counts(dataset, None, block=block)
+def score_all(
+    dataset: IncompleteDataset, *, block: int | None = None, prepared=None
+) -> np.ndarray:
+    """Exact scores of every object (the Naive algorithm's main loop).
+
+    Repeated full scans of the same dataset reuse the engine's
+    fingerprint-keyed bitset tables (built on the first scan), so a sweep
+    pays the ``O(d·n²/64)`` table construction once.
+    """
+    return dominated_counts(dataset, None, block=block, prepared=prepared)
 
 
 @dataclass

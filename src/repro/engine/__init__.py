@@ -3,41 +3,73 @@
 Three layers, each consumable on its own:
 
 * :mod:`repro.engine.kernels` — blocked ``(b, n, d)`` NumPy dominance
-  kernels every algorithm's hot path now runs on;
+  kernels and the packed-bitset fast path (count- *and* mask-emitting)
+  every algorithm's hot path now runs on, plus :class:`PreparedDataset`,
+  the reusable per-dataset kernel inputs;
 * :mod:`repro.engine.planner` — the cost model behind
-  ``top_k_dominating(..., algorithm="auto")``;
+  ``top_k_dominating(..., algorithm="auto")``, self-calibrated per
+  machine and refined from observed query runtimes;
 * :mod:`repro.engine.session` — :class:`QueryEngine`, a reusable session
-  that fingerprints datasets and caches preparations and results across
-  repeated/parametrised queries.
+  that fingerprints datasets and caches preparations (including the
+  byte-budgeted, process-wide :class:`PreparedDatasetCache` of bitset
+  tables) and results across repeated/parametrised queries, with
+  ``query_many(..., workers=N)`` process-pool sharding.
 """
 
 from .kernels import (
+    PreparedDataset,
     auto_block,
     dominance_matrix_blocked,
     dominated_counts,
+    dominated_masks,
     dominator_counts,
     incomparable_counts,
     max_bit_score_counts,
     score_block,
+    unpack_mask_bits,
     upper_bound_scores,
 )
-from .planner import QueryPlan, estimate_costs, explain_plan, plan_query
-from .session import EngineStats, QueryEngine, dataset_fingerprint
+from .planner import (
+    Calibration,
+    QueryPlan,
+    calibration,
+    estimate_costs,
+    explain_plan,
+    plan_query,
+    record_observation,
+)
+from .session import (
+    EngineStats,
+    PreparedDatasetCache,
+    QueryEngine,
+    dataset_fingerprint,
+    default_engine,
+    shared_prepared,
+)
 
 __all__ = [
     "score_block",
     "dominated_counts",
+    "dominated_masks",
     "dominator_counts",
     "incomparable_counts",
     "max_bit_score_counts",
     "upper_bound_scores",
     "dominance_matrix_blocked",
+    "unpack_mask_bits",
     "auto_block",
+    "PreparedDataset",
     "QueryPlan",
+    "Calibration",
+    "calibration",
     "estimate_costs",
     "plan_query",
     "explain_plan",
+    "record_observation",
     "QueryEngine",
     "EngineStats",
+    "PreparedDatasetCache",
     "dataset_fingerprint",
+    "default_engine",
+    "shared_prepared",
 ]

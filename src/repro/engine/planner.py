@@ -11,9 +11,16 @@ choice onto the caller; :func:`plan_query` makes it from a cost model over
 The model prices two kinds of work, calibrated for the NumPy kernels in
 :mod:`repro.engine.kernels`:
 
-* vectorised element traffic (``_VEC`` seconds per boolean element), and
-* per-object Python steps (``_STEP`` seconds each — queue pops, bitmap
+* vectorised element traffic (seconds per boolean element), and
+* per-object Python steps (seconds each — queue pops, bitmap
   intersections, candidate-set updates).
+
+The two constants start from hand-fitted defaults, are re-measured once
+per process by an import-time microbenchmark (:class:`Calibration`,
+clipped so noise rescales but never inverts the model), and are then
+refined per algorithm from observed query runtimes — the
+:class:`~repro.engine.session.QueryEngine` feeds every planned query's
+measured time back through :func:`record_observation`.
 
 Bound-based algorithms score only part of the MaxScore queue; the scanned
 fraction is estimated from ``k/n`` and the missing rate (missing values
@@ -35,22 +42,148 @@ from __future__ import annotations
 
 import inspect
 import math
+import os
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
 
 from ..errors import InvalidParameterError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.dataset import IncompleteDataset
 
-__all__ = ["QueryPlan", "estimate_costs", "plan_query", "explain_plan", "merge_plan_options"]
+__all__ = [
+    "QueryPlan",
+    "Calibration",
+    "calibration",
+    "estimate_costs",
+    "plan_query",
+    "explain_plan",
+    "merge_plan_options",
+    "record_observation",
+    "reset_calibration",
+]
 
-#: Seconds per vectorised boolean element touched by a broadcast kernel.
-_VEC = 2.0e-9
+#: Seconds per vectorised boolean element touched by a broadcast kernel
+#: (hand-fitted default; recalibrated once per process, see Calibration).
+_VEC_DEFAULT = 2.0e-9
 #: Seconds per per-object Python step (queue pop + bound check + offer).
-_STEP = 4.0e-6
+_STEP_DEFAULT = 4.0e-6
+#: Per-iteration cost of the pure-Python reference loop on the machine the
+#: defaults were fitted on; the measured loop rescales _STEP through it.
+_REFERENCE_LOOP_S = 60e-9
 #: Extra per-object steps BIG pays for bitmap intersections and rim checks.
 _BIG_STEP_FACTOR = 6.0
+#: Each calibrated constant may move at most this factor from its default…
+_CAL_CLIP = 2.5
+#: …and the vec/step *ratio* at most this factor, so a noisy microbenchmark
+#: can rescale the model but never flip its regime ordering outright.
+_RATIO_CLIP = 2.0
+#: Observed-runtime feedback bounds the per-algorithm bias multiplier.
+_BIAS_CLIP = (0.5, 2.0)
+#: EWMA weight (in log space) of one observation against the running bias.
+_BIAS_ALPHA = 0.3
+
+
+@dataclass
+class Calibration:
+    """The cost model's machine-dependent constants, per process.
+
+    ``vec``/``step`` start from the hand-fitted defaults and are replaced
+    once, at import time, by a microbenchmark of this machine (clipped —
+    see ``_CAL_CLIP``/``_RATIO_CLIP``). ``bias`` holds per-algorithm
+    multipliers learned from observed query runtimes vs modelled cost
+    (:func:`record_observation`, fed by ``QueryEngine.query``); it starts
+    empty and is bounded by ``_BIAS_CLIP`` so exploration noise cannot run
+    away. Set ``REPRO_PLANNER_CALIBRATION=0`` to pin the defaults.
+    """
+
+    vec: float = _VEC_DEFAULT
+    step: float = _STEP_DEFAULT
+    source: str = "default"
+    bias: dict = field(default_factory=dict)
+
+    def biased(self, algorithm: str, seconds: float) -> float:
+        return seconds * self.bias.get(algorithm, 1.0)
+
+
+_calibration: Calibration | None = None
+
+
+def _measure_vec() -> float:
+    """Seconds per boolean element of a vectorised compare (best of 3)."""
+    elements = 1 << 18
+    a = np.linspace(0.0, 1.0, elements)
+    b = a[::-1].copy()
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        (a <= b).sum()
+        best = min(best, time.perf_counter() - start)
+    return best / elements
+
+
+def _measure_loop() -> float:
+    """Seconds per iteration of a small pure-Python bookkeeping loop."""
+    items = list(range(4096))
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        acc = 0
+        for value in items:
+            if value > acc:
+                acc = value
+        best = min(best, time.perf_counter() - start)
+    return best / len(items)
+
+
+def calibration() -> Calibration:
+    """The process-wide calibration, measuring it on first use."""
+    global _calibration
+    if _calibration is not None:
+        return _calibration
+    if os.environ.get("REPRO_PLANNER_CALIBRATION", "1").lower() in ("0", "false", "off"):
+        _calibration = Calibration()
+        return _calibration
+    try:
+        vec = float(np.clip(_measure_vec(), _VEC_DEFAULT / _CAL_CLIP, _VEC_DEFAULT * _CAL_CLIP))
+        step = _STEP_DEFAULT * (_measure_loop() / _REFERENCE_LOOP_S)
+        step = float(np.clip(step, _STEP_DEFAULT / _CAL_CLIP, _STEP_DEFAULT * _CAL_CLIP))
+        # Bound the relative tilt: pull both constants toward each other
+        # until the vec/step ratio moved at most _RATIO_CLIP from default.
+        ratio = (vec / _VEC_DEFAULT) / (step / _STEP_DEFAULT)
+        if ratio > _RATIO_CLIP or ratio < 1.0 / _RATIO_CLIP:
+            excess = math.sqrt(ratio / _RATIO_CLIP) if ratio > 1 else math.sqrt(ratio * _RATIO_CLIP)
+            vec /= excess
+            step *= excess
+        _calibration = Calibration(vec=vec, step=step, source="microbenchmark")
+    except Exception:  # pragma: no cover - timing must never break planning
+        _calibration = Calibration()
+    return _calibration
+
+
+def reset_calibration() -> None:
+    """Forget measurements and biases (tests; re-measures on next use)."""
+    global _calibration
+    _calibration = None
+
+
+def record_observation(algorithm: str, modelled_seconds: float, measured_seconds: float) -> None:
+    """Feed one observed (modelled, measured) pair back into the model.
+
+    Nudges the per-algorithm bias multiplier by a bounded log-space EWMA;
+    :class:`~repro.engine.session.QueryEngine` calls this after every
+    planned query, so ``algorithm="auto"`` converges toward the machine's
+    actual behaviour instead of the hand-fitted constants.
+    """
+    if modelled_seconds <= 0.0 or measured_seconds <= 0.0:
+        return
+    cal = calibration()
+    previous = cal.bias.get(algorithm, 1.0)
+    nudged = previous * (measured_seconds / modelled_seconds) ** _BIAS_ALPHA
+    cal.bias[algorithm] = float(np.clip(nudged, *_BIAS_CLIP))
 
 #: Algorithms the planner will choose between. Deliberately the paper's
 #: core trio + Naive: the alternative-index algorithms (mosaic/brtree/
@@ -113,18 +246,20 @@ def estimate_costs(
         raise InvalidParameterError(f"missing_rate must lie in [0, 1], got {missing_rate}")
     repeats = max(int(repeats), 1)
     prepared = frozenset(prepared)
+    cal = calibration()
+    vec, step = cal.vec, cal.step
 
     pair_elems = float(n) * n * d
     frac = _scanned_fraction(n, k, missing_rate)
     scanned = frac * n
 
     # Naive: one blocked kernel sweep over all n objects, no preparation.
-    costs = {"naive": _VEC * pair_elems + _STEP * math.ceil(n / 256)}
+    costs = {"naive": vec * pair_elems + step * math.ceil(n / 256)}
 
     # UBB: MaxScore queue build (unless prepared), then per-object exact
     # scores down the queue until Heuristic 1 fires.
-    ubb_prep = 0.0 if "ubb" in prepared else (_VEC * n * d * max(math.log2(n), 1.0)) / repeats
-    costs["ubb"] = ubb_prep + scanned * (_STEP + _VEC * n * d)
+    ubb_prep = 0.0 if "ubb" in prepared else (vec * n * d * max(math.log2(n), 1.0)) / repeats
+    costs["ubb"] = ubb_prep + scanned * (step + vec * n * d)
 
     # BIG: bitmap index build is ~one pass per distinct value per dimension
     # (bounded by n but typically the Table 2 cardinality ~100); queries
@@ -133,11 +268,13 @@ def estimate_costs(
     big_prep = (
         0.0
         if "big" in prepared
-        else (_VEC * n * d * effective_cardinality * 0.5) / repeats
+        else (vec * n * d * effective_cardinality * 0.5) / repeats
     )
-    costs["big"] = big_prep + scanned * _STEP * _BIG_STEP_FACTOR + scanned * _VEC * n * 0.1
+    costs["big"] = big_prep + scanned * step * _BIG_STEP_FACTOR + scanned * vec * n * 0.1
 
-    return costs
+    # Observed-runtime feedback: bounded per-algorithm multipliers learned
+    # from QueryStats history (see record_observation).
+    return {name: cal.biased(name, seconds) for name, seconds in costs.items()}
 
 
 def plan_query(
@@ -226,3 +363,8 @@ def supported_options(algorithm_cls: type, options: Mapping) -> dict:
     if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
         return dict(options)
     return {name: value for name, value in options.items() if name in parameters}
+
+
+# One-shot import-time calibration: ~2 ms of microbenchmarks replace the
+# hand-fitted constants with this machine's, before the first plan is made.
+calibration()

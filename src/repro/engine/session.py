@@ -17,9 +17,16 @@ the session object that makes the amortisation real:
 * **result cache** — an LRU over (dataset, k, algorithm, options)
   answering repeated queries in O(1) (deterministic tie-breaking only;
   ``tie_break="random"`` always executes);
+* **prepared-dataset cache** — one :class:`~repro.engine.kernels.PreparedDataset`
+  (lo/hi sentinel arrays, packed bitset tables, observed bitsets) per
+  dataset fingerprint in a byte-budgeted LRU shared by every engine *and*
+  by module-level kernel calls (``score_all``, ``dominance_matrix``, the
+  MFD operator) through :func:`shared_prepared` — repeated full scans
+  build their ``O(d·n²/8)`` tables once;
 * **batch API** — :meth:`QueryEngine.query_many` runs a parametrised
   sweep (the Fig. 12–17 loops, a leaderboard's k-ladder) against shared
-  preparations.
+  preparations, optionally sharded across a process pool
+  (``workers=N``) with results merged back into the result LRU.
 
 Usage::
 
@@ -27,21 +34,40 @@ Usage::
     for k in (4, 8, 16, 32, 64):
         result = engine.query(dataset, k)          # one preparation total
     results = engine.query_many([(dataset, 2), (dataset, 8)])
+    results = engine.query_many(sweep, workers=4)  # process-pool sharding
     print(engine.stats.summary())
 """
 
 from __future__ import annotations
 
 import hashlib
+import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..errors import InvalidParameterError
-from .planner import QueryPlan, merge_plan_options, plan_query, supported_options
+from .kernels import PreparedDataset
+from .planner import (
+    QueryPlan,
+    merge_plan_options,
+    plan_query,
+    record_observation,
+    supported_options,
+)
 
-__all__ = ["QueryEngine", "EngineStats", "dataset_fingerprint"]
+__all__ = [
+    "QueryEngine",
+    "EngineStats",
+    "PreparedDatasetCache",
+    "dataset_fingerprint",
+    "default_engine",
+    "shared_prepared",
+]
+
+#: Byte budget of the process-wide shared :class:`PreparedDatasetCache`.
+_SHARED_CACHE_BUDGET_BYTES = 256 * 1024 * 1024
 
 
 def dataset_fingerprint(dataset) -> str:
@@ -95,6 +121,15 @@ class EngineStats:
         answered = self.result_hits + self.result_misses
         return self.result_hits / answered if answered else 0.0
 
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another engine's counters in (used by parallel query_many)."""
+        self.queries += other.queries
+        self.result_hits += other.result_hits
+        self.result_misses += other.result_misses
+        self.prepared_hits += other.prepared_hits
+        self.prepared_misses += other.prepared_misses
+        self.evictions += other.evictions
+
     def summary(self) -> str:
         return (
             f"engine: {self.queries} queries, "
@@ -141,6 +176,92 @@ class _LRU:
         self._data.clear()
 
 
+class PreparedDatasetCache:
+    """Fingerprint-keyed, byte-budgeted LRU of :class:`PreparedDataset`.
+
+    Entries are content-addressed (the dataset fingerprint), so the cache
+    is safe to share across engines and with module-level kernel calls —
+    equal-content datasets reuse one entry, different content can never
+    collide. The budget is enforced against the entries' *current*
+    ``nbytes`` on every access: a `PreparedDataset` grows when its lazy
+    bitset tables are built, and the next access sheds least-recently-used
+    entries until the total fits again. A single entry larger than the
+    whole budget is kept (evicting it would only thrash rebuilds).
+    """
+
+    def __init__(self, max_bytes: int = _SHARED_CACHE_BUDGET_BYTES) -> None:
+        if max_bytes <= 0:
+            raise InvalidParameterError(f"cache budget must be >= 1 byte, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._data: OrderedDict[str, PreparedDataset] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._data
+
+    @property
+    def total_bytes(self) -> int:
+        """Current footprint of all entries (lazy tables included)."""
+        return sum(entry.nbytes for entry in self._data.values())
+
+    def get_or_create(self, dataset, fingerprint: str) -> PreparedDataset:
+        """Fetch the entry for *fingerprint*, building it on first sight."""
+        entry = self._data.get(fingerprint)
+        if entry is not None:
+            self._data.move_to_end(fingerprint)
+            self.hits += 1
+        else:
+            entry = PreparedDataset(dataset)
+            self._data[fingerprint] = entry
+            self.misses += 1
+        self._enforce()
+        return entry
+
+    def _enforce(self) -> None:
+        while len(self._data) > 1 and self.total_bytes > self.max_bytes:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PreparedDatasetCache entries={len(self._data)} "
+            f"bytes={self.total_bytes}/{self.max_bytes}>"
+        )
+
+
+#: The process-wide prepared-dataset cache every engine defaults to.
+_shared_dataset_cache = PreparedDatasetCache()
+
+#: Lazily created engine behind the module-level kernel shim.
+_default_engine: "QueryEngine | None" = None
+
+
+def default_engine() -> "QueryEngine":
+    """The session serving module-level calls (one per process, lazy)."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = QueryEngine()
+    return _default_engine
+
+
+def shared_prepared(dataset) -> PreparedDataset:
+    """Module-level shim: prepared kernel inputs from the default session.
+
+    :func:`repro.engine.kernels._shared_prepared` calls this so that
+    one-shot APIs (``score_all``, ``dominance_matrix``, ``mfd_scores``)
+    hit the same fingerprint-keyed cache a :class:`QueryEngine` fills.
+    """
+    return default_engine().prepare_dataset(dataset)
+
+
 class QueryEngine:
     """A session that amortises preparation and caching across TKD queries.
 
@@ -149,13 +270,29 @@ class QueryEngine:
     max_prepared: LRU capacity for prepared algorithm instances (each may
         hold an index; bound this by available memory).
     max_results: LRU capacity for cached query results (small objects).
+    dataset_cache: the :class:`PreparedDatasetCache` serving kernel-level
+        structures; defaults to the process-wide shared cache so engines
+        and module-level calls reuse one set of bitset tables. Pass a
+        private instance to isolate (or differently budget) a session.
     """
 
-    def __init__(self, *, max_prepared: int = 16, max_results: int = 256) -> None:
+    def __init__(
+        self,
+        *,
+        max_prepared: int = 16,
+        max_results: int = 256,
+        dataset_cache: PreparedDatasetCache | None = None,
+    ) -> None:
         self._prepared = _LRU(max_prepared)
         self._results = _LRU(max_results)
+        self._dataset_cache = _shared_dataset_cache if dataset_cache is None else dataset_cache
         self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
         self.stats = EngineStats()
+
+    @property
+    def dataset_cache(self) -> PreparedDatasetCache:
+        """The prepared-dataset cache this session reads and fills."""
+        return self._dataset_cache
 
     # -- identity -----------------------------------------------------------
 
@@ -196,6 +333,16 @@ class QueryEngine:
 
     # -- execution ----------------------------------------------------------
 
+    def prepare_dataset(self, dataset) -> PreparedDataset:
+        """Kernel-level prepared structures for *dataset*, cache-backed.
+
+        Returns the fingerprint-keyed :class:`PreparedDataset` (lo/hi
+        sentinels eagerly, bitset tables lazily) every kernel call on this
+        dataset's content will reuse — including module-level calls, since
+        the default cache is process-wide.
+        """
+        return self._dataset_cache.get_or_create(dataset, self.fingerprint(dataset))
+
     def prepared(self, dataset, algorithm: str, **options):
         """Fetch (or build and cache) a prepared algorithm instance."""
         from ..core.query import make_algorithm  # deferred: core imports the engine
@@ -229,14 +376,10 @@ class QueryEngine:
         :func:`~repro.core.query.top_k_dominating` but with reuse.
         """
         self.stats.queries += 1
+        plan = None
         if algorithm.lower() == "auto":
-            from ..core.query import ALGORITHMS  # deferred: core imports the engine
-
             plan = self.plan(dataset, k, repeats=repeats)
-            algorithm = plan.algorithm
-            # Keep only the options the planned algorithm understands (the
-            # caller may have passed options meant for another family).
-            options = supported_options(ALGORITHMS[algorithm], merge_plan_options(plan, options))
+            algorithm, options = self._apply_plan(plan, options)
 
         cacheable = tie_break == "index"
         result_key = None
@@ -253,32 +396,140 @@ class QueryEngine:
                 return cached
             self.stats.result_misses += 1
 
+        # Time preparation + query together: the plan's estimate charges
+        # preparation exactly when this session has not prepared the
+        # algorithm yet, so the observation must cover the same work.
+        start = time.perf_counter()
         instance = self.prepared(dataset, algorithm, **options)
         result = instance.query(k, tie_break=tie_break, rng=rng)
+        elapsed = time.perf_counter() - start
+        if plan is not None:
+            # Close the planner's loop: observed runtime vs modelled cost
+            # nudges the per-algorithm bias for the rest of the process.
+            record_observation(plan.algorithm, plan.estimated_seconds, elapsed)
         if cacheable:
             self.stats.evictions += self._results.put(result_key, result)
         return result
 
-    def query_many(self, requests: Iterable, *, algorithm: str = "auto", **common_options):
+    @staticmethod
+    def _apply_plan(plan: QueryPlan, options: dict) -> tuple[str, dict]:
+        """Resolve a plan into an explicit (algorithm, options) pair.
+
+        Keeps only the options the planned algorithm understands (the
+        caller may have passed options meant for another family).
+        """
+        from ..core.query import ALGORITHMS  # deferred: core imports the engine
+
+        algorithm = plan.algorithm
+        return algorithm, supported_options(
+            ALGORITHMS[algorithm], merge_plan_options(plan, options)
+        )
+
+    def query_many(
+        self,
+        requests: Iterable,
+        *,
+        algorithm: str = "auto",
+        workers: int | None = None,
+        **common_options,
+    ):
         """Answer a batch of queries against shared preparations.
 
         Each request is ``(dataset, k)``, ``(dataset, k, algorithm)`` or a
         dict with ``dataset``/``k`` and optional ``algorithm``/``options``.
         The expected repeat count handed to the planner is the batch size,
         so index builds amortised across the sweep are priced as such.
+        ``algorithm="auto"`` requests are resolved against this session's
+        cache state *before* execution begins, so the chosen algorithms —
+        and therefore the answers — do not depend on *workers*.
+
+        ``workers=N`` (opt-in, N >= 2) shards the batch across a process
+        pool: each worker rebuilds its preparations fork-safely in its own
+        session, and the parent merges results (and worker cache counters)
+        back into this engine's LRU result cache. Requests the parent can
+        already answer from cache are never shipped. Answers are
+        bit-identical to the sequential path under deterministic
+        tie-breaking.
         """
         materialised = [self._coerce_request(req, algorithm) for req in requests]
         repeats = max(len(materialised), 1)
-        return [
-            self.query(
-                dataset,
-                k,
-                algorithm=request_algorithm,
-                repeats=repeats,
-                **{**common_options, **request_options},
-            )
-            for dataset, k, request_algorithm, request_options in materialised
-        ]
+        resolved = []
+        for dataset, k, request_algorithm, request_options in materialised:
+            options = {**common_options, **request_options}
+            if request_algorithm.lower() == "auto":
+                request_algorithm, options = self._apply_plan(
+                    self.plan(dataset, k, repeats=repeats), options
+                )
+            resolved.append((dataset, k, request_algorithm, options))
+
+        if workers is not None and int(workers) < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        if workers is None or int(workers) <= 1 or len(resolved) <= 1:
+            return [
+                self.query(dataset, k, algorithm=request_algorithm, **options)
+                for dataset, k, request_algorithm, options in resolved
+            ]
+        return self._query_many_parallel(resolved, int(workers))
+
+    def _query_many_parallel(self, resolved: list, workers: int) -> list:
+        """Shard resolved requests across a process pool; merge caches."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        results: list = [None] * len(resolved)
+        pending: list[int] = []
+        keys: list[tuple | None] = [None] * len(resolved)
+        for position, (dataset, k, request_algorithm, options) in enumerate(resolved):
+            self.stats.queries += 1
+            tie_break = options.get("tie_break", "index")
+            if tie_break == "index":
+                # Mirror query(): tie_break/rng/repeats bind to named
+                # parameters there and never reach the cache key.
+                constructor_options = {
+                    name: value
+                    for name, value in options.items()
+                    if name not in ("tie_break", "rng", "repeats")
+                }
+                keys[position] = (
+                    self.fingerprint(dataset),
+                    int(k),
+                    request_algorithm.lower(),
+                    _options_key(constructor_options),
+                )
+                cached = self._results.get(keys[position])
+                if cached is not None:
+                    self.stats.result_hits += 1
+                    results[position] = cached
+                    continue
+                # Mirror query(): only cacheable queries count hits/misses.
+                self.stats.result_misses += 1
+            pending.append(position)
+
+        if pending:
+            shard_count = min(workers, len(pending))
+            # Contiguous shards keep a sweep's repeated datasets on one
+            # worker, so each dataset is pickled and prepared once there.
+            base, extra = divmod(len(pending), shard_count)
+            shards, start = [], 0
+            for j in range(shard_count):
+                size = base + (1 if j < extra else 0)
+                if size:
+                    shards.append(pending[start : start + size])
+                start += size
+            payloads = [[resolved[position] for position in shard] for shard in shards]
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                for shard, (answers, worker_stats) in zip(
+                    shards, pool.map(_answer_shard, payloads)
+                ):
+                    # The parent already counted these queries/misses.
+                    worker_stats.queries = 0
+                    worker_stats.result_hits = 0
+                    worker_stats.result_misses = 0
+                    self.stats.merge(worker_stats)
+                    for position, answer in zip(shard, answers):
+                        results[position] = answer
+                        if keys[position] is not None:
+                            self.stats.evictions += self._results.put(keys[position], answer)
+        return results
 
     @staticmethod
     def _coerce_request(request, default_algorithm: str):
@@ -310,9 +561,15 @@ class QueryEngine:
     # -- maintenance --------------------------------------------------------
 
     def clear(self) -> None:
-        """Drop all cached preparations, results and fingerprints."""
+        """Drop all cached preparations, results and fingerprints.
+
+        Also clears this session's prepared-dataset cache — for the
+        default shared cache that drops the process-wide bitset tables,
+        which rebuild transparently on the next eligible kernel call.
+        """
         self._prepared.clear()
         self._results.clear()
+        self._dataset_cache.clear()
         self._fingerprints.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -320,3 +577,20 @@ class QueryEngine:
             f"<QueryEngine prepared={len(self._prepared)}/{self._prepared.capacity} "
             f"results={len(self._results)}/{self._results.capacity}>"
         )
+
+
+def _answer_shard(shard: list) -> tuple[list, EngineStats]:
+    """Process-pool worker: answer one shard in a fresh session.
+
+    Runs in a separate process, so every preparation (indexes, queues,
+    bitset tables) is rebuilt locally — fork-safe by construction, since
+    nothing mutable is shared with the parent. Algorithms arrive already
+    resolved (never ``"auto"``), so the answers cannot depend on this
+    worker's planner state.
+    """
+    engine = QueryEngine(dataset_cache=PreparedDatasetCache())
+    answers = [
+        engine.query(dataset, k, algorithm=algorithm, **options)
+        for dataset, k, algorithm, options in shard
+    ]
+    return answers, engine.stats

@@ -58,6 +58,41 @@ class TestQuery:
         assert code == 0
         capsys.readouterr()
 
+    def test_sweep_k_batches_a_ladder(self, sample_csv, capsys):
+        code = main(
+            ["query", str(sample_csv), "--sweep-k", "2,3", "--id-column", "id",
+             "--algorithm", "naive"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "k=2" in out and "k=3" in out
+        assert "engine:" in out  # session cache summary
+
+    def test_sweep_k_matches_single_queries(self, sample_csv, capsys):
+        from repro import top_k_dominating
+
+        code = main(["query", str(sample_csv), "--sweep-k", "1,2", "--id-column", "id"])
+        out = capsys.readouterr().out
+        assert code == 0
+        dataset = IncompleteDataset.from_csv(sample_csv, id_column="id")
+        for k in (1, 2):
+            expected = top_k_dominating(dataset, k, algorithm="auto")
+            for oid, score in zip(expected.ids, expected.scores):
+                assert f"{oid}({score})" in out
+
+    def test_sweep_k_rejects_bad_values(self, sample_csv, capsys):
+        assert main(["query", str(sample_csv), "--sweep-k", "two", "--id-column", "id"]) == 2
+        assert main(["query", str(sample_csv), "--sweep-k", ",", "--id-column", "id"]) == 2
+        capsys.readouterr()
+
+    def test_workers_requires_sweep(self, sample_csv, capsys):
+        code = main(
+            ["query", str(sample_csv), "--k", "2", "--workers", "2", "--id-column", "id"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--sweep-k" in captured.err
+
     def test_missing_file_is_reported(self, capsys):
         code = main(["query", "/does/not/exist.csv", "--k", "1"])
         assert code == 1

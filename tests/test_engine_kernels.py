@@ -23,13 +23,19 @@ from repro.core.maxscore import max_scores
 from repro.core.big import max_bit_scores
 from repro.bitmap.index import BitmapIndex
 from repro.engine.kernels import (
+    PreparedDataset,
+    _popcount_rows,
+    _popcount_rows_lookup,
+    _use_bitsets,
     auto_block,
     dominance_matrix_blocked,
     dominated_counts,
+    dominated_masks,
     dominator_counts,
     incomparable_counts,
     max_bit_score_counts,
     score_block,
+    unpack_mask_bits,
     upper_bound_scores,
 )
 from repro.errors import InvalidParameterError
@@ -169,6 +175,179 @@ class TestBitsetRoute:
         rows = [0, 5, 650]
         got = dominated_counts(ds, rows)  # batch below threshold: broadcast
         assert got.tolist() == [int(dominated_mask(ds, i).sum()) for i in rows]
+
+
+class TestMaskEmittingRoute:
+    """The packed mask-emitting kernels vs the per-object reference.
+
+    Bit-identical means exactly that: every mask row of the bitset route
+    must equal ``dominated_mask``/``dominator_mask``, across a
+    missing-rate grid that includes near-all-missing rows, duplicate
+    cohorts and a fully missing column.
+    """
+
+    #: Missing-rate grid crossing the bitset thresholds (n >= 512).
+    MASK_GRID = [(600, 4, 0.0, 0), (640, 5, 0.25, 1), (700, 3, 0.6, 2), (560, 6, 0.95, 3)]
+
+    @pytest.mark.parametrize("n,d,missing_rate,seed", MASK_GRID)
+    def test_masks_bit_identical(self, make_incomplete, n, d, missing_rate, seed):
+        ds = make_incomplete(n, d, missing_rate=missing_rate, seed=seed)
+        prepared = PreparedDataset(ds)
+        tables = prepared.tables(build=True)
+        rows = np.arange(0, ds.n, 13, dtype=np.intp)
+        dominated = unpack_mask_bits(
+            tables.dominated_block_bits(prepared.lo, prepared.hi, rows), ds.n
+        )
+        dominators = unpack_mask_bits(
+            tables.dominator_block_bits(prepared.lo, prepared.hi, rows), ds.n
+        )
+        for position, i in enumerate(rows.tolist()):
+            assert (dominated[position] == dominated_mask(ds, i)).all(), f"row {i}"
+            assert (dominators[position] == dominator_mask(ds, i)).all(), f"row {i}"
+
+    @pytest.mark.parametrize("n,d,missing_rate,seed", MASK_GRID)
+    def test_dominated_masks_function_matches_score_block(
+        self, make_incomplete, n, d, missing_rate, seed
+    ):
+        ds = make_incomplete(n, d, missing_rate=missing_rate, seed=seed)
+        rows = list(range(0, ds.n, 17)) + [ds.n - 1, 0]  # unsorted tail + duplicate
+        via_masks = dominated_masks(ds, rows, prepared=PreparedDataset(ds))
+        via_broadcast = score_block(ds, rows)
+        assert (via_masks == via_broadcast).all()
+
+    def test_duplicate_cohorts_and_ties(self):
+        rows = [[1.0, 1.0]] * 200 + [[2.0, 2.0]] * 200 + [[2.0, None]] * 199 + [[0.5, 0.5]]
+        ds = IncompleteDataset(rows)
+        prepared = PreparedDataset(ds)
+        prepared.tables(build=True)
+        masks = dominated_masks(ds, None, prepared=prepared)
+        for i in range(0, ds.n, 41):
+            assert (masks[i] == dominated_mask(ds, i)).all(), f"row {i}"
+        # Duplicates never dominate each other; the strictly better row
+        # dominates every member of both cohorts it beats.
+        assert masks[0, :200].sum() == 0
+        assert masks[-1].sum() == ds.n - 1
+
+    def test_near_all_missing_rows_and_missing_column(self):
+        # Rows observing exactly one dimension (the closest the model
+        # allows to all-missing) plus one dimension missing everywhere.
+        rng = np.random.default_rng(7)
+        n = 600
+        values = np.full((n, 3), np.nan)
+        observed_dim = rng.integers(0, 2, size=n)  # dim 2 stays all-missing
+        values[np.arange(n), observed_dim] = rng.integers(1, 12, size=n).astype(float)
+        ds = IncompleteDataset(values)
+        assert not ds.observed[:, 2].any()
+        prepared = PreparedDataset(ds)
+        assert prepared.tables(build=True) is not None
+        masks = dominated_masks(ds, None, prepared=prepared)
+        counts = dominated_counts(ds, prepared=prepared)
+        assert (masks.sum(axis=1) == counts).all()
+        for i in range(0, n, 29):
+            assert (masks[i] == dominated_mask(ds, i)).all(), f"row {i}"
+        dominators = dominator_counts(ds, prepared=prepared)
+        for i in range(0, n, 29):
+            assert dominators[i] == int(dominator_mask(ds, i).sum()), f"row {i}"
+
+    def test_dominance_matrix_routes_agree(self, make_incomplete):
+        ds = make_incomplete(620, 4, missing_rate=0.3, seed=9)
+        broadcast = dominance_matrix_blocked(ds, route="broadcast")
+        bitset = dominance_matrix_blocked(ds, route="bitset")
+        auto = dominance_matrix_blocked(ds)
+        assert (bitset == broadcast).all()
+        assert (auto == broadcast).all()
+        # Small datasets may force the bitset route too (private tables).
+        small = make_incomplete(40, 3, missing_rate=0.2, seed=1)
+        assert (
+            dominance_matrix_blocked(small, route="bitset")
+            == dominance_matrix_blocked(small, route="broadcast")
+        ).all()
+
+    def test_invalid_route_rejected(self, make_incomplete):
+        ds = make_incomplete(20, 2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            dominance_matrix_blocked(ds, route="quantum")
+
+    @pytest.mark.parametrize("missing_rate,seed", [(0.0, 0), (0.5, 1), (0.9, 2)])
+    def test_bitset_incomparable_counts(self, make_incomplete, missing_rate, seed):
+        ds = make_incomplete(640, 5, missing_rate=missing_rate, seed=seed)
+        prepared = PreparedDataset(ds)
+        via_bits = incomparable_counts(ds, prepared=prepared)
+        expected = [int(incomparable_mask(ds, i).sum()) for i in range(ds.n)]
+        assert via_bits.tolist() == expected
+
+    @pytest.mark.parametrize("missing_rate,seed", [(0.1, 4), (0.7, 5)])
+    def test_bitset_dominator_counts(self, make_incomplete, missing_rate, seed):
+        ds = make_incomplete(600, 4, missing_rate=missing_rate, seed=seed)
+        prepared = PreparedDataset(ds)
+        prepared.tables(build=True)
+        got = dominator_counts(ds, prepared=prepared)
+        expected = [int(dominator_mask(ds, i).sum()) for i in range(ds.n)]
+        assert got.tolist() == expected
+
+
+class TestPopcountParity:
+    """Both popcount paths (np.bitwise_count and the LUT fallback) agree."""
+
+    def test_random_words(self):
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 2**64, size=(37, 9), dtype=np.uint64)
+        expected = [sum(bin(int(w)).count("1") for w in row) for row in words]
+        assert _popcount_rows(words).tolist() == expected
+        assert _popcount_rows_lookup(words).tolist() == expected
+
+    def test_extremes_and_empty(self):
+        zeros = np.zeros((3, 4), dtype=np.uint64)
+        ones = np.full((3, 4), np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+        assert _popcount_rows(zeros).tolist() == [0, 0, 0]
+        assert _popcount_rows_lookup(zeros).tolist() == [0, 0, 0]
+        assert _popcount_rows(ones).tolist() == [256, 256, 256]
+        assert _popcount_rows_lookup(ones).tolist() == [256, 256, 256]
+        empty = np.zeros((0, 4), dtype=np.uint64)
+        assert _popcount_rows(empty).size == 0
+        assert _popcount_rows_lookup(empty).size == 0
+
+    def test_noncontiguous_input(self):
+        rng = np.random.default_rng(4)
+        words = rng.integers(0, 2**64, size=(10, 8), dtype=np.uint64)[::2, 1::2]
+        assert _popcount_rows(words).tolist() == _popcount_rows_lookup(words).tolist()
+
+
+class TestCachedTableEligibility:
+    """Satellite: cached tables serve small batches instead of broadcast."""
+
+    def test_use_bitsets_cached_flag(self):
+        # Uncached: small batches are ineligible.
+        assert not _use_bitsets(4000, 4, 3)
+        assert not _use_bitsets(300, 4, 300)  # dataset below threshold
+        # Cached: any batch rides the tables (they are already paid for).
+        assert _use_bitsets(4000, 4, 3, cached=True)
+        assert _use_bitsets(300, 4, 1, cached=True)
+        # ...unless the tables could never fit the budget at all.
+        assert not _use_bitsets(10_000_000, 20, 1, cached=True)
+
+    def test_small_batch_uses_cached_tables(self, make_incomplete, monkeypatch):
+        ds = make_incomplete(700, 4, missing_rate=0.3, seed=3)
+        prepared = PreparedDataset(ds)
+        assert prepared.tables(build=True) is not None
+        from repro.engine import kernels
+
+        def broadcast_must_not_run(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("broadcast kernel used despite cached tables")
+
+        monkeypatch.setattr(kernels, "_score_block", broadcast_must_not_run)
+        rows = [0, 5, 650]
+        got = dominated_counts(ds, rows, prepared=prepared)
+        monkeypatch.undo()
+        assert got.tolist() == [int(dominated_mask(ds, i).sum()) for i in rows]
+
+    def test_unbuilt_tables_small_batch_still_broadcasts(self, make_incomplete):
+        ds = make_incomplete(700, 4, missing_rate=0.3, seed=3)
+        prepared = PreparedDataset(ds)
+        assert not prepared.tables_ready
+        got = dominated_counts(ds, [0, 5, 650], prepared=prepared)
+        assert not prepared.tables_ready  # small batch must not build them
+        assert got.tolist() == [int(dominated_mask(ds, i).sum()) for i in [0, 5, 650]]
 
 
 class TestDominanceMatrix:

@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro import IncompleteDataset, QueryEngine, top_k_dominating
-from repro.engine.session import dataset_fingerprint
+from repro.engine.kernels import PreparedDataset
+from repro.engine.session import PreparedDatasetCache, dataset_fingerprint
 from repro.errors import InvalidParameterError
 
 
@@ -164,6 +165,124 @@ class TestQueryMany:
         engine = QueryEngine()
         result = engine.query(ds, 2, enable_h1=False)  # planner picks naive here
         assert len(result) == 2
+
+
+class TestPreparedDatasetCache:
+    def test_prepare_dataset_is_idempotent(self, make_incomplete):
+        ds = make_incomplete(60, 4, missing_rate=0.2, seed=1)
+        engine = QueryEngine(dataset_cache=PreparedDatasetCache())
+        first = engine.prepare_dataset(ds)
+        assert isinstance(first, PreparedDataset)
+        assert engine.prepare_dataset(ds) is first
+
+    def test_equal_content_shares_entry(self, make_incomplete):
+        ds = make_incomplete(50, 3, missing_rate=0.25, seed=2)
+        clone = IncompleteDataset(ds.values, name="clone")
+        engine = QueryEngine(dataset_cache=PreparedDatasetCache())
+        assert engine.prepare_dataset(ds) is engine.prepare_dataset(clone)
+
+    def test_byte_budget_evicts_lru(self, make_incomplete):
+        a = make_incomplete(200, 4, missing_rate=0.2, seed=3)
+        b = make_incomplete(200, 4, missing_rate=0.2, seed=4)
+        # One entry's sentinels are 2*200*4*8 = 12.8 KB; budget fits one.
+        cache = PreparedDatasetCache(max_bytes=20_000)
+        engine = QueryEngine(dataset_cache=cache)
+        entry_a = engine.prepare_dataset(a)
+        engine.prepare_dataset(b)
+        assert len(cache) == 1
+        assert cache.evictions == 1
+        assert engine.prepare_dataset(a) is not entry_a  # rebuilt after eviction
+
+    def test_lazy_table_growth_is_budgeted(self, make_incomplete):
+        a = make_incomplete(600, 3, missing_rate=0.2, seed=5)
+        b = make_incomplete(600, 3, missing_rate=0.2, seed=6)
+        cache = PreparedDatasetCache(max_bytes=100_000)  # sentinels fit, tables don't
+        engine = QueryEngine(dataset_cache=cache)
+        prepared_a = engine.prepare_dataset(a)
+        prepared_a.tables(build=True)
+        assert prepared_a.nbytes > cache.max_bytes  # grew past the budget...
+        engine.prepare_dataset(b)  # ...so the next access sheds it
+        assert len(cache) == 1
+        assert dataset_fingerprint(a) not in cache
+
+    def test_single_oversized_entry_is_kept(self, make_incomplete):
+        ds = make_incomplete(100, 4, missing_rate=0.2, seed=7)
+        cache = PreparedDatasetCache(max_bytes=10)
+        engine = QueryEngine(dataset_cache=cache)
+        engine.prepare_dataset(ds)
+        assert len(cache) == 1  # evicting the only entry would just thrash
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PreparedDatasetCache(max_bytes=0)
+
+    def test_clear_drops_dataset_cache(self, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.2, seed=8)
+        cache = PreparedDatasetCache()
+        engine = QueryEngine(dataset_cache=cache)
+        engine.prepare_dataset(ds)
+        engine.clear()
+        assert len(cache) == 0
+
+
+class TestQueryManyWorkers:
+    def _sweep(self, make_incomplete):
+        datasets = [
+            make_incomplete(220, 4, missing_rate=0.15, seed=20),
+            make_incomplete(220, 4, missing_rate=0.15, seed=21),
+        ]
+        return [
+            (ds, k, algorithm)
+            for ds in datasets
+            for algorithm in ("ubb", "big")
+            for k in (2, 4, 8)
+        ]
+
+    def test_workers_bit_identical_to_sequential(self, make_incomplete):
+        requests = self._sweep(make_incomplete)
+        sequential = QueryEngine().query_many(requests, workers=1)
+        parallel = QueryEngine().query_many(requests, workers=2)
+        for left, right in zip(sequential, parallel):
+            assert left.indices == right.indices
+            assert left.scores == right.scores
+            assert left.ids == right.ids
+
+    def test_workers_merge_into_result_cache(self, make_incomplete):
+        requests = self._sweep(make_incomplete)
+        engine = QueryEngine()
+        results = engine.query_many(requests, workers=2)
+        assert engine.stats.result_misses == len(requests)
+        # Re-answering any request is now a parent-side cache hit.
+        ds, k, algorithm = requests[0]
+        assert engine.query(ds, k, algorithm=algorithm) is results[0]
+        assert engine.stats.result_hits == 1
+
+    def test_parallel_path_serves_parent_cache_first(self, make_incomplete):
+        requests = self._sweep(make_incomplete)
+        engine = QueryEngine()
+        first = engine.query_many(requests, workers=2)
+        second = engine.query_many(requests, workers=2)
+        assert all(a is b for a, b in zip(first, second))  # nothing re-shipped
+        assert engine.stats.result_hits == len(requests)
+
+    def test_auto_resolution_is_worker_independent(self, make_incomplete):
+        ds = make_incomplete(150, 4, missing_rate=0.2, seed=22)
+        requests = [(ds, k) for k in (1, 2, 3, 4)]
+        sequential = QueryEngine().query_many(requests, workers=1)
+        parallel = QueryEngine().query_many(requests, workers=2)
+        for left, right in zip(sequential, parallel):
+            assert left.score_multiset == right.score_multiset
+            assert left.indices == right.indices
+
+    def test_invalid_workers_rejected(self, make_incomplete):
+        ds = make_incomplete(20, 2, seed=0)
+        with pytest.raises(InvalidParameterError):
+            QueryEngine().query_many([(ds, 2), (ds, 3)], workers=0)
+
+    def test_single_request_stays_in_process(self, make_incomplete):
+        ds = make_incomplete(30, 3, missing_rate=0.1, seed=23)
+        results = QueryEngine().query_many([(ds, 2)], workers=4)
+        assert len(results) == 1 and len(results[0]) == 2
 
 
 class TestEngineStats:
