@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Persistent-store round-trip smoke: populate → new process → warm hits.
+
+Drives the acceptance scenario of the store layer end to end, across
+real process boundaries:
+
+1. **Process A** runs ``repro query data.csv --sweep-k ... --store DIR``
+   and must report every answer written to the store (cold run).
+2. **Process B** repeats the identical invocation and must report every
+   answer served warm from the store (no algorithm re-execution for the
+   cached keys) with *bit-identical* answer lines.
+3. **Process C** runs ``repro cache stats`` and must see the persisted
+   entries and planner calibration.
+
+Run:  PYTHONPATH=src python benchmarks/bench_store_roundtrip.py
+      PYTHONPATH=src python benchmarks/bench_store_roundtrip.py --n 300
+
+Exits 1 when the warm run missed the store, 2 when the answers differ
+between processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.datasets.synthetic import independent_dataset
+
+
+def run_cli(argv: list[str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
+def answer_lines(stdout: str) -> list[str]:
+    return [line for line in stdout.splitlines() if line.startswith("k=")]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=600, help="dataset size")
+    parser.add_argument("--dim", type=int, default=4)
+    parser.add_argument("--sweep", default="4,8,16,32")
+    args = parser.parse_args()
+
+    sweep = [int(token) for token in args.sweep.split(",")]
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "data.csv"
+        store_dir = Path(tmp) / "store"
+        dataset = independent_dataset(args.n, args.dim, missing_rate=0.15, seed=0)
+        dataset.to_csv(csv_path)
+
+        argv = [
+            "query",
+            str(csv_path),
+            "--id-column",
+            "id",
+            "--sweep-k",
+            args.sweep,
+            "--store",
+            str(store_dir),
+        ]
+
+        cold = run_cli(argv)
+        print(cold.stdout, end="")
+        if cold.returncode != 0:
+            print(cold.stderr, file=sys.stderr)
+            return cold.returncode
+        expected_cold = f"store 0/{len(sweep)} warm ({len(sweep)} written)"
+        if expected_cold not in cold.stdout:
+            print(f"FAIL: cold run did not report {expected_cold!r}", file=sys.stderr)
+            return 1
+
+        warm = run_cli(argv)
+        print(warm.stdout, end="")
+        if warm.returncode != 0:
+            print(warm.stderr, file=sys.stderr)
+            return warm.returncode
+        expected_warm = f"store {len(sweep)}/{len(sweep)} warm (0 written)"
+        if expected_warm not in warm.stdout:
+            print(f"FAIL: warm run did not report {expected_warm!r}", file=sys.stderr)
+            return 1
+
+        if answer_lines(cold.stdout) != answer_lines(warm.stdout):
+            print("FAIL: warm answers differ from cold answers", file=sys.stderr)
+            return 2
+
+        stats = run_cli(["cache", "stats", "--dir", str(store_dir)])
+        print(stats.stdout, end="")
+        if stats.returncode != 0 or f"{len(sweep)} result entries" not in stats.stdout:
+            print("FAIL: cache stats did not see the persisted entries", file=sys.stderr)
+            return 1
+        if "planner calibration present" not in stats.stdout:
+            print("FAIL: planner calibration was not persisted", file=sys.stderr)
+            return 1
+
+    print(f"OK: {len(sweep)}-point sweep round-tripped warm across processes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,7 +51,7 @@ from .core.score import score_all, score_one
 from .core.stats import QueryStats
 from .core.streaming import StreamingTKD
 from .core.subspace import subspace_tkd
-from .engine import QueryEngine, QueryPlan, plan_query
+from .engine import PersistentStore, QueryEngine, QueryPlan, plan_query
 from .errors import (
     DataError,
     InvalidParameterError,
@@ -77,6 +77,7 @@ __all__ = [
     "ALGORITHMS",
     "QueryEngine",
     "QueryPlan",
+    "PersistentStore",
     "plan_query",
     "TKDResult",
     "QueryStats",

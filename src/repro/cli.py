@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the library's everyday workflow:
+Six subcommands cover the library's everyday workflow:
 
 * ``query``    — answer a TKD query over a CSV file;
 * ``info``     — dataset statistics (shape, missing rate, domains);
@@ -8,7 +8,9 @@ Five subcommands cover the library's everyday workflow:
 * ``compress`` — report codec sizes/ratios for a dataset's bitmap index
   (the Fig. 10 measurement, for any CSV);
 * ``experiment`` — regenerate a paper figure/table (delegates to
-  :mod:`repro.experiments.figures`).
+  :mod:`repro.experiments.figures`);
+* ``cache``    — inspect, clear, or locate the persistent store
+  (:mod:`repro.engine.store`).
 
 Examples::
 
@@ -16,6 +18,8 @@ Examples::
     python -m repro info data.csv
     python -m repro query data.csv --k 5 --algorithm big
     python -m repro query data.csv --sweep-k 4,8,16,32 --workers 2
+    python -m repro query data.csv --sweep-k 4,8,16,32 --store .repro-cache
+    python -m repro cache stats --dir .repro-cache
     python -m repro compress data.csv --schemes wah,concise,roaring
     python -m repro experiment --experiment fig18 --scale 0.02
 """
@@ -23,6 +27,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import __version__
@@ -71,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard a --sweep-k batch across N worker processes (default: in-process)",
     )
+    query.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result/planner store directory (default: $REPRO_CACHE_DIR "
+        "when set); repeated runs answer warm from disk",
+    )
     query.add_argument("--id-column", default=None, help="column holding object ids")
     query.add_argument(
         "--directions",
@@ -112,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=None)
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--csv", default=None)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the persistent fingerprint-keyed store"
+    )
+    cache.add_argument("action", choices=("stats", "clear", "path"))
+    cache.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: $REPRO_CACHE_DIR)",
+    )
     return parser
 
 
@@ -143,6 +166,20 @@ def _cmd_query(args) -> int:
         print(explain_plan(dataset, args.k))
         if args.algorithm != "auto":
             print(f"(plan not applied: --algorithm {args.algorithm} was given explicitly)")
+    store_dir = args.store if args.store is not None else os.environ.get("REPRO_CACHE_DIR")
+    if store_dir:
+        # A store makes even one-shot queries engine-backed, so repeated
+        # CLI invocations answer warm from disk.
+        from .engine.session import QueryEngine
+
+        engine = QueryEngine(store=store_dir)
+        result = engine.query(dataset, args.k, algorithm=args.algorithm)
+        engine.flush()
+        print(result.as_table())
+        print()
+        print(result.stats.summary())
+        print(engine.stats.summary())
+        return 0
     result = top_k_dominating(dataset, args.k, algorithm=args.algorithm)
     print(result.as_table())
     print()
@@ -162,7 +199,7 @@ def _run_sweep(args, dataset) -> int:
     if not ks:
         print("error: --sweep-k got no k values", file=sys.stderr)
         return 2
-    engine = QueryEngine()
+    engine = QueryEngine(store=args.store)
     if args.explain:
         print(engine.plan(dataset, ks[0], repeats=len(ks)).summary())
     results = engine.query_many(
@@ -173,6 +210,8 @@ def _run_sweep(args, dataset) -> int:
         print(f"k={k:<4d} {answer}")
     print()
     print(engine.stats.summary())
+    if engine.store is not None:
+        print(engine.store.stats.summary())
     return 0
 
 
@@ -245,12 +284,43 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from .engine.store import PersistentStore
+
+    directory = args.dir if args.dir is not None else os.environ.get("REPRO_CACHE_DIR")
+    if not directory:
+        print(
+            "error: no store directory; pass --dir DIR or set REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    store = PersistentStore(directory)
+    if args.action == "path":
+        print(store.path)
+    elif args.action == "clear":
+        entries = len(store)
+        store.clear()
+        print(f"cleared {entries} result entries (and planner calibration) at {store.path}")
+    else:  # stats
+        print(store.summary())
+        for entry in sorted(
+            store.entries(), key=lambda e: e["rebuild_seconds"], reverse=True
+        )[:20]:
+            fingerprint, k, algorithm, _options = entry["key"]
+            print(
+                f"  {algorithm:>6} k={k:<4d} {entry['bytes']:>7}B "
+                f"rebuild={entry['rebuild_seconds'] * 1e3:.2f}ms  {fingerprint[:12]}…"
+            )
+    return 0
+
+
 _COMMANDS = {
     "query": _cmd_query,
     "info": _cmd_info,
     "generate": _cmd_generate,
     "compress": _cmd_compress,
     "experiment": _cmd_experiment,
+    "cache": _cmd_cache,
 }
 
 

@@ -13,7 +13,11 @@ Three layers, each consumable on its own:
   that fingerprints datasets and caches preparations (including the
   byte-budgeted, process-wide :class:`PreparedDatasetCache` of bitset
   tables) and results across repeated/parametrised queries, with
-  ``query_many(..., workers=N)`` process-pool sharding.
+  ``query_many(..., workers=N)`` process-pool sharding;
+* :mod:`repro.engine.store` — :class:`PersistentStore`, the on-disk
+  fingerprint-keyed cache (results + planner calibration) that makes
+  the session's reuse survive the process (``REPRO_CACHE_DIR`` or
+  ``QueryEngine(store=...)``).
 """
 
 from .kernels import (
@@ -32,7 +36,9 @@ from .kernels import (
 from .planner import (
     Calibration,
     QueryPlan,
+    apply_calibration_state,
     calibration,
+    calibration_state,
     estimate_costs,
     explain_plan,
     plan_query,
@@ -46,6 +52,7 @@ from .session import (
     default_engine,
     shared_prepared,
 )
+from .store import PersistentStore, StoreStats
 
 __all__ = [
     "score_block",
@@ -69,7 +76,11 @@ __all__ = [
     "QueryEngine",
     "EngineStats",
     "PreparedDatasetCache",
+    "PersistentStore",
+    "StoreStats",
     "dataset_fingerprint",
     "default_engine",
     "shared_prepared",
+    "calibration_state",
+    "apply_calibration_state",
 ]

@@ -51,6 +51,8 @@ default-session shim (:func:`_shared_prepared`).
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -340,9 +342,21 @@ class PreparedDataset:
     (:class:`repro.engine.session.PreparedDatasetCache`).
     """
 
-    __slots__ = ("n", "d", "lo", "hi", "observed", "_tables", "_observed_bits", "_tail_mask")
+    __slots__ = (
+        "n",
+        "d",
+        "lo",
+        "hi",
+        "observed",
+        "build_seconds",
+        "_tables",
+        "_observed_bits",
+        "_tail_mask",
+        "_build_lock",
+    )
 
     def __init__(self, dataset: "IncompleteDataset") -> None:
+        start = time.perf_counter()
         self.n = dataset.n
         self.d = dataset.d
         self.lo, self.hi = _bounds(dataset)
@@ -353,6 +367,13 @@ class PreparedDataset:
         self._tables: _BitsetTables | None = None
         self._observed_bits: np.ndarray | None = None
         self._tail_mask: np.ndarray | None = None
+        #: Guards the lazy builds: concurrent threads must not duplicate
+        #: an O(d·n²/64) table build (or observe a half-written entry).
+        self._build_lock = threading.Lock()
+        #: Accumulated seconds spent building this entry (sentinels plus
+        #: any lazy structures) — the *rebuild cost* the session cache's
+        #: cost-aware eviction weighs against the entry's bytes.
+        self.build_seconds = time.perf_counter() - start
 
     @property
     def nbytes(self) -> int:
@@ -368,14 +389,24 @@ class PreparedDataset:
     def tables_ready(self) -> bool:
         return self._tables is not None
 
+    @property
+    def rebuild_cost_per_byte(self) -> float:
+        """Measured build seconds per byte held — the eviction currency."""
+        return self.build_seconds / max(self.nbytes, 1)
+
     def tables(self, *, build: bool = True) -> _BitsetTables | None:
         """The packed bitset tables; built on demand when *build* is true.
 
         Returns ``None`` when the tables are not built and either *build*
         is false or they would exceed the per-table memory budget.
+        Thread-safe: one builder wins, others wait on the build lock.
         """
         if self._tables is None and build and _bitset_table_bytes(self.n, self.d) <= _BITSET_TABLE_BUDGET_BYTES:
-            self._tables = _BitsetTables(self.lo, self.hi)
+            with self._build_lock:
+                if self._tables is None:
+                    start = time.perf_counter()
+                    self._tables = _BitsetTables(self.lo, self.hi)
+                    self.build_seconds += time.perf_counter() - start
         return self._tables
 
     def warm(self, batch: int | None = None) -> "PreparedDataset":
@@ -389,21 +420,27 @@ class PreparedDataset:
     def observed_bits(self) -> tuple[np.ndarray, np.ndarray]:
         """``(d, W)`` packed observed-object bitsets and the valid-bit mask."""
         if self._observed_bits is None:
-            n, d = self.n, self.d
-            words = (n + 63) >> 6
-            bits = np.zeros((d, words), dtype=np.uint64)
-            observed = self.observed
-            arange = np.arange(n)
-            word_idx = arange >> 6
-            bit_val = np.uint64(1) << (arange & 63).astype(np.uint64)
-            for dim in range(d):
-                obs = observed[:, dim]
-                np.bitwise_or.at(bits[dim], word_idx[obs], bit_val[obs])
-            tail = np.full(words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
-            if n & 63:
-                tail[-1] = (np.uint64(1) << np.uint64(n & 63)) - np.uint64(1)
-            self._observed_bits = bits
-            self._tail_mask = tail
+            with self._build_lock:
+                if self._observed_bits is None:
+                    start = time.perf_counter()
+                    n, d = self.n, self.d
+                    words = (n + 63) >> 6
+                    bits = np.zeros((d, words), dtype=np.uint64)
+                    observed = self.observed
+                    arange = np.arange(n)
+                    word_idx = arange >> 6
+                    bit_val = np.uint64(1) << (arange & 63).astype(np.uint64)
+                    for dim in range(d):
+                        obs = observed[:, dim]
+                        np.bitwise_or.at(bits[dim], word_idx[obs], bit_val[obs])
+                    tail = np.full(words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+                    if n & 63:
+                        tail[-1] = (np.uint64(1) << np.uint64(n & 63)) - np.uint64(1)
+                    # Publish the tail mask first: readers key on
+                    # _observed_bits, which is assigned last.
+                    self._tail_mask = tail
+                    self._observed_bits = bits
+                    self.build_seconds += time.perf_counter() - start
         return self._observed_bits, self._tail_mask
 
 

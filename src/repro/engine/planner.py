@@ -43,6 +43,7 @@ from __future__ import annotations
 import inspect
 import math
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
@@ -58,6 +59,8 @@ __all__ = [
     "QueryPlan",
     "Calibration",
     "calibration",
+    "calibration_state",
+    "apply_calibration_state",
     "estimate_costs",
     "plan_query",
     "explain_plan",
@@ -111,6 +114,11 @@ class Calibration:
 
 _calibration: Calibration | None = None
 
+#: Guards the process-wide calibration singleton and its ``bias`` dict —
+#: ``record_observation`` is fed from every planned query, including from
+#: concurrent server threads sharing one process.
+_calibration_lock = threading.RLock()
+
 
 def _measure_vec() -> float:
     """Seconds per boolean element of a vectorised compare (best of 3)."""
@@ -142,32 +150,34 @@ def _measure_loop() -> float:
 def calibration() -> Calibration:
     """The process-wide calibration, measuring it on first use."""
     global _calibration
-    if _calibration is not None:
+    with _calibration_lock:
+        if _calibration is not None:
+            return _calibration
+        if os.environ.get("REPRO_PLANNER_CALIBRATION", "1").lower() in ("0", "false", "off"):
+            _calibration = Calibration()
+            return _calibration
+        try:
+            vec = float(np.clip(_measure_vec(), _VEC_DEFAULT / _CAL_CLIP, _VEC_DEFAULT * _CAL_CLIP))
+            step = _STEP_DEFAULT * (_measure_loop() / _REFERENCE_LOOP_S)
+            step = float(np.clip(step, _STEP_DEFAULT / _CAL_CLIP, _STEP_DEFAULT * _CAL_CLIP))
+            # Bound the relative tilt: pull both constants toward each other
+            # until the vec/step ratio moved at most _RATIO_CLIP from default.
+            ratio = (vec / _VEC_DEFAULT) / (step / _STEP_DEFAULT)
+            if ratio > _RATIO_CLIP or ratio < 1.0 / _RATIO_CLIP:
+                excess = math.sqrt(ratio / _RATIO_CLIP) if ratio > 1 else math.sqrt(ratio * _RATIO_CLIP)
+                vec /= excess
+                step *= excess
+            _calibration = Calibration(vec=vec, step=step, source="microbenchmark")
+        except Exception:  # pragma: no cover - timing must never break planning
+            _calibration = Calibration()
         return _calibration
-    if os.environ.get("REPRO_PLANNER_CALIBRATION", "1").lower() in ("0", "false", "off"):
-        _calibration = Calibration()
-        return _calibration
-    try:
-        vec = float(np.clip(_measure_vec(), _VEC_DEFAULT / _CAL_CLIP, _VEC_DEFAULT * _CAL_CLIP))
-        step = _STEP_DEFAULT * (_measure_loop() / _REFERENCE_LOOP_S)
-        step = float(np.clip(step, _STEP_DEFAULT / _CAL_CLIP, _STEP_DEFAULT * _CAL_CLIP))
-        # Bound the relative tilt: pull both constants toward each other
-        # until the vec/step ratio moved at most _RATIO_CLIP from default.
-        ratio = (vec / _VEC_DEFAULT) / (step / _STEP_DEFAULT)
-        if ratio > _RATIO_CLIP or ratio < 1.0 / _RATIO_CLIP:
-            excess = math.sqrt(ratio / _RATIO_CLIP) if ratio > 1 else math.sqrt(ratio * _RATIO_CLIP)
-            vec /= excess
-            step *= excess
-        _calibration = Calibration(vec=vec, step=step, source="microbenchmark")
-    except Exception:  # pragma: no cover - timing must never break planning
-        _calibration = Calibration()
-    return _calibration
 
 
 def reset_calibration() -> None:
     """Forget measurements and biases (tests; re-measures on next use)."""
     global _calibration
-    _calibration = None
+    with _calibration_lock:
+        _calibration = None
 
 
 def record_observation(algorithm: str, modelled_seconds: float, measured_seconds: float) -> None:
@@ -176,14 +186,59 @@ def record_observation(algorithm: str, modelled_seconds: float, measured_seconds
     Nudges the per-algorithm bias multiplier by a bounded log-space EWMA;
     :class:`~repro.engine.session.QueryEngine` calls this after every
     planned query, so ``algorithm="auto"`` converges toward the machine's
-    actual behaviour instead of the hand-fitted constants.
+    actual behaviour instead of the hand-fitted constants. Thread-safe:
+    the read-nudge-write cycle holds the calibration lock.
     """
     if modelled_seconds <= 0.0 or measured_seconds <= 0.0:
         return
-    cal = calibration()
-    previous = cal.bias.get(algorithm, 1.0)
-    nudged = previous * (measured_seconds / modelled_seconds) ** _BIAS_ALPHA
-    cal.bias[algorithm] = float(np.clip(nudged, *_BIAS_CLIP))
+    with _calibration_lock:
+        cal = calibration()
+        previous = cal.bias.get(algorithm, 1.0)
+        nudged = previous * (measured_seconds / modelled_seconds) ** _BIAS_ALPHA
+        cal.bias[algorithm] = float(np.clip(nudged, *_BIAS_CLIP))
+
+
+def calibration_state() -> dict:
+    """JSON-safe snapshot of the calibration (what the store persists).
+
+    ``vec``/``step`` travel for inspection; ``bias`` is the part worth
+    reusing across processes (see :func:`apply_calibration_state`).
+    """
+    with _calibration_lock:
+        cal = calibration()
+        return {
+            "vec": cal.vec,
+            "step": cal.step,
+            "source": cal.source,
+            "bias": dict(cal.bias),
+        }
+
+
+def apply_calibration_state(state: Mapping) -> None:
+    """Adopt a persisted calibration snapshot into this process.
+
+    Only the learned per-algorithm ``bias`` multipliers are applied
+    (re-clipped defensively), and only for algorithms this process has
+    not observed yet — in-process learning is always fresher than a
+    persisted snapshot, so opening a store mid-process can never regress
+    a bias that ``record_observation`` already refined. ``vec``/``step``
+    stay as this machine's own import-time measurement — they cost ~2 ms
+    to re-measure and adopting another host's constants could mis-rank
+    algorithms outright. Unknown or malformed fields are ignored so a
+    hand-edited store cannot break planning.
+    """
+    bias = state.get("bias") if isinstance(state, Mapping) else None
+    if not isinstance(bias, Mapping):
+        return
+    with _calibration_lock:
+        cal = calibration()
+        for algorithm, value in bias.items():
+            if str(algorithm) in cal.bias:
+                continue
+            try:
+                cal.bias[str(algorithm)] = float(np.clip(float(value), *_BIAS_CLIP))
+            except (TypeError, ValueError):
+                continue
 
 #: Algorithms the planner will choose between. Deliberately the paper's
 #: core trio + Naive: the alternative-index algorithms (mosaic/brtree/

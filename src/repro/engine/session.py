@@ -26,7 +26,15 @@ the session object that makes the amortisation real:
 * **batch API** — :meth:`QueryEngine.query_many` runs a parametrised
   sweep (the Fig. 12–17 loops, a leaderboard's k-ladder) against shared
   preparations, optionally sharded across a process pool
-  (``workers=N``) with results merged back into the result LRU.
+  (``workers=N``) with results merged back into the result LRU;
+* **persistent store** — an optional
+  :class:`~repro.engine.store.PersistentStore` (``store=`` or the
+  ``REPRO_CACHE_DIR`` environment variable) behind the result LRU, so
+  warm answers and learned planner biases survive the process and are
+  shared across concurrent processes (see :mod:`repro.engine.store`).
+
+Sessions and the shared caches are thread-safe; see the class docs for
+the exact locking discipline.
 
 Usage::
 
@@ -41,21 +49,30 @@ Usage::
 from __future__ import annotations
 
 import hashlib
+import os
+import threading
 import time
 import weakref
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from ..errors import InvalidParameterError
 from .kernels import PreparedDataset
 from .planner import (
     QueryPlan,
+    apply_calibration_state,
+    calibration_state,
     merge_plan_options,
     plan_query,
     record_observation,
     supported_options,
 )
+from .store import PersistentStore
 
 __all__ = [
     "QueryEngine",
@@ -69,6 +86,9 @@ __all__ = [
 #: Byte budget of the process-wide shared :class:`PreparedDatasetCache`.
 _SHARED_CACHE_BUDGET_BYTES = 256 * 1024 * 1024
 
+#: Cache-miss sentinel: ``None`` (or any falsy value) must be storable.
+_MISSING = object()
+
 
 def dataset_fingerprint(dataset) -> str:
     """Content hash identifying a dataset's query-relevant state.
@@ -76,11 +96,20 @@ def dataset_fingerprint(dataset) -> str:
     Two datasets with identical values, missing patterns and per-dimension
     directions produce identical TKD answers, so they share a fingerprint;
     ids/names are presentation-only and excluded deliberately.
+
+    Values are canonicalised before hashing so bit-level float artefacts
+    cannot split equal-answer datasets: ``-0.0`` compares equal to ``0.0``
+    in every dominance test (adding ``0.0`` maps it to ``+0.0``), and
+    missing cells are re-stamped with one canonical NaN (their stored
+    payload bits are meaningless — only the observed mask matters).
     """
+    values = dataset.values
+    observed = dataset.observed
+    canonical = np.where(observed, values + 0.0, np.nan)
     digest = hashlib.sha256()
-    digest.update(str(dataset.values.shape).encode())
-    digest.update(dataset.values.tobytes())
-    digest.update(dataset.observed.tobytes())
+    digest.update(str(values.shape).encode())
+    digest.update(canonical.tobytes())
+    digest.update(observed.tobytes())
     digest.update(",".join(dataset.directions).encode())
     return digest.hexdigest()
 
@@ -114,6 +143,10 @@ class EngineStats:
     prepared_hits: int = 0
     prepared_misses: int = 0
     evictions: int = 0
+    #: Warm answers served from / written to the persistent store.
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -129,18 +162,32 @@ class EngineStats:
         self.prepared_hits += other.prepared_hits
         self.prepared_misses += other.prepared_misses
         self.evictions += other.evictions
+        self.store_hits += other.store_hits
+        self.store_misses += other.store_misses
+        self.store_writes += other.store_writes
 
     def summary(self) -> str:
-        return (
+        text = (
             f"engine: {self.queries} queries, "
             f"results {self.result_hits}/{self.result_hits + self.result_misses} cached "
             f"({self.hit_rate:.0%}), "
             f"prepared reused {self.prepared_hits}x, evictions {self.evictions}"
         )
+        if self.store_hits or self.store_misses or self.store_writes:
+            text += (
+                f", store {self.store_hits}/{self.store_hits + self.store_misses} warm"
+                f" ({self.store_writes} written)"
+            )
+        return text
 
 
 class _LRU:
-    """Minimal ordered-dict LRU used for both engine caches."""
+    """Minimal ordered-dict LRU used for both engine caches.
+
+    Lookups distinguish "absent" from "stored a falsy value" through a
+    private sentinel, so ``None``/``0``/``[]`` are first-class cache
+    values and still refresh recency on access.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -154,10 +201,11 @@ class _LRU:
     def __contains__(self, key) -> bool:
         return key in self._data
 
-    def get(self, key):
-        value = self._data.get(key)
-        if value is not None:
-            self._data.move_to_end(key)
+    def get(self, key, default=None):
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._data.move_to_end(key)
         return value
 
     def put(self, key, value) -> int:
@@ -184,9 +232,17 @@ class PreparedDatasetCache:
     equal-content datasets reuse one entry, different content can never
     collide. The budget is enforced against the entries' *current*
     ``nbytes`` on every access: a `PreparedDataset` grows when its lazy
-    bitset tables are built, and the next access sheds least-recently-used
-    entries until the total fits again. A single entry larger than the
-    whole budget is kept (evicting it would only thrash rebuilds).
+    bitset tables are built, and the next access sheds entries until the
+    total fits again. Eviction is *cost-aware*: among every entry but the
+    most recently used, the lowest measured rebuild-seconds-per-byte goes
+    first (ties fall back to least-recently-used order), so cheap
+    sentinel-only entries yield before an expensive ``O(d·n²/64)`` table
+    build. A single entry larger than the whole budget is kept (evicting
+    it would only thrash rebuilds).
+
+    All methods are thread-safe: the process-wide shared instance is hit
+    by every engine *and* by module-level kernel calls, possibly from
+    many server threads at once.
     """
 
     def __init__(self, max_bytes: int = _SHARED_CACHE_BUDGET_BYTES) -> None:
@@ -194,41 +250,68 @@ class PreparedDatasetCache:
             raise InvalidParameterError(f"cache budget must be >= 1 byte, got {max_bytes}")
         self.max_bytes = int(max_bytes)
         self._data: OrderedDict[str, PreparedDataset] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._data
+        with self._lock:
+            return fingerprint in self._data
 
     @property
     def total_bytes(self) -> int:
         """Current footprint of all entries (lazy tables included)."""
+        with self._lock:
+            return self._total_bytes()
+
+    def _total_bytes(self) -> int:
         return sum(entry.nbytes for entry in self._data.values())
 
     def get_or_create(self, dataset, fingerprint: str) -> PreparedDataset:
-        """Fetch the entry for *fingerprint*, building it on first sight."""
-        entry = self._data.get(fingerprint)
-        if entry is not None:
-            self._data.move_to_end(fingerprint)
-            self.hits += 1
-        else:
-            entry = PreparedDataset(dataset)
-            self._data[fingerprint] = entry
-            self.misses += 1
-        self._enforce()
-        return entry
+        """Fetch the entry for *fingerprint*, building it on first sight.
+
+        The (cheap, sentinel-only) build happens under the cache lock so
+        racing threads can never install two entries for one fingerprint;
+        the expensive lazy tables build later, under the entry's own lock.
+        """
+        with self._lock:
+            entry = self._data.get(fingerprint)
+            if entry is not None:
+                self._data.move_to_end(fingerprint)
+                self.hits += 1
+            else:
+                entry = PreparedDataset(dataset)
+                self._data[fingerprint] = entry
+                self.misses += 1
+            self._enforce()
+            return entry
 
     def _enforce(self) -> None:
-        while len(self._data) > 1 and self.total_bytes > self.max_bytes:
-            self._data.popitem(last=False)
+        while len(self._data) > 1 and self._total_bytes() > self.max_bytes:
+            # Spare the most recently used entry (the caller is about to
+            # use it); evict the cheapest rebuild-per-byte among the rest.
+            # min() keeps the first — least recently used — entry on ties.
+            victims = list(self._data.items())[:-1]
+            victim = min(victims, key=lambda kv: kv[1].rebuild_cost_per_byte)[0]
+            del self._data[victim]
             self.evictions += 1
 
     def clear(self) -> None:
-        self._data.clear()
+        """Drop every entry and reset the hit/miss/eviction counters.
+
+        Counters describe the current entry population; carrying them
+        across a clear made post-clear hit rates unreadable.
+        """
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -274,6 +357,15 @@ class QueryEngine:
         structures; defaults to the process-wide shared cache so engines
         and module-level calls reuse one set of bitset tables. Pass a
         private instance to isolate (or differently budget) a session.
+    store: a :class:`~repro.engine.store.PersistentStore` (or a directory
+        path for one) that makes result caching and planner calibration
+        survive the process. Defaults to the ``REPRO_CACHE_DIR``
+        environment variable when set, else no persistence. Opening a
+        store loads its persisted planner biases into this process.
+
+    Sessions are thread-safe: one internal lock guards the caches, the
+    fingerprint memo and the stats counters, and is *released* while an
+    algorithm executes so concurrent queries still run in parallel.
     """
 
     def __init__(
@@ -282,17 +374,38 @@ class QueryEngine:
         max_prepared: int = 16,
         max_results: int = 256,
         dataset_cache: PreparedDatasetCache | None = None,
+        store: "PersistentStore | str | Path | None" = None,
     ) -> None:
         self._prepared = _LRU(max_prepared)
         self._results = _LRU(max_results)
         self._dataset_cache = _shared_dataset_cache if dataset_cache is None else dataset_cache
         self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
+        self._lock = threading.RLock()
+        #: Store writes buffered while a batch is in flight (query_many
+        #: flushes them in one lock + atomic rewrite instead of N).
+        self._store_pending: list[dict] = []
+        self._defer_store_writes = False
         self.stats = EngineStats()
+        if store is None:
+            env_dir = os.environ.get("REPRO_CACHE_DIR")
+            store = env_dir if env_dir else None
+        if isinstance(store, (str, Path)):
+            store = PersistentStore(store)
+        self._store = store
+        if self._store is not None:
+            state = self._store.load_planner()
+            if state:
+                apply_calibration_state(state)
 
     @property
     def dataset_cache(self) -> PreparedDatasetCache:
         """The prepared-dataset cache this session reads and fills."""
         return self._dataset_cache
+
+    @property
+    def store(self) -> "PersistentStore | None":
+        """The persistent store this session reads and fills (if any)."""
+        return self._store
 
     # -- identity -----------------------------------------------------------
 
@@ -305,15 +418,18 @@ class QueryEngine:
         through it, another dataset's cached answers).
         """
         key = id(dataset)
-        entry = self._fingerprints.get(key)
-        if entry is not None and entry[0]() is dataset:
-            return entry[1]
+        with self._lock:
+            entry = self._fingerprints.get(key)
+            if entry is not None and entry[0]() is dataset:
+                return entry[1]
+        # Hash outside the lock: O(n·d) work must not serialize sessions.
         fingerprint = dataset_fingerprint(dataset)
-        # Bound the memo so long-lived engines can't grow unboundedly over
-        # throwaway datasets.
-        if len(self._fingerprints) >= 4 * self._prepared.capacity:
-            self._fingerprints.clear()
-        self._fingerprints[key] = (weakref.ref(dataset), fingerprint)
+        with self._lock:
+            # Bound the memo so long-lived engines can't grow unboundedly
+            # over throwaway datasets.
+            if len(self._fingerprints) >= 4 * self._prepared.capacity:
+                self._fingerprints.clear()
+            self._fingerprints[key] = (weakref.ref(dataset), fingerprint)
         return fingerprint
 
     # -- planning -----------------------------------------------------------
@@ -321,9 +437,10 @@ class QueryEngine:
     def prepared_algorithms(self, dataset) -> tuple[str, ...]:
         """Names of algorithms already prepared for *dataset* in this session."""
         fingerprint = self.fingerprint(dataset)
-        return tuple(
-            sorted({key[1] for key in self._prepared.keys() if key[0] == fingerprint})
-        )
+        with self._lock:
+            return tuple(
+                sorted({key[1] for key in self._prepared.keys() if key[0] == fingerprint})
+            )
 
     def plan(self, dataset, k: int, *, repeats: int = 1) -> QueryPlan:
         """Cost-based plan for one query, aware of this session's caches."""
@@ -343,19 +460,37 @@ class QueryEngine:
         """
         return self._dataset_cache.get_or_create(dataset, self.fingerprint(dataset))
 
+    def result_key(self, dataset, k: int, algorithm: str, **options) -> tuple:
+        """The result-cache/store key of one deterministic query.
+
+        Exposed so out-of-band writers (the experiment harness) can
+        address the same persistent entries :meth:`query` reads.
+        """
+        return (
+            self.fingerprint(dataset),
+            int(k),
+            algorithm.lower(),
+            _options_key(options),
+        )
+
     def prepared(self, dataset, algorithm: str, **options):
         """Fetch (or build and cache) a prepared algorithm instance."""
         from ..core.query import make_algorithm  # deferred: core imports the engine
 
         fingerprint = self.fingerprint(dataset)
         key = (fingerprint, algorithm.lower(), _options_key(options))
-        instance = self._prepared.get(key)
-        if instance is not None:
-            self.stats.prepared_hits += 1
-            return instance
-        self.stats.prepared_misses += 1
+        with self._lock:
+            instance = self._prepared.get(key, _MISSING)
+            if instance is not _MISSING:
+                self.stats.prepared_hits += 1
+                return instance
+            self.stats.prepared_misses += 1
+        # Build outside the lock: preparation may cost seconds and must
+        # not block other sessions' threads. A racing thread may build the
+        # same instance twice; both are valid and the last put wins.
         instance = make_algorithm(dataset, algorithm, **options).prepare()
-        self.stats.evictions += self._prepared.put(key, instance)
+        with self._lock:
+            self.stats.evictions += self._prepared.put(key, instance)
         return instance
 
     def query(
@@ -374,8 +509,14 @@ class QueryEngine:
         ``algorithm="auto"`` resolves through :meth:`plan` (crediting
         already-prepared structures); any explicit name behaves like
         :func:`~repro.core.query.top_k_dominating` but with reuse.
+
+        With a :attr:`store`, cacheable misses fall through to the
+        persistent layer before executing anything, and computed answers
+        are written back with their measured cost (feeding the store's
+        cost-aware eviction).
         """
-        self.stats.queries += 1
+        with self._lock:
+            self.stats.queries += 1
         plan = None
         if algorithm.lower() == "auto":
             plan = self.plan(dataset, k, repeats=repeats)
@@ -390,11 +531,22 @@ class QueryEngine:
                 algorithm.lower(),
                 _options_key(options),
             )
-            cached = self._results.get(result_key)
-            if cached is not None:
-                self.stats.result_hits += 1
-                return cached
-            self.stats.result_misses += 1
+            with self._lock:
+                cached = self._results.get(result_key, _MISSING)
+                if cached is not _MISSING:
+                    self.stats.result_hits += 1
+                    return cached
+                self.stats.result_misses += 1
+            if self._store is not None:
+                stored = self._store.get_result(*result_key)
+                with self._lock:
+                    if stored is not None:
+                        self.stats.store_hits += 1
+                        self.stats.evictions += self._results.put(result_key, stored)
+                    else:
+                        self.stats.store_misses += 1
+                if stored is not None:
+                    return stored
 
         # Time preparation + query together: the plan's estimate charges
         # preparation exactly when this session has not prepared the
@@ -408,7 +560,24 @@ class QueryEngine:
             # nudges the per-algorithm bias for the rest of the process.
             record_observation(plan.algorithm, plan.estimated_seconds, elapsed)
         if cacheable:
-            self.stats.evictions += self._results.put(result_key, result)
+            with self._lock:
+                self.stats.evictions += self._results.put(result_key, result)
+            if self._store is not None:
+                item = {
+                    "fingerprint": result_key[0],
+                    "k": result_key[1],
+                    "algorithm": result_key[2],
+                    "options_key": result_key[3],
+                    "result": result,
+                    "rebuild_seconds": elapsed,
+                }
+                with self._lock:
+                    self.stats.store_writes += 1
+                    deferred = self._defer_store_writes
+                    if deferred:
+                        self._store_pending.append(item)
+                if not deferred:
+                    self._store.put_result(**item)
         return result
 
     @staticmethod
@@ -465,21 +634,56 @@ class QueryEngine:
         if workers is not None and int(workers) < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
         if workers is None or int(workers) <= 1 or len(resolved) <= 1:
-            return [
-                self.query(dataset, k, algorithm=request_algorithm, **options)
-                for dataset, k, request_algorithm, options in resolved
-            ]
-        return self._query_many_parallel(resolved, int(workers))
+            # Buffer store writes so the whole batch lands in one
+            # lock + atomic rewrite instead of one per computed answer.
+            with self._batched_store_writes():
+                results = [
+                    self.query(dataset, k, algorithm=request_algorithm, **options)
+                    for dataset, k, request_algorithm, options in resolved
+                ]
+        else:
+            results = self._query_many_parallel(resolved, int(workers))
+        # A batch is a natural persistence point: the planner biases the
+        # sweep just refined should survive into the next process.
+        self.flush()
+        return results
+
+    @contextmanager
+    def _batched_store_writes(self):
+        """Defer per-query store writes, flushing them as one batch."""
+        if self._store is None:
+            yield
+            return
+        with self._lock:
+            already_deferring = self._defer_store_writes
+            self._defer_store_writes = True
+        try:
+            yield
+        finally:
+            if not already_deferring:
+                with self._lock:
+                    self._defer_store_writes = False
+                    pending, self._store_pending = self._store_pending, []
+                if pending:
+                    self._store.put_results(pending)
 
     def _query_many_parallel(self, resolved: list, workers: int) -> list:
-        """Shard resolved requests across a process pool; merge caches."""
+        """Shard resolved requests across a process pool; merge caches.
+
+        With a :attr:`store`, each shard warm-starts from it twice over:
+        the parent serves every request the store already holds without
+        shipping it, and the workers (which open the same store) write
+        their fresh answers back, so the next run — in *any* process —
+        starts warm.
+        """
         from concurrent.futures import ProcessPoolExecutor
 
         results: list = [None] * len(resolved)
         pending: list[int] = []
         keys: list[tuple | None] = [None] * len(resolved)
         for position, (dataset, k, request_algorithm, options) in enumerate(resolved):
-            self.stats.queries += 1
+            with self._lock:
+                self.stats.queries += 1
             tie_break = options.get("tie_break", "index")
             if tie_break == "index":
                 # Mirror query(): tie_break/rng/repeats bind to named
@@ -495,13 +699,25 @@ class QueryEngine:
                     request_algorithm.lower(),
                     _options_key(constructor_options),
                 )
-                cached = self._results.get(keys[position])
-                if cached is not None:
-                    self.stats.result_hits += 1
-                    results[position] = cached
-                    continue
-                # Mirror query(): only cacheable queries count hits/misses.
-                self.stats.result_misses += 1
+                with self._lock:
+                    cached = self._results.get(keys[position], _MISSING)
+                    if cached is not _MISSING:
+                        self.stats.result_hits += 1
+                        results[position] = cached
+                        continue
+                    # Mirror query(): only cacheable queries count hits/misses.
+                    self.stats.result_misses += 1
+                if self._store is not None:
+                    stored = self._store.get_result(*keys[position])
+                    with self._lock:
+                        if stored is not None:
+                            self.stats.store_hits += 1
+                            self.stats.evictions += self._results.put(keys[position], stored)
+                        else:
+                            self.stats.store_misses += 1
+                    if stored is not None:
+                        results[position] = stored
+                        continue
             pending.append(position)
 
         if pending:
@@ -515,20 +731,30 @@ class QueryEngine:
                 if size:
                     shards.append(pending[start : start + size])
                 start += size
-            payloads = [[resolved[position] for position in shard] for shard in shards]
+            store_dir = str(self._store.directory) if self._store is not None else None
+            payloads = [
+                ([resolved[position] for position in shard], store_dir) for shard in shards
+            ]
             with ProcessPoolExecutor(max_workers=len(shards)) as pool:
                 for shard, (answers, worker_stats) in zip(
                     shards, pool.map(_answer_shard, payloads)
                 ):
-                    # The parent already counted these queries/misses.
+                    # The parent already counted these queries/misses (and
+                    # probed the store itself); keep only the work counters
+                    # the workers actually added, e.g. their store writes.
                     worker_stats.queries = 0
                     worker_stats.result_hits = 0
                     worker_stats.result_misses = 0
-                    self.stats.merge(worker_stats)
-                    for position, answer in zip(shard, answers):
-                        results[position] = answer
-                        if keys[position] is not None:
-                            self.stats.evictions += self._results.put(keys[position], answer)
+                    worker_stats.store_hits = 0
+                    worker_stats.store_misses = 0
+                    with self._lock:
+                        self.stats.merge(worker_stats)
+                        for position, answer in zip(shard, answers):
+                            results[position] = answer
+                            if keys[position] is not None:
+                                self.stats.evictions += self._results.put(
+                                    keys[position], answer
+                                )
         return results
 
     @staticmethod
@@ -560,17 +786,34 @@ class QueryEngine:
 
     # -- maintenance --------------------------------------------------------
 
-    def clear(self) -> None:
-        """Drop all cached preparations, results and fingerprints.
+    def clear(self, *, shared: bool = False) -> None:
+        """Drop this session's cached preparations, results and fingerprints.
 
-        Also clears this session's prepared-dataset cache — for the
-        default shared cache that drops the process-wide bitset tables,
-        which rebuild transparently on the next eligible kernel call.
+        Session-owned state only by default: the *process-wide shared*
+        prepared-dataset cache is left alone — other sessions (and
+        module-level kernel calls) may be serving from it — unless
+        ``shared=True`` requests the old scorched-earth behaviour. A
+        private ``dataset_cache`` passed at construction is session-owned
+        and always cleared. The persistent store is never touched here;
+        use :meth:`PersistentStore.clear` (or ``repro cache clear``).
         """
-        self._prepared.clear()
-        self._results.clear()
-        self._dataset_cache.clear()
-        self._fingerprints.clear()
+        with self._lock:
+            self._prepared.clear()
+            self._results.clear()
+            self._fingerprints.clear()
+        if shared or self._dataset_cache is not _shared_dataset_cache:
+            self._dataset_cache.clear()
+
+    def flush(self) -> None:
+        """Persist the planner calibration to the store (no-op without one).
+
+        Result entries are written as they are computed; the calibration
+        snapshot is flushed here (and automatically at the end of every
+        :meth:`query_many` batch) to keep store writes off the per-query
+        path.
+        """
+        if self._store is not None:
+            self._store.save_planner(calibration_state())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -579,18 +822,22 @@ class QueryEngine:
         )
 
 
-def _answer_shard(shard: list) -> tuple[list, EngineStats]:
+def _answer_shard(payload: tuple) -> tuple[list, EngineStats]:
     """Process-pool worker: answer one shard in a fresh session.
 
     Runs in a separate process, so every preparation (indexes, queues,
     bitset tables) is rebuilt locally — fork-safe by construction, since
     nothing mutable is shared with the parent. Algorithms arrive already
     resolved (never ``"auto"``), so the answers cannot depend on this
-    worker's planner state.
+    worker's planner state. When the parent has a store, the worker opens
+    the same directory (advisory locking makes the concurrent writers
+    safe) and persists its answers as one batch at shard end.
     """
-    engine = QueryEngine(dataset_cache=PreparedDatasetCache())
-    answers = [
-        engine.query(dataset, k, algorithm=algorithm, **options)
-        for dataset, k, algorithm, options in shard
-    ]
+    shard, store_dir = payload
+    engine = QueryEngine(dataset_cache=PreparedDatasetCache(), store=store_dir)
+    with engine._batched_store_writes():
+        answers = [
+            engine.query(dataset, k, algorithm=algorithm, **options)
+            for dataset, k, algorithm, options in shard
+        ]
     return answers, engine.stats

@@ -1,0 +1,444 @@
+"""Persistent, fingerprint-keyed cross-process cache (the store layer).
+
+The paper charges preprocessing (Table 3) separately from query cost
+(Figs. 12–17) because one preparation serves many queries — but in-memory
+caches make that amortisation die with the process: every
+``query_many(workers=N)`` worker rebuilt everything, and the parent's
+result cache evaporated on exit. :class:`PersistentStore` is the on-disk
+layer that makes cache reuse survive the process:
+
+* **result entries** — ``(fingerprint, k, algorithm, options_key)`` →
+  serialized :class:`~repro.core.result.TKDResult`, so a repeated sweep
+  (same CSV, same k-ladder) in a *new* process answers from disk with
+  bit-identical results under deterministic tie-breaking;
+* **planner calibration** — the :mod:`repro.engine.planner` bias
+  multipliers learned from observed runtimes, so ``algorithm="auto"``
+  starts a new process already converged.
+
+Durability and safety properties:
+
+* **content addressing** — keys embed the dataset's content fingerprint
+  (:func:`repro.engine.session.dataset_fingerprint`), so different data
+  can never collide and equal-content datasets share entries, exactly
+  like the in-memory caches;
+* **atomic writes** — every file is written to a temp sibling and
+  ``os.replace``-d into place, so a crashed writer can never leave a
+  half-written store for the next reader;
+* **advisory file locking** — read-modify-write cycles hold an exclusive
+  ``fcntl`` lock on a sidecar lockfile (shared for reads), so concurrent
+  processes (``query_many`` workers, parallel CLI runs) interleave
+  safely on POSIX hosts; where ``fcntl`` is unavailable the store
+  degrades to atomic-replace-only semantics;
+* **versioned schema** — files carry ``(schema, package version)``;
+  anything written by another version is ignored (and overwritten on the
+  next write), so stale formats self-invalidate instead of
+  half-deserializing;
+* **cost-aware eviction** — each entry records the measured seconds it
+  took to compute (*rebuild cost*) and its serialized size; when the
+  byte budget overflows, the entries with the *lowest rebuild-seconds
+  per byte* go first, keeping the answers that are most expensive to
+  recompute per byte of disk they occupy.
+
+Opt in per engine (``QueryEngine(store=...)``), per CLI run
+(``repro query ... --store DIR``), or process-wide by exporting
+``REPRO_CACHE_DIR``. ``repro cache stats|clear|path`` inspects a store
+from the command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+
+from ..errors import InvalidParameterError
+
+try:  # POSIX advisory locking; absent e.g. on Windows.
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["PersistentStore", "StoreStats", "STORE_SCHEMA"]
+
+#: On-disk schema revision; bump on any incompatible layout change.
+STORE_SCHEMA = 1
+
+#: Default byte budget for serialized result entries (results are small —
+#: k ids/scores each — so this admits hundreds of thousands of answers).
+_DEFAULT_STORE_BUDGET_BYTES = 64 * 1024 * 1024
+
+_RESULTS_FILE = "results.json"
+_PLANNER_FILE = "planner.json"
+_LOCK_FILE = ".lock"
+
+
+def _package_version() -> str:
+    from .. import __version__  # deferred: the package imports the engine
+
+    return __version__
+
+
+@dataclass
+class StoreStats:
+    """Effectiveness counters of one :class:`PersistentStore` handle."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    #: Times a stale-format (schema/version mismatch) file was ignored.
+    invalidations: int = 0
+
+    def merge(self, other: "StoreStats") -> None:
+        """Fold another handle's counters in (used by parallel query_many)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writes += other.writes
+        self.evictions += other.evictions
+        self.invalidations += other.invalidations
+
+    def summary(self) -> str:
+        return (
+            f"store: {self.hits}/{self.hits + self.misses} warm hits, "
+            f"{self.writes} writes, {self.evictions} evictions"
+        )
+
+
+def _encode_stats(stats) -> dict:
+    """Serialize the JSON-safe scalar fields of a QueryStats (drops extra)."""
+    payload = {}
+    for field in dataclass_fields(stats):
+        if field.name == "extra":
+            continue
+        value = getattr(stats, field.name)
+        if isinstance(value, (int, float, str)):
+            payload[field.name] = value
+    return payload
+
+
+def _decode_result(payload: dict):
+    """Rebuild a TKDResult from its stored payload."""
+    from ..core.result import TKDResult  # deferred: core imports the engine
+    from ..core.stats import QueryStats
+
+    stats_payload = payload.get("stats") or {}
+    known = {field.name for field in dataclass_fields(QueryStats)}
+    stats = QueryStats(**{k: v for k, v in stats_payload.items() if k in known})
+    return TKDResult(
+        indices=[int(i) for i in payload["indices"]],
+        scores=list(payload["scores"]),
+        ids=[str(i) for i in payload["ids"]],
+        k=int(payload["k"]),
+        algorithm=str(payload["algorithm"]),
+        stats=stats,
+    )
+
+
+def _encode_result(result) -> dict:
+    return {
+        "indices": [int(i) for i in result.indices],
+        "scores": list(result.scores),
+        "ids": [str(i) for i in result.ids],
+        "k": int(result.k),
+        "algorithm": str(result.algorithm),
+        "stats": _encode_stats(result.stats),
+    }
+
+
+def result_digest(fingerprint: str, k: int, algorithm: str, options_key: tuple) -> str:
+    """Stable file-level key for one result entry.
+
+    ``repr`` of the frozen options tuple is deterministic (strings,
+    numbers and nested tuples only — see ``session._freeze``), so the
+    digest is stable across processes and ``PYTHONHASHSEED`` values.
+    """
+    raw = repr((str(fingerprint), int(k), str(algorithm).lower(), options_key))
+    return hashlib.sha256(raw.encode()).hexdigest()
+
+
+class PersistentStore:
+    """An on-disk, cross-process cache keyed by content fingerprints.
+
+    Parameters
+    ----------
+    directory: where the store lives (created on first use). One store
+        directory may be shared by any number of processes.
+    max_bytes: budget for the serialized result entries; overflow evicts
+        the entries with the lowest rebuild-seconds-per-byte first.
+
+    Handles are thread-safe (one internal lock) and cheap: the results
+    file is re-read only when its mtime changes, so repeated ``get``
+    calls against an unchanged store cost one ``stat``.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        max_bytes: int = _DEFAULT_STORE_BUDGET_BYTES,
+    ) -> None:
+        if max_bytes <= 0:
+            raise InvalidParameterError(f"store budget must be >= 1 byte, got {max_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = int(max_bytes)
+        self.stats = StoreStats()
+        self._lock = threading.RLock()
+        self._version = _package_version()
+        #: (stat signature, entries dict) of the last results.json parse.
+        self._cached: tuple[tuple, dict] | None = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        """The store directory (what ``repro cache path`` prints)."""
+        return self.directory
+
+    @contextmanager
+    def _locked(self, *, exclusive: bool):
+        """Advisory inter-process lock around one read or read-modify-write."""
+        with self._lock:
+            handle = open(self.directory / _LOCK_FILE, "a+b")
+            try:
+                if fcntl is not None:
+                    fcntl.flock(handle, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+                yield
+            finally:
+                try:
+                    if fcntl is not None:
+                        fcntl.flock(handle, fcntl.LOCK_UN)
+                finally:
+                    handle.close()
+
+    def _atomic_write(self, name: str, payload: dict) -> None:
+        """Serialize *payload* to ``name`` via temp-sibling + ``os.replace``."""
+        target = self.directory / name
+        tmp = target.with_name(f"{name}.tmp-{os.getpid()}-{threading.get_ident()}")
+        tmp.write_text(json.dumps(payload, separators=(",", ":")))
+        os.replace(tmp, target)
+
+    def _read_file(self, name: str) -> dict | None:
+        """Parse one store file; stale versions and corrupt JSON read as absent."""
+        target = self.directory / name
+        try:
+            payload = json.loads(target.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != STORE_SCHEMA or payload.get("version") != self._version:
+            self.stats.invalidations += 1
+            return None
+        return payload
+
+    def _load_entries(self) -> dict:
+        """The current result entries, cached against the file's stat."""
+        target = self.directory / _RESULTS_FILE
+        try:
+            stat = target.stat()
+            signature = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            signature = None
+        if self._cached is not None and self._cached[0] == signature:
+            return self._cached[1]
+        payload = self._read_file(_RESULTS_FILE)
+        entries = payload.get("entries", {}) if payload else {}
+        if not isinstance(entries, dict):
+            entries = {}
+        self._cached = (signature, entries)
+        return entries
+
+    def _write_entries(self, entries: dict) -> None:
+        self._atomic_write(
+            _RESULTS_FILE,
+            {"schema": STORE_SCHEMA, "version": self._version, "entries": entries},
+        )
+        self._cached = None  # next read re-stats the fresh file
+
+    # -- result entries -----------------------------------------------------
+
+    def get_result(self, fingerprint: str, k: int, algorithm: str, options_key: tuple = ()):
+        """Fetch one stored result, or ``None`` (counted as hit/miss)."""
+        entry = self.get_entry(fingerprint, k, algorithm, options_key)
+        return None if entry is None else entry[0]
+
+    def get_entry(self, fingerprint: str, k: int, algorithm: str, options_key: tuple = ()):
+        """Like :meth:`get_result` but returns ``(result, meta)``.
+
+        ``meta`` is the free-form dict the writer attached (the experiment
+        harness stores measured timings there); ``{}`` when absent.
+        """
+        digest = result_digest(fingerprint, k, algorithm, options_key)
+        with self._locked(exclusive=False):
+            entry = self._load_entries().get(digest)
+        if entry is not None:
+            try:
+                result = _decode_result(entry["result"])
+            except (KeyError, TypeError, ValueError):
+                entry = None
+        with self._lock:
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+        return result, entry.get("meta") or {}
+
+    def put_result(
+        self,
+        fingerprint: str,
+        k: int,
+        algorithm: str,
+        options_key: tuple,
+        result,
+        *,
+        rebuild_seconds: float = 0.0,
+        meta: dict | None = None,
+    ) -> None:
+        """Persist one result under its fingerprint key (read-modify-write).
+
+        ``rebuild_seconds`` is the measured cost of recomputing the entry
+        (the engine passes the query's wall-clock time); eviction keeps
+        high rebuild-cost-per-byte entries longest.
+        """
+        self.put_results(
+            [
+                {
+                    "fingerprint": fingerprint,
+                    "k": k,
+                    "algorithm": algorithm,
+                    "options_key": options_key,
+                    "result": result,
+                    "rebuild_seconds": rebuild_seconds,
+                    "meta": meta,
+                }
+            ]
+        )
+
+    def put_results(self, items) -> None:
+        """Persist a batch of results in one lock + atomic rewrite."""
+        items = list(items)
+        if not items:
+            return
+        with self._locked(exclusive=True):
+            self._cached = None  # another process may have written meanwhile
+            entries = dict(self._load_entries())
+            for item in items:
+                encoded = _encode_result(item["result"])
+                meta = item.get("meta") or None
+                body = {
+                    "key": [
+                        str(item["fingerprint"]),
+                        int(item["k"]),
+                        str(item["algorithm"]).lower(),
+                        repr(item.get("options_key", ())),
+                    ],
+                    "result": encoded,
+                    "meta": meta,
+                    "rebuild_seconds": float(item.get("rebuild_seconds") or 0.0),
+                    "created": time.time(),
+                }
+                body["bytes"] = len(json.dumps(body, separators=(",", ":")))
+                digest = result_digest(
+                    item["fingerprint"], item["k"], item["algorithm"], item.get("options_key", ())
+                )
+                entries[digest] = body
+                self.stats.writes += 1
+            self._evict(entries)
+            self._write_entries(entries)
+
+    def _evict(self, entries: dict) -> None:
+        """Shed lowest rebuild-cost-per-byte entries until the budget fits.
+
+        Cost, not recency, is the whole policy: a just-written entry is
+        evicted immediately when it is the cheapest to rebuild per byte —
+        by definition it is also the cheapest loss.
+        """
+
+        def cost_per_byte(body: dict) -> float:
+            return float(body.get("rebuild_seconds") or 0.0) / max(int(body.get("bytes") or 1), 1)
+
+        while len(entries) > 1 and self._total_bytes(entries) > self.max_bytes:
+            victim = min(entries, key=lambda digest: cost_per_byte(entries[digest]))
+            del entries[victim]
+            self.stats.evictions += 1
+
+    @staticmethod
+    def _total_bytes(entries: dict) -> int:
+        return sum(int(body.get("bytes") or 0) for body in entries.values())
+
+    # -- planner calibration ------------------------------------------------
+
+    def load_planner(self) -> dict | None:
+        """The persisted planner calibration state, or ``None``."""
+        with self._locked(exclusive=False):
+            payload = self._read_file(_PLANNER_FILE)
+        if payload is None:
+            return None
+        state = payload.get("calibration")
+        return state if isinstance(state, dict) else None
+
+    def save_planner(self, state: dict) -> None:
+        """Persist the planner calibration state (atomic replace)."""
+        with self._locked(exclusive=True):
+            self._atomic_write(
+                _PLANNER_FILE,
+                {"schema": STORE_SCHEMA, "version": self._version, "calibration": dict(state)},
+            )
+
+    # -- maintenance --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._locked(exclusive=False):
+            return len(self._load_entries())
+
+    @property
+    def total_bytes(self) -> int:
+        """Serialized footprint of the stored result entries."""
+        with self._locked(exclusive=False):
+            return self._total_bytes(self._load_entries())
+
+    def entries(self) -> list[dict]:
+        """Metadata of every stored entry (key, bytes, rebuild cost, age)."""
+        with self._locked(exclusive=False):
+            loaded = self._load_entries()
+        return [
+            {
+                "key": body.get("key"),
+                "bytes": int(body.get("bytes") or 0),
+                "rebuild_seconds": float(body.get("rebuild_seconds") or 0.0),
+                "created": body.get("created"),
+            }
+            for body in loaded.values()
+        ]
+
+    def clear(self) -> None:
+        """Drop every persisted entry (results and planner state)."""
+        with self._locked(exclusive=True):
+            for name in (_RESULTS_FILE, _PLANNER_FILE):
+                try:
+                    (self.directory / name).unlink()
+                except FileNotFoundError:
+                    pass
+            self._cached = None
+        self.stats = StoreStats()
+
+    def summary(self) -> str:
+        """Human-readable digest (what ``repro cache stats`` prints)."""
+        with self._locked(exclusive=False):
+            entries = self._load_entries()
+            planner = self._read_file(_PLANNER_FILE) is not None
+        return (
+            f"store at {self.directory}: {len(entries)} result entries, "
+            f"{self._total_bytes(entries)}/{self.max_bytes} bytes, "
+            f"planner calibration {'present' if planner else 'absent'} "
+            f"(schema {STORE_SCHEMA}, version {self._version})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PersistentStore dir={str(self.directory)!r} budget={self.max_bytes}>"

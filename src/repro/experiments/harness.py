@@ -158,7 +158,35 @@ def time_algorithm(
     :class:`~repro.engine.kernels.PreparedDataset` (sentinel arrays and,
     where eligible, packed bitset tables) so those builds land in the
     preparation phase rather than inside the first timed query.
+
+    When the engine has a :class:`~repro.engine.store.PersistentStore`
+    (``REPRO_CACHE_DIR``, or ``QueryEngine(store=...)``), each measured
+    point is persisted — result *and* measured timings — and a re-run of
+    the same sweep in a later process returns the stored row without
+    executing anything (``row["stored"] = True``), so regenerating a
+    figure is near-free and reports the originally measured timings
+    rather than a distorted warm-cache re-measurement.
     """
+    store = engine.store if engine is not None else None
+    key = None
+    if store is not None:
+        key = engine.result_key(dataset, k, algorithm, **options)
+        entry = store.get_entry(*key)
+        if entry is not None and "query_s" in entry[1]:
+            result, meta = entry
+            return {
+                "dataset": dataset.name or "?",
+                "algorithm": algorithm,
+                "k": k,
+                "n": dataset.n,
+                "d": dataset.d,
+                "preprocess_s": float(meta.get("preprocess_s", 0.0)),
+                "query_s": float(meta["query_s"]),
+                "index_bytes": int(meta.get("index_bytes", 0)),
+                "stats": result.stats,
+                "result": result,
+                "stored": True,
+            }
     if engine is not None:
         engine.prepare_dataset(dataset).warm()
         instance = engine.prepared(dataset, algorithm, **options)
@@ -171,6 +199,17 @@ def time_algorithm(
         start = time.perf_counter()
         result = instance.query(k)
         best = min(best, time.perf_counter() - start)
+    if store is not None:
+        store.put_result(
+            *key,
+            result,
+            rebuild_seconds=instance.preprocess_seconds + best,
+            meta={
+                "preprocess_s": instance.preprocess_seconds,
+                "query_s": best,
+                "index_bytes": instance.index_bytes,
+            },
+        )
     return {
         "dataset": dataset.name or "?",
         "algorithm": algorithm,

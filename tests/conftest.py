@@ -20,6 +20,18 @@ from _paper_fixtures import FIG2_ROWS, FIG3_ROWS, MOVIE_ROWS
 from repro.core.dataset import IncompleteDataset
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_store(monkeypatch):
+    """Keep a user's ``REPRO_CACHE_DIR`` from leaking persistent state in.
+
+    Engines pick the store up from the environment by design; under test
+    that would write into (and warm-start from) the developer's real
+    store, making runs order-dependent. Tests that want a store set the
+    variable (or pass ``store=``) explicitly.
+    """
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
 @pytest.fixture(scope="session")
 def fig2_dataset() -> IncompleteDataset:
     ids = list(FIG2_ROWS)

@@ -171,3 +171,84 @@ class TestExperimentCommand:
         code = main(["experiment", "--experiment", "table3", "--scale", "0.004"])
         assert code == 0
         assert "table3" in capsys.readouterr().out
+
+
+class TestStoreFlag:
+    def test_sweep_store_round_trip(self, sample_csv, tmp_path, capsys):
+        store_dir = tmp_path / "cache"
+        argv = [
+            "query", str(sample_csv), "--sweep-k", "2,3", "--id-column", "id",
+            "--algorithm", "naive", "--store", str(store_dir),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "store 0/2 warm (2 written)" in cold
+
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "store 2/2 warm (0 written)" in warm
+        cold_answers = [line for line in cold.splitlines() if line.startswith("k=")]
+        warm_answers = [line for line in warm.splitlines() if line.startswith("k=")]
+        assert cold_answers == warm_answers
+
+    def test_single_query_store_round_trip(self, sample_csv, tmp_path, capsys):
+        store_dir = tmp_path / "cache"
+        argv = [
+            "query", str(sample_csv), "--k", "2", "--id-column", "id",
+            "--store", str(store_dir),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "store 1/1 warm" in capsys.readouterr().out
+
+    def test_single_query_honours_env_var(self, sample_csv, tmp_path, capsys, monkeypatch):
+        # --store's help promises $REPRO_CACHE_DIR as the default; the
+        # single-query path must honour it like the sweep path does.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        argv = ["query", str(sample_csv), "--k", "2", "--id-column", "id"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "store 1/1 warm" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def _populate(self, sample_csv, store_dir):
+        assert main(
+            ["query", str(sample_csv), "--sweep-k", "2,3", "--id-column", "id",
+             "--store", str(store_dir)]
+        ) == 0
+
+    def test_stats_lists_entries(self, sample_csv, tmp_path, capsys):
+        store_dir = tmp_path / "cache"
+        self._populate(sample_csv, store_dir)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 result entries" in out
+        assert "planner calibration present" in out
+
+    def test_clear_empties_the_store(self, sample_csv, tmp_path, capsys):
+        store_dir = tmp_path / "cache"
+        self._populate(sample_csv, store_dir)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--dir", str(store_dir)]) == 0
+        assert "cleared 2 result entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", str(store_dir)]) == 0
+        assert "0 result entries" in capsys.readouterr().out
+
+    def test_path_prints_directory(self, tmp_path, capsys):
+        store_dir = tmp_path / "cache"
+        assert main(["cache", "path", "--dir", str(store_dir)]) == 0
+        assert str(store_dir) in capsys.readouterr().out
+
+    def test_dir_falls_back_to_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert main(["cache", "path"]) == 0
+        assert "env-cache" in capsys.readouterr().out
+
+    def test_missing_dir_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "REPRO_CACHE_DIR" in capsys.readouterr().err

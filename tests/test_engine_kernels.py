@@ -286,6 +286,82 @@ class TestMaskEmittingRoute:
         assert got.tolist() == expected
 
 
+class TestWordBoundarySizes:
+    """Packed-route parity exactly at uint64 word boundaries.
+
+    ``n ∈ {63, 64, 65, 128}`` puts the last object on every side of a
+    word edge, stressing the suffix/prefix tail bits, the
+    ``observed_bits`` tail mask, and the :func:`unpack_mask_bits` trim.
+    The broadcast kernels (these sizes never auto-select the bitset
+    route) are the reference.
+    """
+
+    BOUNDARY_NS = (63, 64, 65, 128)
+
+    def _prepared(self, make_incomplete, n, *, missing_rate=0.3):
+        ds = make_incomplete(n, 4, missing_rate=missing_rate, seed=1000 + n)
+        prepared = PreparedDataset(ds)
+        assert prepared.tables(build=True) is not None
+        return ds, prepared
+
+    @pytest.mark.parametrize("n", BOUNDARY_NS)
+    def test_dominated_counts_parity(self, make_incomplete, n):
+        ds, prepared = self._prepared(make_incomplete, n)
+        assert dominated_counts(ds, prepared=prepared).tolist() == dominated_counts(ds).tolist()
+
+    @pytest.mark.parametrize("n", BOUNDARY_NS)
+    def test_dominator_counts_parity(self, make_incomplete, n):
+        ds, prepared = self._prepared(make_incomplete, n)
+        assert dominator_counts(ds, prepared=prepared).tolist() == dominator_counts(ds).tolist()
+
+    @pytest.mark.parametrize("n", BOUNDARY_NS)
+    def test_dominated_masks_parity(self, make_incomplete, n):
+        ds, prepared = self._prepared(make_incomplete, n)
+        np.testing.assert_array_equal(
+            dominated_masks(ds, prepared=prepared), score_block(ds, range(ds.n))
+        )
+
+    @pytest.mark.parametrize("n", BOUNDARY_NS)
+    def test_dominance_matrix_routes_parity(self, make_incomplete, n):
+        ds, prepared = self._prepared(make_incomplete, n)
+        np.testing.assert_array_equal(
+            dominance_matrix_blocked(ds, prepared=prepared, route="bitset"),
+            dominance_matrix_blocked(ds, route="broadcast"),
+        )
+
+    @pytest.mark.parametrize("n", BOUNDARY_NS)
+    def test_incomparable_counts_tail_mask_parity(self, make_incomplete, n):
+        # The observed-bitset route inverts the accumulator, so bits past
+        # position n-1 in the last word are garbage until the tail mask
+        # clears them — exactly what n=63/65 exercise.
+        ds, prepared = self._prepared(make_incomplete, n, missing_rate=0.6)
+        assert (
+            incomparable_counts(ds, prepared=prepared).tolist()
+            == incomparable_counts(ds).tolist()
+        )
+
+    @pytest.mark.parametrize("n", BOUNDARY_NS)
+    def test_unpack_mask_bits_trims_tail(self, n):
+        words = ((n + 63) >> 6)
+        all_ones = np.full((2, words), np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+        unpacked = unpack_mask_bits(all_ones, n)
+        assert unpacked.shape == (2, n)
+        assert unpacked.all()  # every in-range bit survives, none past n
+
+    @pytest.mark.parametrize("n", BOUNDARY_NS)
+    def test_last_object_round_trips_the_packed_route(self, make_incomplete, n):
+        # Single-row batches targeting the final object (the word-edge bit).
+        ds, prepared = self._prepared(make_incomplete, n)
+        last = [n - 1]
+        assert (
+            dominated_counts(ds, last, prepared=prepared).tolist()
+            == dominated_counts(ds, last).tolist()
+        )
+        np.testing.assert_array_equal(
+            dominated_masks(ds, last, prepared=prepared), score_block(ds, last)
+        )
+
+
 class TestPopcountParity:
     """Both popcount paths (np.bitwise_count and the LUT fallback) agree."""
 

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro import IncompleteDataset, QueryEngine, top_k_dominating
 from repro.engine.kernels import PreparedDataset
-from repro.engine.session import PreparedDatasetCache, dataset_fingerprint
+from repro.engine.session import _LRU, PreparedDatasetCache, dataset_fingerprint
 from repro.errors import InvalidParameterError
 
 
@@ -32,6 +34,33 @@ class TestFingerprint:
         a = IncompleteDataset([[1, None], [2, 2]])
         b = IncompleteDataset([[1, 3], [2, 2]])
         assert dataset_fingerprint(a) != dataset_fingerprint(b)
+
+    def test_signed_zero_values_share_fingerprint(self):
+        # Regression: tobytes() of -0.0 differs from 0.0 even though every
+        # dominance comparison treats them as equal — equal-answer datasets
+        # must share a fingerprint or cache/store reuse is silently lost.
+        a = IncompleteDataset([[0.0, 1.0], [2.0, None], [3.0, 0.0]])
+        b = IncompleteDataset([[-0.0, 1.0], [2.0, None], [3.0, -0.0]])
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
+
+    def test_signed_zero_engine_reuse(self):
+        engine = QueryEngine()
+        a = IncompleteDataset([[0.0, 1.0], [2.0, None], [3.0, 0.5]])
+        b = IncompleteDataset([[-0.0, 1.0], [2.0, None], [3.0, 0.5]])
+        first = engine.query(a, 2)
+        assert engine.query(b, 2) is first  # same content, cached answer
+
+    def test_missing_cell_payload_bits_do_not_matter(self):
+        # Missing cells are NaN in the value matrix; their payload bits are
+        # meaningless and must not split the fingerprint.
+        values_a = np.array([[1.0, np.nan], [2.0, 3.0]])
+        values_b = values_a.copy()
+        weird_nan = np.frombuffer(np.uint64(0x7FF8DEADBEEF0001).tobytes(), np.float64)[0]
+        assert np.isnan(weird_nan)
+        values_b[0, 1] = weird_nan
+        a = IncompleteDataset(values_a)
+        b = IncompleteDataset(values_b)
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
 
     def test_id_reuse_never_serves_stale_answers(self):
         # Regression: CPython recycles ids of freed objects; a bare-id memo
@@ -283,6 +312,153 @@ class TestQueryManyWorkers:
         ds = make_incomplete(30, 3, missing_rate=0.1, seed=23)
         results = QueryEngine().query_many([(ds, 2)], workers=4)
         assert len(results) == 1 and len(results[0]) == 2
+
+
+class TestLRUSentinel:
+    def test_falsy_values_are_real_hits(self):
+        # Regression: get() treated a stored None as a miss and skipped
+        # move_to_end, so falsy entries aged out as if never touched.
+        lru = _LRU(2)
+        lru.put("a", None)
+        lru.put("b", 1)
+        assert "a" in lru
+        lru.get("a")  # must refresh recency even though the value is None
+        lru.put("c", 2)  # evicts "b", the actual LRU entry
+        assert "a" in lru and "b" not in lru and "c" in lru
+
+    def test_get_default_distinguishes_absent(self):
+        lru = _LRU(2)
+        sentinel = object()
+        assert lru.get("missing", sentinel) is sentinel
+        lru.put("zero", 0)
+        assert lru.get("zero", sentinel) == 0
+
+
+class TestClearSemantics:
+    def test_prepared_dataset_cache_clear_resets_counters(self, make_incomplete):
+        cache = PreparedDatasetCache()
+        ds = make_incomplete(30, 3, missing_rate=0.2, seed=50)
+        engine = QueryEngine(dataset_cache=cache)
+        engine.prepare_dataset(ds)
+        engine.prepare_dataset(ds)
+        assert cache.hits == 1 and cache.misses == 1
+        cache.clear()
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+        assert len(cache) == 0
+
+    def test_engine_clear_spares_the_shared_cache(self, make_incomplete):
+        # Regression: QueryEngine.clear() nuked the process-wide shared
+        # dataset cache out from under every other session.
+        ds = make_incomplete(35, 3, missing_rate=0.2, seed=51)
+        first = QueryEngine()
+        second = QueryEngine()
+        assert first.dataset_cache is second.dataset_cache  # both shared
+        entry = second.prepare_dataset(ds)
+        first.query(ds, 2)
+        first.clear()
+        assert first.prepared_algorithms(ds) == ()
+        assert second.prepare_dataset(ds) is entry  # survived the clear
+
+    def test_engine_clear_shared_true_restores_old_behaviour(self, make_incomplete):
+        ds = make_incomplete(35, 3, missing_rate=0.2, seed=52)
+        engine = QueryEngine()
+        entry = engine.prepare_dataset(ds)
+        engine.clear(shared=True)
+        assert engine.prepare_dataset(ds) is not entry  # rebuilt from scratch
+
+    def test_engine_clear_always_drops_private_dataset_cache(self, make_incomplete):
+        ds = make_incomplete(30, 3, missing_rate=0.2, seed=53)
+        cache = PreparedDatasetCache()
+        engine = QueryEngine(dataset_cache=cache)
+        engine.prepare_dataset(ds)
+        engine.clear()  # private cache is session-owned state
+        assert len(cache) == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_prepare_dataset_is_consistent(self, make_incomplete):
+        datasets = [make_incomplete(60, 4, missing_rate=0.2, seed=100 + i) for i in range(8)]
+        cache = PreparedDatasetCache()
+        engine = QueryEngine(dataset_cache=cache)
+        repeats = 25
+        errors: list[Exception] = []
+
+        def hammer(ds):
+            try:
+                instances = {id(engine.prepare_dataset(ds)) for _ in range(repeats)}
+                assert len(instances) == 1  # one entry per fingerprint, ever
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(ds,)) for ds in datasets]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # No lost updates: every access is accounted exactly once.
+        assert cache.hits + cache.misses == len(datasets) * repeats
+        assert cache.misses == len(datasets)
+        assert len(cache) == len(datasets)
+
+    def test_concurrent_queries_do_not_corrupt_state(self, make_incomplete):
+        datasets = [make_incomplete(40, 3, missing_rate=0.2, seed=200 + i) for i in range(6)]
+        oracles = [
+            top_k_dominating(ds, 3, algorithm="naive").score_multiset for ds in datasets
+        ]
+        engine = QueryEngine()
+        repeats = 10
+        errors: list[Exception] = []
+
+        def hammer(ds, oracle):
+            try:
+                for _ in range(repeats):
+                    assert engine.query(ds, 3, algorithm="naive").score_multiset == oracle
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(ds, oracle))
+            for ds, oracle in zip(datasets, oracles)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert engine.stats.queries == len(datasets) * repeats
+        assert engine.stats.result_hits + engine.stats.result_misses == engine.stats.queries
+        # Each dataset misses exactly once (it is owned by one thread).
+        assert engine.stats.result_misses == len(datasets)
+
+    def test_concurrent_bias_recording_stays_clipped(self):
+        from repro.engine.planner import _BIAS_CLIP, calibration, record_observation
+
+        cal = calibration()
+        saved = dict(cal.bias)
+        errors: list[Exception] = []
+
+        def hammer(ratio):
+            try:
+                for _ in range(200):
+                    record_observation("naive", 1.0, ratio)
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=hammer, args=(ratio,))
+                for ratio in (0.25, 0.5, 2.0, 4.0)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert _BIAS_CLIP[0] <= cal.bias["naive"] <= _BIAS_CLIP[1]
+        finally:
+            cal.bias.clear()
+            cal.bias.update(saved)
 
 
 class TestEngineStats:

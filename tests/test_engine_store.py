@@ -1,0 +1,343 @@
+"""Tests for the persistent fingerprint-keyed store (repro.engine.store)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro import IncompleteDataset, QueryEngine, top_k_dominating
+from repro.core.result import TKDResult
+from repro.engine.planner import calibration
+from repro.engine.session import EngineStats
+from repro.engine.store import STORE_SCHEMA, PersistentStore
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture(autouse=True)
+def _preserve_planner_bias():
+    """Store tests load persisted biases; keep them from leaking process-wide."""
+    cal = calibration()
+    saved = dict(cal.bias)
+    yield
+    cal.bias.clear()
+    cal.bias.update(saved)
+
+
+def _result(indices=(0,), scores=(3,), ids=("a",), k=1, algorithm="naive") -> TKDResult:
+    return TKDResult(
+        indices=list(indices),
+        scores=list(scores),
+        ids=list(ids),
+        k=k,
+        algorithm=algorithm,
+    )
+
+
+class TestResultRoundTrip:
+    def test_put_get_preserves_answer(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        original = _result(indices=[4, 1], scores=[9, 7], ids=["o4", "o1"], k=2, algorithm="big")
+        store.put_result("fp", 2, "big", (), original, rebuild_seconds=0.5)
+        fetched = store.get_result("fp", 2, "big", ())
+        assert fetched.indices == original.indices
+        assert fetched.scores == original.scores
+        assert fetched.ids == original.ids
+        assert fetched.k == original.k
+        assert fetched.algorithm == original.algorithm
+        assert store.stats.hits == 1 and store.stats.writes == 1
+
+    def test_survives_a_fresh_handle(self, tmp_path):
+        PersistentStore(tmp_path).put_result("fp", 3, "ubb", (), _result(k=3))
+        reopened = PersistentStore(tmp_path)
+        assert reopened.get_result("fp", 3, "ubb", ()) is not None
+
+    def test_miss_returns_none(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        assert store.get_result("nope", 1, "naive", ()) is None
+        assert store.stats.misses == 1
+
+    def test_keys_are_discriminating(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.put_result("fp", 1, "naive", (), _result())
+        assert store.get_result("fp", 2, "naive", ()) is None
+        assert store.get_result("other", 1, "naive", ()) is None
+        assert store.get_result("fp", 1, "big", ()) is None
+        assert store.get_result("fp", 1, "naive", (("block", 64),)) is None
+        assert store.get_result("fp", 1, "naive", ()) is not None
+
+    def test_meta_travels_with_the_entry(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.put_result(
+            "fp", 1, "big", (), _result(), meta={"query_s": 0.25, "preprocess_s": 1.5}
+        )
+        _result_obj, meta = store.get_entry("fp", 1, "big", ())
+        assert meta == {"query_s": 0.25, "preprocess_s": 1.5}
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            PersistentStore(tmp_path, max_bytes=0)
+
+
+class TestSchemaVersioning:
+    def test_other_package_version_is_ignored(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.put_result("fp", 1, "naive", (), _result())
+        payload = json.loads((tmp_path / "results.json").read_text())
+        payload["version"] = "0.0.0-stale"
+        (tmp_path / "results.json").write_text(json.dumps(payload))
+        reopened = PersistentStore(tmp_path)
+        assert reopened.get_result("fp", 1, "naive", ()) is None
+        assert reopened.stats.invalidations >= 1
+
+    def test_other_schema_is_ignored(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.put_result("fp", 1, "naive", (), _result())
+        payload = json.loads((tmp_path / "results.json").read_text())
+        payload["schema"] = STORE_SCHEMA + 1
+        (tmp_path / "results.json").write_text(json.dumps(payload))
+        assert PersistentStore(tmp_path).get_result("fp", 1, "naive", ()) is None
+
+    def test_corrupt_file_reads_as_empty_and_recovers(self, tmp_path):
+        (tmp_path / "results.json").write_text("{ not json !!")
+        store = PersistentStore(tmp_path)
+        assert store.get_result("fp", 1, "naive", ()) is None
+        store.put_result("fp", 1, "naive", (), _result())  # overwrites the wreck
+        assert PersistentStore(tmp_path).get_result("fp", 1, "naive", ()) is not None
+
+
+class TestCostAwareEviction:
+    def test_overflow_keeps_highest_rebuild_cost_per_byte(self, tmp_path):
+        probe = PersistentStore(tmp_path / "probe")
+        probe.put_result("size-probe", 1, "naive", (), _result())
+        entry_bytes = probe.entries()[0]["bytes"]
+
+        # Budget fits exactly one entry; rebuild costs differ by orders of
+        # magnitude while sizes are near-identical.
+        store = PersistentStore(tmp_path / "store", max_bytes=int(entry_bytes * 1.5))
+        store.put_result("cheap", 1, "naive", (), _result(), rebuild_seconds=0.001)
+        store.put_result("precious", 1, "naive", (), _result(), rebuild_seconds=5.0)
+        store.put_result("middling", 1, "naive", (), _result(), rebuild_seconds=0.05)
+        assert len(store) == 1
+        assert store.stats.evictions == 2
+        survivor = store.entries()[0]
+        assert survivor["rebuild_seconds"] == 5.0
+        assert store.get_result("precious", 1, "naive", ()) is not None
+
+    def test_single_oversized_entry_is_kept(self, tmp_path):
+        store = PersistentStore(tmp_path, max_bytes=1)
+        store.put_result("fp", 1, "naive", (), _result(), rebuild_seconds=1.0)
+        assert len(store) == 1  # evicting the only entry would just thrash
+
+
+class TestPlannerPersistence:
+    def test_round_trip(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        state = {"vec": 2e-9, "step": 4e-6, "source": "microbenchmark", "bias": {"big": 1.4}}
+        store.save_planner(state)
+        assert PersistentStore(tmp_path).load_planner() == state
+
+    def test_engine_adopts_persisted_bias(self, tmp_path, make_incomplete):
+        ds = make_incomplete(40, 3, missing_rate=0.2, seed=1)
+        engine = QueryEngine(store=tmp_path)
+        engine.query(ds, 3)  # algorithm="auto" records an observation
+        engine.flush()
+        assert PersistentStore(tmp_path).load_planner() is not None
+
+        cal = calibration()
+        cal.bias.clear()
+        store = PersistentStore(tmp_path)
+        store.save_planner({"bias": {"big": 1.7, "junk": "not-a-number"}})
+        QueryEngine(store=tmp_path)  # opening the store loads the biases
+        assert cal.bias["big"] == pytest.approx(1.7)
+        assert "junk" not in cal.bias  # malformed values are skipped
+
+    def test_in_process_bias_wins_over_snapshot(self, tmp_path):
+        # Opening a store mid-process must not regress biases that
+        # record_observation already refined in this process.
+        cal = calibration()
+        cal.bias.clear()
+        cal.bias["big"] = 1.9
+        PersistentStore(tmp_path).save_planner({"bias": {"big": 1.0, "ubb": 1.2}})
+        QueryEngine(store=tmp_path)
+        assert cal.bias["big"] == 1.9  # fresher in-process value kept
+        assert cal.bias["ubb"] == pytest.approx(1.2)  # unseen key adopted
+
+    def test_bias_is_reclipped_on_load(self, tmp_path):
+        cal = calibration()
+        cal.bias.clear()
+        store = PersistentStore(tmp_path)
+        store.save_planner({"bias": {"naive": 99.0}})
+        QueryEngine(store=tmp_path)
+        assert cal.bias["naive"] == 2.0  # _BIAS_CLIP upper bound
+
+
+class TestMaintenance:
+    def test_clear_drops_everything_and_resets_stats(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.put_result("fp", 1, "naive", (), _result())
+        store.save_planner({"bias": {}})
+        store.get_result("fp", 1, "naive", ())
+        store.clear()
+        assert len(store) == 0
+        assert store.load_planner() is None
+        assert store.stats.hits == 0 and store.stats.writes == 0
+
+    def test_summary_and_entries_render(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.put_result("fp", 4, "big", (), _result(k=4), rebuild_seconds=0.125)
+        text = store.summary()
+        assert "1 result entries" in text and "version" in text
+        (entry,) = store.entries()
+        assert entry["key"][1] == 4 and entry["rebuild_seconds"] == 0.125
+        assert store.total_bytes == entry["bytes"]
+
+    def test_concurrent_writers_via_one_handle(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        errors = []
+
+        def writer(tag):
+            try:
+                for i in range(10):
+                    store.put_result(f"{tag}-{i}", 1, "naive", (), _result())
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(store) == 40
+
+
+class TestEngineIntegration:
+    def test_second_engine_answers_warm(self, tmp_path, make_incomplete):
+        ds = make_incomplete(80, 4, missing_rate=0.2, seed=11)
+        first = QueryEngine(store=tmp_path)
+        cold = first.query(ds, 5, algorithm="big")
+        assert first.stats.store_writes == 1
+
+        second = QueryEngine(store=tmp_path)
+        warm = second.query(ds, 5, algorithm="big")
+        assert second.stats.store_hits == 1
+        assert second.stats.prepared_misses == 0  # nothing was re-executed
+        assert warm.indices == cold.indices
+        assert warm.scores == cold.scores
+        assert warm.ids == cold.ids
+
+    def test_random_tie_break_bypasses_the_store(self, tmp_path, fig3_dataset):
+        engine = QueryEngine(store=tmp_path)
+        engine.query(fig3_dataset, 2, tie_break="random", rng=1)
+        assert engine.stats.store_writes == 0
+        assert len(engine.store) == 0
+
+    def test_env_var_opt_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-store"))
+        engine = QueryEngine()
+        assert engine.store is not None
+        assert engine.store.path == Path(str(tmp_path / "env-store"))
+
+    def test_no_store_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert QueryEngine().store is None
+
+    def test_query_many_workers_warm_start(self, tmp_path, make_incomplete):
+        ds = make_incomplete(220, 4, missing_rate=0.15, seed=30)
+        requests = [(ds, k, "big") for k in (2, 3, 4, 6)]
+
+        writer = QueryEngine(store=tmp_path)
+        first = writer.query_many(requests, workers=2)
+        assert writer.stats.store_writes == len(requests)  # workers wrote back
+
+        reader = QueryEngine(store=tmp_path)
+        second = reader.query_many(requests, workers=2)
+        assert reader.stats.store_hits == len(requests)  # nothing shipped
+        assert reader.stats.store_writes == 0
+        for left, right in zip(first, second):
+            assert left.indices == right.indices
+            assert left.scores == right.scores
+            assert left.ids == right.ids
+
+    def test_engine_stats_merge_covers_store_counters(self):
+        a = EngineStats(store_hits=2, store_misses=1, store_writes=3)
+        b = EngineStats(store_hits=1, store_writes=1)
+        a.merge(b)
+        assert (a.store_hits, a.store_misses, a.store_writes) == (3, 1, 4)
+        assert "store" in a.summary()
+
+    def test_stored_answers_match_one_shot_api(self, tmp_path, make_incomplete):
+        ds = make_incomplete(70, 5, missing_rate=0.3, seed=4)
+        QueryEngine(store=tmp_path).query(ds, 6, algorithm="ubb")
+        warm = QueryEngine(store=tmp_path).query(ds, 6, algorithm="ubb")
+        oracle = top_k_dominating(ds, 6, algorithm="ubb")
+        assert warm.score_multiset == oracle.score_multiset
+
+
+class TestHarnessIntegration:
+    def test_time_algorithm_reuses_stored_measurements(self, tmp_path, make_incomplete):
+        from repro.experiments.harness import time_algorithm
+
+        ds = make_incomplete(90, 4, missing_rate=0.2, seed=40)
+        engine = QueryEngine(store=tmp_path)
+        cold = time_algorithm(ds, "big", 4, engine=engine)
+        assert "stored" not in cold
+
+        warm_engine = QueryEngine(store=tmp_path)
+        warm = time_algorithm(ds, "big", 4, engine=warm_engine)
+        assert warm["stored"] is True
+        assert warm["query_s"] == cold["query_s"]  # the *measured* timing travels
+        assert warm["preprocess_s"] == cold["preprocess_s"]
+        assert warm["result"].indices == cold["result"].indices
+
+    def test_time_algorithm_without_engine_is_unchanged(self, make_incomplete):
+        from repro.experiments.harness import time_algorithm
+
+        ds = make_incomplete(40, 3, missing_rate=0.2, seed=41)
+        row = time_algorithm(ds, "naive", 3)
+        assert row["result"] is not None and "stored" not in row
+
+
+class TestTwoProcessRoundTrip:
+    def test_cli_sweep_is_warm_in_a_new_process(self, tmp_path, make_incomplete):
+        """The acceptance scenario: process A populates, process B is warm."""
+        csv_path = tmp_path / "data.csv"
+        make_incomplete(120, 4, missing_rate=0.25, seed=77).to_csv(csv_path)
+        store_dir = tmp_path / "store"
+
+        src = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = str(src) + (os.pathsep + existing if existing else "")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "query",
+            str(csv_path),
+            "--id-column",
+            "id",
+            "--sweep-k",
+            "4,8,16,32",
+            "--store",
+            str(store_dir),
+        ]
+        first = subprocess.run(argv, capture_output=True, text=True, env=env, timeout=120)
+        assert first.returncode == 0, first.stderr
+        assert "store 0/4 warm (4 written)" in first.stdout
+
+        second = subprocess.run(argv, capture_output=True, text=True, env=env, timeout=120)
+        assert second.returncode == 0, second.stderr
+        assert "store 4/4 warm (0 written)" in second.stdout
+
+        answers_a = [line for line in first.stdout.splitlines() if line.startswith("k=")]
+        answers_b = [line for line in second.stdout.splitlines() if line.startswith("k=")]
+        assert answers_a == answers_b  # bit-identical under deterministic ties
