@@ -4,9 +4,12 @@
 Three extensions beyond the paper's static queries:
 
 1. **Streaming maintenance** — products enter and leave a marketplace;
-   :class:`repro.StreamingTKD` keeps every dominance score current with
-   one O(n·d) pass per update instead of O(n²·d) recomputation, so the
-   "top products right now" leaderboard is always warm.
+   :class:`repro.StreamingTKD` (since the versioned-engine refactor a
+   facade over ``QueryEngine.continuous``) keeps every dominance score
+   current with one dominator-mask pass per update — ``O(d·n/64)``
+   against warm packed tables — instead of O(n²·d) recomputation, so the
+   "top products right now" leaderboard is always warm. See
+   ``examples/versioned_updates.py`` for the delta/lineage layer itself.
 2. **Engine sessions** — dashboard widgets re-ask the same questions
    (top-3, top-5, top-10 of the current snapshot); one
    :class:`repro.QueryEngine` answers the whole ladder against a single

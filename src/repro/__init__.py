@@ -37,6 +37,7 @@ their own subpackages and are fully public.
 
 from .core.constrained import constrained_tkd, group_by_tkd
 from .core.dataset import IncompleteDataset
+from .core.delta import DatasetDelta, DatasetVersion
 from .core.dominance import comparable, dominates
 from .core.mfd import top_k_dominating_mfd
 from .core.partitioned import PartitionedTKD, partitioned_tkd
@@ -51,9 +52,18 @@ from .core.score import score_all, score_one
 from .core.stats import QueryStats
 from .core.streaming import StreamingTKD
 from .core.subspace import subspace_tkd
-from .engine import PersistentStore, QueryEngine, QueryPlan, plan_query
+from .engine import (
+    ContinuousQuery,
+    DeltaPlan,
+    PersistentStore,
+    QueryEngine,
+    QueryPlan,
+    plan_delta,
+    plan_query,
+)
 from .errors import (
     DataError,
+    DuplicateObjectError,
     InvalidParameterError,
     QueryError,
     ReproError,
@@ -72,11 +82,16 @@ __all__ = [
     "partitioned_tkd",
     "PartitionedTKD",
     "StreamingTKD",
+    "DatasetDelta",
+    "DatasetVersion",
     "make_algorithm",
     "available_algorithms",
     "ALGORITHMS",
     "QueryEngine",
+    "ContinuousQuery",
     "QueryPlan",
+    "DeltaPlan",
+    "plan_delta",
     "PersistentStore",
     "plan_query",
     "TKDResult",
@@ -89,6 +104,7 @@ __all__ = [
     "DataError",
     "QueryError",
     "InvalidParameterError",
+    "DuplicateObjectError",
     "UnknownAlgorithmError",
     "__version__",
 ]

@@ -3,13 +3,16 @@
 Six subcommands cover the library's everyday workflow:
 
 * ``query``    — answer a TKD query over a CSV file;
+* ``stream``   — replay an insert/delete/update stream against a CSV
+  dataset with continuously maintained top-k (the engine's incremental
+  path: patched bitset tables, tombstoned deletes, score adjustments);
 * ``info``     — dataset statistics (shape, missing rate, domains);
 * ``generate`` — write one of the paper's workloads to CSV;
 * ``compress`` — report codec sizes/ratios for a dataset's bitmap index
   (the Fig. 10 measurement, for any CSV);
 * ``experiment`` — regenerate a paper figure/table (delegates to
   :mod:`repro.experiments.figures`);
-* ``cache``    — inspect, clear, or locate the persistent store
+* ``cache``    — inspect, clear, compact, or locate the persistent store
   (:mod:`repro.engine.store`).
 
 Examples::
@@ -19,7 +22,9 @@ Examples::
     python -m repro query data.csv --k 5 --algorithm big
     python -m repro query data.csv --sweep-k 4,8,16,32 --workers 2
     python -m repro query data.csv --sweep-k 4,8,16,32 --store .repro-cache
+    python -m repro stream data.csv --ops updates.csv --k 5 --every 100
     python -m repro cache stats --dir .repro-cache
+    python -m repro cache compact --dir .repro-cache
     python -m repro compress data.csv --schemes wah,concise,roaring
     python -m repro experiment --experiment fig18 --scale 0.02
 """
@@ -91,6 +96,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--no-header", action="store_true", help="CSV has no header row")
 
+    stream = commands.add_parser(
+        "stream",
+        help="replay an update stream with continuously maintained top-k",
+    )
+    stream.add_argument("csv", help="initial dataset CSV (empty cells / '-' mean missing)")
+    stream.add_argument(
+        "--ops",
+        required=True,
+        metavar="OPS_CSV",
+        help="operations file, one per line: 'insert,<id>,v1,..,vd' | "
+        "'delete,<id>' | 'update,<id>,v1,..,vd' (empty cell = missing)",
+    )
+    stream.add_argument("--k", type=int, default=5, help="answer size (default 5)")
+    stream.add_argument(
+        "--every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the maintained top-k after every N operations (default: end only)",
+    )
+    stream.add_argument("--id-column", default=None, help="column holding object ids")
+    stream.add_argument(
+        "--directions",
+        default="min",
+        help="'min', 'max', or comma-separated per-dimension list",
+    )
+    stream.add_argument("--no-header", action="store_true", help="CSV has no header row")
+
     info = commands.add_parser("info", help="describe an incomplete CSV dataset")
     info.add_argument("csv")
     info.add_argument("--id-column", default=None)
@@ -126,9 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--csv", default=None)
 
     cache = commands.add_parser(
-        "cache", help="inspect or clear the persistent fingerprint-keyed store"
+        "cache", help="inspect, clear, or compact the persistent fingerprint-keyed store"
     )
-    cache.add_argument("action", choices=("stats", "clear", "path"))
+    cache.add_argument("action", choices=("stats", "clear", "path", "compact"))
     cache.add_argument(
         "--dir",
         default=None,
@@ -212,6 +245,49 @@ def _run_sweep(args, dataset) -> int:
     print(engine.stats.summary())
     if engine.store is not None:
         print(engine.store.stats.summary())
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    """``repro stream``: the engine's incremental path over an ops file."""
+    import csv as csv_module
+
+    from .engine.session import QueryEngine
+
+    dataset = _load_csv(args)
+    engine = QueryEngine()
+    live = engine.continuous(dataset, k=args.k)
+    print(f"seeded stream with {live.n} x {live.d} objects from {args.csv}")
+
+    with open(args.ops, "r", newline="") as handle:
+        operations = [row for row in csv_module.reader(handle) if row]
+    applied = 0
+    for row in operations:
+        op = row[0].strip().lower()
+        if op not in ("insert", "delete", "update") or len(row) < 2:
+            print(
+                f"error: malformed stream op {','.join(row)!r} (line {applied + 1}); "
+                "expected 'insert,<id>,v1,..' | 'delete,<id>' | 'update,<id>,v1,..'",
+                file=sys.stderr,
+            )
+            return 2
+        if op == "insert":
+            object_id = row[1].strip() or None
+            live.insert([row[2:]], ids=None if object_id is None else [object_id])
+        elif op == "delete":
+            live.delete([row[1].strip()])
+        else:
+            live.update({row[1].strip(): row[2:]})
+        applied += 1
+        if args.every and applied % args.every == 0:
+            answer = "  ".join(f"{oid}({score})" for oid, score in live.top_k(args.k))
+            print(f"[{applied:>6}] n={live.n:<7} top-{args.k}: {answer}")
+
+    print(f"applied {applied} operations (n={live.n}, "
+          f"tombstone debt {live.prepared.tombstone_debt:.0%})")
+    print(live.result(args.k).as_table())
+    print()
+    print(engine.stats.summary())
     return 0
 
 
@@ -301,6 +377,19 @@ def _cmd_cache(args) -> int:
         entries = len(store)
         store.clear()
         print(f"cleared {entries} result entries (and planner calibration) at {store.path}")
+    elif args.action == "compact":
+        report = store.compact()
+        print(
+            f"compacted {store.path}: "
+            f"{report['result_evictions']} result entries evicted, "
+            f"{report['prepared_evictions']} prepared tables evicted, "
+            f"{report['orphans_removed']} orphan files removed, "
+            f"{report['lineage_pruned']} lineage records pruned"
+        )
+        print(
+            f"now {report['result_bytes']} result bytes, "
+            f"{report['prepared_bytes']} prepared bytes"
+        )
     else:  # stats
         print(store.summary())
         for entry in sorted(
@@ -316,6 +405,7 @@ def _cmd_cache(args) -> int:
 
 _COMMANDS = {
     "query": _cmd_query,
+    "stream": _cmd_stream,
     "info": _cmd_info,
     "generate": _cmd_generate,
     "compress": _cmd_compress,

@@ -25,8 +25,9 @@ Two objects are *comparable* iff their patterns share a set bit
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -34,11 +35,36 @@ from .._util import is_missing_cell, parse_cell
 from ..errors import (
     AllMissingObjectError,
     DimensionMismatchError,
+    DuplicateObjectError,
     EmptyDatasetError,
     InvalidParameterError,
 )
 
-__all__ = ["IncompleteDataset", "pattern_of_row"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .delta import DatasetDelta, DatasetVersion
+
+__all__ = ["IncompleteDataset", "content_fingerprint", "pattern_of_row"]
+
+
+def content_fingerprint(dataset) -> str:
+    """Full content hash of a dataset's query-relevant state.
+
+    The canonical identity the engine caches and the persistent store key
+    on (ids and names are presentation-only and excluded; ``-0.0`` and NaN
+    payload bits are canonicalised so equal-answer datasets share a
+    fingerprint). Versioned datasets avoid recomputing this per update:
+    :meth:`IncompleteDataset.fingerprint` derives a child's identity from
+    its parent's fingerprint and the delta digest instead.
+    """
+    values = dataset.values
+    observed = dataset.observed
+    canonical = np.where(observed, values + 0.0, np.nan)
+    digest = hashlib.sha256()
+    digest.update(str(values.shape).encode())
+    digest.update(canonical.tobytes())
+    digest.update(observed.tobytes())
+    digest.update(",".join(dataset.directions).encode())
+    return digest.hexdigest()
 
 _VALID_DIRECTIONS = ("min", "max")
 
@@ -132,7 +158,7 @@ class IncompleteDataset:
         self._ids = list(ids)
         self._id_to_index = {label: i for i, label in enumerate(self._ids)}
         if len(self._id_to_index) != n:
-            raise InvalidParameterError("object ids must be unique")
+            raise DuplicateObjectError("object ids must be unique")
 
         if dim_names is None:
             dim_names = [f"d{i + 1}" for i in range(d)]
@@ -144,6 +170,13 @@ class IncompleteDataset:
 
         self._patterns: list[int] | None = None
         self._distinct_cache: dict[int, np.ndarray] = {}
+        #: Memoised identity (datasets are immutable): either the full
+        #: content hash, or — for versions built by ``apply_delta`` — the
+        #: lineage-derived fingerprint.
+        self._fingerprint: str | None = None
+        #: ``(parent_fingerprint, delta_digest, depth)`` for delta-derived
+        #: versions; ``None`` for root datasets. Set by ``apply_delta``.
+        self._lineage: tuple[str, str, int] | None = None
 
     # ------------------------------------------------------------------
     # Alternate constructors
@@ -368,6 +401,105 @@ class IncompleteDataset:
     def dimension_cardinalities(self) -> tuple[int, ...]:
         """``(C_1, …, C_d)`` tuple."""
         return tuple(self.dimension_cardinality(j) for j in range(self.d))
+
+    # ------------------------------------------------------------------
+    # Versioning / deltas
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """This version's identity: content hash, or lineage-derived.
+
+        Root datasets pay one full :func:`content_fingerprint` (memoised —
+        instances are immutable); versions produced by
+        :meth:`apply_delta` derive ``H(parent_fingerprint, delta_digest)``
+        in ``O(|delta|·d)`` instead, which is what makes per-update engine
+        caching viable. Deterministic across processes: replaying the same
+        deltas from the same root always reproduces the same fingerprints.
+        """
+        if self._fingerprint is None:
+            if self._lineage is not None:
+                parent_fp, delta_digest, _depth = self._lineage
+                digest = hashlib.sha256()
+                digest.update(b"lineage:")
+                digest.update(parent_fp.encode())
+                digest.update(delta_digest.encode())
+                self._fingerprint = digest.hexdigest()
+            else:
+                self._fingerprint = content_fingerprint(self)
+        return self._fingerprint
+
+    @property
+    def version(self) -> "DatasetVersion":
+        """This dataset's :class:`~repro.core.delta.DatasetVersion` identity."""
+        from .delta import DatasetVersion  # deferred: delta imports this module
+
+        if self._lineage is None:
+            return DatasetVersion(fingerprint=self.fingerprint())
+        parent_fp, delta_digest, depth = self._lineage
+        return DatasetVersion(
+            fingerprint=self.fingerprint(),
+            parent=parent_fp,
+            delta_digest=delta_digest,
+            depth=depth,
+        )
+
+    def apply_delta(self, delta: "DatasetDelta") -> "IncompleteDataset":
+        """New version of this dataset under one insert/delete/update batch."""
+        from .delta import apply_delta  # deferred: delta imports this module
+
+        return apply_delta(self, delta)
+
+    def _with_replaced_rows(self, rows, values: np.ndarray) -> "IncompleteDataset":
+        """Clone fast path for update-only deltas (same rows, same ids).
+
+        Skips the generic constructor: only the three value matrices are
+        copied (updated rows re-stamped); ids, the id index, and dimension
+        metadata are shared with the parent — all immutable by contract.
+        """
+        clone = IncompleteDataset.__new__(IncompleteDataset)
+        clone._values = np.array(self._values, copy=True)
+        clone._values[rows] = values
+        clone._observed = np.array(self._observed, copy=True)
+        clone._observed[rows] = ~np.isnan(values)
+        sign = np.array(
+            [-1.0 if direction == "max" else 1.0 for direction in self._directions]
+        )
+        clone._minimized = np.array(self._minimized, copy=True)
+        clone._minimized[rows] = values * sign
+        clone._name = self._name
+        clone._directions = self._directions
+        clone._ids = self._ids
+        clone._id_to_index = self._id_to_index
+        clone._dim_names = self._dim_names
+        clone._patterns = None
+        clone._distinct_cache = {}
+        clone._fingerprint = None
+        clone._lineage = None
+        return clone
+
+    def with_inserted(
+        self, rows, *, ids: Sequence[str] | None = None
+    ) -> "IncompleteDataset":
+        """New version with *rows* appended (``None``/NaN cells are missing)."""
+        from .delta import DatasetDelta
+
+        return self.apply_delta(DatasetDelta.inserting(self, rows, ids=ids))
+
+    def with_deleted(self, ids: Sequence[str]) -> "IncompleteDataset":
+        """New version with the given objects removed (order preserved)."""
+        from .delta import DatasetDelta
+
+        return self.apply_delta(DatasetDelta.deleting(self, ids))
+
+    def with_updated(self, updates: Mapping[str, Sequence]) -> "IncompleteDataset":
+        """New version with per-object replacements applied in place.
+
+        Each value is either a full replacement row or a partial
+        ``{dimension: value}`` mapping (dimension by name or index).
+        """
+        from .delta import DatasetDelta
+
+        return self.apply_delta(DatasetDelta.updating(self, updates))
 
     # ------------------------------------------------------------------
     # Slicing / combining

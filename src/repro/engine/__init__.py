@@ -13,20 +13,28 @@ Three layers, each consumable on its own:
   that fingerprints datasets and caches preparations (including the
   byte-budgeted, process-wide :class:`PreparedDatasetCache` of bitset
   tables) and results across repeated/parametrised queries, with
-  ``query_many(..., workers=N)`` process-pool sharding;
+  ``query_many(..., workers=N)`` process-pool sharding — plus the
+  versioned update path: ``apply_delta``/``insert``/``delete``/``update``
+  advance prepared tables and maintained score vectors per
+  :class:`~repro.core.delta.DatasetDelta` (the ``"incremental"`` query
+  route), and :class:`ContinuousQuery` is the owned streaming handle
+  behind :class:`repro.core.streaming.StreamingTKD`;
 * :mod:`repro.engine.store` — :class:`PersistentStore`, the on-disk
-  fingerprint-keyed cache (results + planner calibration) that makes
-  the session's reuse survive the process (``REPRO_CACHE_DIR`` or
-  ``QueryEngine(store=...)``).
+  fingerprint-keyed cache (results + planner calibration + prepared
+  tables + version lineage) that makes the session's reuse survive the
+  process (``REPRO_CACHE_DIR`` or ``QueryEngine(store=...)``), with an
+  age-aware compaction pass (``repro cache compact``).
 """
 
 from .kernels import (
     PreparedDataset,
+    SentinelDelta,
     auto_block,
     dominance_matrix_blocked,
     dominated_counts,
     dominated_masks,
     dominator_counts,
+    dominator_masks,
     incomparable_counts,
     max_bit_score_counts,
     score_block,
@@ -35,16 +43,20 @@ from .kernels import (
 )
 from .planner import (
     Calibration,
+    DeltaPlan,
     QueryPlan,
     apply_calibration_state,
     calibration,
     calibration_state,
     estimate_costs,
+    estimate_delta_costs,
     explain_plan,
+    plan_delta,
     plan_query,
     record_observation,
 )
 from .session import (
+    ContinuousQuery,
     EngineStats,
     PreparedDatasetCache,
     QueryEngine,
@@ -59,6 +71,7 @@ __all__ = [
     "dominated_counts",
     "dominated_masks",
     "dominator_counts",
+    "dominator_masks",
     "incomparable_counts",
     "max_bit_score_counts",
     "upper_bound_scores",
@@ -66,14 +79,19 @@ __all__ = [
     "unpack_mask_bits",
     "auto_block",
     "PreparedDataset",
+    "SentinelDelta",
     "QueryPlan",
+    "DeltaPlan",
     "Calibration",
     "calibration",
     "estimate_costs",
+    "estimate_delta_costs",
     "plan_query",
+    "plan_delta",
     "explain_plan",
     "record_observation",
     "QueryEngine",
+    "ContinuousQuery",
     "EngineStats",
     "PreparedDatasetCache",
     "PersistentStore",

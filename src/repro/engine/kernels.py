@@ -68,12 +68,14 @@ __all__ = [
     "dominated_counts",
     "dominated_masks",
     "dominator_counts",
+    "dominator_masks",
     "incomparable_counts",
     "max_bit_score_counts",
     "upper_bound_scores",
     "dominance_matrix_blocked",
     "unpack_mask_bits",
     "PreparedDataset",
+    "SentinelDelta",
     "prepared_for_scan",
 ]
 
@@ -204,6 +206,97 @@ def _use_bitsets(n: int, d: int, batch: int, *, cached: bool = False) -> bool:
     return batch >= 256 and batch * 16 >= n and n >= 512 and fits
 
 
+def _rank_position(
+    vals: np.ndarray, order: np.ndarray, value: float, slot: int, *, existing: bool = False
+) -> int:
+    """Stable sorted position of ``(value, slot)`` in one dimension's order.
+
+    Tie blocks are kept ordered by storage slot (the stable-argsort
+    invariant), so the position inside the block of equal values is found
+    by a second binary search over the slot numbers. With ``existing=True``
+    the entry must already be present and its exact position is returned.
+    """
+    left = int(np.searchsorted(vals, value, side="left"))
+    right = int(np.searchsorted(vals, value, side="right"))
+    position = left + int(np.searchsorted(order[left:right], slot))
+    if existing and (position >= right or order[position] != slot):
+        raise InvalidParameterError(
+            f"rank entry for slot {slot} at value {value!r} not found (corrupt tables?)"
+        )
+    return position
+
+
+def _spliced_rank_row(table: np.ndarray, position: int, slot: int, kind: str, width: int) -> np.ndarray:
+    """A copy of *table* with the rank row for *slot* spliced in at *position*.
+
+    Row ``position`` is duplicated (both halves of the split keep their
+    meaning) and the new object's bit is OR-ed into the half that must
+    contain it: rows ``[0..position]`` for a suffix table ("objects at
+    sorted positions >= r"), rows ``[position+1..]`` for a prefix table
+    ("objects at positions < r").
+    """
+    rows, w = table.shape
+    if width > w:
+        out = np.zeros((rows + 1, width), dtype=np.uint64)
+    else:
+        out = np.empty((rows + 1, w), dtype=np.uint64)
+    out[: position + 1, :w] = table[: position + 1]
+    out[position + 1 :, :w] = table[position:]
+    bit_word, bit_mask = slot >> 6, np.uint64(1) << np.uint64(slot & 63)
+    if kind == "suffix":
+        out[: position + 1, bit_word] |= bit_mask
+    else:
+        out[position + 1 :, bit_word] |= bit_mask
+    return out
+
+
+def _moved_rank_row(table: np.ndarray, q: int, p: int, slot: int, kind: str) -> np.ndarray:
+    """A copy of *table* with *slot*'s rank row moved from *q* to *p*.
+
+    The fused remove-then-insert of an update: *q* is the old sorted
+    position, *p* the insertion position in the removed order. One
+    allocation and one pass — only the rows between the two positions
+    shift, everything else is a straight copy (what makes a single-row
+    update an order of magnitude cheaper than a rebuild).
+    """
+    out = np.empty_like(table)
+    bit_word, bit_mask = slot >> 6, np.uint64(1) << np.uint64(slot & 63)
+    if p <= q:
+        out[: p + 1] = table[: p + 1]
+        out[p + 1 : q + 2] = table[p : q + 1]
+        out[q + 2 :] = table[q + 2 :]
+        if kind == "suffix":
+            out[: p + 1, bit_word] |= bit_mask
+            out[p + 1 : q + 2, bit_word] &= ~bit_mask
+        else:
+            out[p + 1 : q + 2, bit_word] |= bit_mask
+    else:
+        out[: q + 1] = table[: q + 1]
+        out[q + 1 : p + 1] = table[q + 2 : p + 2]
+        out[p + 1 :] = table[p + 1 :]
+        if kind == "suffix":
+            out[: p + 1, bit_word] |= bit_mask
+        else:
+            out[q + 1 : p + 1, bit_word] &= ~bit_mask
+    return out
+
+
+def _moved_entry(values: np.ndarray, q: int, p: int, value) -> np.ndarray:
+    """The matching move in a 1-D sorted-values / order array."""
+    out = np.empty_like(values)
+    if p <= q:
+        out[:p] = values[:p]
+        out[p] = value
+        out[p + 1 : q + 1] = values[p:q]
+        out[q + 1 :] = values[q + 1 :]
+    else:
+        out[:q] = values[:q]
+        out[q:p] = values[q + 1 : p + 1]
+        out[p] = value
+        out[p + 1 :] = values[p + 1 :]
+    return out
+
+
 class _BitsetTables:
     """Per-dimension packed prefix/suffix bitsets over the sort orders.
 
@@ -217,9 +310,20 @@ class _BitsetTables:
     Bit ``j`` of word ``w`` in any row stands for object ``64·w + j``
     (little-endian within the word); :func:`unpack_mask_bits` is the
     inverse adapter back to boolean masks.
+
+    Tables are *patchable*: :meth:`insert_rank` and :meth:`move_rank`
+    splice one object's rank row into a dimension's table with plain
+    slice copies (no re-sort, no re-accumulate), which is how
+    :meth:`PreparedDataset.patched` turns a parent version's tables into a
+    child's. The per-dimension sort permutations (``hi_order`` /
+    ``lo_order``) are retained to keep tie blocks ordered by storage slot
+    — the invariant that makes a patched table bit-identical to a cold
+    rebuild of the same rows. Patch primitives never mutate the arrays in
+    place; they rebind fresh ones, so a :meth:`shallow` copy can share
+    every untouched dimension with its parent safely.
     """
 
-    __slots__ = ("n", "suffix", "prefix", "sorted_hi", "sorted_lo", "words")
+    __slots__ = ("n", "suffix", "prefix", "sorted_hi", "sorted_lo", "hi_order", "lo_order", "words")
 
     def __init__(self, lo: np.ndarray, hi: np.ndarray) -> None:
         n, d = lo.shape
@@ -229,6 +333,8 @@ class _BitsetTables:
         self.prefix: list[np.ndarray] = []
         self.sorted_hi: list[np.ndarray] = []
         self.sorted_lo: list[np.ndarray] = []
+        self.hi_order: list[np.ndarray] = []
+        self.lo_order: list[np.ndarray] = []
         arange = np.arange(n)
         zero_row = np.zeros((1, self.words), dtype=np.uint64)
         for dim in range(d):
@@ -238,6 +344,7 @@ class _BitsetTables:
             suffix = np.bitwise_or.accumulate(one_hot[::-1], axis=0)[::-1]
             self.suffix.append(np.concatenate([suffix, zero_row]))
             self.sorted_hi.append(hi[hi_order, dim])
+            self.hi_order.append(hi_order.astype(np.intp))
 
             lo_order = np.argsort(lo[:, dim], kind="stable")
             one_hot = np.zeros((n, self.words), dtype=np.uint64)
@@ -245,14 +352,71 @@ class _BitsetTables:
             prefix = np.bitwise_or.accumulate(one_hot, axis=0)
             self.prefix.append(np.concatenate([zero_row, prefix]))
             self.sorted_lo.append(lo[lo_order, dim])
+            self.lo_order.append(lo_order.astype(np.intp))
 
     @property
     def nbytes(self) -> int:
         return sum(
             arr.nbytes
-            for group in (self.suffix, self.prefix, self.sorted_hi, self.sorted_lo)
+            for group in (
+                self.suffix,
+                self.prefix,
+                self.sorted_hi,
+                self.sorted_lo,
+                self.hi_order,
+                self.lo_order,
+            )
             for arr in group
         )
+
+    # -- patching ----------------------------------------------------------
+
+    def shallow(self) -> "_BitsetTables":
+        """Copy sharing every per-dimension array (patches rebind, never mutate)."""
+        clone = _BitsetTables.__new__(_BitsetTables)
+        clone.n = self.n
+        clone.words = self.words
+        clone.suffix = list(self.suffix)
+        clone.prefix = list(self.prefix)
+        clone.sorted_hi = list(self.sorted_hi)
+        clone.sorted_lo = list(self.sorted_lo)
+        clone.hi_order = list(self.hi_order)
+        clone.lo_order = list(self.lo_order)
+        return clone
+
+    def _side(self, kind: str, dim: int):
+        if kind == "suffix":
+            return self.suffix, self.sorted_hi, self.hi_order
+        return self.prefix, self.sorted_lo, self.lo_order
+
+    def insert_rank(self, dim: int, kind: str, value: float, slot: int, width: int) -> None:
+        """Splice the rank entry of storage *slot* (sentinel *value*) in.
+
+        ``width`` is the target word count (``>= self.words``); widening
+        happens for free inside the same allocation when the new slot
+        crosses a 64-bit word boundary. One ``O(rows · width)`` slice copy
+        plus an ``O(rows)`` strided bit fix — no sorting.
+        """
+        tables, vals, orders = self._side(kind, dim)
+        position = _rank_position(vals[dim], orders[dim], value, slot)
+        tables[dim] = _spliced_rank_row(tables[dim], position, slot, kind, width)
+        vals[dim] = np.insert(vals[dim], position, value)
+        orders[dim] = np.insert(orders[dim], position, slot)
+
+    def move_rank(self, dim: int, kind: str, old_value: float, new_value: float, slot: int) -> None:
+        """Re-rank one existing entry after its sentinel value changed.
+
+        Fused remove+insert: one allocation per array, rows outside the
+        ``[old, new]`` rank window copied untouched.
+        """
+        tables, vals, orders = self._side(kind, dim)
+        values, order = vals[dim], orders[dim]
+        q = _rank_position(values, order, old_value, slot, existing=True)
+        at = _rank_position(values, order, new_value, slot)
+        p = at - 1 if q < at else at  # insertion position in the removed order
+        tables[dim] = _moved_rank_row(tables[dim], q, p, slot, kind)
+        vals[dim] = _moved_entry(values, q, p, new_value)
+        orders[dim] = _moved_entry(order, q, p, slot)
 
     def _accumulators(self, lo: np.ndarray, hi: np.ndarray, idx: np.ndarray):
         """The two packed accumulators both dominance directions share.
@@ -325,6 +489,83 @@ def _popcount_rows(words: np.ndarray) -> np.ndarray:
     return _popcount_rows_lookup(words)
 
 
+class SentinelDelta:
+    """A :class:`~repro.core.delta.DatasetDelta` lowered to kernel inputs.
+
+    Everything :meth:`PreparedDataset.patched` needs, already in sentinel
+    form: minimized-orientation ``lo``/``hi`` rows for inserts and
+    updates, observed masks, and the parent *dataset* row indices of
+    deletes and updates (the prepared structure maps them to storage
+    slots itself).
+    """
+
+    __slots__ = (
+        "insert_lo",
+        "insert_hi",
+        "insert_observed",
+        "delete_rows",
+        "update_rows",
+        "update_lo",
+        "update_hi",
+        "update_observed",
+    )
+
+    def __init__(
+        self,
+        *,
+        insert_lo: np.ndarray,
+        insert_hi: np.ndarray,
+        insert_observed: np.ndarray,
+        delete_rows: np.ndarray,
+        update_rows: np.ndarray,
+        update_lo: np.ndarray,
+        update_hi: np.ndarray,
+        update_observed: np.ndarray,
+    ) -> None:
+        self.insert_lo = insert_lo
+        self.insert_hi = insert_hi
+        self.insert_observed = insert_observed
+        self.delete_rows = delete_rows
+        self.update_rows = update_rows
+        self.update_lo = update_lo
+        self.update_hi = update_hi
+        self.update_observed = update_observed
+
+    @classmethod
+    def from_delta(cls, delta, directions: Sequence[str]) -> "SentinelDelta":
+        """Lower a bound :class:`~repro.core.delta.DatasetDelta`.
+
+        *directions* is the parent dataset's per-dimension orientation;
+        ``"max"`` columns are negated exactly like
+        :attr:`~repro.core.dataset.IncompleteDataset.minimized` does.
+        """
+        sign = np.array([-1.0 if str(x) == "max" else 1.0 for x in directions])
+
+        def sentinels(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            observed = ~np.isnan(values)
+            minimized = np.where(observed, values * sign, 0.0)
+            lo = np.where(observed, minimized, -np.inf)
+            hi = np.where(observed, minimized, np.inf)
+            return lo, hi, observed
+
+        insert_lo, insert_hi, insert_observed = sentinels(delta.inserted_values)
+        update_lo, update_hi, update_observed = sentinels(delta.updated_values)
+        return cls(
+            insert_lo=insert_lo,
+            insert_hi=insert_hi,
+            insert_observed=insert_observed,
+            delete_rows=np.asarray(delta.deleted_rows, dtype=np.intp),
+            update_rows=np.asarray(delta.updated_rows, dtype=np.intp),
+            update_lo=update_lo,
+            update_hi=update_hi,
+            update_observed=update_observed,
+        )
+
+    @property
+    def inserts(self) -> int:
+        return int(self.insert_lo.shape[0])
+
+
 class PreparedDataset:
     """Reusable kernel inputs for one dataset: sentinels, tables, bitsets.
 
@@ -340,15 +581,36 @@ class PreparedDataset:
     Instances are what the engine session's fingerprint-keyed,
     byte-budgeted cache stores
     (:class:`repro.engine.session.PreparedDatasetCache`).
+
+    **Versioned storage model.** Since the delta refactor the arrays live
+    in a *storage* layer that may be wider than the dataset: deleted
+    objects keep their bit position as a **tombstone** (sentinel rows
+    poisoned to ``lo=+inf``/``hi=-inf`` so the broadcast route never sees
+    them; packed results are AND-ed with a live-bit mask so the bitset
+    route never returns them) and inserted objects append new bit
+    positions at the end. ``n`` is always the *live* object count —
+    equal to the matching dataset's ``n`` — while :attr:`storage_n` is the
+    bit width of the packed tables. Live storage slots, in ascending
+    order, correspond 1:1 to dataset rows (the ordering contract of
+    :func:`repro.core.delta.apply_delta`). :meth:`patched` advances an
+    instance to a child version by splicing tables instead of rebuilding
+    them; :meth:`compacted` pays one cold rebuild to shed tombstone debt
+    (the planner's :func:`~repro.engine.planner.plan_delta` decides when).
     """
 
     __slots__ = (
-        "n",
         "d",
-        "lo",
-        "hi",
-        "observed",
         "build_seconds",
+        "_n",
+        "_storage_n",
+        "_lo_buf",
+        "_hi_buf",
+        "_obs_buf",
+        "_live",
+        "_live_slots",
+        "_live_words",
+        "_live_bounds",
+        "_tombstones",
         "_tables",
         "_observed_bits",
         "_tail_mask",
@@ -357,13 +619,21 @@ class PreparedDataset:
 
     def __init__(self, dataset: "IncompleteDataset") -> None:
         start = time.perf_counter()
-        self.n = dataset.n
+        self._n = dataset.n
+        self._storage_n = dataset.n
         self.d = dataset.d
-        self.lo, self.hi = _bounds(dataset)
+        self._lo_buf, self._hi_buf = _bounds(dataset)
         # Keep only the observed-mask array, not the dataset object: a
         # cache entry must not pin a caller's throwaway dataset (ids,
-        # value matrices, …) for the process lifetime.
-        self.observed = dataset.observed
+        # value matrices, …) for the process lifetime. Copied, because
+        # in-place patching may overwrite rows and must never reach back
+        # into the caller's dataset.
+        self._obs_buf = np.array(dataset.observed, copy=True)
+        self._live: np.ndarray | None = None
+        self._live_slots: np.ndarray | None = None
+        self._live_words: np.ndarray | None = None
+        self._live_bounds: tuple[np.ndarray, np.ndarray] | None = None
+        self._tombstones = 0
         self._tables: _BitsetTables | None = None
         self._observed_bits: np.ndarray | None = None
         self._tail_mask: np.ndarray | None = None
@@ -375,10 +645,106 @@ class PreparedDataset:
         #: cost-aware eviction weighs against the entry's bytes.
         self.build_seconds = time.perf_counter() - start
 
+    # -- storage geometry ---------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Live object count — always equal to the matching dataset's ``n``."""
+        return self._n
+
+    @property
+    def storage_n(self) -> int:
+        """Occupied storage slots (live + tombstoned); the packed bit width."""
+        return self._storage_n
+
+    @property
+    def lo(self) -> np.ndarray:
+        """``(storage_n, d)`` lo sentinels (tombstoned rows hold ``+inf``)."""
+        return self._lo_buf[: self._storage_n]
+
+    @property
+    def hi(self) -> np.ndarray:
+        """``(storage_n, d)`` hi sentinels (tombstoned rows hold ``-inf``)."""
+        return self._hi_buf[: self._storage_n]
+
+    @property
+    def observed(self) -> np.ndarray:
+        """``(storage_n, d)`` observed masks (tombstoned rows all-False)."""
+        return self._obs_buf[: self._storage_n]
+
+    @property
+    def tombstones(self) -> int:
+        """Dead storage slots awaiting compaction."""
+        return self._tombstones
+
+    @property
+    def tombstone_debt(self) -> float:
+        """Dead fraction of the storage layer — the planner's debt signal."""
+        return self._tombstones / max(self._storage_n, 1)
+
+    def slots_of(self, rows: np.ndarray) -> np.ndarray:
+        """Storage slots of the given *dataset* rows (identity when compact)."""
+        if self._live is None:
+            return rows
+        return self._live_slots_array()[rows]
+
+    def _live_slots_array(self) -> np.ndarray:
+        if self._live_slots is None:
+            self._live_slots = np.flatnonzero(self._live[: self._storage_n])
+        return self._live_slots
+
+    def _live_words_for(self, width: int) -> np.ndarray:
+        """Packed live-bit mask padded/cached at the given word width."""
+        if self._live_words is None or self._live_words.size < width:
+            words = np.zeros(max(width, (self._storage_n + 63) >> 6), dtype=np.uint64)
+            live = self._live_slots_array()
+            np.bitwise_or.at(
+                words, live >> 6, np.uint64(1) << (live & 63).astype(np.uint64)
+            )
+            self._live_words = words
+        return self._live_words[:width]
+
+    def live_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dataset-indexed ``(lo, hi)`` for the broadcast route (memoised)."""
+        if self._live is None:
+            return self.lo, self.hi
+        if self._live_bounds is None:
+            slots = self._live_slots_array()
+            self._live_bounds = (self.lo[slots], self.hi[slots])
+        return self._live_bounds
+
+    # -- bitset-route wrappers ---------------------------------------------
+
+    def _masked(self, bits: np.ndarray) -> np.ndarray:
+        if self._live is not None:
+            bits &= self._live_words_for(bits.shape[1])
+        return bits
+
+    def dominated_bits(self, rows: np.ndarray) -> np.ndarray:
+        """Packed dominated-masks for *dataset* rows, tombstones masked out."""
+        slots = self.slots_of(rows)
+        return self._masked(self._tables.dominated_block_bits(self.lo, self.hi, slots))
+
+    def dominator_bits(self, rows: np.ndarray) -> np.ndarray:
+        """Packed dominator-masks for *dataset* rows, tombstones masked out."""
+        slots = self.slots_of(rows)
+        return self._masked(self._tables.dominator_block_bits(self.lo, self.hi, slots))
+
+    def unpack_live(self, bits: np.ndarray) -> np.ndarray:
+        """Packed storage rows → boolean masks over *dataset* columns."""
+        masks = unpack_mask_bits(bits, self._storage_n)
+        if self._live is None:
+            return masks
+        return masks[:, self._live_slots_array()]
+
+    # -- footprint / lifecycle ----------------------------------------------
+
     @property
     def nbytes(self) -> int:
         """Current footprint (grows when the lazy tables are built)."""
-        total = self.lo.nbytes + self.hi.nbytes + self.observed.nbytes
+        total = self._lo_buf.nbytes + self._hi_buf.nbytes + self._obs_buf.nbytes
+        if self._live is not None:
+            total += self._live.nbytes
         if self._tables is not None:
             total += self._tables.nbytes
         if self._observed_bits is not None:
@@ -401,7 +767,11 @@ class PreparedDataset:
         is false or they would exceed the per-table memory budget.
         Thread-safe: one builder wins, others wait on the build lock.
         """
-        if self._tables is None and build and _bitset_table_bytes(self.n, self.d) <= _BITSET_TABLE_BUDGET_BYTES:
+        if (
+            self._tables is None
+            and build
+            and _bitset_table_bytes(self._storage_n, self.d) <= _BITSET_TABLE_BUDGET_BYTES
+        ):
             with self._build_lock:
                 if self._tables is None:
                     start = time.perf_counter()
@@ -413,17 +783,19 @@ class PreparedDataset:
         """Build the tables now if a scan of *batch* rows (default all
         ``n``) would justify them — so the build lands in a preparation
         phase instead of inside the first timed/measured query."""
-        scan = self.n if batch is None else int(batch)
-        self.tables(build=_use_bitsets(self.n, self.d, scan, cached=self.tables_ready))
+        scan = self._n if batch is None else int(batch)
+        self.tables(
+            build=_use_bitsets(self._storage_n, self.d, scan, cached=self.tables_ready)
+        )
         return self
 
     def observed_bits(self) -> tuple[np.ndarray, np.ndarray]:
-        """``(d, W)`` packed observed-object bitsets and the valid-bit mask."""
+        """``(d, W)`` packed observed-object bitsets and the live-bit mask."""
         if self._observed_bits is None:
             with self._build_lock:
                 if self._observed_bits is None:
                     start = time.perf_counter()
-                    n, d = self.n, self.d
+                    n, d = self._storage_n, self.d
                     words = (n + 63) >> 6
                     bits = np.zeros((d, words), dtype=np.uint64)
                     observed = self.observed
@@ -436,12 +808,236 @@ class PreparedDataset:
                     tail = np.full(words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
                     if n & 63:
                         tail[-1] = (np.uint64(1) << np.uint64(n & 63)) - np.uint64(1)
+                    if self._live is not None:
+                        tail &= self._live_words_for(words)
                     # Publish the tail mask first: readers key on
                     # _observed_bits, which is assigned last.
                     self._tail_mask = tail
                     self._observed_bits = bits
                     self.build_seconds += time.perf_counter() - start
         return self._observed_bits, self._tail_mask
+
+    # -- delta patching ------------------------------------------------------
+
+    def patched(self, delta: SentinelDelta, *, inplace: bool = False) -> "PreparedDataset":
+        """Advance to the child version under *delta* without a rebuild.
+
+        Updates re-rank the changed dimensions only (two rank splices per
+        changed dimension per direction); deletions tombstone their slot
+        (poisoned sentinels + live-mask, ``O(d)``); insertions append new
+        bit positions (one rank splice per dimension per direction). The
+        resulting structure answers child-version queries bit-identically
+        to a cold rebuild of the child dataset.
+
+        With ``inplace=False`` (the default) ``self`` stays valid — parent
+        and child share every untouched table array copy-on-write, which
+        is what the fingerprint-keyed cache needs. ``inplace=True`` reuses
+        the sentinel buffers (amortised doubling growth) and must only be
+        used on a privately owned instance, e.g. by
+        :class:`~repro.engine.session.ContinuousQuery`.
+        """
+        start = time.perf_counter()
+        inserts = delta.inserts
+        target = self if inplace else self._spawn(extra_rows=inserts)
+        if inplace:
+            target._ensure_capacity(self._storage_n + inserts)
+            target._observed_bits = None
+            target._tail_mask = None
+        tables = target._tables
+
+        # 1. Updates: re-rank changed dimensions (old sentinel values are
+        #    still in the buffers — read them before overwriting).
+        if delta.update_rows.size:
+            slots = target.slots_of(delta.update_rows)
+            for j, slot in enumerate(slots):
+                slot = int(slot)
+                old_lo, old_hi = target._lo_buf[slot].copy(), target._hi_buf[slot].copy()
+                if tables is not None:
+                    for dim in range(target.d):
+                        new_hi = delta.update_hi[j, dim]
+                        if old_hi[dim] != new_hi:
+                            tables.move_rank(dim, "suffix", float(old_hi[dim]), float(new_hi), slot)
+                        new_lo = delta.update_lo[j, dim]
+                        if old_lo[dim] != new_lo:
+                            tables.move_rank(dim, "prefix", float(old_lo[dim]), float(new_lo), slot)
+                target._lo_buf[slot] = delta.update_lo[j]
+                target._hi_buf[slot] = delta.update_hi[j]
+                target._obs_buf[slot] = delta.update_observed[j]
+
+        # 2. Deletions: tombstone — no table traffic at all.
+        if delta.delete_rows.size:
+            slots = target.slots_of(delta.delete_rows)
+            if target._live is None:
+                live = np.ones(target._lo_buf.shape[0], dtype=bool)
+                live[target._storage_n :] = False
+                target._live = live
+            target._live[slots] = False
+            target._lo_buf[slots] = np.inf
+            target._hi_buf[slots] = -np.inf
+            target._obs_buf[slots] = False
+            target._tombstones += int(slots.size)
+
+        # 3. Insertions: append new bit positions at the end of storage.
+        for j in range(inserts):
+            slot = target._storage_n
+            if tables is not None:
+                width = max(tables.words, (slot >> 6) + 1)
+                for dim in range(target.d):
+                    tables.insert_rank(dim, "suffix", float(delta.insert_hi[j, dim]), slot, width)
+                    tables.insert_rank(dim, "prefix", float(delta.insert_lo[j, dim]), slot, width)
+                tables.words = width
+                tables.n += 1
+            target._lo_buf[slot] = delta.insert_lo[j]
+            target._hi_buf[slot] = delta.insert_hi[j]
+            target._obs_buf[slot] = delta.insert_observed[j]
+            if target._live is not None:
+                target._live[slot] = True
+            target._storage_n += 1
+
+        target._n = self._n - int(delta.delete_rows.size) + inserts
+        target._live_slots = None
+        target._live_words = None
+        target._live_bounds = None
+        target.build_seconds = self.build_seconds + (time.perf_counter() - start)
+        return target
+
+    def _spawn(self, *, extra_rows: int) -> "PreparedDataset":
+        """Copy-on-write child: private sentinel buffers, shared tables."""
+        child = PreparedDataset.__new__(PreparedDataset)
+        child.d = self.d
+        child._n = self._n
+        child._storage_n = self._storage_n
+        rows = self._storage_n + extra_rows
+        child._lo_buf = _grown_copy(self._lo_buf, self._storage_n, rows)
+        child._hi_buf = _grown_copy(self._hi_buf, self._storage_n, rows)
+        child._obs_buf = _grown_copy(self._obs_buf, self._storage_n, rows)
+        child._live = None
+        if self._live is not None:
+            child._live = _grown_copy(self._live[:, None], self._storage_n, rows)[:, 0]
+        child._live_slots = None
+        child._live_words = None
+        child._live_bounds = None
+        child._tombstones = self._tombstones
+        child._tables = None if self._tables is None else self._tables.shallow()
+        child._observed_bits = None
+        child._tail_mask = None
+        child._build_lock = threading.Lock()
+        child.build_seconds = self.build_seconds
+        return child
+
+    def _ensure_capacity(self, rows: int) -> None:
+        """Amortised doubling growth of the sentinel buffers (in place).
+
+        Invariants preserved exactly: dtypes (``float64``/``bool``),
+        storage orientation ``(capacity, d)``, poisoned tombstone rows,
+        and fresh rows pre-poisoned so an unfilled slot can never look
+        like a live all-zero object.
+        """
+        capacity = self._lo_buf.shape[0]
+        if rows <= capacity:
+            return
+        new_capacity = max(2 * capacity, rows)
+        self._lo_buf = _grown_copy(self._lo_buf, self._storage_n, new_capacity)
+        self._hi_buf = _grown_copy(self._hi_buf, self._storage_n, new_capacity)
+        self._obs_buf = _grown_copy(self._obs_buf, self._storage_n, new_capacity)
+        if self._live is not None:
+            self._live = _grown_copy(self._live[:, None], self._storage_n, new_capacity)[:, 0]
+
+    def compacted(self, dataset: "IncompleteDataset") -> "PreparedDataset":
+        """Shed tombstone debt: one cold rebuild over the live rows.
+
+        *dataset* must be the child version this instance currently
+        serves. The result is a compact :class:`PreparedDataset` (storage
+        == dataset rows) whose tables — rebuilt eagerly when this
+        instance had them — are bit-identical to a cold build.
+        """
+        if dataset.n != self._n:
+            raise InvalidParameterError(
+                f"compaction dataset has n={dataset.n}, prepared serves n={self._n}"
+            )
+        fresh = PreparedDataset(dataset)
+        if self.tables_ready:
+            fresh.tables(build=True)
+        return fresh
+
+    # -- persistence ---------------------------------------------------------
+
+    def state_arrays(self) -> dict:
+        """Serializable array state (what the persistent store writes).
+
+        Inverse of :meth:`from_state`. Tombstone state travels too, so a
+        restored instance resumes exactly where the saved one stood.
+        """
+        state = {
+            "meta": np.array(
+                [self._n, self._storage_n, self.d, self._tombstones], dtype=np.int64
+            ),
+            "build_seconds": np.array([self.build_seconds]),
+            "lo": self.lo,
+            "hi": self.hi,
+            "observed": self.observed,
+        }
+        if self._live is not None:
+            state["live"] = self._live[: self._storage_n]
+        if self._tables is not None:
+            state["words"] = np.array([self._tables.words], dtype=np.int64)
+            for dim in range(self.d):
+                state[f"suffix{dim}"] = self._tables.suffix[dim]
+                state[f"prefix{dim}"] = self._tables.prefix[dim]
+                state[f"sorted_hi{dim}"] = self._tables.sorted_hi[dim]
+                state[f"sorted_lo{dim}"] = self._tables.sorted_lo[dim]
+                state[f"hi_order{dim}"] = self._tables.hi_order[dim]
+                state[f"lo_order{dim}"] = self._tables.lo_order[dim]
+        return state
+
+    @classmethod
+    def from_state(cls, state) -> "PreparedDataset":
+        """Rebuild an instance from :meth:`state_arrays` output."""
+        meta = np.asarray(state["meta"], dtype=np.int64)
+        n, storage_n, d, tombstones = (int(x) for x in meta[:4])
+        prepared = cls.__new__(cls)
+        prepared._n = n
+        prepared._storage_n = storage_n
+        prepared.d = d
+        prepared._tombstones = tombstones
+        prepared._lo_buf = np.ascontiguousarray(state["lo"], dtype=np.float64)
+        prepared._hi_buf = np.ascontiguousarray(state["hi"], dtype=np.float64)
+        prepared._obs_buf = np.ascontiguousarray(state["observed"], dtype=bool)
+        prepared._live = None
+        if "live" in state:
+            prepared._live = np.ascontiguousarray(state["live"], dtype=bool)
+        prepared._live_slots = None
+        prepared._live_words = None
+        prepared._live_bounds = None
+        prepared._tables = None
+        if "words" in state:
+            tables = _BitsetTables.__new__(_BitsetTables)
+            tables.n = storage_n
+            tables.words = int(np.asarray(state["words"])[0])
+            tables.suffix = [np.ascontiguousarray(state[f"suffix{dim}"], dtype=np.uint64) for dim in range(d)]
+            tables.prefix = [np.ascontiguousarray(state[f"prefix{dim}"], dtype=np.uint64) for dim in range(d)]
+            tables.sorted_hi = [np.ascontiguousarray(state[f"sorted_hi{dim}"], dtype=np.float64) for dim in range(d)]
+            tables.sorted_lo = [np.ascontiguousarray(state[f"sorted_lo{dim}"], dtype=np.float64) for dim in range(d)]
+            tables.hi_order = [np.ascontiguousarray(state[f"hi_order{dim}"], dtype=np.intp) for dim in range(d)]
+            tables.lo_order = [np.ascontiguousarray(state[f"lo_order{dim}"], dtype=np.intp) for dim in range(d)]
+            prepared._tables = tables
+        prepared._observed_bits = None
+        prepared._tail_mask = None
+        prepared._build_lock = threading.Lock()
+        prepared.build_seconds = float(np.asarray(state["build_seconds"])[0])
+        return prepared
+
+
+def _grown_copy(buffer: np.ndarray, occupied: int, capacity: int) -> np.ndarray:
+    """Copy *buffer*'s occupied rows into a fresh (capacity, d) buffer.
+
+    Fresh rows are pre-poisoned per dtype (NaN / False) so an unfilled
+    slot can never masquerade as live data; inserts overwrite them.
+    """
+    out = np.empty((capacity,) + buffer.shape[1:], dtype=buffer.dtype)
+    out[:occupied] = buffer[:occupied]
+    out[occupied:] = False if buffer.dtype == bool else np.nan
+    return out
 
 
 def _shared_prepared(dataset: "IncompleteDataset") -> PreparedDataset | None:
@@ -469,7 +1065,7 @@ def _resolve_tables(
         prepared = _shared_prepared(dataset)
     if prepared is None:
         return None, None
-    build = _use_bitsets(prepared.n, prepared.d, batch, cached=prepared.tables_ready)
+    build = _use_bitsets(prepared.storage_n, prepared.d, batch, cached=prepared.tables_ready)
     return prepared, prepared.tables(build=build)
 
 
@@ -519,11 +1115,9 @@ def dominated_counts(
         out = np.empty(idx.size, dtype=np.int64)
         for start in range(0, idx.size, _BITSET_ROW_STEP):
             chunk = idx[start : start + _BITSET_ROW_STEP]
-            out[start : start + chunk.size] = tables.dominated_counts(
-                prepared.lo, prepared.hi, chunk
-            )
+            out[start : start + chunk.size] = _popcount_rows(prepared.dominated_bits(chunk))
         return out
-    bounds = (prepared.lo, prepared.hi) if prepared is not None else None
+    bounds = prepared.live_bounds() if prepared is not None else None
     return _blocked_counts(dataset, idx, block, _score_block, bounds=bounds)
 
 
@@ -551,12 +1145,13 @@ def dominated_masks(
         out = np.empty((idx.size, n), dtype=bool)
         for start in range(0, idx.size, _BITSET_ROW_STEP):
             chunk = idx[start : start + _BITSET_ROW_STEP]
-            bits = tables.dominated_block_bits(prepared.lo, prepared.hi, chunk)
-            out[start : start + chunk.size] = unpack_mask_bits(bits, n)
+            out[start : start + chunk.size] = prepared.unpack_live(
+                prepared.dominated_bits(chunk)
+            )
         return out
     if block is None:
         block = auto_block(n, dataset.d)
-    lo, hi = (prepared.lo, prepared.hi) if prepared is not None else _bounds(dataset)
+    lo, hi = prepared.live_bounds() if prepared is not None else _bounds(dataset)
     out = np.empty((idx.size, n), dtype=bool)
     for start in range(0, idx.size, block):
         chunk = idx[start : start + block]
@@ -587,12 +1182,48 @@ def dominator_counts(
         out = np.empty(idx.size, dtype=np.int64)
         for start in range(0, idx.size, _BITSET_ROW_STEP):
             chunk = idx[start : start + _BITSET_ROW_STEP]
-            out[start : start + chunk.size] = tables.dominator_counts(
-                prepared.lo, prepared.hi, chunk
+            out[start : start + chunk.size] = _popcount_rows(prepared.dominator_bits(chunk))
+        return out
+    bounds = prepared.live_bounds() if prepared is not None else None
+    return _blocked_counts(dataset, idx, block, _dominator_block, bounds=bounds)
+
+
+def dominator_masks(
+    dataset: "IncompleteDataset",
+    rows: Sequence[int] | None = None,
+    *,
+    block: int | None = None,
+    prepared: PreparedDataset | None = None,
+) -> np.ndarray:
+    """Exact dominator-masks ``(len(rows), n)``: row ``r`` is ``{p : p ≻ o_r}``.
+
+    The mirror of :func:`dominated_masks`, served from the same packed
+    accumulators when tables exist. This is the primitive the incremental
+    score maintenance rides: the dominators of an inserted (deleted,
+    updated) object are exactly the objects whose dominated counts change.
+    """
+    n = dataset.n
+    idx = _as_rows(range(n) if rows is None else rows, n)
+    block = _validate_block(block)
+    if idx.size == 0:
+        return np.zeros((0, n), dtype=bool)
+    prepared, tables = _resolve_tables(dataset, idx.size, prepared)
+    if tables is not None:
+        out = np.empty((idx.size, n), dtype=bool)
+        for start in range(0, idx.size, _BITSET_ROW_STEP):
+            chunk = idx[start : start + _BITSET_ROW_STEP]
+            out[start : start + chunk.size] = prepared.unpack_live(
+                prepared.dominator_bits(chunk)
             )
         return out
-    bounds = (prepared.lo, prepared.hi) if prepared is not None else None
-    return _blocked_counts(dataset, idx, block, _dominator_block, bounds=bounds)
+    if block is None:
+        block = auto_block(n, dataset.d)
+    lo, hi = prepared.live_bounds() if prepared is not None else _bounds(dataset)
+    out = np.empty((idx.size, n), dtype=bool)
+    for start in range(0, idx.size, block):
+        chunk = idx[start : start + block]
+        out[start : start + chunk.size] = _dominator_block(lo, hi, chunk)
+    return out
 
 
 def incomparable_counts(
@@ -624,8 +1255,9 @@ def incomparable_counts(
         bits, tail = prepared.observed_bits()
         observed = dataset.observed
         out = np.empty(idx.size, dtype=np.int64)
-        self_word = (idx >> 6).astype(np.intp)
-        self_bit = np.uint64(1) << (idx & 63).astype(np.uint64)
+        slots = prepared.slots_of(idx)
+        self_word = (slots >> 6).astype(np.intp)
+        self_bit = np.uint64(1) << (slots & 63).astype(np.uint64)
         for start in range(0, idx.size, _BITSET_ROW_STEP):
             chunk = idx[start : start + _BITSET_ROW_STEP]
             b = chunk.size
@@ -743,12 +1375,13 @@ def dominance_matrix_blocked(
         out = np.empty((n, n), dtype=bool)
         for start in range(0, n, _BITSET_ROW_STEP):
             chunk = np.arange(start, min(start + _BITSET_ROW_STEP, n), dtype=np.intp)
-            bits = tables.dominated_block_bits(prepared.lo, prepared.hi, chunk)
-            out[start : start + chunk.size] = unpack_mask_bits(bits, n)
+            out[start : start + chunk.size] = prepared.unpack_live(
+                prepared.dominated_bits(chunk)
+            )
         return out
     if block is None:
         block = auto_block(n, dataset.d)
-    lo, hi = _bounds(dataset) if prepared is None else (prepared.lo, prepared.hi)
+    lo, hi = _bounds(dataset) if prepared is None else prepared.live_bounds()
     out = np.empty((n, n), dtype=bool)
     for start in range(0, n, block):
         chunk = np.arange(start, min(start + block, n), dtype=np.intp)

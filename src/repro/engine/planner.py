@@ -57,12 +57,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "QueryPlan",
+    "DeltaPlan",
     "Calibration",
     "calibration",
     "calibration_state",
     "apply_calibration_state",
     "estimate_costs",
+    "estimate_delta_costs",
     "plan_query",
+    "plan_delta",
     "explain_plan",
     "merge_plan_options",
     "record_observation",
@@ -384,6 +387,146 @@ def plan_query(
         reason=reason,
         estimated_seconds=costs[algorithm],
         candidate_seconds=dict(costs),
+    )
+
+
+#: A cold table rebuild costs roughly this many passes over the packed
+#: table bytes (stable argsort + one-hot scatter + bitwise accumulate per
+#: direction), versus ~1 splice copy per structural patch op. Fitted
+#: loosely against the kernels on the Table 2 grid; like the query model,
+#: only the ordering has to be right.
+_REBUILD_PASS_FACTOR = 10.0
+#: Tombstones beyond this dead fraction force a compacting rebuild even
+#: when per-delta patch cost still looks cheaper — the debt ceiling.
+_MAX_TOMBSTONE_DEBT = 0.5
+#: Weight of the amortised tombstone debt in the patch-vs-rebuild margin:
+#: each dead slot inflates every future query/patch a little, so patching
+#: is charged ``debt_weight × dead_fraction`` of a rebuild per delta.
+_DEBT_WEIGHT = 0.25
+
+
+@dataclass(frozen=True)
+class DeltaPlan:
+    """Patch-vs-rebuild decision for applying one delta to prepared state."""
+
+    #: ``"patch"`` (splice the existing tables) or ``"rebuild"`` (cold
+    #: build over the child's live rows, shedding tombstone debt).
+    action: str
+    #: One-line human-readable justification.
+    reason: str
+    #: Modelled cost (seconds) of patching the parent's structures.
+    patch_seconds: float = 0.0
+    #: Modelled cost (seconds) of rebuilding from scratch.
+    rebuild_seconds: float = 0.0
+    #: Tombstone debt (dead storage fraction) the child would carry.
+    tombstone_debt: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"delta plan: {self.action} ({self.reason}) | "
+            f"patch={self.patch_seconds * 1e3:.2f}ms "
+            f"rebuild={self.rebuild_seconds * 1e3:.2f}ms "
+            f"debt={self.tombstone_debt:.0%}"
+        )
+
+
+def estimate_delta_costs(
+    storage_n: int,
+    d: int,
+    *,
+    inserts: int = 0,
+    deletes: int = 0,
+    updates: int = 0,
+    changed_dims: int | None = None,
+    tombstones: int = 0,
+    tables_ready: bool = True,
+) -> dict:
+    """Modelled seconds for patching vs rebuilding one version's tables.
+
+    ``changed_dims`` is the number of dimensions an average update
+    actually changes (updates re-rank only those); defaults to all ``d``.
+    The patch estimate charges one table-splice copy per structural op
+    per direction, plus the *amortised tombstone debt*: every dead slot
+    keeps inflating table width for all later work, so each patched delta
+    is charged a slice of the rebuild that would shed the debt.
+    """
+    if storage_n <= 0 or d <= 0:
+        raise InvalidParameterError(f"need storage_n >= 1 and d >= 1, got {storage_n}, {d}")
+    cal = calibration()
+    new_storage = storage_n + max(int(inserts), 0)
+    words = (new_storage + 63) >> 6
+    table_bytes = 2.0 * d * (new_storage + 1) * words * 8.0
+    splice_bytes = table_bytes / (2.0 * d)  # one direction of one dimension
+    changed = d if changed_dims is None else max(min(int(changed_dims), d), 0)
+
+    if not tables_ready:
+        # No tables to preserve: "patching" is sentinel bookkeeping only.
+        patch = cal.vec * (inserts + updates + deletes + 1) * d * 64
+        rebuild = cal.vec * table_bytes * _REBUILD_PASS_FACTOR + cal.step * d
+        return {"patch": patch, "rebuild": rebuild, "tombstone_debt": _debt(new_storage, tombstones)}
+
+    rebuild = cal.vec * table_bytes * _REBUILD_PASS_FACTOR + cal.step * d
+    structural = inserts * 2 * d + updates * 4 * changed  # splices per delta
+    patch = cal.vec * structural * splice_bytes + cal.step * (inserts + updates + deletes)
+    debt = _debt(new_storage, tombstones + deletes)
+    patch += _DEBT_WEIGHT * debt * rebuild
+    return {"patch": patch, "rebuild": rebuild, "tombstone_debt": debt}
+
+
+def _debt(storage_n: int, tombstones: int) -> float:
+    return min(max(tombstones, 0) / max(storage_n, 1), 1.0)
+
+
+def plan_delta(
+    storage_n: int,
+    d: int,
+    *,
+    inserts: int = 0,
+    deletes: int = 0,
+    updates: int = 0,
+    changed_dims: int | None = None,
+    tombstones: int = 0,
+    tables_ready: bool = True,
+) -> DeltaPlan:
+    """Decide whether to patch prepared tables in place or rebuild them.
+
+    The session layer calls this on every
+    :meth:`~repro.engine.session.QueryEngine.apply_delta`; ``"rebuild"``
+    doubles as the lazy compaction trigger (a rebuild over the live rows
+    sheds all tombstones). Small deltas patch; bulk rewrites and
+    debt-saturated storage rebuild.
+    """
+    costs = estimate_delta_costs(
+        storage_n,
+        d,
+        inserts=inserts,
+        deletes=deletes,
+        updates=updates,
+        changed_dims=changed_dims,
+        tombstones=tombstones,
+        tables_ready=tables_ready,
+    )
+    debt = costs["tombstone_debt"]
+    if not tables_ready:
+        action, reason = "patch", "no tables built yet — sentinel bookkeeping only"
+    elif debt >= _MAX_TOMBSTONE_DEBT:
+        action = "rebuild"
+        reason = f"tombstone debt {debt:.0%} ≥ {_MAX_TOMBSTONE_DEBT:.0%} — compacting"
+    elif costs["rebuild"] < costs["patch"]:
+        action = "rebuild"
+        reason = (
+            f"bulk delta (+{inserts}/-{deletes}/~{updates}) cheaper to rebuild "
+            f"at n={storage_n}, d={d}"
+        )
+    else:
+        action = "patch"
+        reason = f"splice {inserts + updates + deletes} ops into cached tables"
+    return DeltaPlan(
+        action=action,
+        reason=reason,
+        patch_seconds=costs["patch"],
+        rebuild_seconds=costs["rebuild"],
+        tombstone_debt=debt,
     )
 
 

@@ -30,8 +30,19 @@ the session object that makes the amortisation real:
 * **persistent store** — an optional
   :class:`~repro.engine.store.PersistentStore` (``store=`` or the
   ``REPRO_CACHE_DIR`` environment variable) behind the result LRU, so
-  warm answers and learned planner biases survive the process and are
-  shared across concurrent processes (see :mod:`repro.engine.store`).
+  warm answers, learned planner biases, prepared tables, and version
+  lineage survive the process and are shared across concurrent
+  processes (see :mod:`repro.engine.store`);
+* **versioned updates** — :meth:`QueryEngine.apply_delta` (and the
+  ``insert``/``delete``/``update`` wrappers) advance a dataset by a
+  :class:`~repro.core.delta.DatasetDelta`: the cached
+  :class:`~repro.engine.kernels.PreparedDataset` is patched (or
+  compacted, per :func:`~repro.engine.planner.plan_delta`), the full
+  score vector is maintained by adjusting affected objects only, and
+  :meth:`query` answers maintained versions straight from it
+  (``algorithm="incremental"``). :class:`ContinuousQuery`
+  (:meth:`QueryEngine.continuous`) is the owned in-place fast path for
+  streams.
 
 Sessions and the shared caches are thread-safe; see the class docs for
 the exact locking discipline.
@@ -48,7 +59,6 @@ Usage::
 
 from __future__ import annotations
 
-import hashlib
 import os
 import threading
 import time
@@ -57,17 +67,23 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..errors import InvalidParameterError
-from .kernels import PreparedDataset
+from .kernels import (
+    PreparedDataset,
+    SentinelDelta,
+    dominated_counts,
+    dominator_masks,
+)
 from .planner import (
     QueryPlan,
     apply_calibration_state,
     calibration_state,
     merge_plan_options,
+    plan_delta,
     plan_query,
     record_observation,
     supported_options,
@@ -76,6 +92,7 @@ from .store import PersistentStore
 
 __all__ = [
     "QueryEngine",
+    "ContinuousQuery",
     "EngineStats",
     "PreparedDatasetCache",
     "dataset_fingerprint",
@@ -102,16 +119,20 @@ def dataset_fingerprint(dataset) -> str:
     in every dominance test (adding ``0.0`` maps it to ``+0.0``), and
     missing cells are re-stamped with one canonical NaN (their stored
     payload bits are meaningless — only the observed mask matters).
+
+    :class:`~repro.core.dataset.IncompleteDataset` instances answer
+    through their own :meth:`~repro.core.dataset.IncompleteDataset.fingerprint`
+    — memoised, and *lineage-derived* for versions produced by
+    ``apply_delta`` (``H(parent, delta)`` instead of a full rehash), which
+    is what keys the whole cache hierarchy per version. Duck-typed
+    stand-ins fall back to the full content hash.
     """
-    values = dataset.values
-    observed = dataset.observed
-    canonical = np.where(observed, values + 0.0, np.nan)
-    digest = hashlib.sha256()
-    digest.update(str(values.shape).encode())
-    digest.update(canonical.tobytes())
-    digest.update(observed.tobytes())
-    digest.update(",".join(dataset.directions).encode())
-    return digest.hexdigest()
+    method = getattr(dataset, "fingerprint", None)
+    if callable(method):
+        return method()
+    from ..core.dataset import content_fingerprint  # deferred: core imports the engine
+
+    return content_fingerprint(dataset)
 
 
 def _freeze(value):
@@ -147,6 +168,15 @@ class EngineStats:
     store_hits: int = 0
     store_misses: int = 0
     store_writes: int = 0
+    #: Versioned-update counters: deltas applied through this session,
+    #: split by how the prepared tables advanced (spliced vs rebuilt).
+    deltas_applied: int = 0
+    tables_patched: int = 0
+    tables_rebuilt: int = 0
+    #: Queries answered straight from incrementally maintained scores.
+    incremental_hits: int = 0
+    #: Prepared structures warm-started from the persistent store.
+    prepared_loaded: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -165,6 +195,11 @@ class EngineStats:
         self.store_hits += other.store_hits
         self.store_misses += other.store_misses
         self.store_writes += other.store_writes
+        self.deltas_applied += other.deltas_applied
+        self.tables_patched += other.tables_patched
+        self.tables_rebuilt += other.tables_rebuilt
+        self.incremental_hits += other.incremental_hits
+        self.prepared_loaded += other.prepared_loaded
 
     def summary(self) -> str:
         text = (
@@ -178,6 +213,14 @@ class EngineStats:
                 f", store {self.store_hits}/{self.store_hits + self.store_misses} warm"
                 f" ({self.store_writes} written)"
             )
+        if self.deltas_applied:
+            text += (
+                f", deltas {self.deltas_applied}"
+                f" ({self.tables_patched} patched / {self.tables_rebuilt} rebuilt"
+                f", {self.incremental_hits} incremental answers)"
+            )
+        if self.prepared_loaded:
+            text += f", prepared warm-started {self.prepared_loaded}x"
         return text
 
 
@@ -291,6 +334,26 @@ class PreparedDatasetCache:
             self._enforce()
             return entry
 
+    def peek(self, fingerprint: str) -> PreparedDataset | None:
+        """The entry for *fingerprint* if present — no build, no counters.
+
+        Refreshes recency (a peeked parent is an active delta chain's
+        base and must not be the next eviction victim) but leaves the
+        hit/miss counters alone.
+        """
+        with self._lock:
+            entry = self._data.get(fingerprint)
+            if entry is not None:
+                self._data.move_to_end(fingerprint)
+            return entry
+
+    def put(self, fingerprint: str, prepared: PreparedDataset) -> None:
+        """Install an externally built entry (patched child, store load)."""
+        with self._lock:
+            self._data[fingerprint] = prepared
+            self._data.move_to_end(fingerprint)
+            self._enforce()
+
     def _enforce(self) -> None:
         while len(self._data) > 1 and self._total_bytes() > self.max_bytes:
             # Spare the most recently used entry (the caller is about to
@@ -378,6 +441,10 @@ class QueryEngine:
     ) -> None:
         self._prepared = _LRU(max_prepared)
         self._results = _LRU(max_results)
+        #: Incrementally maintained full score vectors, per fingerprint —
+        #: what the "incremental" query route answers from. Bounded: one
+        #: int64 vector per live version.
+        self._scores = _LRU(max(4 * max_prepared, 32))
         self._dataset_cache = _shared_dataset_cache if dataset_cache is None else dataset_cache
         self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
         self._lock = threading.RLock()
@@ -456,9 +523,174 @@ class QueryEngine:
         Returns the fingerprint-keyed :class:`PreparedDataset` (lo/hi
         sentinels eagerly, bitset tables lazily) every kernel call on this
         dataset's content will reuse — including module-level calls, since
-        the default cache is process-wide.
+        the default cache is process-wide. With a :attr:`store`, a cache
+        miss first tries the persisted tables
+        (:meth:`persist_prepared` / ``PersistentStore.put_prepared``), so
+        a fresh process warm-starts the ``O(d·n²/64)`` build from disk.
         """
-        return self._dataset_cache.get_or_create(dataset, self.fingerprint(dataset))
+        fingerprint = self.fingerprint(dataset)
+        if self._store is not None and self._dataset_cache.peek(fingerprint) is None:
+            loaded = self._store.get_prepared(fingerprint)
+            if loaded is not None:
+                self._dataset_cache.put(fingerprint, loaded)
+                with self._lock:
+                    self.stats.prepared_loaded += 1
+        return self._dataset_cache.get_or_create(dataset, fingerprint)
+
+    def persist_prepared(self, dataset, *, warm: bool = True) -> PreparedDataset:
+        """Write *dataset*'s prepared structures to the persistent store.
+
+        With ``warm=True`` (default) the packed bitset tables are built
+        first, so the stored entry saves a fresh process the whole table
+        build, not just the sentinels. Requires a :attr:`store`.
+        """
+        if self._store is None:
+            raise InvalidParameterError(
+                "persist_prepared needs a store; pass QueryEngine(store=...) "
+                "or set REPRO_CACHE_DIR"
+            )
+        prepared = self.prepare_dataset(dataset)
+        if warm:
+            prepared.tables(build=True)
+        self._store.put_prepared(self.fingerprint(dataset), prepared)
+        return prepared
+
+    # -- versioned updates --------------------------------------------------
+
+    def apply_delta(self, dataset, delta):
+        """Advance *dataset* by one insert/delete/update batch, incrementally.
+
+        Returns the child :class:`~repro.core.dataset.IncompleteDataset`
+        version. Everything this session knows about the parent advances
+        with it instead of being invalidated:
+
+        * a cached :class:`PreparedDataset` is **patched** (tables
+          spliced, deletions tombstoned) or — when
+          :func:`~repro.engine.planner.plan_delta` says the tombstone
+          debt or delta size warrants it — compacted by one rebuild;
+        * a maintained score vector is advanced by adjusting the
+          dominated counts of affected objects only (see
+          :meth:`scores`), which is what lets :meth:`query` answer the
+          child version without running any algorithm;
+        * with a :attr:`store`, the child's fingerprint lineage is
+          recorded so delta chains resolve to stored results across
+          processes.
+        """
+        if delta.is_empty:
+            return dataset
+        child = dataset.apply_delta(delta)
+        parent_fp = self.fingerprint(dataset)
+        child_fp = self.fingerprint(child)
+        with self._lock:
+            self.stats.deltas_applied += 1
+            parent_scores = self._scores.get(parent_fp, _MISSING)
+        if parent_scores is _MISSING or len(parent_scores) != dataset.n:
+            parent_scores = None
+
+        parent_prepared = self._dataset_cache.peek(parent_fp)
+        child_prepared = None
+        rebates = None
+        if parent_scores is not None and parent_prepared is None:
+            # The parent's structures were evicted: maintaining the score
+            # vector would silently rebuild full prepared state through
+            # the module-level shim — in the *global* cache, not this
+            # session's. Drop maintenance; the next query recomputes
+            # exactly (and re-seeds) through scores().
+            parent_scores = None
+        if parent_scores is not None:
+            # Parent-space mask work must read the parent's structures
+            # before any (even copy-on-write) patching bookkeeping.
+            rebates = _score_rebates(dataset, parent_prepared, delta)
+        if parent_prepared is not None:
+            ops = delta.ops
+            plan = plan_delta(
+                parent_prepared.storage_n,
+                parent_prepared.d,
+                inserts=ops["inserts"],
+                deletes=ops["deletes"],
+                updates=ops["updates"],
+                tombstones=parent_prepared.tombstones,
+                tables_ready=parent_prepared.tables_ready,
+            )
+            if plan.action == "patch":
+                child_prepared = parent_prepared.patched(
+                    SentinelDelta.from_delta(delta, dataset.directions)
+                )
+                with self._lock:
+                    self.stats.tables_patched += 1
+            else:
+                child_prepared = PreparedDataset(child)
+                if parent_prepared.tables_ready:
+                    child_prepared.tables(build=True)
+                with self._lock:
+                    self.stats.tables_rebuilt += 1
+            self._dataset_cache.put(child_fp, child_prepared)
+
+        if parent_scores is not None:
+            child_scores, _changed = _advance_scores(
+                rebates, parent_scores, child, child_prepared, delta
+            )
+            with self._lock:
+                self._scores.put(child_fp, child_scores)
+
+        if self._store is not None:
+            self._store.record_lineage(child_fp, parent_fp, delta.digest(), delta.ops)
+        return child
+
+    def insert(self, dataset, rows, *, ids: Sequence[str] | None = None):
+        """New version with *rows* appended; see :meth:`apply_delta`."""
+        from ..core.delta import DatasetDelta  # deferred: core imports the engine
+
+        return self.apply_delta(dataset, DatasetDelta.inserting(dataset, rows, ids=ids))
+
+    def delete(self, dataset, ids: Sequence[str]):
+        """New version with the given objects removed; see :meth:`apply_delta`."""
+        from ..core.delta import DatasetDelta
+
+        return self.apply_delta(dataset, DatasetDelta.deleting(dataset, ids))
+
+    def update(self, dataset, updates: Mapping[str, Sequence]):
+        """New version with per-object replacements; see :meth:`apply_delta`."""
+        from ..core.delta import DatasetDelta
+
+        return self.apply_delta(dataset, DatasetDelta.updating(dataset, updates))
+
+    def scores(self, dataset) -> np.ndarray:
+        """The full dominated-count vector of *dataset*, maintained.
+
+        Served from the incremental cache when :meth:`apply_delta` (or a
+        :class:`ContinuousQuery`) has maintained it; computed exactly once
+        otherwise — after which every delta keeps it current. Treat the
+        returned array as read-only.
+        """
+        fingerprint = self.fingerprint(dataset)
+        with self._lock:
+            cached = self._scores.get(fingerprint, _MISSING)
+        if cached is not _MISSING and len(cached) == dataset.n:
+            return cached
+        prepared = self.prepare_dataset(dataset)
+        prepared.warm()
+        computed = dominated_counts(dataset, prepared=prepared).astype(np.int64, copy=False)
+        with self._lock:
+            self._scores.put(fingerprint, computed)
+        return computed
+
+    def _adopt_scores(self, fingerprint: str, scores: np.ndarray) -> None:
+        """Register a maintained score vector (ContinuousQuery hand-off)."""
+        with self._lock:
+            self._scores.put(fingerprint, scores)
+
+    def continuous(self, dataset, *, k: int | None = None) -> "ContinuousQuery":
+        """A continuously maintained top-k handle over a mutating dataset.
+
+        The owned fast path for streaming workloads: one privately held
+        prepared structure patched in place per delta, scores adjusted
+        for affected objects only, and the cached top-``k`` selection
+        refreshed without a full re-rank whenever the k-th boundary is
+        provably unaffected. :class:`repro.core.streaming.StreamingTKD`
+        is a thin facade over this.
+        """
+        return ContinuousQuery(self, dataset, k=k)
 
     def result_key(self, dataset, k: int, algorithm: str, **options) -> tuple:
         """The result-cache/store key of one deterministic query.
@@ -514,13 +746,27 @@ class QueryEngine:
         persistent layer before executing anything, and computed answers
         are written back with their measured cost (feeding the store's
         cost-aware eviction).
+
+        When this session has incrementally maintained scores for the
+        dataset's version (:meth:`apply_delta`, :meth:`scores`,
+        :class:`ContinuousQuery`), ``algorithm="auto"`` short-circuits to
+        the **incremental** route: the answer is selected straight from
+        the maintained vector, no algorithm executed. ``"incremental"``
+        may also be requested explicitly; without maintained scores it
+        computes them once (exact fallback) and maintains them from then
+        on.
         """
         with self._lock:
             self.stats.queries += 1
         plan = None
         if algorithm.lower() == "auto":
-            plan = self.plan(dataset, k, repeats=repeats)
-            algorithm, options = self._apply_plan(plan, options)
+            with self._lock:
+                maintained = self._scores.get(self.fingerprint(dataset), _MISSING)
+            if maintained is not _MISSING and len(maintained) == dataset.n:
+                algorithm = "incremental"
+            else:
+                plan = self.plan(dataset, k, repeats=repeats)
+                algorithm, options = self._apply_plan(plan, options)
 
         cacheable = tie_break == "index"
         result_key = None
@@ -552,8 +798,13 @@ class QueryEngine:
         # preparation exactly when this session has not prepared the
         # algorithm yet, so the observation must cover the same work.
         start = time.perf_counter()
-        instance = self.prepared(dataset, algorithm, **options)
-        result = instance.query(k, tie_break=tie_break, rng=rng)
+        if algorithm.lower() == "incremental":
+            result = self._incremental_result(dataset, k, tie_break=tie_break, rng=rng)
+            with self._lock:
+                self.stats.incremental_hits += 1
+        else:
+            instance = self.prepared(dataset, algorithm, **options)
+            result = instance.query(k, tie_break=tie_break, rng=rng)
         elapsed = time.perf_counter() - start
         if plan is not None:
             # Close the planner's loop: observed runtime vs modelled cost
@@ -579,6 +830,26 @@ class QueryEngine:
                 if not deferred:
                     self._store.put_result(**item)
         return result
+
+    def _incremental_result(self, dataset, k: int, *, tie_break: str, rng):
+        """Answer one query from the maintained score vector (exact)."""
+        from ..core.result import TKDResult, select_top_k, validate_k
+        from ..core.stats import QueryStats
+
+        scores = self.scores(dataset)
+        validated = validate_k(k, dataset.n)
+        selection = select_top_k(scores, validated, tie_break=tie_break, rng=rng)
+        stats = QueryStats(
+            algorithm="incremental", n=dataset.n, d=dataset.d, k=validated
+        )
+        return TKDResult.from_selection(
+            dataset,
+            selection,
+            scores[selection],
+            k=validated,
+            algorithm="incremental",
+            stats=stats,
+        )
 
     @staticmethod
     def _apply_plan(plan: QueryPlan, options: dict) -> tuple[str, dict]:
@@ -819,6 +1090,307 @@ class QueryEngine:
         return (
             f"<QueryEngine prepared={len(self._prepared)}/{self._prepared.capacity} "
             f"results={len(self._results)}/{self._results.capacity}>"
+        )
+
+
+def _score_rebates(parent, parent_prepared, delta) -> np.ndarray:
+    """Parent-space score decrements one delta causes (phase 1 of 2).
+
+    Every object that dominated a deleted victim loses that count, and
+    every object that dominated an updated object's *old* value loses it
+    too (the new value's contribution is re-added in child space). One
+    packed dominator-mask batch over the affected rows only — this is the
+    "adjust dominated counts for affected objects only" half of
+    incremental maintenance. Must run *before* the parent's prepared
+    structures are patched (in-place patching rewrites them).
+    """
+    rebates = np.zeros(parent.n, dtype=np.int64)
+    del_rows = np.asarray(delta.deleted_rows, dtype=np.intp)
+    upd_rows = np.asarray(delta.updated_rows, dtype=np.intp)
+    if del_rows.size:
+        rebates -= dominator_masks(parent, del_rows, prepared=parent_prepared).sum(axis=0)
+    if upd_rows.size:
+        rebates -= dominator_masks(parent, upd_rows, prepared=parent_prepared).sum(axis=0)
+    return rebates
+
+
+def _advance_scores(
+    rebates: np.ndarray, parent_scores: np.ndarray, child, child_prepared, delta
+) -> tuple[np.ndarray, np.ndarray]:
+    """Child-version score vector from the parent's (phase 2 of 2).
+
+    Surviving rows inherit ``parent_score + rebate``; dominators of
+    updated and inserted rows (child values) are credited back; the
+    updated and inserted rows themselves get one exact recompute each.
+    Returns ``(child_scores, changed_child_rows)`` — the changed-row set
+    is what lets a maintained top-k decide whether the k-th boundary
+    could have moved.
+    """
+    n_parent = rebates.shape[0]
+    del_rows = np.asarray(delta.deleted_rows, dtype=np.intp)
+    upd_rows = np.asarray(delta.updated_rows, dtype=np.intp)
+    inserts = int(delta.inserted_values.shape[0])
+
+    keep = np.ones(n_parent, dtype=bool)
+    if del_rows.size:
+        keep[del_rows] = False
+    kept = int(keep.sum())
+
+    child_scores = np.empty(child.n, dtype=np.int64)
+    child_scores[:kept] = parent_scores[keep] + rebates[keep]
+
+    fresh: list[np.ndarray] = []
+    if upd_rows.size:
+        # A surviving parent row's child index is its rank among kept rows.
+        child_upd = (np.cumsum(keep) - 1)[upd_rows].astype(np.intp)
+        child_scores += dominator_masks(child, child_upd, prepared=child_prepared).sum(axis=0)
+        fresh.append(child_upd)
+    if inserts:
+        child_new = np.arange(kept, child.n, dtype=np.intp)
+        child_scores += dominator_masks(child, child_new, prepared=child_prepared).sum(axis=0)
+        fresh.append(child_new)
+    if fresh:
+        fresh_rows = np.concatenate(fresh)
+        child_scores[fresh_rows] = dominated_counts(child, fresh_rows, prepared=child_prepared)
+
+    changed_kept = np.flatnonzero(child_scores[:kept] != parent_scores[keep])
+    changed = np.concatenate([changed_kept, np.arange(kept, child.n)]).astype(np.intp)
+    return child_scores, changed
+
+
+class ContinuousQuery:
+    """A continuously maintained TKD view over one mutating dataset.
+
+    The owned fast path behind :meth:`QueryEngine.continuous` and the
+    :class:`repro.core.streaming.StreamingTKD` facade. Where
+    :meth:`QueryEngine.apply_delta` versions *shared* cache entries
+    (copy-on-write, every version stays queryable), this handle owns its
+    :class:`~repro.engine.kernels.PreparedDataset` privately and patches
+    it **in place** — sentinel buffers grow by amortised doubling,
+    deletions tombstone, and the planner's
+    :func:`~repro.engine.planner.plan_delta` triggers a compacting
+    rebuild when the tombstone debt saturates.
+
+    Top-k maintenance: the full score vector is adjusted per delta
+    (affected objects only); the cached top-``k`` selection is kept when
+    the delta provably cannot move the k-th boundary — every changed
+    non-member stayed strictly below it and no member lost score — and
+    recomputed exactly from the maintained vector otherwise.
+    """
+
+    def __init__(self, engine: QueryEngine, dataset, *, k: int | None = None) -> None:
+        if dataset is None or dataset.n == 0:
+            raise InvalidParameterError("continuous queries need a non-empty dataset")
+        self._engine = engine
+        self._dataset = dataset
+        self._k = None if k is None else int(k)
+        prepared = engine.prepare_dataset(dataset)
+        prepared.warm()
+        self._prepared = prepared
+        #: The first patch must copy-on-write away from the shared cache
+        #: entry; after that the structure is exclusively ours.
+        self._owned = False
+        self._scores = engine.scores(dataset)
+        #: Cached selection state: (k, rows, member scores, boundary).
+        self._cached_k: int | None = None
+        self._cached_rows: np.ndarray | None = None
+        self._cached_boundary: int = 0
+        #: Changed-row sets since the last selection; None marks "row
+        #: indices shifted (a delete happened) — exact fallback required".
+        self._pending: list[np.ndarray] | None = []
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def dataset(self):
+        """The current :class:`~repro.core.dataset.IncompleteDataset` version."""
+        return self._dataset
+
+    @property
+    def prepared(self) -> PreparedDataset:
+        """The privately owned prepared structures (storage layer included)."""
+        return self._prepared
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Maintained dominated counts, index-aligned with :attr:`dataset`."""
+        return self._scores
+
+    @property
+    def n(self) -> int:
+        return self._dataset.n
+
+    @property
+    def d(self) -> int:
+        return self._dataset.d
+
+    @property
+    def ids(self) -> list[str]:
+        return self._dataset.ids
+
+    def __len__(self) -> int:
+        return self._dataset.n
+
+    def __contains__(self, object_id: str) -> bool:
+        try:
+            self._dataset.index_of(object_id)
+            return True
+        except InvalidParameterError:
+            return False
+
+    def score_of(self, object_id: str) -> int:
+        """Maintained ``score`` of one live object."""
+        return int(self._scores[self._dataset.index_of(object_id)])
+
+    # -- mutations -----------------------------------------------------------
+
+    def insert(self, rows, *, ids: Sequence[str] | None = None) -> list[str]:
+        """Insert a batch of rows; returns their ids."""
+        from ..core.delta import DatasetDelta
+
+        delta = DatasetDelta.inserting(self._dataset, rows, ids=ids)
+        before = self._dataset.n
+        self.apply(delta)
+        return self._dataset.ids[before:]
+
+    def delete(self, ids: Sequence[str]) -> None:
+        """Delete a batch of objects by id."""
+        from ..core.delta import DatasetDelta
+
+        self.apply(DatasetDelta.deleting(self._dataset, ids))
+
+    def update(self, updates: Mapping[str, Sequence]) -> None:
+        """Update a batch of objects (full rows or partial dim mappings)."""
+        from ..core.delta import DatasetDelta
+
+        self.apply(DatasetDelta.updating(self._dataset, updates))
+
+    def apply(self, delta) -> None:
+        """Advance this view by one delta (the engine counts it)."""
+        if delta.is_empty:
+            return
+        child = self._dataset.apply_delta(delta)
+        engine = self._engine
+        with engine._lock:
+            engine.stats.deltas_applied += 1
+
+        rebates = _score_rebates(self._dataset, self._prepared, delta)
+        ops = delta.ops
+        plan = plan_delta(
+            self._prepared.storage_n,
+            self._prepared.d,
+            inserts=ops["inserts"],
+            deletes=ops["deletes"],
+            updates=ops["updates"],
+            tombstones=self._prepared.tombstones,
+            tables_ready=self._prepared.tables_ready,
+        )
+        if plan.action == "patch":
+            new_prepared = self._prepared.patched(
+                SentinelDelta.from_delta(delta, self._dataset.directions),
+                inplace=self._owned,
+            )
+            with engine._lock:
+                engine.stats.tables_patched += 1
+        else:
+            new_prepared = PreparedDataset(child)
+            if self._prepared.tables_ready:
+                new_prepared.tables(build=True)
+            with engine._lock:
+                engine.stats.tables_rebuilt += 1
+        self._owned = True
+
+        new_scores, changed = _advance_scores(
+            rebates, self._scores, child, new_prepared, delta
+        )
+        if self._pending is not None:
+            if ops["deletes"]:
+                self._pending = None  # row indices shifted: boundary uncertain
+            else:
+                self._pending.append(changed)
+        self._dataset = child
+        self._prepared = new_prepared
+        self._scores = new_scores
+        engine._adopt_scores(engine.fingerprint(child), new_scores)
+
+    # -- queries -------------------------------------------------------------
+
+    def top_k(self, k: int | None = None, *, tie_break: str = "index", rng=None):
+        """Current answer as ``(id, score)`` pairs, best first.
+
+        Deterministic (``tie_break="index"``) calls maintain a cached
+        selection across deltas: when every change since the last call
+        stayed strictly below the k-th boundary (and no member lost
+        score, no row indices shifted), the membership provably cannot
+        have changed and only the ordering is refreshed; anything
+        uncertain falls back to one exact selection over the maintained
+        vector.
+        """
+        from ..core.result import select_top_k, validate_k
+
+        if k is None:
+            k = self._k if self._k is not None else 10
+        k = validate_k(k, self._dataset.n)
+        scores = self._scores
+        if tie_break != "index":
+            selection = select_top_k(scores, k, tie_break=tie_break, rng=rng)
+            return [(self._dataset.ids[i], int(scores[i])) for i in selection]
+
+        if self._cached_rows is not None and self._cached_k == k and self._boundary_safe():
+            rows = self._cached_rows
+        else:
+            # Exact fallback: lexsort replicates select_top_k's
+            # (-score, index) ordering at C speed over the whole vector.
+            order = np.lexsort((np.arange(scores.size), -scores))
+            rows = order[:k].astype(np.intp)
+        rows = rows[np.lexsort((rows, -scores[rows]))]  # refresh in-set order
+        self._cached_k = k
+        self._cached_rows = rows
+        self._cached_boundary = int(scores[rows].min()) if rows.size else 0
+        self._pending = []
+        return [(self._dataset.ids[i], int(scores[i])) for i in rows]
+
+    def _boundary_safe(self) -> bool:
+        """True iff no delta since the last selection could move the top-k."""
+        if self._pending is None:
+            return False
+        if not self._pending:
+            return True
+        scores = self._scores
+        rows = self._cached_rows
+        if rows.size == 0 or rows.max() >= scores.size:
+            return False
+        changed = np.unique(np.concatenate(self._pending))
+        members = np.zeros(scores.size, dtype=bool)
+        members[rows] = True
+        changed_members = changed[members[changed]]
+        changed_others = changed[~members[changed]]
+        if changed_others.size and int(scores[changed_others].max()) >= self._cached_boundary:
+            return False
+        # A member that *dropped to* the boundary could lose an index
+        # tie-break against an excluded row already sitting there, so only
+        # strictly-above changes are provably safe.
+        if changed_members.size and int(scores[changed_members].min()) <= self._cached_boundary:
+            return False
+        return True
+
+    def result(self, k: int | None = None):
+        """The current answer as a :class:`~repro.core.result.TKDResult`."""
+        from ..core.result import TKDResult
+        from ..core.stats import QueryStats
+
+        pairs = self.top_k(k)
+        validated = max(len(pairs), 1)
+        indices = [self._dataset.index_of(object_id) for object_id, _ in pairs]
+        return TKDResult(
+            indices=indices,
+            scores=[score for _, score in pairs],
+            ids=[object_id for object_id, _ in pairs],
+            k=validated,
+            algorithm="incremental",
+            stats=QueryStats(
+                algorithm="incremental", n=self._dataset.n, d=self._dataset.d, k=validated
+            ),
         )
 
 

@@ -66,15 +66,30 @@ except ImportError:  # pragma: no cover - platform-dependent
 __all__ = ["PersistentStore", "StoreStats", "STORE_SCHEMA"]
 
 #: On-disk schema revision; bump on any incompatible layout change.
-STORE_SCHEMA = 1
+#: 2: added fingerprint-lineage records and persisted prepared tables.
+STORE_SCHEMA = 2
 
 #: Default byte budget for serialized result entries (results are small —
 #: k ids/scores each — so this admits hundreds of thousands of answers).
 _DEFAULT_STORE_BUDGET_BYTES = 64 * 1024 * 1024
 
+#: Default byte budget for persisted prepared tables (``O(d·n²/8)`` each,
+#: so this holds a handful of warm-startable datasets).
+_DEFAULT_PREPARED_BUDGET_BYTES = 256 * 1024 * 1024
+
+#: Half-life (seconds) of the age decay in the eviction cost model: an
+#: entry this old is worth half its rebuild-seconds-per-byte, so stale
+#: entries yield before equally-expensive fresh ones.
+_AGE_HALF_LIFE_SECONDS = 7 * 24 * 3600.0
+
 _RESULTS_FILE = "results.json"
 _PLANNER_FILE = "planner.json"
+_LINEAGE_FILE = "lineage.json"
+_PREPARED_FILE = "prepared.json"
 _LOCK_FILE = ".lock"
+
+#: Ceiling on recorded lineage entries; compaction prunes the oldest.
+_MAX_LINEAGE_ENTRIES = 4096
 
 
 def _package_version() -> str:
@@ -150,6 +165,14 @@ def _encode_result(result) -> dict:
     }
 
 
+def _effective_cost_per_byte(body: dict, now: float, *, field: str = "rebuild_seconds") -> float:
+    """Seconds-per-byte (from *field*) decayed by entry age — the one
+    eviction key every budget in this store shares."""
+    cost = float(body.get(field) or 0.0) / max(int(body.get("bytes") or 1), 1)
+    age = max(now - float(body.get("created") or now), 0.0)
+    return cost * 0.5 ** (age / _AGE_HALF_LIFE_SECONDS)
+
+
 def result_digest(fingerprint: str, k: int, algorithm: str, options_key: tuple) -> str:
     """Stable file-level key for one result entry.
 
@@ -181,17 +204,27 @@ class PersistentStore:
         directory,
         *,
         max_bytes: int = _DEFAULT_STORE_BUDGET_BYTES,
+        max_prepared_bytes: int = _DEFAULT_PREPARED_BUDGET_BYTES,
     ) -> None:
         if max_bytes <= 0:
             raise InvalidParameterError(f"store budget must be >= 1 byte, got {max_bytes}")
+        if max_prepared_bytes <= 0:
+            raise InvalidParameterError(
+                f"prepared budget must be >= 1 byte, got {max_prepared_bytes}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = int(max_bytes)
+        self.max_prepared_bytes = int(max_prepared_bytes)
         self.stats = StoreStats()
         self._lock = threading.RLock()
         self._version = _package_version()
         #: (stat signature, entries dict) of the last results.json parse.
         self._cached: tuple[tuple, dict] | None = None
+        #: Lineage records buffered in memory; flushed in one locked
+        #: rewrite (reads, save_planner, compact) so the sub-millisecond
+        #: delta hot path never pays a per-record file rewrite.
+        self._pending_lineage: list[dict] = []
 
     # -- plumbing -----------------------------------------------------------
 
@@ -352,25 +385,309 @@ class PersistentStore:
             self._evict(entries)
             self._write_entries(entries)
 
-    def _evict(self, entries: dict) -> None:
-        """Shed lowest rebuild-cost-per-byte entries until the budget fits.
+    def _evict(self, entries: dict, *, now: float | None = None) -> None:
+        """Shed lowest effective-cost-per-byte entries until the budget fits.
 
-        Cost, not recency, is the whole policy: a just-written entry is
-        evicted immediately when it is the cheapest to rebuild per byte —
-        by definition it is also the cheapest loss.
+        The cost model is rebuild-seconds-per-byte *decayed by age*
+        (half-life :data:`_AGE_HALF_LIFE_SECONDS`): an entry nobody has
+        refreshed in a week is worth half a fresh one, so long-lived
+        server stores shed stale sweeps before yesterday's. Recency of
+        *writes* still plays no role beyond the timestamp — a just-written
+        entry is evicted immediately when it is the cheapest effective
+        loss.
         """
-
-        def cost_per_byte(body: dict) -> float:
-            return float(body.get("rebuild_seconds") or 0.0) / max(int(body.get("bytes") or 1), 1)
-
+        if now is None:
+            now = time.time()
         while len(entries) > 1 and self._total_bytes(entries) > self.max_bytes:
-            victim = min(entries, key=lambda digest: cost_per_byte(entries[digest]))
+            victim = min(
+                entries, key=lambda digest: _effective_cost_per_byte(entries[digest], now)
+            )
             del entries[victim]
             self.stats.evictions += 1
 
     @staticmethod
     def _total_bytes(entries: dict) -> int:
         return sum(int(body.get("bytes") or 0) for body in entries.values())
+
+    # -- fingerprint lineage ------------------------------------------------
+
+    def record_lineage(
+        self, child: str, parent: str, delta_digest: str, ops: dict | None = None
+    ) -> None:
+        """Record that *child* was derived from *parent* by one delta.
+
+        Lineage is what lets delta chains resolve across processes: a
+        fresh process replaying the same deltas from the same root
+        recomputes the same lineage fingerprints, and these records tie
+        every stored result/prepared entry back to the chain that
+        produced it (``repro cache stats`` shows the depth; tests and
+        tooling can walk :meth:`resolve_lineage`).
+
+        Records are buffered in memory and flushed in one locked rewrite
+        when lineage is read, the planner is saved (``QueryEngine.flush``,
+        every ``query_many`` batch), the buffer fills, or :meth:`compact`
+        runs — a delta is sub-millisecond and must not pay a per-record
+        file rewrite. A crash may lose buffered records; lineage is
+        derivable metadata, never the source of truth.
+        """
+        with self._lock:
+            self._pending_lineage.append(
+                {
+                    "child": str(child),
+                    "parent": str(parent),
+                    "delta": str(delta_digest),
+                    "ops": dict(ops or {}),
+                    "created": time.time(),
+                }
+            )
+            overdue = len(self._pending_lineage) >= 256
+        if overdue:
+            self.flush_lineage()
+
+    def flush_lineage(self) -> None:
+        """Merge buffered lineage records into the store file (one rewrite)."""
+        with self._lock:
+            pending, self._pending_lineage = self._pending_lineage, []
+        if not pending:
+            return
+        with self._locked(exclusive=True):
+            payload = self._read_file(_LINEAGE_FILE) or {}
+            entries = payload.get("entries", {}) if isinstance(payload, dict) else {}
+            if not isinstance(entries, dict):
+                entries = {}
+            for record in pending:
+                parent_entry = entries.get(record["parent"])
+                depth = (
+                    int(parent_entry.get("depth", 0)) + 1
+                    if isinstance(parent_entry, dict)
+                    else 1
+                )
+                entries[record["child"]] = {
+                    "parent": record["parent"],
+                    "delta": record["delta"],
+                    "ops": record["ops"],
+                    "depth": depth,
+                    "created": record["created"],
+                }
+            if len(entries) > _MAX_LINEAGE_ENTRIES:
+                entries = dict(
+                    sorted(entries.items(), key=lambda kv: kv[1].get("created", 0.0))[
+                        len(entries) - _MAX_LINEAGE_ENTRIES :
+                    ]
+                )
+            self._atomic_write(
+                _LINEAGE_FILE,
+                {"schema": STORE_SCHEMA, "version": self._version, "entries": entries},
+            )
+
+    def lineage_of(self, fingerprint: str) -> dict | None:
+        """The lineage record of one version fingerprint, or ``None``."""
+        self.flush_lineage()
+        with self._locked(exclusive=False):
+            payload = self._read_file(_LINEAGE_FILE)
+        if not payload:
+            return None
+        entry = payload.get("entries", {}).get(fingerprint)
+        return entry if isinstance(entry, dict) else None
+
+    def resolve_lineage(self, fingerprint: str) -> list[dict]:
+        """The recorded delta chain from *fingerprint* back toward its root.
+
+        Child-first list of lineage records (cycle-guarded); empty when
+        the version is unknown to this store.
+        """
+        self.flush_lineage()
+        with self._locked(exclusive=False):
+            payload = self._read_file(_LINEAGE_FILE)
+        entries = payload.get("entries", {}) if payload else {}
+        chain: list[dict] = []
+        seen: set[str] = set()
+        current = fingerprint
+        while current in entries and current not in seen:
+            seen.add(current)
+            entry = dict(entries[current])
+            entry["fingerprint"] = current
+            chain.append(entry)
+            current = entry.get("parent", "")
+        return chain
+
+    # -- prepared structures ------------------------------------------------
+
+    def _prepared_path(self, fingerprint: str) -> Path:
+        return self.directory / f"prepared-{fingerprint[:40]}.npz"
+
+    def _load_prepared_index(self) -> dict:
+        payload = self._read_file(_PREPARED_FILE)
+        entries = payload.get("entries", {}) if payload else {}
+        return entries if isinstance(entries, dict) else {}
+
+    def _write_prepared_index(self, entries: dict) -> None:
+        self._atomic_write(
+            _PREPARED_FILE,
+            {"schema": STORE_SCHEMA, "version": self._version, "entries": entries},
+        )
+
+    def put_prepared(self, fingerprint: str, prepared) -> None:
+        """Persist a :class:`~repro.engine.kernels.PreparedDataset`.
+
+        Sentinel arrays, tombstone state, and — when built — the packed
+        bitset tables land in one ``.npz`` sibling file, so a fresh
+        process skips the ``O(d·n²/64)`` table build for this version
+        entirely (the ROADMAP's warm-start item). Overflowing
+        ``max_prepared_bytes`` evicts the lowest effective
+        rebuild-cost-per-byte entries, age-decayed like every other
+        eviction in this store.
+        """
+        import numpy as np
+
+        state = prepared.state_arrays()
+        target = self._prepared_path(fingerprint)
+        tmp = target.with_name(f"{target.name}.tmp-{os.getpid()}-{threading.get_ident()}")
+        with self._locked(exclusive=True):
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **state)
+            os.replace(tmp, target)
+            entries = dict(self._load_prepared_index())
+            entries[str(fingerprint)] = {
+                "file": target.name,
+                "bytes": int(target.stat().st_size),
+                "build_seconds": float(prepared.build_seconds),
+                "n": int(prepared.n),
+                "d": int(prepared.d),
+                "tables": bool(prepared.tables_ready),
+                "created": time.time(),
+            }
+            self._evict_prepared(entries)
+            self._write_prepared_index(entries)
+
+    def get_prepared(self, fingerprint: str):
+        """Load one persisted prepared structure, or ``None``.
+
+        Returns a fully functional
+        :class:`~repro.engine.kernels.PreparedDataset` — tables included
+        when the writer had built them — or ``None`` on any miss,
+        version mismatch, or unreadable file.
+        """
+        import numpy as np
+
+        from .kernels import PreparedDataset  # deferred: session imports this module
+
+        with self._locked(exclusive=False):
+            entry = self._load_prepared_index().get(fingerprint)
+            if not isinstance(entry, dict):
+                return None
+            path = self.directory / str(entry.get("file", ""))
+            try:
+                with np.load(path) as archive:
+                    state = {name: archive[name] for name in archive.files}
+            except (OSError, ValueError, KeyError):
+                return None
+        try:
+            return PreparedDataset.from_state(state)
+        except (KeyError, ValueError, IndexError):
+            return None
+
+    def prepared_entries(self) -> list[dict]:
+        """Metadata of every persisted prepared structure."""
+        with self._locked(exclusive=False):
+            entries = self._load_prepared_index()
+        return [
+            {"fingerprint": fingerprint, **{k: v for k, v in body.items()}}
+            for fingerprint, body in entries.items()
+        ]
+
+    def _evict_prepared(self, entries: dict, *, now: float | None = None) -> None:
+        """Budget the npz files by age-decayed build-cost-per-byte."""
+        if now is None:
+            now = time.time()
+        while len(entries) > 1 and self._prepared_bytes(entries) > self.max_prepared_bytes:
+            victim = min(
+                entries,
+                key=lambda fp: _effective_cost_per_byte(
+                    entries[fp], now, field="build_seconds"
+                ),
+            )
+            body = entries.pop(victim)
+            try:
+                (self.directory / str(body.get("file", ""))).unlink()
+            except OSError:
+                pass
+            self.stats.evictions += 1
+
+    @staticmethod
+    def _prepared_bytes(entries: dict) -> int:
+        return sum(int(body.get("bytes") or 0) for body in entries.values())
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self, *, now: float | None = None) -> dict:
+        """One full maintenance pass (what ``repro cache compact`` runs).
+
+        Replaces the greedy per-write-only eviction for long-lived
+        deployments: re-budgets result entries and prepared tables under
+        the age-decayed cost model, drops prepared-index entries whose
+        files vanished, removes orphaned ``prepared-*.npz`` files nothing
+        references, and prunes lineage records beyond the retention cap.
+        Returns a summary dict of what was reclaimed.
+        """
+        if now is None:
+            now = time.time()
+        self.flush_lineage()
+        summary = {
+            "result_evictions": 0,
+            "prepared_evictions": 0,
+            "orphans_removed": 0,
+            "lineage_pruned": 0,
+        }
+        with self._locked(exclusive=True):
+            # Result entries: re-run eviction under the aged cost model.
+            self._cached = None
+            entries = dict(self._load_entries())
+            before = self.stats.evictions
+            self._evict(entries, now=now)
+            summary["result_evictions"] = self.stats.evictions - before
+            self._write_entries(entries)
+
+            # Prepared tables: drop dangling index rows, re-budget, then
+            # sweep npz files nothing references.
+            prepared = dict(self._load_prepared_index())
+            dangling = [
+                fp
+                for fp, body in prepared.items()
+                if not (self.directory / str(body.get("file", ""))).exists()
+            ]
+            for fp in dangling:
+                del prepared[fp]
+            before = self.stats.evictions
+            self._evict_prepared(prepared, now=now)
+            summary["prepared_evictions"] = self.stats.evictions - before
+            referenced = {str(body.get("file")) for body in prepared.values()}
+            for path in self.directory.glob("prepared-*.npz"):
+                if path.name not in referenced:
+                    try:
+                        path.unlink()
+                        summary["orphans_removed"] += 1
+                    except OSError:
+                        pass
+            self._write_prepared_index(prepared)
+
+            # Lineage: keep the freshest records up to the retention cap.
+            payload = self._read_file(_LINEAGE_FILE)
+            lineage = payload.get("entries", {}) if payload else {}
+            if isinstance(lineage, dict) and len(lineage) > _MAX_LINEAGE_ENTRIES:
+                keep = dict(
+                    sorted(lineage.items(), key=lambda kv: kv[1].get("created", 0.0))[
+                        len(lineage) - _MAX_LINEAGE_ENTRIES :
+                    ]
+                )
+                summary["lineage_pruned"] = len(lineage) - len(keep)
+                self._atomic_write(
+                    _LINEAGE_FILE,
+                    {"schema": STORE_SCHEMA, "version": self._version, "entries": keep},
+                )
+        summary["result_bytes"] = self._total_bytes(entries)
+        summary["prepared_bytes"] = self._prepared_bytes(prepared)
+        return summary
 
     # -- planner calibration ------------------------------------------------
 
@@ -384,7 +701,12 @@ class PersistentStore:
         return state if isinstance(state, dict) else None
 
     def save_planner(self, state: dict) -> None:
-        """Persist the planner calibration state (atomic replace)."""
+        """Persist the planner calibration state (atomic replace).
+
+        Also the natural flush point for buffered lineage records —
+        ``QueryEngine.flush`` calls this at every batch boundary.
+        """
+        self.flush_lineage()
         with self._locked(exclusive=True):
             self._atomic_write(
                 _PLANNER_FILE,
@@ -418,27 +740,50 @@ class PersistentStore:
         ]
 
     def clear(self) -> None:
-        """Drop every persisted entry (results and planner state)."""
+        """Drop every persisted entry (results, planner, lineage, prepared)."""
+        with self._lock:
+            self._pending_lineage = []
         with self._locked(exclusive=True):
-            for name in (_RESULTS_FILE, _PLANNER_FILE):
+            for name in (_RESULTS_FILE, _PLANNER_FILE, _LINEAGE_FILE, _PREPARED_FILE):
                 try:
                     (self.directory / name).unlink()
                 except FileNotFoundError:
+                    pass
+            for path in self.directory.glob("prepared-*.npz"):
+                try:
+                    path.unlink()
+                except OSError:
                     pass
             self._cached = None
         self.stats = StoreStats()
 
     def summary(self) -> str:
         """Human-readable digest (what ``repro cache stats`` prints)."""
+        self.flush_lineage()
         with self._locked(exclusive=False):
             entries = self._load_entries()
             planner = self._read_file(_PLANNER_FILE) is not None
-        return (
+            prepared = self._load_prepared_index()
+            lineage_payload = self._read_file(_LINEAGE_FILE)
+        lineage = lineage_payload.get("entries", {}) if lineage_payload else {}
+        text = (
             f"store at {self.directory}: {len(entries)} result entries, "
             f"{self._total_bytes(entries)}/{self.max_bytes} bytes, "
             f"planner calibration {'present' if planner else 'absent'} "
             f"(schema {STORE_SCHEMA}, version {self._version})"
         )
+        if prepared:
+            text += (
+                f"\nprepared tables: {len(prepared)} entries, "
+                f"{self._prepared_bytes(prepared)}/{self.max_prepared_bytes} bytes"
+            )
+        if lineage:
+            depth = max(
+                (int(body.get("depth", 0)) for body in lineage.values() if isinstance(body, dict)),
+                default=0,
+            )
+            text += f"\nlineage: {len(lineage)} version records (max depth {depth})"
+        return text
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<PersistentStore dir={str(self.directory)!r} budget={self.max_bytes}>"

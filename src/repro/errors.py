@@ -15,6 +15,7 @@ __all__ = [
     "DimensionMismatchError",
     "QueryError",
     "InvalidParameterError",
+    "DuplicateObjectError",
     "UnknownAlgorithmError",
     "IndexBuildError",
 ]
@@ -51,6 +52,18 @@ class QueryError(ReproError):
 
 class InvalidParameterError(QueryError):
     """A query or construction parameter is out of its legal range."""
+
+
+class DuplicateObjectError(DataError, InvalidParameterError):
+    """An object id collides with one that already exists.
+
+    Raised when a dataset is built with repeated ids and when an insert
+    batch (``DatasetDelta``, ``StreamingTKD.insert``, ``QueryEngine.insert``)
+    reuses a live id. Derives from both :class:`DataError` (it is an
+    identity problem in the data model) and :class:`InvalidParameterError`
+    (the historical type callers caught), so existing handlers keep
+    working.
+    """
 
 
 class UnknownAlgorithmError(QueryError):

@@ -42,6 +42,13 @@ class TestExamples:
         assert "Jaccard distance" in out
         assert "Heuristic-1" in out
 
+    def test_versioned_updates(self):
+        out = run_example("versioned_updates.py")
+        assert "algorithm=incremental" in out
+        assert "delta plan: patch" in out
+        assert "tables_ready=True" in out
+        assert "lineage records" in out
+
     def test_real_estate_search(self):
         out = run_example("real_estate_search.py")
         assert "Top-8 dominating listings" in out
