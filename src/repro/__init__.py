@@ -55,10 +55,13 @@ from .core.subspace import subspace_tkd
 from .engine import (
     ContinuousQuery,
     DeltaPlan,
+    PartitionPlan,
+    PartitionedDataset,
     PersistentStore,
     QueryEngine,
     QueryPlan,
     plan_delta,
+    plan_partitioned,
     plan_query,
 )
 from .errors import (
@@ -91,7 +94,10 @@ __all__ = [
     "ContinuousQuery",
     "QueryPlan",
     "DeltaPlan",
+    "PartitionPlan",
+    "PartitionedDataset",
     "plan_delta",
+    "plan_partitioned",
     "PersistentStore",
     "plan_query",
     "TKDResult",

@@ -21,6 +21,7 @@ Examples::
     python -m repro info data.csv
     python -m repro query data.csv --k 5 --algorithm big
     python -m repro query data.csv --sweep-k 4,8,16,32 --workers 2
+    python -m repro query data.csv --k 5 --partitions 4 --workers 4
     python -m repro query data.csv --sweep-k 4,8,16,32 --store .repro-cache
     python -m repro stream data.csv --ops updates.csv --k 5 --every 100
     python -m repro cache stats --dir .repro-cache
@@ -79,7 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="shard a --sweep-k batch across N worker processes (default: in-process)",
+        help="worker processes: shards a --sweep-k batch, or runs --partitions "
+        "shards on a process pool (default: in-process)",
+    )
+    query.add_argument(
+        "--partitions",
+        default=None,
+        metavar="P",
+        help="answer through the partitioned engine: split the data into P "
+        "shards with cross-partition upper-bound pruning ('auto' lets the "
+        "planner price it); bit-identical to the monolithic answer",
     )
     query.add_argument(
         "--store",
@@ -189,9 +199,18 @@ def _load_csv(args) -> IncompleteDataset:
 def _cmd_query(args) -> int:
     dataset = _load_csv(args)
     if args.sweep_k is not None:
+        if args.partitions is not None:
+            print("error: --partitions applies to single queries, not --sweep-k", file=sys.stderr)
+            return 2
         return _run_sweep(args, dataset)
+    if args.partitions is not None:
+        return _run_partitioned(args, dataset)
     if args.workers is not None:
-        print("error: --workers requires --sweep-k (single queries run in-process)", file=sys.stderr)
+        print(
+            "error: --workers requires --sweep-k or --partitions "
+            "(single queries run in-process)",
+            file=sys.stderr,
+        )
         return 2
     if args.explain:
         from .engine.planner import explain_plan
@@ -217,6 +236,51 @@ def _cmd_query(args) -> int:
     print(result.as_table())
     print()
     print(result.stats.summary())
+    return 0
+
+
+def _run_partitioned(args, dataset) -> int:
+    """``query --partitions``: the engine's two-phase sharded route."""
+    from .engine.session import QueryEngine
+
+    partitions = args.partitions
+    if isinstance(partitions, str) and partitions.lower() != "auto":
+        try:
+            partitions = int(partitions)
+        except ValueError:
+            print(
+                f"error: --partitions expects an integer or 'auto', got {partitions!r}",
+                file=sys.stderr,
+            )
+            return 2
+    store_dir = args.store if args.store is not None else os.environ.get("REPRO_CACHE_DIR")
+    engine = QueryEngine(store=store_dir or None)
+    if args.explain:
+        from .engine.planner import plan_partitioned
+
+        print(
+            plan_partitioned(
+                dataset.n,
+                dataset.d,
+                dataset.missing_rate,
+                args.k,
+                partitions=None if isinstance(partitions, str) else partitions,
+                workers=args.workers,
+            ).summary()
+        )
+    result = engine.query(dataset, args.k, partitions=partitions, workers=args.workers)
+    engine.flush()
+    print(result.as_table())
+    print()
+    extra = result.stats.extra
+    if "partitions" in extra:
+        print(
+            f"partitions={extra['partitions']} workers={extra.get('workers', 0)} "
+            f"candidates={result.stats.candidates} "
+            f"(survival {extra.get('survival', 0.0):.1%}, tau={extra.get('tau')})"
+        )
+    print(result.stats.summary())
+    print(engine.stats.summary())
     return 0
 
 

@@ -274,6 +274,61 @@ class DatasetDelta:
         )
 
     @property
+    def cells(self) -> int:
+        """Total payload size in matrix cells (the store's smallness gate)."""
+        return (
+            (self.inserted_values.shape[0] + self.updated_values.shape[0]) * self.d
+            + len(self.deleted_rows)
+        )
+
+    def payload(self) -> dict:
+        """JSON-safe encoding of the patch-relevant delta content.
+
+        What :class:`~repro.engine.store.PersistentStore` embeds in small
+        lineage records so a cold process can patch a stored ancestor's
+        prepared tables forward (ids are presentation-only and excluded,
+        like everywhere else in the identity layer). Missing cells encode
+        as ``None``. Inverse of :meth:`from_payload`.
+        """
+
+        def encode(matrix: np.ndarray) -> list:
+            return [
+                [None if np.isnan(value) else float(value) for value in row]
+                for row in matrix
+            ]
+
+        return {
+            "d": self.d,
+            "inserts": encode(self.inserted_values),
+            "deleted_rows": list(self.deleted_rows),
+            "updated_rows": list(self.updated_rows),
+            "updated_values": encode(self.updated_values),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "DatasetDelta":
+        """Rebuild a (patching-grade) delta from :meth:`payload` output.
+
+        The result carries values and row positions only — no ids — which
+        is exactly what table patching and sentinel lowering consume.
+        """
+
+        def decode(rows, d: int) -> np.ndarray:
+            matrix = np.empty((len(rows), d), dtype=np.float64)
+            for i, row in enumerate(rows):
+                matrix[i] = [np.nan if cell is None else float(cell) for cell in row]
+            return matrix
+
+        d = int(payload["d"])
+        return cls(
+            d,
+            inserted_values=decode(payload.get("inserts", []), d),
+            deleted_rows=[int(r) for r in payload.get("deleted_rows", [])],
+            updated_rows=[int(r) for r in payload.get("updated_rows", [])],
+            updated_values=decode(payload.get("updated_values", []), d),
+        )
+
+    @property
     def ops(self) -> dict:
         """Operation counts, e.g. for lineage records and plan costing."""
         return {

@@ -21,9 +21,16 @@ Three layers, each consumable on its own:
   behind :class:`repro.core.streaming.StreamingTKD`;
 * :mod:`repro.engine.store` — :class:`PersistentStore`, the on-disk
   fingerprint-keyed cache (results + planner calibration + prepared
-  tables + version lineage) that makes the session's reuse survive the
-  process (``REPRO_CACHE_DIR`` or ``QueryEngine(store=...)``), with an
-  age-aware compaction pass (``repro cache compact``).
+  tables + version lineage, small deltas embedded for patch-forward
+  warm starts) that makes the session's reuse survive the process
+  (``REPRO_CACHE_DIR`` or ``QueryEngine(store=...)``), with an
+  age-aware compaction pass (``repro cache compact``);
+* :mod:`repro.engine.partition` — :class:`PartitionedDataset` and the
+  two-phase distributed top-k protocol behind
+  ``QueryEngine.query(partitions=P, workers=N)``: per-shard prepared
+  structures, summary-bound pruning before any cross-partition
+  exchange, and delta routing to the owning shard — bit-identical to
+  the monolithic answer.
 """
 
 from .kernels import (
@@ -41,17 +48,27 @@ from .kernels import (
     unpack_mask_bits,
     upper_bound_scores,
 )
+from .partition import (
+    PartitionShard,
+    PartitionedDataset,
+    ShardSummary,
+    execute_partitioned,
+)
 from .planner import (
     Calibration,
     DeltaPlan,
+    PartitionPlan,
     QueryPlan,
     apply_calibration_state,
     calibration,
     calibration_state,
     estimate_costs,
     estimate_delta_costs,
+    estimate_partition_costs,
+    estimate_survival,
     explain_plan,
     plan_delta,
+    plan_partitioned,
     plan_query,
     record_observation,
 )
@@ -82,13 +99,21 @@ __all__ = [
     "SentinelDelta",
     "QueryPlan",
     "DeltaPlan",
+    "PartitionPlan",
     "Calibration",
     "calibration",
     "estimate_costs",
     "estimate_delta_costs",
+    "estimate_partition_costs",
+    "estimate_survival",
     "plan_query",
     "plan_delta",
+    "plan_partitioned",
     "explain_plan",
+    "PartitionedDataset",
+    "PartitionShard",
+    "ShardSummary",
+    "execute_partitioned",
     "record_observation",
     "QueryEngine",
     "ContinuousQuery",

@@ -737,6 +737,77 @@ class PreparedDataset:
             return masks
         return masks[:, self._live_slots_array()]
 
+    def foreign_dominated_counts(
+        self, probe_lo: np.ndarray, probe_hi: np.ndarray
+    ) -> np.ndarray:
+        """``|{p ∈ this dataset : o ≻ p}|`` for *foreign* probe objects.
+
+        The cross-partition primitive: the probes are sentinel rows
+        (``lo``/``hi``, missing → ∓∞) of objects living in *another*
+        shard, so no self-bit handling is needed — an object never
+        strictly beats its own values, and duplicates drop out of the
+        accumulator combination like everywhere else. Rides the packed
+        tables when they exist (the probe values searchsort into the same
+        per-dimension orders any member row would), the blocked broadcast
+        otherwise. Tombstoned rows are masked out on both routes.
+        """
+        probe_lo = np.asarray(probe_lo, dtype=np.float64)
+        probe_hi = np.asarray(probe_hi, dtype=np.float64)
+        if probe_lo.ndim != 2 or probe_lo.shape != probe_hi.shape:
+            raise InvalidParameterError(
+                f"probe bounds must share one (b, d) shape, got {probe_lo.shape} and {probe_hi.shape}"
+            )
+        if probe_lo.shape[1] != self.d:
+            raise InvalidParameterError(
+                f"probes have d={probe_lo.shape[1]}, prepared dataset has d={self.d}"
+            )
+        b = probe_lo.shape[0]
+        if b == 0:
+            return np.zeros(0, dtype=np.int64)
+        tables = self.tables(build=_use_bitsets(self._storage_n, self.d, b, cached=self.tables_ready))
+        out = np.empty(b, dtype=np.int64)
+        if tables is not None:
+            for start in range(0, b, _BITSET_ROW_STEP):
+                idx = np.arange(start, min(start + _BITSET_ROW_STEP, b), dtype=np.intp)
+                bits = self._masked(tables.dominated_block_bits(probe_lo, probe_hi, idx))
+                out[start : start + idx.size] = _popcount_rows(bits)
+            return out
+        lo, hi = self.live_bounds()
+        block = auto_block(lo.shape[0], self.d)
+        for start in range(0, b, block):
+            stop = min(start + block, b)
+            le_all = np.all(probe_lo[start:stop, None, :] <= hi[None, :, :], axis=2)
+            lt_any = np.any(probe_hi[start:stop, None, :] < lo[None, :, :], axis=2)
+            out[start:stop] = (le_all & lt_any).sum(axis=1)
+        return out
+
+    def storage_arrays(self) -> list[np.ndarray]:
+        """Every constituent array buffer, for id-aware cache accounting.
+
+        Copy-on-write delta chains share untouched table arrays between
+        parent and child entries (:meth:`_BitsetTables.shallow`), so a
+        byte budget that sums per-entry :attr:`nbytes` double-counts
+        them; :class:`~repro.engine.session.PreparedDatasetCache` dedupes
+        the arrays this returns by identity instead.
+        """
+        arrays = [self._lo_buf, self._hi_buf, self._obs_buf]
+        if self._live is not None:
+            arrays.append(self._live)
+        if self._tables is not None:
+            tables = self._tables
+            for group in (
+                tables.suffix,
+                tables.prefix,
+                tables.sorted_hi,
+                tables.sorted_lo,
+                tables.hi_order,
+                tables.lo_order,
+            ):
+                arrays.extend(group)
+        if self._observed_bits is not None:
+            arrays.append(self._observed_bits)
+        return arrays
+
     # -- footprint / lifecycle ----------------------------------------------
 
     @property

@@ -1,0 +1,627 @@
+"""Partitioned execution: one query's data sharded across workers.
+
+Every algorithm in the reproduction — the paper's UBB/BIG/IBIG family
+included — evaluates one monolithic dataset in one process, so single-query
+latency and the maximum workable ``n`` are capped by one core's bitset
+build. This module removes that cap by exploiting a decomposition the
+paper's own upper-bound machinery (Lemma 2) composes with naturally:
+
+    ``score(o) = Σ_i |{p ∈ partition_i : o ≻ p}|``
+
+— a tuple's global dominance score is the **sum of its per-partition
+scores**, so per-partition upper bounds let shards discard most objects
+before any cross-partition exchange (the same structure emphasised for
+dynamic TKD by Kosmatopoulos & Tsichlas).
+
+:class:`PartitionedDataset` splits an
+:class:`~repro.core.dataset.IncompleteDataset` into ``P`` contiguous
+row shards, each a first-class dataset with its own fingerprint — and
+therefore its own :class:`~repro.engine.kernels.PreparedDataset` cache
+entry, persistent-store warm start, and delta patching. Deltas against
+the full dataset route to the owning shard (:meth:`PartitionedDataset.apply_delta`),
+so incremental maintenance stays ``O(|delta|)`` per *affected* partition.
+
+:func:`execute_partitioned` runs the two-phase distributed top-k protocol:
+
+**Phase 1 (local).** Each shard computes exact *local* scores for its own
+members and publishes a :class:`ShardSummary` — per-dimension bucketed
+rank samples of its ``hi`` sentinel column (``O(d·B)`` floats, exchanged
+*instead of raw rows*). For any foreign object ``o`` the summary yields a
+sound Lemma-2-style bound on the shard's contribution:
+
+    ``UB_i(o) = min_t |{p ∈ shard_i : hi_p[t] ≥ lo_o[t]}|``
+
+(each count upper-bounded from the bucket boundaries; dimensions ``o``
+misses contribute the full shard size and drop out of the ``min``).
+
+**Merge.** Every object's global *lower* bound is its own-shard exact
+score; its *upper* bound adds the foreign summaries. With ``τ`` = the
+k-th largest lower bound, any object whose upper bound falls below ``τ``
+is provably outside the answer.
+
+**τ refinement.** Summary bounds are loose when missingness is high, so
+before the full exchange a small head of the survivors — the highest
+upper bounds — is scored *exactly* first; the k-th largest of those
+exact scores is a true lower bound on the global k-th best and replaces
+``τ`` (the TPUT move, transplanted to dominance scores). This typically
+collapses the candidate set by an order of magnitude.
+
+**Phase 2 (exchange).** Only the surviving candidate set's sentinel rows
+are shipped; each shard answers exact foreign counts for them
+(:meth:`~repro.engine.kernels.PreparedDataset.foreign_dominated_counts`,
+riding the packed tables), and the per-shard sums are the exact global
+scores. Selection over the candidates is **bit-identical** to the
+monolithic engine under deterministic tie-breaking: every true top-k
+object has ``score ≥ τ`` (both τ's are sound lower bounds on the k-th
+best score, so it survived), and every pruned object has
+``score ≤ UB < τ`` strictly (so it can neither enter nor tie into the
+answer).
+
+With ``workers=N`` both phases fan out over one process pool; workers
+keep their shard's prepared structures in a process-global cache between
+phases and warm-start them from the persistent store under the shard's
+own fingerprint key.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .kernels import PreparedDataset, SentinelDelta, _bounds, dominated_counts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.dataset import IncompleteDataset
+    from ..core.delta import DatasetDelta
+
+__all__ = [
+    "PartitionShard",
+    "PartitionedDataset",
+    "ShardSummary",
+    "execute_partitioned",
+]
+
+#: Bucket-boundary count of one shard summary dimension. 128 samples keep
+#: the per-shard exchange at O(d·128) floats while bounding the count
+#: slack at shard_size/128 per dimension.
+_SUMMARY_BINS = 128
+
+#: Candidate batches shipped to the pool are chunked so one phase-2
+#: payload never exceeds a few MB of sentinel rows.
+_PROBE_CHUNK = 65536
+
+#: Smallest τ-refinement head worth an extra exchange round: the head is
+#: ``max(4k, this)`` of the highest upper bounds, scored exactly to pull
+#: τ up to a true global bound before the main exchange.
+_MIN_REFINE_HEAD = 64
+
+
+class ShardSummary:
+    """Per-dimension bucketed rank samples of one shard's sentinel columns.
+
+    For each dimension the shard's ``hi`` column (value, or ``+inf`` for
+    missing) *and* ``lo`` column (value, or ``-inf``) are sorted
+    ascending and sampled at ``B`` positions; the retained
+    ``(value, rank)`` pairs bound, for any probe value ``v``, the counts
+    ``|{p : hi_p ≥ v}|`` and ``|{p : lo_p > v}|`` from above: the last
+    sampled value on the safe side of ``v`` pins a bound on ``v``'s
+    insertion rank. With every position sampled (``m ≤ B``) the bounds
+    are exact.
+
+    Two complementary bounds come out of one summary (see
+    :meth:`upper_bound_counts`): the Lemma-2-style *necessity* bound
+    ``min_t |{hi_p ≥ lo_o}|`` (tight at low missingness) and the
+    *strict-witness union* bound ``Σ_t |{lo_p > hi_o}|`` (a dominated
+    member must be strictly worse somewhere — tight at high missingness,
+    where almost every per-dimension necessity count degenerates to the
+    shard size).
+    """
+
+    __slots__ = ("count", "values", "lo_values", "ranks")
+
+    def __init__(
+        self,
+        count: int,
+        values: list[np.ndarray],
+        lo_values: list[np.ndarray],
+        ranks: np.ndarray,
+    ) -> None:
+        self.count = int(count)
+        self.values = values
+        self.lo_values = lo_values
+        #: One sampled-position array shared by every dimension and both
+        #: sentinel sides (all columns are sampled at the same ranks).
+        self.ranks = ranks
+
+    @classmethod
+    def build(cls, dataset: "IncompleteDataset", *, bins: int = _SUMMARY_BINS) -> "ShardSummary":
+        lo, hi = _bounds(dataset)
+        m, d = hi.shape
+        if m <= bins:
+            idx = np.arange(m, dtype=np.intp)
+        else:
+            idx = np.unique(np.round(np.linspace(0, m - 1, bins)).astype(np.intp))
+        values = [np.sort(hi[:, dim])[idx] for dim in range(d)]
+        lo_values = [np.sort(lo[:, dim])[idx] for dim in range(d)]
+        return cls(m, values, lo_values, idx)
+
+    @property
+    def nbytes(self) -> int:
+        return self.ranks.nbytes + sum(
+            v.nbytes + lv.nbytes for v, lv in zip(self.values, self.lo_values)
+        )
+
+    def upper_bound_counts(
+        self, probe_lo: np.ndarray, probe_hi: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Sound upper bounds on this shard's score contribution per probe.
+
+        *probe_lo*/*probe_hi* are ``(b, d)`` sentinel matrices (missing →
+        ``∓inf``). Returns ``(b,)`` int64 bounds — the minimum of the
+        necessity bound ``min_t |{p : hi_p[t] ≥ lo_o[t]}|`` (every
+        dominated member must pass the ≤ test on *all* dimensions) and,
+        when *probe_hi* is given, the strict-witness union bound
+        ``Σ_t |{p : lo_p[t] > hi_o[t]}|`` (every dominated member must be
+        strictly worse on *some* dimension). Both are upper-bounded from
+        the bucket samples, so the combined bound stays sound at any bin
+        resolution.
+        """
+        b = probe_lo.shape[0]
+        ranks = self.ranks
+        out = np.full(b, self.count, dtype=np.int64)
+        for dim, values in enumerate(self.values):
+            j = np.searchsorted(values, probe_lo[:, dim], side="left")
+            # Samples before j are < v, so rank_left(v) ≥ ranks[j-1] + 1
+            # and |{hi ≥ v}| ≤ m − ranks[j-1] − 1; j == 0 bounds nothing.
+            clamped = np.maximum(j - 1, 0)
+            bound = np.where(j > 0, self.count - ranks[clamped] - 1, self.count)
+            np.minimum(out, bound, out=out)
+        if probe_hi is None:
+            return out
+        union = np.zeros(b, dtype=np.int64)
+        for dim, values in enumerate(self.lo_values):
+            j = np.searchsorted(values, probe_hi[:, dim], side="right")
+            # Samples before j are ≤ v, so rank_right(v) ≥ ranks[j-1] + 1
+            # and |{lo > v}| ≤ m − ranks[j-1] − 1; j == 0 bounds nothing.
+            clamped = np.maximum(j - 1, 0)
+            union += np.where(j > 0, self.count - ranks[clamped] - 1, self.count)
+        return np.minimum(out, union)
+
+
+class PartitionShard:
+    """One shard: a contiguous row range materialised as its own dataset."""
+
+    __slots__ = ("dataset", "start")
+
+    def __init__(self, dataset: "IncompleteDataset", start: int) -> None:
+        self.dataset = dataset
+        #: Global row index of this shard's first row (concatenation offset).
+        self.start = int(start)
+
+    @property
+    def n(self) -> int:
+        return self.dataset.n
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.dataset.n
+
+    def fingerprint(self) -> str:
+        """The shard dataset's own identity — its cache and store key."""
+        return self.dataset.fingerprint()
+
+
+class PartitionedDataset:
+    """A dataset split into ``P`` row shards, each independently prepared.
+
+    The shards partition the row axis contiguously and in order, so the
+    concatenation of the shard datasets *is* the full dataset — the
+    invariant that makes per-partition score sums exact and lets deltas
+    route to their owning shard. Inserts append at the global end
+    (:func:`repro.core.delta.apply_delta`'s ordering contract), so they
+    route to the last shard; a shard emptied by deletions is dropped.
+    """
+
+    def __init__(
+        self,
+        dataset: "IncompleteDataset",
+        partitions: int,
+        *,
+        _shards: "list[PartitionShard] | None" = None,
+    ) -> None:
+        if not isinstance(partitions, (int, np.integer)) or isinstance(partitions, bool):
+            raise InvalidParameterError(f"partitions must be a positive integer, got {partitions!r}")
+        if partitions < 1:
+            raise InvalidParameterError(f"partitions must be >= 1, got {partitions}")
+        self.dataset = dataset
+        if _shards is not None:
+            self.shards = _shards
+            return
+        count = int(min(partitions, dataset.n))
+        base, extra = divmod(dataset.n, count)
+        self.shards: list[PartitionShard] = []
+        start = 0
+        for j in range(count):
+            size = base + (1 if j < extra else 0)
+            self.shards.append(
+                PartitionShard(dataset.subset(range(start, start + size)), start)
+            )
+            start += size
+
+    @property
+    def partitions(self) -> int:
+        """Current shard count (may differ from the requested ``P`` after deltas)."""
+        return len(self.shards)
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(shard.n for shard in self.shards)
+
+    @property
+    def imbalance(self) -> float:
+        """Largest-to-mean shard size ratio — the repartition signal."""
+        sizes = self.sizes
+        return max(sizes) / (sum(sizes) / len(sizes))
+
+    def shard_of_row(self, row: int) -> int:
+        """Index of the shard owning global dataset *row*."""
+        for j, shard in enumerate(self.shards):
+            if shard.start <= row < shard.stop:
+                return j
+        raise InvalidParameterError(f"row {row} outside [0, {self.dataset.n})")
+
+    def apply_delta(self, delta: "DatasetDelta", *, child: "IncompleteDataset | None" = None):
+        """Route one global delta to its owning shards.
+
+        Returns ``(child_view, advanced)`` where *child_view* is the
+        partitioned view of the child version and *advanced* lists one
+        ``(parent_shard_dataset, sub_delta, child_shard_dataset)`` triple
+        per shard the delta touched (*child* is ``None`` when the shard
+        was emptied and dropped). Untouched shards keep their dataset
+        object — and therefore their fingerprint and every cache entry
+        keyed on it. Pass *child* when the caller already materialised
+        ``dataset.apply_delta(delta)`` (the engine always has) so the
+        full-dataset clone is not paid twice.
+        """
+        from ..core.delta import DatasetDelta  # deferred: core imports the engine
+
+        if child is None:
+            child = self.dataset.apply_delta(delta)
+        if delta.is_empty:
+            return self, []
+        inserts = int(delta.inserted_values.shape[0])
+        insert_ids = tuple(child.ids[child.n - inserts :]) if inserts else ()
+
+        new_shards: list[PartitionShard] = []
+        advanced = []
+        start = 0
+        last = len(self.shards) - 1
+        for j, shard in enumerate(self.shards):
+            local_del = [r - shard.start for r in delta.deleted_rows if shard.start <= r < shard.stop]
+            upd_pos = [
+                (i, r - shard.start)
+                for i, r in enumerate(delta.updated_rows)
+                if shard.start <= r < shard.stop
+            ]
+            shard_inserts = inserts if j == last else 0
+            if not local_del and not upd_pos and not shard_inserts:
+                new_shards.append(PartitionShard(shard.dataset, start))
+                start += shard.n
+                continue
+            ids = shard.dataset.ids
+            sub = DatasetDelta(
+                delta.d,
+                inserted_values=delta.inserted_values if shard_inserts else None,
+                inserted_ids=insert_ids if shard_inserts else None,
+                deleted_rows=local_del,
+                deleted_ids=[ids[r] for r in local_del],
+                updated_rows=[r for _, r in upd_pos],
+                updated_ids=[ids[r] for _, r in upd_pos],
+                updated_values=delta.updated_values[[i for i, _ in upd_pos]]
+                if upd_pos
+                else None,
+            )
+            if len(local_del) == shard.n and not shard_inserts:
+                advanced.append((shard.dataset, sub, None))
+                continue  # shard emptied: drop it
+            shard_child = shard.dataset.apply_delta(sub)
+            advanced.append((shard.dataset, sub, shard_child))
+            new_shards.append(PartitionShard(shard_child, start))
+            start += shard_child.n
+        view = PartitionedDataset(child, max(len(new_shards), 1), _shards=new_shards)
+        return view, advanced
+
+    def validate(self) -> None:
+        """Assert the concatenation invariant (tests and debugging)."""
+        values = np.concatenate([shard.dataset.values for shard in self.shards], axis=0)
+        same = (values == self.dataset.values) | (
+            np.isnan(values) & np.isnan(self.dataset.values)
+        )
+        if values.shape != self.dataset.values.shape or not same.all():
+            raise InvalidParameterError("shard concatenation no longer matches the dataset")
+        ids = [i for shard in self.shards for i in shard.dataset.ids]
+        if ids != self.dataset.ids:
+            raise InvalidParameterError("shard id order no longer matches the dataset")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PartitionedDataset n={self.dataset.n} shards={self.sizes}>"
+
+
+# ---------------------------------------------------------------------------
+# Two-phase distributed protocol
+# ---------------------------------------------------------------------------
+
+
+def execute_partitioned(
+    view: PartitionedDataset,
+    k: int,
+    *,
+    engine=None,
+    workers: int | None = None,
+    tie_break: str = "index",
+    rng=None,
+    summary_bins: int = _SUMMARY_BINS,
+):
+    """Answer one TKD query through the two-phase partition protocol.
+
+    Bit-identical to the monolithic engine under ``tie_break="index"``
+    (see the module docstring for the exactness argument); under
+    ``tie_break="random"`` the boundary tie is drawn among the surviving
+    candidates — a different (equally arbitrary, paper-sanctioned) draw
+    than the monolithic permutation.
+
+    ``workers=N`` (N ≥ 2) fans both phases out over a process pool; the
+    sequential path reuses *engine*'s shared prepared-dataset cache and
+    store warm-start per shard.
+    """
+    from ..core.result import TKDResult, select_top_k, validate_k
+    from ..core.stats import QueryStats
+
+    dataset = view.dataset
+    n = dataset.n
+    kk = validate_k(k, n)
+    shards = view.shards
+    pool_workers = 0 if workers is None else int(workers)
+    if pool_workers < 0:
+        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+
+    # -- phase 1: local scores + summaries ---------------------------------
+    start_p1 = time.perf_counter()
+    if pool_workers > 1 and len(shards) > 1:
+        locals_, summaries, pool = _phase1_parallel(
+            view, engine, min(pool_workers, len(shards)), summary_bins
+        )
+    else:
+        pool = None
+        locals_, summaries, prepared_shards = [], [], []
+        for shard in shards:
+            prepared = _shard_prepared(engine, shard)
+            prepared.warm()
+            prepared_shards.append(prepared)
+            locals_.append(
+                dominated_counts(shard.dataset, prepared=prepared).astype(np.int64, copy=False)
+            )
+            summaries.append(ShardSummary.build(shard.dataset, bins=summary_bins))
+    phase1_seconds = time.perf_counter() - start_p1
+
+    # -- merge: bounds, tau, surviving candidates --------------------------
+    lo, hi = _bounds(dataset)
+    lower = np.concatenate(locals_)  # own-shard exact score == global lower bound
+    upper = lower.copy()
+    for shard, summary in zip(shards, summaries):
+        ub = summary.upper_bound_counts(lo, hi)
+        upper += ub
+        upper[shard.start : shard.stop] -= ub[shard.start : shard.stop]
+    tau = int(np.partition(lower, n - kk)[n - kk])
+    candidates = np.flatnonzero(upper >= tau).astype(np.intp)
+
+    # -- phase 2: exact cross-partition scores for the survivors -----------
+    start_p2 = time.perf_counter()
+    total = lower.copy()
+    refined = np.zeros(0, dtype=np.intp)
+    if len(shards) > 1:
+        exchange = _Exchanger(view, pool, None if pool is not None else prepared_shards, lo, hi)
+        try:
+            # τ refinement: exactly score the highest-upper-bound head
+            # first; the k-th best of those *actual* scores is a sound —
+            # and usually far tighter — lower bound on the global k-th.
+            # The head is small (O(k)), so it runs in-parent with one
+            # broadcast per shard instead of burning a pool round.
+            head = min(candidates.size, max(4 * kk, _MIN_REFINE_HEAD))
+            if head >= kk and head < candidates.size:
+                order = np.argsort(-upper[candidates], kind="stable")
+                refined = candidates[order[:head]]
+                _refine_in_parent(view, refined, lo, hi, total)
+                refined_tau = int(np.partition(total[refined], head - kk)[head - kk])
+                if refined_tau > tau:
+                    tau = refined_tau
+                    candidates = candidates[upper[candidates] >= tau]
+            mask = np.ones(candidates.size, dtype=bool)
+            mask[np.isin(candidates, refined)] = False
+            exchange.add_exact(candidates[mask], total)
+        finally:
+            exchange.close()
+    elif pool is not None:  # pragma: no cover - single-shard pools are not built
+        pool.shutdown()
+    phase2_seconds = time.perf_counter() - start_p2
+
+    eligible = np.zeros(n, dtype=bool)
+    eligible[candidates] = True
+    eligible[refined] = True  # exactly scored either way; keeps ties honest
+    selection = select_top_k(total, kk, tie_break=tie_break, rng=rng, eligible=eligible)
+    survivors = int(eligible.sum())
+
+    stats = QueryStats(
+        algorithm="partitioned", n=n, d=dataset.d, k=kk, scores_computed=n
+    )
+    stats.candidates = survivors
+    stats.index_bytes = sum(summary.nbytes for summary in summaries)
+    stats.query_seconds = phase1_seconds + phase2_seconds
+    stats.extra.update(
+        partitions=len(shards),
+        shard_sizes=list(view.sizes),
+        workers=pool_workers,
+        tau=tau,
+        refined=int(refined.size),
+        survival=float(survivors) / max(n, 1),
+        phase1_seconds=phase1_seconds,
+        phase2_seconds=phase2_seconds,
+    )
+    return TKDResult.from_selection(
+        dataset,
+        selection,
+        total[selection],
+        k=kk,
+        algorithm="partitioned",
+        stats=stats,
+    )
+
+
+def _refine_in_parent(
+    view: PartitionedDataset,
+    rows: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    total: np.ndarray,
+) -> None:
+    """Exactly score the small refinement head against every shard.
+
+    One ``(head, m, d)`` broadcast per shard — no tables, no pool round;
+    the head is ``O(k)`` so this is cheaper than shipping it anywhere.
+    """
+    for shard in view.shards:
+        foreign = rows[(rows < shard.start) | (rows >= shard.stop)]
+        if not foreign.size:
+            continue
+        member_lo = lo[shard.start : shard.stop]
+        member_hi = hi[shard.start : shard.stop]
+        le_all = np.all(lo[foreign][:, None, :] <= member_hi[None, :, :], axis=2)
+        lt_any = np.any(hi[foreign][:, None, :] < member_lo[None, :, :], axis=2)
+        total[foreign] += (le_all & lt_any).sum(axis=1)
+
+
+def _shard_prepared(engine, shard: PartitionShard) -> PreparedDataset:
+    """The shard's PreparedDataset — through the engine's caches when given."""
+    if engine is not None:
+        return engine.prepare_dataset(shard.dataset)
+    return PreparedDataset(shard.dataset)
+
+
+# ---------------------------------------------------------------------------
+# Process-pool workers
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process cache: shard fingerprint → PreparedDataset, so the
+#: phase-2 task for a shard reuses the structures phase 1 built whenever
+#: the pool schedules it onto the same process (payloads carry a cheap
+#: sentinel-only fallback for when it does not).
+_WORKER_SHARDS: dict[str, PreparedDataset] = {}
+
+
+def _shard_payload(shard: PartitionShard, store_dir: str | None, bins: int) -> tuple:
+    dataset = shard.dataset
+    return (
+        shard.fingerprint(),
+        dataset.values,
+        dataset.directions,
+        store_dir,
+        bins,
+    )
+
+
+def _phase1_worker(payload: tuple):
+    """Pool worker: one shard's local scores + summary (and warm cache)."""
+    from ..core.dataset import IncompleteDataset
+
+    fingerprint, values, directions, store_dir, bins = payload
+    dataset = IncompleteDataset(values, directions=directions)
+    prepared = None
+    if store_dir:
+        from .store import PersistentStore
+
+        prepared = PersistentStore(store_dir).get_prepared(fingerprint)
+        if prepared is not None and prepared.n != dataset.n:
+            prepared = None
+    if prepared is None:
+        prepared = PreparedDataset(dataset)
+    prepared.warm()
+    local = dominated_counts(dataset, prepared=prepared).astype(np.int64, copy=False)
+    summary = ShardSummary.build(dataset, bins=bins)
+    _WORKER_SHARDS[fingerprint] = prepared
+    return local, summary
+
+
+def _phase2_worker(payload: tuple) -> np.ndarray:
+    """Pool worker: exact foreign counts for one shard × candidate chunk."""
+    from ..core.dataset import IncompleteDataset
+
+    fingerprint, values, directions, probe_lo, probe_hi = payload
+    prepared = _WORKER_SHARDS.get(fingerprint)
+    if prepared is None:
+        prepared = PreparedDataset(IncompleteDataset(values, directions=directions))
+        _WORKER_SHARDS[fingerprint] = prepared
+    return prepared.foreign_dominated_counts(probe_lo, probe_hi)
+
+
+def _phase1_parallel(view: PartitionedDataset, engine, pool_size: int, bins: int):
+    """Fan phase 1 out; returns (locals, summaries, open pool for phase 2)."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    store = getattr(engine, "store", None)
+    store_dir = str(store.directory) if store is not None else None
+    pool = ProcessPoolExecutor(max_workers=pool_size)
+    try:
+        payloads = [_shard_payload(shard, store_dir, bins) for shard in view.shards]
+        results = list(pool.map(_phase1_worker, payloads))
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    return [r[0] for r in results], [r[1] for r in results], pool
+
+
+class _Exchanger:
+    """One phase-2 exchange surface serving both τ refinement and the
+    final candidate exchange (in-process or over the phase-1 pool)."""
+
+    def __init__(self, view, pool, prepared_shards, lo, hi) -> None:
+        self._view = view
+        self._pool = pool
+        self._prepared = prepared_shards
+        self._lo = lo
+        self._hi = hi
+
+    def add_exact(self, rows: np.ndarray, total: np.ndarray) -> None:
+        """Fold every shard's exact foreign contribution into ``total[rows]``."""
+        if rows.size == 0:
+            return
+        lo, hi = self._lo, self._hi
+        if self._pool is None:
+            for shard, prepared in zip(self._view.shards, self._prepared):
+                foreign = rows[(rows < shard.start) | (rows >= shard.stop)]
+                if foreign.size:
+                    total[foreign] += prepared.foreign_dominated_counts(
+                        lo[foreign], hi[foreign]
+                    )
+            return
+        futures = []
+        for shard in self._view.shards:
+            foreign = rows[(rows < shard.start) | (rows >= shard.stop)]
+            for chunk_start in range(0, foreign.size, _PROBE_CHUNK):
+                chunk = foreign[chunk_start : chunk_start + _PROBE_CHUNK]
+                payload = (
+                    shard.fingerprint(),
+                    shard.dataset.values,
+                    shard.dataset.directions,
+                    lo[chunk],
+                    hi[chunk],
+                )
+                futures.append((chunk, self._pool.submit(_phase2_worker, payload)))
+        for chunk, future in futures:
+            total[chunk] += future.result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()

@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from .kernels import _BITSET_TABLE_BUDGET_BYTES, _bitset_table_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.dataset import IncompleteDataset
@@ -58,14 +59,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "QueryPlan",
     "DeltaPlan",
+    "PartitionPlan",
     "Calibration",
     "calibration",
     "calibration_state",
     "apply_calibration_state",
     "estimate_costs",
     "estimate_delta_costs",
+    "estimate_partition_costs",
+    "estimate_survival",
     "plan_query",
     "plan_delta",
+    "plan_partitioned",
     "explain_plan",
     "merge_plan_options",
     "record_observation",
@@ -527,6 +532,162 @@ def plan_delta(
         patch_seconds=costs["patch"],
         rebuild_seconds=costs["rebuild"],
         tombstone_debt=debt,
+    )
+
+
+#: Charged once per pool worker a partitioned plan would spin up: process
+#: spawn + payload pickling. Generous on purpose — partitioning should
+#: only win when shards carry real work.
+_POOL_SPAWN_SECONDS = 0.04
+#: A shard's packed-table route costs roughly this many passes over the
+#: table bytes (build + one gather sweep), mirroring _REBUILD_PASS_FACTOR.
+_SHARD_TABLE_PASSES = 12.0
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Outcome of pricing partitioned vs. monolithic execution."""
+
+    #: ``"partition"`` (run the two-phase protocol) or ``"monolithic"``.
+    action: str
+    #: Shard count the estimate priced (the best candidate).
+    partitions: int
+    #: Pool workers the estimate assumed (1 = in-process shards).
+    workers: int
+    #: Modelled seconds of the partitioned plan.
+    estimated_seconds: float
+    #: Modelled seconds of the best monolithic algorithm.
+    monolithic_seconds: float
+    #: Estimated phase-2 candidate-survival fraction.
+    survival: float
+    #: One-line human-readable justification.
+    reason: str = ""
+
+    def summary(self) -> str:
+        return (
+            f"partition plan: {self.action} (P={self.partitions}, W={self.workers}) — "
+            f"partitioned {self.estimated_seconds * 1e3:.1f}ms vs "
+            f"monolithic {self.monolithic_seconds * 1e3:.1f}ms, "
+            f"est. survival {self.survival:.0%} ({self.reason})"
+        )
+
+
+def estimate_survival(n: int, k: int, missing_rate: float, partitions: int) -> float:
+    """Expected fraction of objects surviving the phase-1 bound merge.
+
+    Grows with ``k/n`` (a deeper answer lowers τ), with the partition
+    count (each shard's summary bound is looser than a global bound, and
+    the lower bound is only a ``1/P`` slice of the true score), and with
+    the missing rate (missing cells widen every per-dimension count).
+    Like the query model, only the ordering has to be right.
+    """
+    base = min(1.0, 8.0 * max(k, 1) / max(n, 1))
+    spread = 0.015 * max(partitions - 1, 0)
+    slack = missing_rate * missing_rate
+    return float(min(1.0, base + 0.02 + spread + slack))
+
+
+def estimate_partition_costs(
+    n: int,
+    d: int,
+    missing_rate: float,
+    k: int,
+    *,
+    partitions: int,
+    workers: int = 1,
+) -> dict:
+    """Modelled seconds of the two-phase protocol at one ``(P, W)`` point."""
+    if partitions < 1:
+        raise InvalidParameterError(f"partitions must be >= 1, got {partitions}")
+    cal = calibration()
+    partitions = min(int(partitions), n)
+    workers = max(int(workers), 1)
+    m = math.ceil(n / partitions)
+    rounds = math.ceil(partitions / min(workers, partitions))
+
+    table_bytes = _bitset_table_bytes(m, d)
+    if table_bytes <= _BITSET_TABLE_BUDGET_BYTES:
+        # Table build + one packed gather sweep over the shard's members.
+        shard_seconds = cal.vec * table_bytes * _SHARD_TABLE_PASSES / 8.0
+    else:
+        shard_seconds = cal.vec * float(m) * m * d  # blocked broadcast scan
+    merge_seconds = cal.vec * float(n) * d * partitions  # summary UB sweeps
+
+    survival = estimate_survival(n, k, missing_rate, partitions)
+    candidates = survival * n
+    if table_bytes <= _BITSET_TABLE_BUDGET_BYTES:
+        exchange_shard = cal.vec * candidates * d * (m / 8.0)  # packed gathers
+    else:
+        exchange_shard = cal.vec * candidates * m * d
+    spawn = _POOL_SPAWN_SECONDS * (workers if workers > 1 else 0)
+    # Fixed per-shard Python work the kernels can't amortise: subset
+    # construction, fingerprinting, summary sorts, dispatch bookkeeping.
+    per_shard_fixed = cal.step * 100 + cal.vec * m * d * 10
+    total = (
+        rounds * (shard_seconds + exchange_shard)
+        + merge_seconds
+        + spawn
+        + per_shard_fixed * partitions
+    )
+    return {
+        "total": total,
+        "phase1": rounds * shard_seconds + merge_seconds,
+        "phase2": rounds * exchange_shard,
+        "survival": survival,
+        "spawn": spawn,
+    }
+
+
+def plan_partitioned(
+    n: int,
+    d: int,
+    missing_rate: float,
+    k: int,
+    *,
+    partitions: int | None = None,
+    workers: int | None = None,
+) -> PartitionPlan:
+    """Price partitioned vs. monolithic execution for one query.
+
+    With *partitions* given, only that shard count is priced (the engine
+    still executes a forced ``partitions=P`` request either way — the
+    plan is what ``partitions="auto"`` consults). Otherwise a small
+    ladder of worker-aligned candidates is searched.
+    """
+    if n <= 0 or d <= 0:
+        raise InvalidParameterError(f"need n >= 1 and d >= 1, got n={n} d={d}")
+    workers = max(int(workers), 1) if workers is not None else max(os.cpu_count() or 1, 1)
+    monolithic = min(estimate_costs(n, d, missing_rate, k).values())
+
+    if partitions is not None:
+        ladder = [max(int(partitions), 1)]
+    else:
+        ladder = sorted({workers, 2 * workers, 4}) if workers > 1 else [4]
+    best_p, best = None, None
+    for p in ladder:
+        p = min(max(p, 1), n)
+        costs = estimate_partition_costs(
+            n, d, missing_rate, k, partitions=p, workers=workers
+        )
+        if best is None or costs["total"] < best["total"]:
+            best_p, best = p, costs
+
+    if best["total"] < monolithic:
+        action = "partition"
+        reason = f"sharded bounds repay the exchange at n={n}, d={d}, k={k}"
+    else:
+        action = "monolithic"
+        reason = (
+            f"partition overhead exceeds the monolithic scan at n={n}, d={d}"
+        )
+    return PartitionPlan(
+        action=action,
+        partitions=best_p,
+        workers=min(workers, best_p),
+        estimated_seconds=best["total"],
+        monolithic_seconds=monolithic,
+        survival=best["survival"],
+        reason=reason,
     )
 
 

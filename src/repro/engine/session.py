@@ -106,6 +106,11 @@ _SHARED_CACHE_BUDGET_BYTES = 256 * 1024 * 1024
 #: Cache-miss sentinel: ``None`` (or any falsy value) must be storable.
 _MISSING = object()
 
+#: Change-event window a :class:`ContinuousQuery` keeps for its cached
+#: selections; entries older than the window fall back to an exact
+#: re-rank (bounding memory on streams that are written but never read).
+_MAX_PENDING_EVENTS = 64
+
 
 def dataset_fingerprint(dataset) -> str:
     """Content hash identifying a dataset's query-relevant state.
@@ -177,6 +182,11 @@ class EngineStats:
     incremental_hits: int = 0
     #: Prepared structures warm-started from the persistent store.
     prepared_loaded: int = 0
+    #: Prepared structures reconstructed by patching a stored *ancestor*
+    #: forward through lineage delta payloads (no exact version on disk).
+    prepared_patched_forward: int = 0
+    #: Queries answered through the two-phase partitioned protocol.
+    partitioned_queries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -200,6 +210,8 @@ class EngineStats:
         self.tables_rebuilt += other.tables_rebuilt
         self.incremental_hits += other.incremental_hits
         self.prepared_loaded += other.prepared_loaded
+        self.prepared_patched_forward += other.prepared_patched_forward
+        self.partitioned_queries += other.partitioned_queries
 
     def summary(self) -> str:
         text = (
@@ -221,6 +233,10 @@ class EngineStats:
             )
         if self.prepared_loaded:
             text += f", prepared warm-started {self.prepared_loaded}x"
+        if self.prepared_patched_forward:
+            text += f", patched forward {self.prepared_patched_forward}x"
+        if self.partitioned_queries:
+            text += f", partitioned {self.partitioned_queries}"
         return text
 
 
@@ -273,8 +289,10 @@ class PreparedDatasetCache:
     Entries are content-addressed (the dataset fingerprint), so the cache
     is safe to share across engines and with module-level kernel calls —
     equal-content datasets reuse one entry, different content can never
-    collide. The budget is enforced against the entries' *current*
-    ``nbytes`` on every access: a `PreparedDataset` grows when its lazy
+    collide. The budget is enforced against the entries' *current*,
+    identity-deduplicated footprint on every access (arrays shared by
+    copy-on-write delta chains are charged once — see
+    :attr:`total_bytes`): a `PreparedDataset` grows when its lazy
     bitset tables are built, and the next access sheds entries until the
     total fits again. Eviction is *cost-aware*: among every entry but the
     most recently used, the lowest measured rebuild-seconds-per-byte goes
@@ -308,12 +326,29 @@ class PreparedDatasetCache:
 
     @property
     def total_bytes(self) -> int:
-        """Current footprint of all entries (lazy tables included)."""
+        """Current footprint of all entries (lazy tables included).
+
+        Identity-deduplicated: copy-on-write delta chains share every
+        untouched table array between parent and child entries, and a
+        budget that summed per-entry ``nbytes`` double-counted them —
+        evicting long version histories the process could easily afford.
+        An array (or the base of a view) held by several entries is
+        charged once.
+        """
         with self._lock:
             return self._total_bytes()
 
     def _total_bytes(self) -> int:
-        return sum(entry.nbytes for entry in self._data.values())
+        seen: set[int] = set()
+        total = 0
+        for entry in self._data.values():
+            for array in entry.storage_arrays():
+                base = array.base if array.base is not None else array
+                key = id(base)
+                if key not in seen:
+                    seen.add(key)
+                    total += base.nbytes
+        return total
 
     def get_or_create(self, dataset, fingerprint: str) -> PreparedDataset:
         """Fetch the entry for *fingerprint*, building it on first sight.
@@ -446,6 +481,8 @@ class QueryEngine:
         #: int64 vector per live version.
         self._scores = _LRU(max(4 * max_prepared, 32))
         self._dataset_cache = _shared_dataset_cache if dataset_cache is None else dataset_cache
+        #: Partitioned views per dataset fingerprint, advanced by deltas.
+        self._partitioned = _LRU(8)
         self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
         self._lock = threading.RLock()
         #: Store writes buffered while a batch is in flight (query_many
@@ -526,16 +563,65 @@ class QueryEngine:
         the default cache is process-wide. With a :attr:`store`, a cache
         miss first tries the persisted tables
         (:meth:`persist_prepared` / ``PersistentStore.put_prepared``), so
-        a fresh process warm-starts the ``O(d·n²/64)`` build from disk.
+        a fresh process warm-starts the ``O(d·n²/64)`` build from disk —
+        and when only an *ancestor* version is stored, the lineage
+        records' embedded delta payloads patch it forward to this version
+        (``stats.prepared_patched_forward``).
         """
         fingerprint = self.fingerprint(dataset)
         if self._store is not None and self._dataset_cache.peek(fingerprint) is None:
             loaded = self._store.get_prepared(fingerprint)
+            counter = "prepared_loaded"
+            if loaded is None:
+                loaded = self._patch_forward_from_store(dataset, fingerprint)
+                counter = "prepared_patched_forward"
             if loaded is not None:
                 self._dataset_cache.put(fingerprint, loaded)
                 with self._lock:
-                    self.stats.prepared_loaded += 1
+                    setattr(self.stats, counter, getattr(self.stats, counter) + 1)
         return self._dataset_cache.get_or_create(dataset, fingerprint)
+
+    #: Longest stored-ancestor delta chain worth replaying; beyond this a
+    #: cold rebuild is usually cheaper than the accumulated splices.
+    _MAX_PATCH_FORWARD = 16
+
+    def _patch_forward_from_store(self, dataset, fingerprint: str):
+        """Rebuild *fingerprint*'s prepared state from a stored ancestor.
+
+        Walks the store's lineage records child-first; the first ancestor
+        with persisted tables — reachable through records that all embed
+        their delta payload — is loaded and patched forward, one
+        :meth:`PreparedDataset.patched` splice per recorded delta.
+        Returns ``None`` when no such ancestor exists (or the chain is
+        broken, too deep, or inconsistent).
+        """
+        from ..core.delta import DatasetDelta  # deferred: core imports the engine
+
+        chain = self._store.resolve_lineage(fingerprint)
+        payloads: list[dict] = []
+        base = None
+        for record in chain[: self._MAX_PATCH_FORWARD]:
+            payload = record.get("payload")
+            if not isinstance(payload, dict):
+                return None  # a payload-free link: cannot patch through it
+            payloads.append(payload)
+            base = self._store.get_prepared(record.get("parent", ""))
+            if base is not None:
+                break
+        if base is None:
+            return None
+        prepared = base
+        try:
+            for payload in reversed(payloads):
+                delta = DatasetDelta.from_payload(payload)
+                prepared = prepared.patched(
+                    SentinelDelta.from_delta(delta, dataset.directions)
+                )
+        except (KeyError, ValueError, TypeError, InvalidParameterError):
+            return None  # hand-edited or stale records must never break queries
+        if prepared.n != dataset.n or prepared.d != dataset.d:
+            return None
+        return prepared
 
     def persist_prepared(self, dataset, *, warm: bool = True) -> PreparedDataset:
         """Write *dataset*'s prepared structures to the persistent store.
@@ -634,8 +720,57 @@ class QueryEngine:
                 self._scores.put(child_fp, child_scores)
 
         if self._store is not None:
-            self._store.record_lineage(child_fp, parent_fp, delta.digest(), delta.ops)
+            from .store import MAX_LINEAGE_PAYLOAD_CELLS
+
+            payload = delta.payload() if delta.cells <= MAX_LINEAGE_PAYLOAD_CELLS else None
+            self._store.record_lineage(
+                child_fp, parent_fp, delta.digest(), delta.ops, payload=payload
+            )
+
+        # A maintained partitioned view advances with the version: the
+        # delta routes to its owning shard(s) only, and each touched
+        # shard's PreparedDataset is patched (or rebuilt) under the shard
+        # child's own fingerprint — O(|delta|) per affected partition.
+        with self._lock:
+            view = self._partitioned.get(parent_fp, _MISSING)
+        if view is not _MISSING:
+            child_view, advanced = view.apply_delta(delta, child=child)
+            for parent_shard, sub_delta, child_shard in advanced:
+                self._advance_shard_prepared(parent_shard, sub_delta, child_shard)
+            with self._lock:
+                self._partitioned.put(child_fp, child_view)
         return child
+
+    def _advance_shard_prepared(self, parent_shard, sub_delta, child_shard) -> None:
+        """Patch one shard's cached PreparedDataset to its child version."""
+        if child_shard is None:
+            return  # shard emptied and dropped; its entries age out
+        parent_prepared = self._dataset_cache.peek(self.fingerprint(parent_shard))
+        if parent_prepared is None:
+            return  # nothing cached to advance; next query rebuilds cold
+        ops = sub_delta.ops
+        plan = plan_delta(
+            parent_prepared.storage_n,
+            parent_prepared.d,
+            inserts=ops["inserts"],
+            deletes=ops["deletes"],
+            updates=ops["updates"],
+            tombstones=parent_prepared.tombstones,
+            tables_ready=parent_prepared.tables_ready,
+        )
+        if plan.action == "patch":
+            child_prepared = parent_prepared.patched(
+                SentinelDelta.from_delta(sub_delta, parent_shard.directions)
+            )
+            with self._lock:
+                self.stats.tables_patched += 1
+        else:
+            child_prepared = PreparedDataset(child_shard)
+            if parent_prepared.tables_ready:
+                child_prepared.tables(build=True)
+            with self._lock:
+                self.stats.tables_rebuilt += 1
+        self._dataset_cache.put(self.fingerprint(child_shard), child_prepared)
 
     def insert(self, dataset, rows, *, ids: Sequence[str] | None = None):
         """New version with *rows* appended; see :meth:`apply_delta`."""
@@ -734,6 +869,8 @@ class QueryEngine:
         tie_break: str = "index",
         rng=None,
         repeats: int = 1,
+        partitions: "int | str | None" = None,
+        workers: int | None = None,
         **options,
     ):
         """Answer one TKD query through the session caches.
@@ -741,6 +878,16 @@ class QueryEngine:
         ``algorithm="auto"`` resolves through :meth:`plan` (crediting
         already-prepared structures); any explicit name behaves like
         :func:`~repro.core.query.top_k_dominating` but with reuse.
+
+        ``partitions=P`` (P ≥ 2) answers through the two-phase
+        partitioned protocol (:mod:`repro.engine.partition`): the data is
+        sharded, each shard prepared under its own cache/store key, and
+        only phase-1 survivors are exchanged — bit-identical to the
+        monolithic answer under deterministic tie-breaking.
+        ``partitions="auto"`` lets :func:`~repro.engine.planner.plan_partitioned`
+        price the protocol against the best monolithic algorithm first.
+        ``workers=N`` fans the shards out over a process pool (requires
+        ``partitions``; in-process otherwise).
 
         With a :attr:`store`, cacheable misses fall through to the
         persistent layer before executing anything, and computed answers
@@ -756,6 +903,14 @@ class QueryEngine:
         computes them once (exact fallback) and maintains them from then
         on.
         """
+        if partitions is not None:
+            return self._query_partitioned(
+                dataset, k, partitions=partitions, workers=workers, tie_break=tie_break, rng=rng
+            )
+        if workers is not None:
+            raise InvalidParameterError(
+                "query(workers=N) needs partitions=; use query_many for batch sharding"
+            )
         with self._lock:
             self.stats.queries += 1
         plan = None
@@ -829,6 +984,96 @@ class QueryEngine:
                         self._store_pending.append(item)
                 if not deferred:
                     self._store.put_result(**item)
+        return result
+
+    def _query_partitioned(
+        self, dataset, k: int, *, partitions, workers, tie_break: str, rng
+    ):
+        """The ``query(partitions=...)`` route: shard, bound, exchange.
+
+        The partitioned view is cached per dataset fingerprint (and
+        advanced by :meth:`apply_delta`), each shard's
+        :class:`PreparedDataset` lives in the ordinary fingerprint-keyed
+        caches, and results flow through the same result LRU / persistent
+        store as every other deterministic query — a partitioned answer
+        is bit-identical to the monolithic one, so they share entries.
+        """
+        from .partition import PartitionedDataset, execute_partitioned
+        from .planner import plan_partitioned
+
+        if workers is not None and int(workers) < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+
+        if isinstance(partitions, str):
+            if partitions.lower() != "auto":
+                raise InvalidParameterError(
+                    f"partitions must be an integer or 'auto', got {partitions!r}"
+                )
+            plan = plan_partitioned(
+                dataset.n, dataset.d, dataset.missing_rate, k, workers=workers
+            )
+            if plan.action != "partition":
+                return self.query(dataset, k, tie_break=tie_break, rng=rng)
+            partitions = plan.partitions
+            # The plan may have priced a pool, but a pool is never
+            # spawned unless the caller asked for one: "in-process
+            # otherwise" holds for "auto" too (and keeps this safe to
+            # call from daemonic workers that cannot fork children).
+
+        with self._lock:
+            self.stats.queries += 1
+            self.stats.partitioned_queries += 1
+        fingerprint = self.fingerprint(dataset)
+        cacheable = tie_break == "index"
+        # The cache label is distinct from the *registry* algorithm
+        # "partitioned" (core.partitioned.PartitionedTKD): that one
+        # resolves boundary ties by candidate-set eviction order, this
+        # route by index-deterministic selection — same multiset, not
+        # always the same ids, so they must never share cached answers.
+        result_key = (fingerprint, int(k), "partitioned:engine", _options_key({}))
+        if cacheable:
+            with self._lock:
+                cached = self._results.get(result_key, _MISSING)
+                if cached is not _MISSING:
+                    self.stats.result_hits += 1
+                    return cached
+                self.stats.result_misses += 1
+            if self._store is not None:
+                stored = self._store.get_result(*result_key)
+                with self._lock:
+                    if stored is not None:
+                        self.stats.store_hits += 1
+                        self.stats.evictions += self._results.put(result_key, stored)
+                    else:
+                        self.stats.store_misses += 1
+                if stored is not None:
+                    return stored
+
+        requested = int(partitions)
+        if requested < 1:
+            raise InvalidParameterError(f"partitions must be >= 1, got {partitions}")
+        clamped = min(requested, dataset.n)
+        with self._lock:
+            view = self._partitioned.get(fingerprint, _MISSING)
+        if view is _MISSING or view.partitions != clamped:
+            view = PartitionedDataset(dataset, clamped)
+            with self._lock:
+                self._partitioned.put(fingerprint, view)
+
+        start = time.perf_counter()
+        result = execute_partitioned(
+            view, k, engine=self, workers=workers, tie_break=tie_break, rng=rng
+        )
+        elapsed = time.perf_counter() - start
+        if cacheable:
+            with self._lock:
+                self.stats.evictions += self._results.put(result_key, result)
+            if self._store is not None:
+                with self._lock:
+                    self.stats.store_writes += 1
+                self._store.put_result(
+                    *result_key, result, rebuild_seconds=elapsed
+                )
         return result
 
     def _incremental_result(self, dataset, k: int, *, tie_break: str, rng):
@@ -1071,6 +1316,7 @@ class QueryEngine:
         with self._lock:
             self._prepared.clear()
             self._results.clear()
+            self._partitioned.clear()
             self._fingerprints.clear()
         if shared or self._dataset_cache is not _shared_dataset_cache:
             self._dataset_cache.clear()
@@ -1176,6 +1422,11 @@ class ContinuousQuery:
     the delta provably cannot move the k-th boundary — every changed
     non-member stayed strictly below it and no member lost score — and
     recomputed exactly from the maintained vector otherwise.
+
+    Many answer sizes can watch one stream: :meth:`subscribe` registers
+    additional k values, all sharing the per-delta dominator-mask work,
+    and :meth:`results` serves every subscription with at most one
+    full-order sort.
     """
 
     def __init__(self, engine: QueryEngine, dataset, *, k: int | None = None) -> None:
@@ -1191,13 +1442,19 @@ class ContinuousQuery:
         #: entry; after that the structure is exclusively ours.
         self._owned = False
         self._scores = engine.scores(dataset)
-        #: Cached selection state: (k, rows, member scores, boundary).
-        self._cached_k: int | None = None
-        self._cached_rows: np.ndarray | None = None
-        self._cached_boundary: int = 0
-        #: Changed-row sets since the last selection; None marks "row
-        #: indices shifted (a delete happened) — exact fallback required".
-        self._pending: list[np.ndarray] | None = []
+        #: The multi-k subscription set: every subscribed k's selection is
+        #: kept warm across deltas against the *one* maintained score
+        #: vector — the per-delta dominator-mask work is shared, and a
+        #: fallback re-rank sorts the vector once for all of them.
+        self._subscribed: set[int] = set() if k is None else {int(k)}
+        #: Per-k cached selections: ``k → (rows, boundary, seen_events)``.
+        self._selections: dict[int, tuple[np.ndarray, int, int]] = {}
+        #: Change events since the oldest cached selection: arrays of
+        #: changed child rows, or ``None`` when a delete shifted row
+        #: indices (exact fallback required). ``_events_base`` counts
+        #: events trimmed off the front of the window.
+        self._events: list[np.ndarray | None] = []
+        self._events_base = 0
 
     # -- state --------------------------------------------------------------
 
@@ -1303,11 +1560,11 @@ class ContinuousQuery:
         new_scores, changed = _advance_scores(
             rebates, self._scores, child, new_prepared, delta
         )
-        if self._pending is not None:
-            if ops["deletes"]:
-                self._pending = None  # row indices shifted: boundary uncertain
-            else:
-                self._pending.append(changed)
+        self._events.append(None if ops["deletes"] else changed)
+        if len(self._events) > _MAX_PENDING_EVENTS:
+            dropped = len(self._events) - _MAX_PENDING_EVENTS
+            del self._events[:dropped]
+            self._events_base += dropped  # entries behind the window go stale
         self._dataset = child
         self._prepared = new_prepared
         self._scores = new_scores
@@ -1315,12 +1572,38 @@ class ContinuousQuery:
 
     # -- queries -------------------------------------------------------------
 
+    def subscribe(self, k: int) -> int:
+        """Register *k* in this view's multi-k subscription set.
+
+        Many dashboards over one stream ask for different answer sizes;
+        subscribed k values share everything below the selection — one
+        maintained score vector (the per-delta dominator-mask work is
+        paid once regardless of how many k's are live), one boundary
+        check per k per delta, and one full-order sort whenever any of
+        them needs an exact re-rank (:meth:`results`).
+        """
+        if isinstance(k, bool) or not isinstance(k, (int, np.integer)) or k <= 0:
+            raise InvalidParameterError(f"subscription k must be a positive integer, got {k!r}")
+        k = int(k)
+        self._subscribed.add(k)
+        return k
+
+    def unsubscribe(self, k: int) -> None:
+        """Drop *k* from the subscription set (its cached selection too)."""
+        self._subscribed.discard(int(k))
+        self._selections.pop(int(k), None)
+
+    @property
+    def subscriptions(self) -> tuple[int, ...]:
+        """The subscribed k values, ascending."""
+        return tuple(sorted(self._subscribed))
+
     def top_k(self, k: int | None = None, *, tie_break: str = "index", rng=None):
         """Current answer as ``(id, score)`` pairs, best first.
 
         Deterministic (``tie_break="index"``) calls maintain a cached
-        selection across deltas: when every change since the last call
-        stayed strictly below the k-th boundary (and no member lost
+        selection per k across deltas: when every change since the last
+        call stayed strictly below the k-th boundary (and no member lost
         score, no row indices shifted), the membership provably cannot
         have changed and only the ordering is refreshed; anything
         uncertain falls back to one exact selection over the maintained
@@ -1335,44 +1618,102 @@ class ContinuousQuery:
         if tie_break != "index":
             selection = select_top_k(scores, k, tie_break=tie_break, rng=rng)
             return [(self._dataset.ids[i], int(scores[i])) for i in selection]
-
-        if self._cached_rows is not None and self._cached_k == k and self._boundary_safe():
-            rows = self._cached_rows
-        else:
-            # Exact fallback: lexsort replicates select_top_k's
-            # (-score, index) ordering at C speed over the whole vector.
-            order = np.lexsort((np.arange(scores.size), -scores))
-            rows = order[:k].astype(np.intp)
-        rows = rows[np.lexsort((rows, -scores[rows]))]  # refresh in-set order
-        self._cached_k = k
-        self._cached_rows = rows
-        self._cached_boundary = int(scores[rows].min()) if rows.size else 0
-        self._pending = []
+        rows, _order = self._select_rows(k, None)
         return [(self._dataset.ids[i], int(scores[i])) for i in rows]
 
-    def _boundary_safe(self) -> bool:
-        """True iff no delta since the last selection could move the top-k."""
-        if self._pending is None:
-            return False
-        if not self._pending:
-            return True
+    def results(self, *, tie_break: str = "index", rng=None) -> dict[int, list]:
+        """Current answers for every subscribed k, as ``{k: pairs}``.
+
+        The multi-k batch read: subscribed k values whose cached
+        selections survived the boundary checks are served in ``O(k)``,
+        and the ones that did not share a *single* full-order sort of the
+        maintained vector — k answers for one re-rank.
+        """
+        from ..core.result import validate_k
+
+        ks = self.subscriptions or ((self._k if self._k is not None else 10),)
+        if tie_break != "index":
+            return {int(k): self.top_k(int(k), tie_break=tie_break, rng=rng) for k in ks}
+        out: dict[int, list] = {}
+        order = None
+        ids, scores = self._dataset.ids, self._scores
+        for k in ks:
+            rows, order = self._select_rows(validate_k(int(k), self._dataset.n), order)
+            out[int(k)] = [(ids[i], int(scores[i])) for i in rows]
+        return out
+
+    def _select_rows(self, k: int, order: np.ndarray | None):
+        """The (validated) top-``k`` rows, via cache or shared full sort.
+
+        Returns ``(rows, order)`` where *order* is the full lexsort when
+        this call had to compute (or was handed) one — so a batch over
+        several k values pays for at most one sort.
+        """
         scores = self._scores
-        rows = self._cached_rows
+        entry = self._selections.get(k)
+        if entry is not None and self._entry_safe(entry):
+            rows = entry[0]
+        else:
+            if order is None:
+                # Exact fallback: lexsort replicates select_top_k's
+                # (-score, index) ordering at C speed over the whole vector.
+                order = np.lexsort((np.arange(scores.size), -scores))
+            rows = order[:k].astype(np.intp)
+        rows = rows[np.lexsort((rows, -scores[rows]))]  # refresh in-set order
+        boundary = int(scores[rows].min()) if rows.size else 0
+        self._selections[k] = (rows, boundary, self._events_base + len(self._events))
+        self._prune_selections()
+        self._trim_events()
+        return rows, order
+
+    def _entry_safe(self, entry: tuple) -> bool:
+        """True iff no delta since *entry* was cached could move its top-k."""
+        rows, boundary, seen = entry
+        start = seen - self._events_base
+        if start < 0:
+            return False  # the event window rolled past this entry
+        recent = self._events[start:]
+        if not recent:
+            return True
+        if any(event is None for event in recent):
+            return False  # a delete shifted row indices
+        scores = self._scores
         if rows.size == 0 or rows.max() >= scores.size:
             return False
-        changed = np.unique(np.concatenate(self._pending))
+        changed = np.unique(np.concatenate(recent))
         members = np.zeros(scores.size, dtype=bool)
         members[rows] = True
         changed_members = changed[members[changed]]
         changed_others = changed[~members[changed]]
-        if changed_others.size and int(scores[changed_others].max()) >= self._cached_boundary:
+        if changed_others.size and int(scores[changed_others].max()) >= boundary:
             return False
         # A member that *dropped to* the boundary could lose an index
         # tie-break against an excluded row already sitting there, so only
         # strictly-above changes are provably safe.
-        if changed_members.size and int(scores[changed_members].min()) <= self._cached_boundary:
+        if changed_members.size and int(scores[changed_members].min()) <= boundary:
             return False
         return True
+
+    def _prune_selections(self) -> None:
+        """Bound the cache: unsubscribed one-off k's yield first."""
+        limit = max(8, len(self._subscribed) + 1)
+        while len(self._selections) > limit:
+            for key in list(self._selections):
+                if key not in self._subscribed:
+                    del self._selections[key]
+                    break
+            else:
+                break  # everything left is subscribed; keep it all
+
+    def _trim_events(self) -> None:
+        """Drop events every cached selection has already absorbed."""
+        if not self._selections:
+            return
+        min_seen = min(seen for _, _, seen in self._selections.values())
+        drop = min_seen - self._events_base
+        if drop > 0:
+            del self._events[:drop]
+            self._events_base = min_seen
 
     def result(self, k: int | None = None):
         """The current answer as a :class:`~repro.core.result.TKDResult`."""

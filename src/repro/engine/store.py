@@ -63,11 +63,18 @@ try:  # POSIX advisory locking; absent e.g. on Windows.
 except ImportError:  # pragma: no cover - platform-dependent
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["PersistentStore", "StoreStats", "STORE_SCHEMA"]
+__all__ = ["PersistentStore", "StoreStats", "STORE_SCHEMA", "MAX_LINEAGE_PAYLOAD_CELLS"]
 
 #: On-disk schema revision; bump on any incompatible layout change.
 #: 2: added fingerprint-lineage records and persisted prepared tables.
-STORE_SCHEMA = 2
+#: 3: lineage records may embed small delta payloads (patch-forward);
+#:    older stores self-invalidate and are rewritten on the next write.
+STORE_SCHEMA = 3
+
+#: Deltas at most this many matrix cells embed their payload in the
+#: lineage record, so a cold process can patch a stored ancestor's tables
+#: forward instead of requiring the exact version on disk.
+MAX_LINEAGE_PAYLOAD_CELLS = 4096
 
 #: Default byte budget for serialized result entries (results are small —
 #: k ids/scores each — so this admits hundreds of thousands of answers).
@@ -412,7 +419,13 @@ class PersistentStore:
     # -- fingerprint lineage ------------------------------------------------
 
     def record_lineage(
-        self, child: str, parent: str, delta_digest: str, ops: dict | None = None
+        self,
+        child: str,
+        parent: str,
+        delta_digest: str,
+        ops: dict | None = None,
+        *,
+        payload: dict | None = None,
     ) -> None:
         """Record that *child* was derived from *parent* by one delta.
 
@@ -422,6 +435,13 @@ class PersistentStore:
         every stored result/prepared entry back to the chain that
         produced it (``repro cache stats`` shows the depth; tests and
         tooling can walk :meth:`resolve_lineage`).
+
+        *payload* is an optional JSON-safe delta encoding
+        (:meth:`repro.core.delta.DatasetDelta.payload`); when present —
+        the session gates it by :data:`MAX_LINEAGE_PAYLOAD_CELLS` — a cold
+        process holding only a stored *ancestor's* prepared tables can
+        patch them forward to *child* instead of requiring this exact
+        version on disk (see ``QueryEngine.prepare_dataset``).
 
         Records are buffered in memory and flushed in one locked rewrite
         when lineage is read, the planner is saved (``QueryEngine.flush``,
@@ -437,6 +457,7 @@ class PersistentStore:
                     "parent": str(parent),
                     "delta": str(delta_digest),
                     "ops": dict(ops or {}),
+                    "payload": dict(payload) if payload else None,
                     "created": time.time(),
                 }
             )
@@ -462,13 +483,16 @@ class PersistentStore:
                     if isinstance(parent_entry, dict)
                     else 1
                 )
-                entries[record["child"]] = {
+                body = {
                     "parent": record["parent"],
                     "delta": record["delta"],
                     "ops": record["ops"],
                     "depth": depth,
                     "created": record["created"],
                 }
+                if record.get("payload"):
+                    body["payload"] = record["payload"]
+                entries[record["child"]] = body
             if len(entries) > _MAX_LINEAGE_ENTRIES:
                 entries = dict(
                     sorted(entries.items(), key=lambda kv: kv[1].get("created", 0.0))[

@@ -252,3 +252,40 @@ class TestCacheCommand:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert main(["cache", "stats"]) == 2
         assert "REPRO_CACHE_DIR" in capsys.readouterr().err
+
+
+class TestPartitionsFlag:
+    def test_partitioned_query_matches_monolithic(self, sample_csv, capsys):
+        code = main(["query", str(sample_csv), "--k", "2", "--id-column", "id",
+                     "--algorithm", "naive"])
+        mono = capsys.readouterr().out
+        assert code == 0
+        code = main(["query", str(sample_csv), "--k", "2", "--id-column", "id",
+                     "--partitions", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "partitions=2" in out
+        assert "survival" in out
+        # Same ranking table rows, bit for bit.
+        mono_rows = [line for line in mono.splitlines() if line.startswith(("1", "2"))]
+        part_rows = [line for line in out.splitlines() if line.startswith(("1", "2"))]
+        assert mono_rows == part_rows
+
+    def test_partitions_auto_accepted(self, sample_csv, capsys):
+        code = main(["query", str(sample_csv), "--k", "1", "--id-column", "id",
+                     "--partitions", "auto", "--explain"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "partition plan:" in out
+
+    def test_partitions_rejects_garbage(self, sample_csv, capsys):
+        code = main(["query", str(sample_csv), "--k", "1", "--id-column", "id",
+                     "--partitions", "lots"])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_partitions_incompatible_with_sweep(self, sample_csv, capsys):
+        code = main(["query", str(sample_csv), "--sweep-k", "2,3", "--id-column", "id",
+                     "--partitions", "2"])
+        assert code == 2
+        capsys.readouterr()

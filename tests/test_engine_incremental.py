@@ -502,3 +502,84 @@ class TestStoreLineageAndPrepared:
         assert store.get_prepared(dataset.fingerprint()) is None
         assert store.resolve_lineage(dataset.fingerprint()) == []
         assert not list(tmp_path.glob("prepared-*.npz"))
+
+
+class TestMultiKSubscriptions:
+    """ContinuousQuery.subscribe: many k values over one maintained stream."""
+
+    def _oracle_pairs(self, dataset, k):
+        scores = score_all(dataset)
+        order = np.lexsort((np.arange(scores.size), -scores))[:k]
+        return [(dataset.ids[i], int(scores[i])) for i in order]
+
+    def test_subscriptions_register_and_serve(self):
+        engine = QueryEngine(dataset_cache=PreparedDatasetCache())
+        live = engine.continuous(random_dataset(60, seed=60), k=5)
+        assert live.subscriptions == (5,)
+        live.subscribe(2)
+        live.subscribe(9)
+        assert live.subscriptions == (2, 5, 9)
+        results = live.results()
+        assert set(results) == {2, 5, 9}
+        for k, pairs in results.items():
+            assert pairs == self._oracle_pairs(live.dataset, k)
+        live.unsubscribe(5)
+        assert live.subscriptions == (2, 9)
+
+    def test_invalid_subscription_rejected(self):
+        engine = QueryEngine(dataset_cache=PreparedDatasetCache())
+        live = engine.continuous(random_dataset(20, seed=61))
+        with pytest.raises(InvalidParameterError):
+            live.subscribe(0)
+        with pytest.raises(InvalidParameterError):
+            live.subscribe("three")
+
+    def test_all_subscriptions_stay_exact_under_mixed_stream(self):
+        engine = QueryEngine(dataset_cache=PreparedDatasetCache())
+        live = engine.continuous(random_dataset(70, seed=62), k=4)
+        for k in (1, 8, 15):
+            live.subscribe(k)
+        rng = np.random.default_rng(62)
+        for step in range(30):
+            roll = step % 4
+            if roll == 0:
+                live.insert(rng.integers(0, 6, size=(1, 4)).astype(float))
+            elif roll == 1 and live.n > 2:
+                live.delete([live.ids[int(rng.integers(0, live.n))]])
+            else:
+                live.update(
+                    {live.ids[int(rng.integers(0, live.n))]: {0: float(rng.integers(0, 6))}}
+                )
+            for k, pairs in live.results().items():
+                assert pairs == self._oracle_pairs(live.dataset, k), (step, k)
+
+    def test_per_k_boundary_caches_are_independent(self):
+        engine = QueryEngine(dataset_cache=PreparedDatasetCache())
+        live = engine.continuous(random_dataset(50, seed=63), k=3)
+        live.subscribe(10)
+        live.results()  # prime both selections
+        rng = np.random.default_rng(63)
+        for step in range(15):
+            live.insert(rng.integers(0, 6, size=(1, 4)).astype(float))
+            got_3 = live.top_k(3)
+            got_10 = live.top_k(10)
+            assert got_3 == self._oracle_pairs(live.dataset, 3), step
+            assert got_10 == self._oracle_pairs(live.dataset, 10), step
+
+    def test_results_share_one_fallback_sort(self):
+        engine = QueryEngine(dataset_cache=PreparedDatasetCache())
+        live = engine.continuous(random_dataset(40, seed=64), k=2)
+        for k in (4, 6, 8):
+            live.subscribe(k)
+        live.delete([live.ids[0]])  # row shift: every cached selection stale
+        results = live.results()
+        for k, pairs in results.items():
+            assert pairs == self._oracle_pairs(live.dataset, k)
+
+    def test_random_tie_break_still_supported(self):
+        engine = QueryEngine(dataset_cache=PreparedDatasetCache())
+        live = engine.continuous(random_dataset(30, seed=65), k=5)
+        results = live.results(tie_break="random", rng=0)
+        scores = score_all(live.dataset)
+        want = tuple(sorted(scores, reverse=True)[:5])
+        assert tuple(sorted((s for _, s in results[5]), reverse=True)) == want

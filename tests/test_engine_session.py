@@ -478,3 +478,49 @@ class TestEngineStats:
         second = engine.query(fig3_dataset, 2, algorithm="ibig", bins=[3, 3, 3, 3])
         assert first.score_multiset == (16, 16)
         assert second is first  # ndarray and list freeze to the same key
+
+
+class TestSharedArrayAccounting:
+    """Copy-on-write delta chains must not double-count shared tables."""
+
+    def test_total_bytes_dedupes_shared_table_arrays(self, make_incomplete):
+        ds = make_incomplete(600, 4, missing_rate=0.2, seed=20)
+        cache = PreparedDatasetCache()
+        engine = QueryEngine(dataset_cache=cache)
+        engine.prepare_dataset(ds).tables(build=True)
+        parent_bytes = cache.total_bytes
+        child = ds
+        for i in range(5):
+            child = engine.update(child, {child.ids[i]: {0: float(i)}})
+        naive_sum = sum(entry.nbytes for entry in cache._data.values())
+        assert cache.total_bytes < naive_sum  # shared arrays charged once
+        assert cache.total_bytes >= parent_bytes
+        # Each update-only patch rebinds a couple of per-dimension arrays;
+        # six versions must cost far less than six full table sets.
+        assert cache.total_bytes < 3 * parent_bytes
+
+    def test_long_version_history_stays_within_budget(self, make_incomplete):
+        ds = make_incomplete(600, 4, missing_rate=0.2, seed=21)
+        probe = PreparedDataset(ds)
+        probe.tables(build=True)
+        # Budget fits ~4 full table sets; the 7-version chain naively sums
+        # to ~7 sets (eviction after three versions), but each child only
+        # adds private sentinels plus one re-ranked dimension's arrays, so
+        # deduped accounting keeps the whole history.
+        cache = PreparedDatasetCache(max_bytes=int(probe.nbytes * 4))
+        engine = QueryEngine(dataset_cache=cache)
+        engine.prepare_dataset(ds).tables(build=True)
+        child = ds
+        for i in range(6):
+            child = engine.update(child, {child.ids[i]: {0: float(i + 7)}})
+        assert len(cache) == 7
+        assert cache.evictions == 0
+
+    def test_distinct_datasets_still_sum_fully(self, make_incomplete):
+        a = make_incomplete(100, 3, missing_rate=0.2, seed=22)
+        b = make_incomplete(100, 3, missing_rate=0.2, seed=23)
+        cache = PreparedDatasetCache()
+        engine = QueryEngine(dataset_cache=cache)
+        pa = engine.prepare_dataset(a)
+        pb = engine.prepare_dataset(b)
+        assert cache.total_bytes == pa.nbytes + pb.nbytes

@@ -341,3 +341,94 @@ class TestTwoProcessRoundTrip:
         answers_a = [line for line in first.stdout.splitlines() if line.startswith("k=")]
         answers_b = [line for line in second.stdout.splitlines() if line.startswith("k=")]
         assert answers_a == answers_b  # bit-identical under deterministic ties
+
+
+class TestLineagePayloadPatchForward:
+    """Schema-3 lineage records embed small deltas; cold processes patch
+    a stored ancestor's tables forward instead of requiring the exact
+    version on disk."""
+
+    def _dataset(self, n=120, seed=70):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 8, size=(n, 4)).astype(float)
+        values[rng.random((n, 4)) < 0.25] = np.nan
+        values[np.isnan(values).all(axis=1), 0] = 1.0
+        return IncompleteDataset(values)
+
+    def _chain(self, engine, dataset):
+        child = engine.update(dataset, {dataset.ids[3]: {1: 7.0}})
+        child = engine.insert(child, [[1, 2, 3, 4]])
+        return engine.delete(child, [child.ids[10]])
+
+    def test_small_deltas_embed_payloads(self, tmp_path):
+        from repro.engine.session import PreparedDatasetCache
+
+        store = PersistentStore(tmp_path)
+        engine = QueryEngine(dataset_cache=PreparedDatasetCache(), store=store)
+        dataset = self._dataset()
+        child = engine.insert(dataset, [[1, 2, 3, 4]])
+        record = store.lineage_of(child.fingerprint())
+        assert isinstance(record.get("payload"), dict)
+        assert record["payload"]["inserts"] == [[1.0, 2.0, 3.0, 4.0]]
+
+    def test_oversized_deltas_stay_payload_free(self, tmp_path):
+        from repro.engine.session import PreparedDatasetCache
+        from repro.engine.store import MAX_LINEAGE_PAYLOAD_CELLS
+
+        store = PersistentStore(tmp_path)
+        engine = QueryEngine(dataset_cache=PreparedDatasetCache(), store=store)
+        dataset = self._dataset(n=60, seed=71)
+        rows = np.ones((MAX_LINEAGE_PAYLOAD_CELLS // 4 + 1, 4))
+        child = engine.insert(dataset, rows)
+        record = store.lineage_of(child.fingerprint())
+        assert record is not None and record.get("payload") is None
+
+    def test_cold_process_patches_ancestor_forward(self, tmp_path):
+        from repro.core.score import score_all
+        from repro.engine.kernels import dominated_counts
+        from repro.engine.session import PreparedDatasetCache
+
+        writer = QueryEngine(dataset_cache=PreparedDatasetCache(), store=tmp_path)
+        dataset = self._dataset(seed=72)
+        writer.persist_prepared(dataset)  # only the ROOT's tables on disk
+        tail = self._chain(writer, dataset)
+        writer.flush()
+
+        reader = QueryEngine(dataset_cache=PreparedDatasetCache(), store=tmp_path)
+        prepared = reader.prepare_dataset(tail)
+        assert reader.stats.prepared_patched_forward == 1
+        assert reader.stats.prepared_loaded == 0
+        assert prepared.tables_ready  # inherited from the persisted root
+        assert np.array_equal(dominated_counts(tail, prepared=prepared), score_all(tail))
+
+    def test_broken_chain_falls_back_to_cold_build(self, tmp_path):
+        from repro.engine.session import PreparedDatasetCache
+
+        writer = QueryEngine(dataset_cache=PreparedDatasetCache(), store=tmp_path)
+        dataset = self._dataset(seed=73)
+        # No persisted ancestor at all: lineage exists but nothing to patch.
+        tail = self._chain(writer, dataset)
+        writer.flush()
+        reader = QueryEngine(dataset_cache=PreparedDatasetCache(), store=tmp_path)
+        prepared = reader.prepare_dataset(tail)
+        assert reader.stats.prepared_patched_forward == 0
+        assert prepared.n == tail.n  # cold build still serves the query
+
+    def test_payload_round_trip_through_delta(self):
+        from repro.core.delta import DatasetDelta
+
+        dataset = self._dataset(n=20, seed=74)
+        delta = DatasetDelta.build(
+            dataset,
+            inserts=[[1, None, 3, 4]],
+            deletes=[dataset.ids[2]],
+            updates={dataset.ids[5]: {0: 9.0}},
+        )
+        rebuilt = DatasetDelta.from_payload(delta.payload())
+        assert rebuilt.d == delta.d
+        assert rebuilt.deleted_rows == delta.deleted_rows
+        assert rebuilt.updated_rows == delta.updated_rows
+        assert np.array_equal(
+            np.isnan(rebuilt.inserted_values), np.isnan(delta.inserted_values)
+        )
+        assert rebuilt.digest() == delta.digest()
