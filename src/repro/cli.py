@@ -105,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="'min', 'max', or comma-separated per-dimension list",
     )
     query.add_argument("--no-header", action="store_true", help="CSV has no header row")
+    query.add_argument(
+        "--backend",
+        default=None,
+        choices=("auto", "numpy", "native"),
+        help="kernel backend (default: $REPRO_BACKEND, else auto); backends are "
+        "bit-identical — this only changes speed",
+    )
 
     stream = commands.add_parser(
         "stream",
@@ -133,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="'min', 'max', or comma-separated per-dimension list",
     )
     stream.add_argument("--no-header", action="store_true", help="CSV has no header row")
+    stream.add_argument(
+        "--backend",
+        default=None,
+        choices=("auto", "numpy", "native"),
+        help="kernel backend (default: $REPRO_BACKEND, else auto); backends are "
+        "bit-identical — this only changes speed",
+    )
 
     info = commands.add_parser("info", help="describe an incomplete CSV dataset")
     info.add_argument("csv")
@@ -196,7 +210,18 @@ def _load_csv(args) -> IncompleteDataset:
     return IncompleteDataset.from_csv(args.csv, **kwargs)
 
 
+def _select_backend(args) -> None:
+    """Apply ``--backend`` (process-wide; before any kernel runs)."""
+    if getattr(args, "backend", None) is not None:
+        from .engine.backend import select_backend
+
+        select_backend(args.backend)
+        # Pool workers resolve their backend from the environment.
+        os.environ["REPRO_BACKEND"] = args.backend
+
+
 def _cmd_query(args) -> int:
+    _select_backend(args)
     dataset = _load_csv(args)
     if args.sweep_k is not None:
         if args.partitions is not None:
@@ -318,6 +343,7 @@ def _cmd_stream(args) -> int:
 
     from .engine.session import QueryEngine
 
+    _select_backend(args)
     dataset = _load_csv(args)
     engine = QueryEngine()
     live = engine.continuous(dataset, k=args.k)

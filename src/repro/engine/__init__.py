@@ -30,9 +30,24 @@ Three layers, each consumable on its own:
   ``QueryEngine.query(partitions=P, workers=N)``: per-shard prepared
   structures, summary-bound pruning before any cross-partition
   exchange, and delta routing to the owning shard — bit-identical to
-  the monolithic answer.
+  the monolithic answer;
+* :mod:`repro.engine.backend` — the pluggable kernel-backend layer
+  (``REPRO_BACKEND=numpy|native|auto``): a compiled native route for
+  the packed-bitset hot loops with the numpy route as the portable,
+  bit-identical fallback, plus :class:`SharedTables`, the
+  shared-memory export that lets pool workers attach prepared tables
+  zero-copy instead of unpickling them.
 """
 
+from .backend import (
+    SharedTables,
+    available_backends,
+    get_backend,
+    measure_backend_speedup,
+    native_available,
+    select_backend,
+    use_backend,
+)
 from .kernels import (
     PreparedDataset,
     SentinelDelta,
@@ -80,6 +95,7 @@ from .session import (
     dataset_fingerprint,
     default_engine,
     shared_prepared,
+    shutdown_pool,
 )
 from .store import PersistentStore, StoreStats
 
@@ -126,4 +142,12 @@ __all__ = [
     "shared_prepared",
     "calibration_state",
     "apply_calibration_state",
+    "SharedTables",
+    "available_backends",
+    "get_backend",
+    "measure_backend_speedup",
+    "native_available",
+    "select_backend",
+    "use_backend",
+    "shutdown_pool",
 ]

@@ -58,6 +58,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from .backend import get_backend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.dataset import IncompleteDataset
@@ -233,8 +234,16 @@ def _spliced_rank_row(table: np.ndarray, position: int, slot: int, kind: str, wi
     meaning) and the new object's bit is OR-ed into the half that must
     contain it: rows ``[0..position]`` for a suffix table ("objects at
     sorted positions >= r"), rows ``[position+1..]`` for a prefix table
-    ("objects at positions < r").
+    ("objects at positions < r"). Dispatches to the active kernel backend
+    (:mod:`repro.engine.backend`); all backends splice bit-identically.
     """
+    return get_backend().spliced_rank_row(table, position, slot, kind, width)
+
+
+def _spliced_rank_row_numpy(
+    table: np.ndarray, position: int, slot: int, kind: str, width: int
+) -> np.ndarray:
+    """The portable numpy splice (the ``numpy`` backend's implementation)."""
     rows, w = table.shape
     if width > w:
         out = np.zeros((rows + 1, width), dtype=np.uint64)
@@ -257,8 +266,16 @@ def _moved_rank_row(table: np.ndarray, q: int, p: int, slot: int, kind: str) -> 
     position, *p* the insertion position in the removed order. One
     allocation and one pass — only the rows between the two positions
     shift, everything else is a straight copy (what makes a single-row
-    update an order of magnitude cheaper than a rebuild).
+    update an order of magnitude cheaper than a rebuild). Dispatches to
+    the active kernel backend.
     """
+    return get_backend().moved_rank_row(table, q, p, slot, kind)
+
+
+def _moved_rank_row_numpy(
+    table: np.ndarray, q: int, p: int, slot: int, kind: str
+) -> np.ndarray:
+    """The portable numpy move (the ``numpy`` backend's implementation)."""
     out = np.empty_like(table)
     bit_word, bit_mask = slot >> 6, np.uint64(1) << np.uint64(slot & 63)
     if p <= q:
@@ -441,26 +458,25 @@ class _BitsetTables:
         return le_acc, not_lt_acc
 
     def dominated_block_bits(self, lo: np.ndarray, hi: np.ndarray, idx: np.ndarray) -> np.ndarray:
-        """Packed dominated-masks: row ``r`` holds the bits of ``{p : o_r ≻ p}``."""
-        le_acc, not_lt_acc = self._accumulators(lo, hi, idx)
-        np.bitwise_not(not_lt_acc, out=not_lt_acc)
-        np.bitwise_and(le_acc, not_lt_acc, out=le_acc)
-        return le_acc  # tail bits are clean: suffix tables never set them
+        """Packed dominated-masks: row ``r`` holds the bits of ``{p : o_r ≻ p}``.
+
+        Tail bits are clean on every backend: the suffix tables never set
+        them, and the native route computes the same words.
+        """
+        return get_backend().accumulator_bits(self, lo, hi, idx, direction="dominated")
 
     def dominator_block_bits(self, lo: np.ndarray, hi: np.ndarray, idx: np.ndarray) -> np.ndarray:
-        """Packed dominator-masks: row ``r`` holds the bits of ``{p : p ≻ o_r}``."""
-        le_acc, not_lt_acc = self._accumulators(lo, hi, idx)
-        np.bitwise_not(le_acc, out=le_acc)
-        np.bitwise_and(not_lt_acc, le_acc, out=not_lt_acc)
-        return not_lt_acc  # tail bits clean via the prefix tables
+        """Packed dominator-masks: row ``r`` holds the bits of ``{p : p ≻ o_r}``
+        (tail bits clean via the prefix tables)."""
+        return get_backend().accumulator_bits(self, lo, hi, idx, direction="dominator")
 
     def dominated_counts(self, lo: np.ndarray, hi: np.ndarray, idx: np.ndarray) -> np.ndarray:
         """``score(o)`` for each row: ``popcount(∩ suffixes & ~∩ prefixes)``."""
-        return _popcount_rows(self.dominated_block_bits(lo, hi, idx))
+        return get_backend().accumulator_counts(self, lo, hi, idx, direction="dominated")
 
     def dominator_counts(self, lo: np.ndarray, hi: np.ndarray, idx: np.ndarray) -> np.ndarray:
         """``|{p : p ≻ o}|`` for each row, from the same two accumulators."""
-        return _popcount_rows(self.dominator_block_bits(lo, hi, idx))
+        return get_backend().accumulator_counts(self, lo, hi, idx, direction="dominator")
 
 
 def unpack_mask_bits(words: np.ndarray, n: int) -> np.ndarray:
@@ -482,11 +498,16 @@ def _popcount_rows_lookup(words: np.ndarray) -> np.ndarray:
     return _POPCOUNT8[as_bytes].sum(axis=1)
 
 
-def _popcount_rows(words: np.ndarray) -> np.ndarray:
-    """Per-row popcount of a ``(b, W)`` uint64 array."""
+def _popcount_rows_numpy(words: np.ndarray) -> np.ndarray:
+    """The portable per-row popcount (the ``numpy`` backend's route)."""
     if _HAS_BITWISE_COUNT:
         return np.bitwise_count(words).sum(axis=1).astype(np.int64)
     return _popcount_rows_lookup(words)
+
+
+def _popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a ``(b, W)`` uint64 array (backend-dispatched)."""
+    return get_backend().popcount_rows(words)
 
 
 class SentinelDelta:
@@ -730,6 +751,32 @@ class PreparedDataset:
         slots = self.slots_of(rows)
         return self._masked(self._tables.dominator_block_bits(self.lo, self.hi, slots))
 
+    def _count_live_words(self) -> np.ndarray | None:
+        return (
+            self._live_words_for(self._tables.words) if self._live is not None else None
+        )
+
+    def dominated_count_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Exact ``score`` counts for *dataset* rows, fused on one pass.
+
+        Equivalent to ``popcount(dominated_bits(rows))`` but lets the
+        active backend fold the gather, AND-reduction, live mask and
+        popcount together without materialising the ``(b, W)`` bits.
+        """
+        slots = self.slots_of(rows)
+        return get_backend().accumulator_counts(
+            self._tables, self.lo, self.hi, slots,
+            direction="dominated", live=self._count_live_words(),
+        )
+
+    def dominator_count_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Exact dominator counts for *dataset* rows (fused mirror)."""
+        slots = self.slots_of(rows)
+        return get_backend().accumulator_counts(
+            self._tables, self.lo, self.hi, slots,
+            direction="dominator", live=self._count_live_words(),
+        )
+
     def unpack_live(self, bits: np.ndarray) -> np.ndarray:
         """Packed storage rows → boolean masks over *dataset* columns."""
         masks = unpack_mask_bits(bits, self._storage_n)
@@ -767,10 +814,13 @@ class PreparedDataset:
         tables = self.tables(build=_use_bitsets(self._storage_n, self.d, b, cached=self.tables_ready))
         out = np.empty(b, dtype=np.int64)
         if tables is not None:
+            backend = get_backend()
+            live = self._count_live_words()
             for start in range(0, b, _BITSET_ROW_STEP):
                 idx = np.arange(start, min(start + _BITSET_ROW_STEP, b), dtype=np.intp)
-                bits = self._masked(tables.dominated_block_bits(probe_lo, probe_hi, idx))
-                out[start : start + idx.size] = _popcount_rows(bits)
+                out[start : start + idx.size] = backend.accumulator_counts(
+                    tables, probe_lo, probe_hi, idx, direction="dominated", live=live
+                )
             return out
         lo, hi = self.live_bounds()
         block = auto_block(lo.shape[0], self.d)
@@ -1186,7 +1236,7 @@ def dominated_counts(
         out = np.empty(idx.size, dtype=np.int64)
         for start in range(0, idx.size, _BITSET_ROW_STEP):
             chunk = idx[start : start + _BITSET_ROW_STEP]
-            out[start : start + chunk.size] = _popcount_rows(prepared.dominated_bits(chunk))
+            out[start : start + chunk.size] = prepared.dominated_count_rows(chunk)
         return out
     bounds = prepared.live_bounds() if prepared is not None else None
     return _blocked_counts(dataset, idx, block, _score_block, bounds=bounds)
@@ -1253,7 +1303,7 @@ def dominator_counts(
         out = np.empty(idx.size, dtype=np.int64)
         for start in range(0, idx.size, _BITSET_ROW_STEP):
             chunk = idx[start : start + _BITSET_ROW_STEP]
-            out[start : start + chunk.size] = _popcount_rows(prepared.dominator_bits(chunk))
+            out[start : start + chunk.size] = prepared.dominator_count_rows(chunk)
         return out
     bounds = prepared.live_bounds() if prepared is not None else None
     return _blocked_counts(dataset, idx, block, _dominator_block, bounds=bounds)

@@ -71,6 +71,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from .backend import SharedTables, unlink_shared
 from .kernels import PreparedDataset, SentinelDelta, _bounds, dominated_counts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -390,8 +391,9 @@ def execute_partitioned(
 
     # -- phase 1: local scores + summaries ---------------------------------
     start_p1 = time.perf_counter()
+    shm_metas: dict[str, dict] = {}
     if pool_workers > 1 and len(shards) > 1:
-        locals_, summaries, pool = _phase1_parallel(
+        locals_, summaries, pool, shm_metas = _phase1_parallel(
             view, engine, min(pool_workers, len(shards)), summary_bins
         )
     else:
@@ -407,24 +409,31 @@ def execute_partitioned(
             summaries.append(ShardSummary.build(shard.dataset, bins=summary_bins))
     phase1_seconds = time.perf_counter() - start_p1
 
-    # -- merge: bounds, tau, surviving candidates --------------------------
-    lo, hi = _bounds(dataset)
-    lower = np.concatenate(locals_)  # own-shard exact score == global lower bound
-    upper = lower.copy()
-    for shard, summary in zip(shards, summaries):
-        ub = summary.upper_bound_counts(lo, hi)
-        upper += ub
-        upper[shard.start : shard.stop] -= ub[shard.start : shard.stop]
-    tau = int(np.partition(lower, n - kk)[n - kk])
-    candidates = np.flatnonzero(upper >= tau).astype(np.intp)
+    try:
+        # -- merge: bounds, tau, surviving candidates ----------------------
+        lo, hi = _bounds(dataset)
+        lower = np.concatenate(locals_)  # own-shard exact score == global lower bound
+        upper = lower.copy()
+        for shard, summary in zip(shards, summaries):
+            ub = summary.upper_bound_counts(lo, hi)
+            upper += ub
+            upper[shard.start : shard.stop] -= ub[shard.start : shard.stop]
+        tau = int(np.partition(lower, n - kk)[n - kk])
+        candidates = np.flatnonzero(upper >= tau).astype(np.intp)
 
-    # -- phase 2: exact cross-partition scores for the survivors -----------
-    start_p2 = time.perf_counter()
-    total = lower.copy()
-    refined = np.zeros(0, dtype=np.intp)
-    if len(shards) > 1:
-        exchange = _Exchanger(view, pool, None if pool is not None else prepared_shards, lo, hi)
-        try:
+        # -- phase 2: exact cross-partition scores for the survivors -------
+        start_p2 = time.perf_counter()
+        total = lower.copy()
+        refined = np.zeros(0, dtype=np.intp)
+        if len(shards) > 1:
+            exchange = _Exchanger(
+                view,
+                pool,
+                None if pool is not None else prepared_shards,
+                lo,
+                hi,
+                shm_metas,
+            )
             # τ refinement: exactly score the highest-upper-bound head
             # first; the k-th best of those *actual* scores is a sound —
             # and usually far tighter — lower bound on the global k-th.
@@ -442,11 +451,13 @@ def execute_partitioned(
             mask = np.ones(candidates.size, dtype=bool)
             mask[np.isin(candidates, refined)] = False
             exchange.add_exact(candidates[mask], total)
-        finally:
-            exchange.close()
-    elif pool is not None:  # pragma: no cover - single-shard pools are not built
-        pool.shutdown()
-    phase2_seconds = time.perf_counter() - start_p2
+        phase2_seconds = time.perf_counter() - start_p2
+    finally:
+        # Segments the phase-1 workers exported on our behalf: the pool
+        # outlives this query (it is the shared session pool), so the
+        # names must go now, success or not.
+        for meta in shm_metas.values():
+            unlink_shared(meta["name"])
 
     eligible = np.zeros(n, dtype=bool)
     eligible[candidates] = True
@@ -516,9 +527,37 @@ def _shard_prepared(engine, shard: PartitionShard) -> PreparedDataset:
 
 #: Per-worker-process cache: shard fingerprint → PreparedDataset, so the
 #: phase-2 task for a shard reuses the structures phase 1 built whenever
-#: the pool schedules it onto the same process (payloads carry a cheap
-#: sentinel-only fallback for when it does not).
+#: the pool schedules it onto the same process (payloads carry a
+#: shared-memory meta — and a sentinel-only rebuild fallback — for when
+#: it does not). Size-capped because the pool is shared across queries.
 _WORKER_SHARDS: dict[str, PreparedDataset] = {}
+_WORKER_HANDLES: dict[str, SharedTables] = {}
+_WORKER_SHARDS_CAP = 8
+
+#: Names of transfer segments this worker exported for its parent. The
+#: parent adopts cleanup by name; this atexit net only matters when the
+#: parent dies before adopting (unlink_shared is double-unlink safe).
+_EXPORTED_NAMES: list[str] = []
+
+
+def _cache_worker_shard(
+    fingerprint: str, prepared: PreparedDataset, handle: SharedTables | None = None
+) -> None:
+    while len(_WORKER_SHARDS) >= _WORKER_SHARDS_CAP:
+        evicted = next(iter(_WORKER_SHARDS))
+        _WORKER_SHARDS.pop(evicted, None)
+        stale = _WORKER_HANDLES.pop(evicted, None)
+        if stale is not None:
+            stale.close()
+    _WORKER_SHARDS[fingerprint] = prepared
+    if handle is not None:
+        _WORKER_HANDLES[fingerprint] = handle
+
+
+def _cleanup_exported() -> None:  # pragma: no cover - crash net
+    for name in _EXPORTED_NAMES:
+        unlink_shared(name)
+    _EXPORTED_NAMES.clear()
 
 
 def _shard_payload(shard: PartitionShard, store_dir: str | None, bins: int) -> tuple:
@@ -533,7 +572,15 @@ def _shard_payload(shard: PartitionShard, store_dir: str | None, bins: int) -> t
 
 
 def _phase1_worker(payload: tuple):
-    """Pool worker: one shard's local scores + summary (and warm cache)."""
+    """Pool worker: one shard's local scores, summary and shared tables.
+
+    Besides the phase-1 answer, the worker exports its freshly prepared
+    structures into a shared-memory segment (``owner=False``: the parent
+    adopts cleanup by name) so phase-2 tasks landing on *other* workers
+    attach zero-copy instead of re-preparing the shard.
+    """
+    import atexit
+
     from ..core.dataset import IncompleteDataset
 
     fingerprint, values, directions, store_dir, bins = payload
@@ -550,48 +597,76 @@ def _phase1_worker(payload: tuple):
     prepared.warm()
     local = dominated_counts(dataset, prepared=prepared).astype(np.int64, copy=False)
     summary = ShardSummary.build(dataset, bins=bins)
-    _WORKER_SHARDS[fingerprint] = prepared
-    return local, summary
+    _cache_worker_shard(fingerprint, prepared)
+    meta = None
+    try:
+        handle = SharedTables.create(prepared, owner=False)
+    except (OSError, ValueError):
+        handle = None  # /dev/shm full: phase 2 rebuilds from the pickle
+    if handle is not None:
+        if not _EXPORTED_NAMES:
+            atexit.register(_cleanup_exported)
+        _EXPORTED_NAMES.append(handle.meta["name"])
+        meta = handle.meta
+        handle.close()
+    return local, summary, meta
 
 
 def _phase2_worker(payload: tuple) -> np.ndarray:
     """Pool worker: exact foreign counts for one shard × candidate chunk."""
     from ..core.dataset import IncompleteDataset
 
-    fingerprint, values, directions, probe_lo, probe_hi = payload
+    fingerprint, values, directions, probe_lo, probe_hi, shm_meta = payload
     prepared = _WORKER_SHARDS.get(fingerprint)
+    if prepared is None and shm_meta is not None:
+        try:
+            handle = SharedTables.attach(shm_meta)
+        except (OSError, ValueError):
+            handle = None  # segment gone; rebuild locally below
+        if handle is not None:
+            prepared = handle.prepared()
+            _cache_worker_shard(fingerprint, prepared, handle)
     if prepared is None:
         prepared = PreparedDataset(IncompleteDataset(values, directions=directions))
-        _WORKER_SHARDS[fingerprint] = prepared
+        _cache_worker_shard(fingerprint, prepared)
     return prepared.foreign_dominated_counts(probe_lo, probe_hi)
 
 
 def _phase1_parallel(view: PartitionedDataset, engine, pool_size: int, bins: int):
-    """Fan phase 1 out; returns (locals, summaries, open pool for phase 2)."""
-    from concurrent.futures import ProcessPoolExecutor
+    """Fan phase 1 out over the shared session pool.
+
+    Returns ``(locals, summaries, pool, shm_metas)`` — the pool stays
+    open for phase 2 (and for the next query: it is the process-global
+    :func:`repro.engine.session._process_pool`), and ``shm_metas`` maps
+    shard fingerprints to the shared-memory segments the workers
+    exported, whose cleanup the caller now owns.
+    """
+    from .session import _process_pool
 
     store = getattr(engine, "store", None)
     store_dir = str(store.directory) if store is not None else None
-    pool = ProcessPoolExecutor(max_workers=pool_size)
-    try:
-        payloads = [_shard_payload(shard, store_dir, bins) for shard in view.shards]
-        results = list(pool.map(_phase1_worker, payloads))
-    except BaseException:
-        pool.shutdown(wait=False, cancel_futures=True)
-        raise
-    return [r[0] for r in results], [r[1] for r in results], pool
+    pool = _process_pool(pool_size)
+    payloads = [_shard_payload(shard, store_dir, bins) for shard in view.shards]
+    results = list(pool.map(_phase1_worker, payloads))
+    shm_metas = {
+        shard.fingerprint(): r[2]
+        for shard, r in zip(view.shards, results)
+        if r[2] is not None
+    }
+    return [r[0] for r in results], [r[1] for r in results], pool, shm_metas
 
 
 class _Exchanger:
     """One phase-2 exchange surface serving both τ refinement and the
     final candidate exchange (in-process or over the phase-1 pool)."""
 
-    def __init__(self, view, pool, prepared_shards, lo, hi) -> None:
+    def __init__(self, view, pool, prepared_shards, lo, hi, shm_metas=None) -> None:
         self._view = view
         self._pool = pool
         self._prepared = prepared_shards
         self._lo = lo
         self._hi = hi
+        self._shm_metas = shm_metas or {}
 
     def add_exact(self, rows: np.ndarray, total: np.ndarray) -> None:
         """Fold every shard's exact foreign contribution into ``total[rows]``."""
@@ -609,19 +684,17 @@ class _Exchanger:
         futures = []
         for shard in self._view.shards:
             foreign = rows[(rows < shard.start) | (rows >= shard.stop)]
+            fingerprint = shard.fingerprint()
             for chunk_start in range(0, foreign.size, _PROBE_CHUNK):
                 chunk = foreign[chunk_start : chunk_start + _PROBE_CHUNK]
                 payload = (
-                    shard.fingerprint(),
+                    fingerprint,
                     shard.dataset.values,
                     shard.dataset.directions,
                     lo[chunk],
                     hi[chunk],
+                    self._shm_metas.get(fingerprint),
                 )
                 futures.append((chunk, self._pool.submit(_phase2_worker, payload)))
         for chunk, future in futures:
             total[chunk] += future.result()
-
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()

@@ -96,6 +96,9 @@ _RATIO_CLIP = 2.0
 _BIAS_CLIP = (0.5, 2.0)
 #: EWMA weight (in log space) of one observation against the running bias.
 _BIAS_ALPHA = 0.3
+#: Measured kernel-backend speedups are believed only within this range —
+#: a corrupt store entry can rescale vectorised costs but not zero them.
+_BACKEND_SPEEDUP_CLIP = (0.25, 16.0)
 
 
 @dataclass
@@ -108,13 +111,18 @@ class Calibration:
     multipliers learned from observed query runtimes vs modelled cost
     (:func:`record_observation`, fed by ``QueryEngine.query``); it starts
     empty and is bounded by ``_BIAS_CLIP`` so exploration noise cannot run
-    away. Set ``REPRO_PLANNER_CALIBRATION=0`` to pin the defaults.
+    away. ``backends`` holds measured kernel-backend speedups relative to
+    the numpy route (:func:`record_backend_speedup`, fed by
+    ``backend.measure_backend_speedup``); persisting them through the
+    store lets a cold process auto-select the right backend without
+    re-measuring. Set ``REPRO_PLANNER_CALIBRATION=0`` to pin the defaults.
     """
 
     vec: float = _VEC_DEFAULT
     step: float = _STEP_DEFAULT
     source: str = "default"
     bias: dict = field(default_factory=dict)
+    backends: dict = field(default_factory=dict)
 
     def biased(self, algorithm: str, seconds: float) -> float:
         return seconds * self.bias.get(algorithm, 1.0)
@@ -206,6 +214,58 @@ def record_observation(algorithm: str, modelled_seconds: float, measured_seconds
         cal.bias[algorithm] = float(np.clip(nudged, *_BIAS_CLIP))
 
 
+def backend_speedup(name: str) -> float | None:
+    """The recorded speedup of kernel backend *name* over numpy, if any.
+
+    ``0.0`` is a real (and meaningful) value: the measurement found the
+    backend unusable (e.g. a parity mismatch), which auto-selection
+    treats as "never pick this".
+    """
+    with _calibration_lock:
+        return calibration().backends.get(str(name))
+
+
+def record_backend_speedup(name: str, speedup: float) -> None:
+    """Record a measured kernel-backend speedup (persisted via the store).
+
+    Positive values are clipped to ``_BACKEND_SPEEDUP_CLIP``; ``0.0``
+    passes through untouched as the "disabled by measurement" marker.
+    """
+    try:
+        value = float(speedup)
+    except (TypeError, ValueError):
+        return
+    if not math.isfinite(value) or value < 0.0:
+        return
+    if value > 0.0:
+        value = float(np.clip(value, *_BACKEND_SPEEDUP_CLIP))
+    with _calibration_lock:
+        calibration().backends[str(name)] = value
+
+
+def _active_backend_speedup() -> float:
+    """Vectorised-cost scale of the *currently selected* kernel backend.
+
+    1.0 for numpy (the constants' reference point) or when nothing has
+    been measured yet. Deliberately passive: it peeks at the selection
+    without resolving it, so pure planning never triggers a backend
+    build/measurement. Exception-safe: the planner must keep working
+    even if the backend layer cannot load.
+    """
+    try:  # deferred: backend imports planner for calibration recording
+        from . import backend as backend_module
+
+        active = backend_module._active_backend
+        if active is None or not active.native:
+            return 1.0
+        speedup = backend_speedup(active.name)
+    except Exception:  # pragma: no cover - defensive
+        return 1.0
+    if speedup is None or speedup <= 0.0:
+        return 1.0
+    return float(speedup)
+
+
 def calibration_state() -> dict:
     """JSON-safe snapshot of the calibration (what the store persists).
 
@@ -219,6 +279,7 @@ def calibration_state() -> dict:
             "step": cal.step,
             "source": cal.source,
             "bias": dict(cal.bias),
+            "backends": dict(cal.backends),
         }
 
 
@@ -235,18 +296,27 @@ def apply_calibration_state(state: Mapping) -> None:
     algorithms outright. Unknown or malformed fields are ignored so a
     hand-edited store cannot break planning.
     """
-    bias = state.get("bias") if isinstance(state, Mapping) else None
-    if not isinstance(bias, Mapping):
+    if not isinstance(state, Mapping):
         return
+    bias = state.get("bias")
+    backends = state.get("backends")
     with _calibration_lock:
         cal = calibration()
-        for algorithm, value in bias.items():
-            if str(algorithm) in cal.bias:
-                continue
-            try:
-                cal.bias[str(algorithm)] = float(np.clip(float(value), *_BIAS_CLIP))
-            except (TypeError, ValueError):
-                continue
+        if isinstance(bias, Mapping):
+            for algorithm, value in bias.items():
+                if str(algorithm) in cal.bias:
+                    continue
+                try:
+                    cal.bias[str(algorithm)] = float(np.clip(float(value), *_BIAS_CLIP))
+                except (TypeError, ValueError):
+                    continue
+        if isinstance(backends, Mapping):
+            # Same freshness rule as bias: a persisted speedup never
+            # overrides one this process measured itself.
+            for name, value in backends.items():
+                if str(name) in cal.backends:
+                    continue
+                record_backend_speedup(str(name), value)
 
 #: Algorithms the planner will choose between. Deliberately the paper's
 #: core trio + Naive: the alternative-index algorithms (mosaic/brtree/
@@ -310,7 +380,11 @@ def estimate_costs(
     repeats = max(int(repeats), 1)
     prepared = frozenset(prepared)
     cal = calibration()
-    vec, step = cal.vec, cal.step
+    # Vectorised-kernel terms scale with the active kernel backend: a
+    # native backend measured S× faster than numpy divides every `vec`
+    # contribution by S while the pure-Python `step` terms stay put, so
+    # ``algorithm="auto"`` prices plans for the backend that will run them.
+    vec, step = cal.vec / _active_backend_speedup(), cal.step
 
     pair_elems = float(n) * n * d
     frac = _scanned_fraction(n, k, missing_rate)

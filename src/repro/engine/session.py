@@ -59,11 +59,13 @@ Usage::
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 import time
 import weakref
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -72,6 +74,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from .backend import SharedTables, select_backend
 from .kernels import (
     PreparedDataset,
     SentinelDelta,
@@ -98,6 +101,7 @@ __all__ = [
     "dataset_fingerprint",
     "default_engine",
     "shared_prepared",
+    "shutdown_pool",
 ]
 
 #: Byte budget of the process-wide shared :class:`PreparedDatasetCache`.
@@ -418,6 +422,50 @@ class PreparedDatasetCache:
         )
 
 
+#: Cap on the shared process pool: pool workers are heavyweight (numpy
+#: import, their own prepared caches), so larger batches queue instead.
+_POOL_MAX_WORKERS = 8
+
+_pool: ProcessPoolExecutor | None = None
+_pool_size = 0
+_pool_lock = threading.Lock()
+
+
+def _process_pool(workers: int) -> ProcessPoolExecutor:
+    """The lazily built process pool shared by every parallel route.
+
+    One pool serves repeated :meth:`QueryEngine.query_many` sweeps *and*
+    partitioned phase-1 fan-outs across calls, so worker spawn + import
+    cost is paid once per process instead of once per batch — and worker
+    affinity makes the workers' own prepared/shard caches effective
+    across queries. Size-capped; a request larger than the current pool
+    grows it (recreate), a broken pool is replaced transparently.
+    """
+    global _pool, _pool_size
+    wanted = max(1, min(int(workers), _POOL_MAX_WORKERS))
+    with _pool_lock:
+        broken = _pool is not None and getattr(_pool, "_broken", False)
+        if _pool is None or broken or _pool_size < wanted:
+            if _pool is not None:
+                _pool.shutdown(wait=False, cancel_futures=True)
+            _pool = ProcessPoolExecutor(max_workers=wanted)
+            _pool_size = wanted
+        return _pool
+
+
+def shutdown_pool(*, wait: bool = True) -> None:
+    """Shut the shared process pool down (explicit; also runs atexit)."""
+    global _pool, _pool_size
+    with _pool_lock:
+        pool, _pool = _pool, None
+        _pool_size = 0
+    if pool is not None:
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+
+atexit.register(shutdown_pool)
+
+
 #: The process-wide prepared-dataset cache every engine defaults to.
 _shared_dataset_cache = PreparedDatasetCache()
 
@@ -460,6 +508,12 @@ class QueryEngine:
         survive the process. Defaults to the ``REPRO_CACHE_DIR``
         environment variable when set, else no persistence. Opening a
         store loads its persisted planner biases into this process.
+    backend: kernel backend to select — ``"numpy"``, ``"native"`` or
+        ``"auto"`` (:mod:`repro.engine.backend`). Selection is
+        **process-wide** (the kernels layer and the shared prepared cache
+        are process-global); backends are bit-identical, so this only
+        affects speed. ``None`` (default) leaves the current selection
+        (itself resolved from ``REPRO_BACKEND``, default ``auto``) alone.
 
     Sessions are thread-safe: one internal lock guards the caches, the
     fingerprint memo and the stats counters, and is *released* while an
@@ -473,7 +527,9 @@ class QueryEngine:
         max_results: int = 256,
         dataset_cache: PreparedDatasetCache | None = None,
         store: "PersistentStore | str | Path | None" = None,
+        backend: str | None = None,
     ) -> None:
+        self._backend = select_backend(backend) if backend is not None else None
         self._prepared = _LRU(max_prepared)
         self._results = _LRU(max_results)
         #: Incrementally maintained full score vectors, per fingerprint —
@@ -1190,10 +1246,11 @@ class QueryEngine:
         the parent serves every request the store already holds without
         shipping it, and the workers (which open the same store) write
         their fresh answers back, so the next run — in *any* process —
-        starts warm.
+        starts warm. Datasets whose bitset tables this session already
+        prepared are additionally exported once into shared memory
+        (:class:`~repro.engine.backend.SharedTables`) so workers attach
+        zero-copy instead of re-preparing them.
         """
-        from concurrent.futures import ProcessPoolExecutor
-
         results: list = [None] * len(resolved)
         pending: list[int] = []
         keys: list[tuple | None] = [None] * len(resolved)
@@ -1248,10 +1305,31 @@ class QueryEngine:
                     shards.append(pending[start : start + size])
                 start += size
             store_dir = str(self._store.directory) if self._store is not None else None
+            handles: dict[str, SharedTables] = {}
+            for position in pending:
+                fingerprint = self.fingerprint(resolved[position][0])
+                if fingerprint in handles:
+                    continue
+                prepared = self._dataset_cache.peek(fingerprint)
+                if prepared is None or not prepared.tables_ready:
+                    continue
+                try:
+                    handles[fingerprint] = SharedTables.create(prepared)
+                except (OSError, ValueError):
+                    # Out of /dev/shm space (or an unshareable layout):
+                    # workers fall back to rebuilding from the pickle.
+                    break
+            shm_metas = {fp: handle.meta for fp, handle in handles.items()}
             payloads = [
-                ([resolved[position] for position in shard], store_dir) for shard in shards
+                (
+                    [resolved[position] for position in shard],
+                    store_dir,
+                    shm_metas or None,
+                )
+                for shard in shards
             ]
-            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            pool = _process_pool(len(shards))
+            try:
                 for shard, (answers, worker_stats) in zip(
                     shards, pool.map(_answer_shard, payloads)
                 ):
@@ -1271,6 +1349,10 @@ class QueryEngine:
                                 self.stats.evictions += self._results.put(
                                     keys[position], answer
                                 )
+            finally:
+                for handle in handles.values():
+                    handle.close()
+                    handle.unlink()
         return results
 
     @staticmethod
@@ -1744,13 +1826,36 @@ def _answer_shard(payload: tuple) -> tuple[list, EngineStats]:
     resolved (never ``"auto"``), so the answers cannot depend on this
     worker's planner state. When the parent has a store, the worker opens
     the same directory (advisory locking makes the concurrent writers
-    safe) and persists its answers as one batch at shard end.
+    safe) and persists its answers as one batch at shard end. When the
+    parent exported prepared tables into shared memory, this worker
+    attaches the segments its shard references and seeds its dataset
+    cache with zero-copy views instead of re-preparing from scratch.
     """
-    shard, store_dir = payload
+    shard, store_dir, shm_metas = payload
     engine = QueryEngine(dataset_cache=PreparedDatasetCache(), store=store_dir)
-    with engine._batched_store_writes():
-        answers = [
-            engine.query(dataset, k, algorithm=algorithm, **options)
-            for dataset, k, algorithm, options in shard
-        ]
+    attached: list[SharedTables] = []
+    try:
+        if shm_metas:
+            for dataset, _k, _algorithm, _options in shard:
+                fingerprint = engine.fingerprint(dataset)
+                meta = shm_metas.get(fingerprint)
+                if meta is None or engine._dataset_cache.peek(fingerprint) is not None:
+                    continue
+                try:
+                    handle = SharedTables.attach(meta)
+                except (OSError, ValueError):
+                    continue  # segment gone; rebuild locally instead
+                attached.append(handle)
+                engine._dataset_cache.put(fingerprint, handle.prepared())
+        with engine._batched_store_writes():
+            answers = [
+                engine.query(dataset, k, algorithm=algorithm, **options)
+                for dataset, k, algorithm, options in shard
+            ]
+    finally:
+        # The zero-copy views die with the cache; drop our segment refs so
+        # the parent's unlink can actually release the memory.
+        engine._dataset_cache.clear()
+        for handle in attached:
+            handle.close()
     return answers, engine.stats

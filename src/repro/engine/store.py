@@ -69,7 +69,10 @@ __all__ = ["PersistentStore", "StoreStats", "STORE_SCHEMA", "MAX_LINEAGE_PAYLOAD
 #: 2: added fingerprint-lineage records and persisted prepared tables.
 #: 3: lineage records may embed small delta payloads (patch-forward);
 #:    older stores self-invalidate and are rewritten on the next write.
-STORE_SCHEMA = 3
+#: 4: planner calibration records gained per-kernel-backend speedups
+#:    ("backends"), so a cold process auto-selects its backend without
+#:    re-measuring.
+STORE_SCHEMA = 4
 
 #: Deltas at most this many matrix cells embed their payload in the
 #: lineage record, so a cold process can patch a stored ancestor's tables

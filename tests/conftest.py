@@ -13,11 +13,35 @@ session fixtures:
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from _paper_fixtures import FIG2_ROWS, FIG3_ROWS, MOVIE_ROWS
 from repro.core.dataset import IncompleteDataset
+
+
+def _shm_entries() -> set[str]:
+    """Names of this project's live /dev/shm segments (POSIX only)."""
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("reproshm")}
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    """Fail any test that leaves a shared-memory segment linked.
+
+    :class:`repro.engine.backend.SharedTables` segments must be unlinked
+    by whoever owns them before the query returns — a stale ``/dev/shm``
+    entry is leaked RAM that outlives the process.
+    """
+    before = _shm_entries()
+    yield
+    leaked = _shm_entries() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
 
 @pytest.fixture(autouse=True)

@@ -388,6 +388,55 @@ class TestPopcountParity:
         words = rng.integers(0, 2**64, size=(10, 8), dtype=np.uint64)[::2, 1::2]
         assert _popcount_rows(words).tolist() == _popcount_rows_lookup(words).tolist()
 
+    @pytest.mark.parametrize("n", (63, 64, 65))
+    def test_forced_lookup_route_word_boundaries(self, n, monkeypatch):
+        """The LUT fallback is bit-identical to bitwise_count at word edges.
+
+        ``_popcount_rows_numpy`` picks its route from ``_HAS_BITWISE_COUNT``
+        at call time; forcing the flag exercises the NumPy < 2.0 path on a
+        NumPy >= 2.0 machine, at the sizes where tail-word handling breaks
+        first (one bit under / exactly at / one bit over a 64-bit word).
+        """
+        from repro.engine import kernels
+
+        rng = np.random.default_rng(n)
+        words = (n + 63) >> 6
+        rows = rng.integers(0, 2**64, size=(17, words), dtype=np.uint64)
+        # Clear past-n tail bits, as packed kernel rows guarantee.
+        tail = n & 63
+        if tail:
+            rows[:, -1] &= np.uint64((1 << tail) - 1)
+        expected = [sum(bin(int(w)).count("1") for w in row) for row in rows]
+        assert kernels._popcount_rows_numpy(rows).tolist() == expected
+        monkeypatch.setattr(kernels, "_HAS_BITWISE_COUNT", False)
+        assert kernels._popcount_rows_numpy(rows).tolist() == expected
+
+    def test_forced_lookup_route_all_missing_rows(self, monkeypatch):
+        """All-missing probe rows (empty bitsets) count zero on both routes.
+
+        Datasets drop all-NaN rows at construction, so the empty-bitset
+        case reaches the popcount through probe sentinels — equivalently,
+        rows of all-zero packed words — and must return exact zeros.
+        """
+        from repro.engine import kernels
+
+        zeros = np.zeros((5, 2), dtype=np.uint64)
+        assert kernels._popcount_rows_numpy(zeros).tolist() == [0] * 5
+        monkeypatch.setattr(kernels, "_HAS_BITWISE_COUNT", False)
+        assert kernels._popcount_rows_numpy(zeros).tolist() == [0] * 5
+        assert _popcount_rows_lookup(zeros).tolist() == [0] * 5
+
+    def test_forced_lookup_inside_query(self, make_incomplete, monkeypatch):
+        """A whole query agrees across routes with the fallback forced."""
+        from repro.engine import kernels
+        from repro.engine.backend import use_backend
+
+        ds = make_incomplete(65, 3, missing_rate=0.4, seed=7)
+        with use_backend("numpy"):
+            expected = dominated_counts(ds).tolist()
+            monkeypatch.setattr(kernels, "_HAS_BITWISE_COUNT", False)
+            assert dominated_counts(ds).tolist() == expected
+
 
 class TestCachedTableEligibility:
     """Satellite: cached tables serve small batches instead of broadcast."""
