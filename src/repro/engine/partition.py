@@ -99,6 +99,25 @@ _PROBE_CHUNK = 65536
 #: τ up to a true global bound before the main exchange.
 _MIN_REFINE_HEAD = 64
 
+#: Bucket edges per axis of a summary's 2-D grid sketches. 32 edges give
+#: a (33×33) suffix-count grid per dimension pair — ~8KB — that prunes
+#: the correlated-dimension slack the per-dimension ``min`` cannot see.
+_GRID_BINS = 32
+
+#: Above this shard count the flat P-way summary merge (``O(P·n)``
+#: probes) gives way to the two-level tree merge: ~√P group envelopes
+#: over everyone, per-shard descent only for pass-1 survivors.
+_TREE_MERGE_MIN_SHARDS = 16
+
+
+def _grid_edges(column: np.ndarray, bins: int = _GRID_BINS) -> np.ndarray:
+    """Sorted finite bucket edges covering one sentinel column."""
+    finite = np.unique(column[np.isfinite(column)])
+    if finite.size > bins:
+        sel = np.unique(np.round(np.linspace(0, finite.size - 1, bins)).astype(np.intp))
+        finite = finite[sel]
+    return finite
+
 
 class ShardSummary:
     """Per-dimension bucketed rank samples of one shard's sentinel columns.
@@ -119,9 +138,18 @@ class ShardSummary:
     member must be strictly worse somewhere — tight at high missingness,
     where almost every per-dimension necessity count degenerates to the
     shard size).
+
+    A third family sharpens both: per disjoint dimension *pair*
+    ``(2i, 2i+1)`` a small 2-D suffix-count grid over the two ``hi``
+    columns bounds ``|{p : hi_p[a] ≥ lo_o[a] ∧ hi_p[b] ≥ lo_o[b]}|`` —
+    a joint necessity count the per-dimension ``min`` overestimates
+    whenever the dimensions are correlated. Grid cells count members
+    whose hi-bucket is at least the probe's lo-bucket on *both* axes;
+    bucketing rounds the probe down and the member up, so the cell sum
+    only ever over-counts (sound at any resolution).
     """
 
-    __slots__ = ("count", "values", "lo_values", "ranks")
+    __slots__ = ("count", "values", "lo_values", "ranks", "grids")
 
     def __init__(
         self,
@@ -129,6 +157,7 @@ class ShardSummary:
         values: list[np.ndarray],
         lo_values: list[np.ndarray],
         ranks: np.ndarray,
+        grids: "list[tuple] | None" = None,
     ) -> None:
         self.count = int(count)
         self.values = values
@@ -136,10 +165,24 @@ class ShardSummary:
         #: One sampled-position array shared by every dimension and both
         #: sentinel sides (all columns are sampled at the same ranks).
         self.ranks = ranks
+        #: ``(dim_a, dim_b, edges_a, edges_b, cells)`` suffix-count grids,
+        #: one per disjoint dimension pair.
+        self.grids = list(grids) if grids else []
 
     @classmethod
     def build(cls, dataset: "IncompleteDataset", *, bins: int = _SUMMARY_BINS) -> "ShardSummary":
         lo, hi = _bounds(dataset)
+        return cls.from_bounds(lo, hi, bins=bins)
+
+    @classmethod
+    def from_bounds(
+        cls, lo: np.ndarray, hi: np.ndarray, *, bins: int = _SUMMARY_BINS
+    ) -> "ShardSummary":
+        """Summarise a ``(m, d)`` sentinel block directly.
+
+        Lets callers summarise *any* contiguous row run — a group of
+        shards in the tree merge — without materialising a dataset.
+        """
         m, d = hi.shape
         if m <= bins:
             idx = np.arange(m, dtype=np.intp)
@@ -147,12 +190,36 @@ class ShardSummary:
             idx = np.unique(np.round(np.linspace(0, m - 1, bins)).astype(np.intp))
         values = [np.sort(hi[:, dim])[idx] for dim in range(d)]
         lo_values = [np.sort(lo[:, dim])[idx] for dim in range(d)]
-        return cls(m, values, lo_values, idx)
+        return cls(m, values, lo_values, idx, cls._build_grids(hi))
+
+    @staticmethod
+    def _build_grids(hi: np.ndarray) -> list[tuple]:
+        """One 2-D suffix-count grid per disjoint ``hi`` dimension pair.
+
+        ``cells[ia, ib]`` counts members whose hi-bucket (rank_right over
+        the finite edges — ``+inf``/missing lands in the top bucket) is
+        ``≥ ia`` on axis *a* and ``≥ ib`` on axis *b*.
+        """
+        _, d = hi.shape
+        grids: list[tuple] = []
+        for a in range(0, d - 1, 2):
+            b = a + 1
+            edges_a = _grid_edges(hi[:, a])
+            edges_b = _grid_edges(hi[:, b])
+            bucket_a = np.searchsorted(edges_a, hi[:, a], side="right")
+            bucket_b = np.searchsorted(edges_b, hi[:, b], side="right")
+            counts = np.zeros((edges_a.size + 1, edges_b.size + 1), dtype=np.int64)
+            np.add.at(counts, (bucket_a, bucket_b), 1)
+            cells = counts[::-1, ::-1].cumsum(axis=0).cumsum(axis=1)[::-1, ::-1]
+            grids.append((a, b, edges_a, edges_b, np.ascontiguousarray(cells)))
+        return grids
 
     @property
     def nbytes(self) -> int:
-        return self.ranks.nbytes + sum(
-            v.nbytes + lv.nbytes for v, lv in zip(self.values, self.lo_values)
+        return (
+            self.ranks.nbytes
+            + sum(v.nbytes + lv.nbytes for v, lv in zip(self.values, self.lo_values))
+            + sum(ea.nbytes + eb.nbytes + cells.nbytes for _, _, ea, eb, cells in self.grids)
         )
 
     def upper_bound_counts(
@@ -180,6 +247,13 @@ class ShardSummary:
             clamped = np.maximum(j - 1, 0)
             bound = np.where(j > 0, self.count - ranks[clamped] - 1, self.count)
             np.minimum(out, bound, out=out)
+        for dim_a, dim_b, edges_a, edges_b, cells in self.grids:
+            # lo_o ≤ hi_p ⟹ rank_left(lo_o) ≤ rank_right(hi_p): the
+            # probe's bucket floor never exceeds a qualifying member's
+            # bucket, so the suffix cell over-counts the joint test.
+            ia = np.searchsorted(edges_a, probe_lo[:, dim_a], side="left")
+            ib = np.searchsorted(edges_b, probe_lo[:, dim_b], side="left")
+            np.minimum(out, cells[ia, ib], out=out)
         if probe_hi is None:
             return out
         union = np.zeros(b, dtype=np.int64)
@@ -218,12 +292,15 @@ class PartitionShard:
 class PartitionedDataset:
     """A dataset split into ``P`` row shards, each independently prepared.
 
-    The shards partition the row axis contiguously and in order, so the
-    concatenation of the shard datasets *is* the full dataset — the
-    invariant that makes per-partition score sums exact and lets deltas
-    route to their owning shard. Inserts append at the global end
-    (:func:`repro.core.delta.apply_delta`'s ordering contract), so they
-    route to the last shard; a shard emptied by deletions is dropped.
+    The shards partition the row axis, so the concatenation of the shard
+    datasets holds exactly the full dataset's rows — the invariant that
+    makes per-partition score sums exact and lets deltas route to their
+    owning shard. The concatenation need not follow dataset row order:
+    :attr:`order` maps *concatenation positions* to dataset rows
+    (``None`` means identity), which is what lets unowned inserts route
+    to the least-loaded shard and :meth:`rebalance` splice rows between
+    shards while the underlying dataset version stays untouched. A shard
+    emptied by deletions is dropped.
     """
 
     def __init__(
@@ -232,12 +309,15 @@ class PartitionedDataset:
         partitions: int,
         *,
         _shards: "list[PartitionShard] | None" = None,
+        _order: "np.ndarray | None" = None,
     ) -> None:
         if not isinstance(partitions, (int, np.integer)) or isinstance(partitions, bool):
             raise InvalidParameterError(f"partitions must be a positive integer, got {partitions!r}")
         if partitions < 1:
             raise InvalidParameterError(f"partitions must be >= 1, got {partitions}")
         self.dataset = dataset
+        #: Concatenation position → dataset row (``None`` = identity).
+        self.order = _order
         if _shards is not None:
             self.shards = _shards
             return
@@ -269,8 +349,14 @@ class PartitionedDataset:
 
     def shard_of_row(self, row: int) -> int:
         """Index of the shard owning global dataset *row*."""
+        pos = row
+        if self.order is not None:
+            matches = np.flatnonzero(self.order == row)
+            if matches.size == 0:
+                raise InvalidParameterError(f"row {row} outside [0, {self.dataset.n})")
+            pos = int(matches[0])
         for j, shard in enumerate(self.shards):
-            if shard.start <= row < shard.stop:
+            if shard.start <= pos < shard.stop:
                 return j
         raise InvalidParameterError(f"row {row} outside [0, {self.dataset.n})")
 
@@ -296,20 +382,57 @@ class PartitionedDataset:
         inserts = int(delta.inserted_values.shape[0])
         insert_ids = tuple(child.ids[child.n - inserts :]) if inserts else ()
 
+        n = self.dataset.n
+        order = self.order
+        inv = None
+        if order is not None:
+            inv = np.empty(n, dtype=np.intp)
+            inv[order] = np.arange(n, dtype=np.intp)
+        keep = np.ones(n, dtype=bool)
+        if delta.deleted_rows:
+            keep[list(delta.deleted_rows)] = False
+        old2new = (np.cumsum(keep) - 1).astype(np.intp)
+
+        # Unowned inserts go to the least-loaded live shard (ties break
+        # toward the lowest shard index for determinism), keeping routed
+        # insert streams from piling onto one shard.
+        target = -1
+        if inserts:
+            target = min(range(len(self.shards)), key=lambda j: (self.shards[j].n, j))
+
         new_shards: list[PartitionShard] = []
+        order_parts: list[np.ndarray] = []
         advanced = []
         start = 0
-        last = len(self.shards) - 1
         for j, shard in enumerate(self.shards):
-            local_del = [r - shard.start for r in delta.deleted_rows if shard.start <= r < shard.stop]
-            upd_pos = [
-                (i, r - shard.start)
-                for i, r in enumerate(delta.updated_rows)
-                if shard.start <= r < shard.stop
-            ]
-            shard_inserts = inserts if j == last else 0
+            span = (
+                np.arange(shard.start, shard.stop, dtype=np.intp)
+                if order is None
+                else order[shard.start : shard.stop]
+            )
+            if inv is None:
+                local_del = [r - shard.start for r in delta.deleted_rows if shard.start <= r < shard.stop]
+                upd_pos = [
+                    (i, r - shard.start)
+                    for i, r in enumerate(delta.updated_rows)
+                    if shard.start <= r < shard.stop
+                ]
+            else:
+                local_del = [
+                    int(inv[r]) - shard.start
+                    for r in delta.deleted_rows
+                    if shard.start <= inv[r] < shard.stop
+                ]
+                upd_pos = [
+                    (i, int(inv[r]) - shard.start)
+                    for i, r in enumerate(delta.updated_rows)
+                    if shard.start <= inv[r] < shard.stop
+                ]
+            shard_inserts = inserts if j == target else 0
+            surviving = old2new[span[keep[span]]]
             if not local_del and not upd_pos and not shard_inserts:
                 new_shards.append(PartitionShard(shard.dataset, start))
+                order_parts.append(surviving)
                 start += shard.n
                 continue
             ids = shard.dataset.ids
@@ -331,21 +454,110 @@ class PartitionedDataset:
             shard_child = shard.dataset.apply_delta(sub)
             advanced.append((shard.dataset, sub, shard_child))
             new_shards.append(PartitionShard(shard_child, start))
+            if shard_inserts:
+                surviving = np.concatenate(
+                    [surviving, np.arange(child.n - inserts, child.n, dtype=np.intp)]
+                )
+            order_parts.append(surviving)
             start += shard_child.n
-        view = PartitionedDataset(child, max(len(new_shards), 1), _shards=new_shards)
+        child_order: "np.ndarray | None"
+        if order_parts:
+            child_order = np.concatenate(order_parts).astype(np.intp, copy=False)
+        else:
+            child_order = np.zeros(0, dtype=np.intp)
+        if np.array_equal(child_order, np.arange(child.n, dtype=np.intp)):
+            child_order = None
+        view = PartitionedDataset(
+            child, max(len(new_shards), 1), _shards=new_shards, _order=child_order
+        )
+        return view, advanced
+
+    def rebalance(self, partitions: "int | None" = None):
+        """Restore an even row split by splicing rows between shards.
+
+        Rows move through ordinary per-shard deltas — trailing/leading
+        runs deleted, displaced runs re-inserted — so the underlying
+        dataset version, its fingerprint, and the query answer are all
+        untouched; only the shard boundaries (and :attr:`order`) change.
+        Returns ``(view, advanced)`` with the same
+        ``(parent_shard_dataset, sub_delta, child_shard_dataset)``
+        contract as :meth:`apply_delta`, letting the engine advance each
+        touched shard's prepared structures incrementally.
+        """
+        from ..core.delta import DatasetDelta  # deferred: core imports the engine
+
+        n = self.dataset.n
+        count = len(self.shards) if partitions is None else int(partitions)
+        count = max(1, min(count, n))
+        base, extra = divmod(n, count)
+        order = self.order
+        values = self.dataset.values
+        all_ids = self.dataset.ids
+
+        def rows_at(s: int, e: int) -> np.ndarray:
+            """Dataset rows sitting at concatenation positions [s, e)."""
+            if order is None:
+                return np.arange(s, e, dtype=np.intp)
+            return order[s:e]
+
+        new_shards: list[PartitionShard] = []
+        advanced = []
+        start = 0
+        for j in range(count):
+            size = base + (1 if j < extra else 0)
+            s, e = start, start + size
+            start = e
+            # Derive the new shard from the old shard holding position s:
+            # its overlap with [s, e) survives in place, the rest is
+            # deleted, and positions past its end are inserted from the
+            # dataset (they belonged to later shards).
+            src = max(i for i, sh in enumerate(self.shards) if sh.start <= s)
+            sh = self.shards[src]
+            keep_stop = min(e, sh.stop)
+            local_del = list(range(0, s - sh.start)) + list(
+                range(keep_stop - sh.start, sh.n)
+            )
+            append = rows_at(sh.stop, e) if e > sh.stop else np.zeros(0, dtype=np.intp)
+            if not local_del and not append.size:
+                new_shards.append(PartitionShard(sh.dataset, s))
+                continue
+            ids = sh.dataset.ids
+            sub = DatasetDelta(
+                self.dataset.d,
+                inserted_values=values[append] if append.size else None,
+                inserted_ids=tuple(all_ids[r] for r in append) if append.size else None,
+                deleted_rows=local_del,
+                deleted_ids=[ids[r] for r in local_del],
+            )
+            shard_child = sh.dataset.apply_delta(sub)
+            advanced.append((sh.dataset, sub, shard_child))
+            new_shards.append(PartitionShard(shard_child, s))
+        view = PartitionedDataset(
+            self.dataset, count, _shards=new_shards, _order=order
+        )
         return view, advanced
 
     def validate(self) -> None:
         """Assert the concatenation invariant (tests and debugging)."""
-        values = np.concatenate([shard.dataset.values for shard in self.shards], axis=0)
-        same = (values == self.dataset.values) | (
-            np.isnan(values) & np.isnan(self.dataset.values)
+        order = self.order
+        expected_values = self.dataset.values if order is None else self.dataset.values[order]
+        expected_ids = (
+            self.dataset.ids
+            if order is None
+            else [self.dataset.ids[r] for r in order]
         )
-        if values.shape != self.dataset.values.shape or not same.all():
+        values = np.concatenate([shard.dataset.values for shard in self.shards], axis=0)
+        same = (values == expected_values) | (np.isnan(values) & np.isnan(expected_values))
+        if values.shape != expected_values.shape or not same.all():
             raise InvalidParameterError("shard concatenation no longer matches the dataset")
         ids = [i for shard in self.shards for i in shard.dataset.ids]
-        if ids != self.dataset.ids:
+        if ids != list(expected_ids):
             raise InvalidParameterError("shard id order no longer matches the dataset")
+        if order is not None and (
+            order.shape != (self.dataset.n,)
+            or not np.array_equal(np.sort(order), np.arange(self.dataset.n))
+        ):
+            raise InvalidParameterError("order is not a permutation of the dataset rows")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<PartitionedDataset n={self.dataset.n} shards={self.sizes}>"
@@ -365,6 +577,8 @@ def execute_partitioned(
     tie_break: str = "index",
     rng=None,
     summary_bins: int = _SUMMARY_BINS,
+    memory_budget: "int | None" = None,
+    spill_store=None,
 ):
     """Answer one TKD query through the two-phase partition protocol.
 
@@ -377,6 +591,14 @@ def execute_partitioned(
     ``workers=N`` (N ≥ 2) fans both phases out over a process pool; the
     sequential path reuses *engine*'s shared prepared-dataset cache and
     store warm-start per shard.
+
+    With *spill_store* and *memory_budget* set, shard tables live as
+    memory-mapped spill files in the store and only a bounded resident
+    set of attachments is kept hot (out-of-core mode): phase 1 builds
+    each shard's structures, spills them, and drops the anonymous RAM
+    copy; phase 2 re-attaches shards on demand through the engine
+    cache's resident-set manager, so peak RSS tracks *memory_budget*
+    instead of the sum of all shard tables.
     """
     from ..core.result import TKDResult, select_top_k, validate_k
     from ..core.stats import QueryStats
@@ -388,17 +610,39 @@ def execute_partitioned(
     pool_workers = 0 if workers is None else int(workers)
     if pool_workers < 0:
         raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+    spill = spill_store is not None
 
     # -- phase 1: local scores + summaries ---------------------------------
     start_p1 = time.perf_counter()
     shm_metas: dict[str, dict] = {}
+    provider = None
     if pool_workers > 1 and len(shards) > 1:
         locals_, summaries, pool, shm_metas = _phase1_parallel(
-            view, engine, min(pool_workers, len(shards)), summary_bins
+            view,
+            engine,
+            min(pool_workers, len(shards)),
+            summary_bins,
+            spill_store if spill else None,
         )
+    elif spill:
+        # Out-of-core: build → spill → drop, never holding more than the
+        # resident set of mmap attachments (plus the one shard in build).
+        pool = None
+        locals_, summaries = [], []
+        budget = memory_budget if memory_budget is not None else 0
+        provider = lambda shard: _attach_spilled(engine, spill_store, shard, budget)
+        for shard in shards:
+            prepared = provider(shard)
+            locals_.append(
+                dominated_counts(shard.dataset, prepared=prepared).astype(np.int64, copy=False)
+            )
+            summaries.append(ShardSummary.build(shard.dataset, bins=summary_bins))
+            del prepared  # resident-set manager decides what stays mapped
     else:
         pool = None
-        locals_, summaries, prepared_shards = [], [], []
+        prepared_shards = []
+        provider = lambda shard: prepared_shards[shards.index(shard)]
+        locals_, summaries = [], []
         for shard in shards:
             prepared = _shard_prepared(engine, shard)
             prepared.warm()
@@ -411,14 +655,21 @@ def execute_partitioned(
 
     try:
         # -- merge: bounds, tau, surviving candidates ----------------------
-        lo, hi = _bounds(dataset)
+        # Everything from here to selection happens in *concatenation
+        # space*: position p belongs to the shard whose [start, stop)
+        # contains p, and maps to dataset row perm[p] (identity when the
+        # view was never re-routed or rebalanced).
+        perm = view.order
+        lo_g, hi_g = _bounds(dataset)
+        if perm is None:
+            lo, hi = lo_g, hi_g
+        else:
+            lo, hi = lo_g[perm], hi_g[perm]
         lower = np.concatenate(locals_)  # own-shard exact score == global lower bound
-        upper = lower.copy()
-        for shard, summary in zip(shards, summaries):
-            ub = summary.upper_bound_counts(lo, hi)
-            upper += ub
-            upper[shard.start : shard.stop] -= ub[shard.start : shard.stop]
         tau = int(np.partition(lower, n - kk)[n - kk])
+        upper, merge_groups = _merged_upper_bounds(
+            shards, summaries, lower, lo, hi, tau, bins=summary_bins
+        )
         candidates = np.flatnonzero(upper >= tau).astype(np.intp)
 
         # -- phase 2: exact cross-partition scores for the survivors -------
@@ -426,14 +677,7 @@ def execute_partitioned(
         total = lower.copy()
         refined = np.zeros(0, dtype=np.intp)
         if len(shards) > 1:
-            exchange = _Exchanger(
-                view,
-                pool,
-                None if pool is not None else prepared_shards,
-                lo,
-                hi,
-                shm_metas,
-            )
+            exchange = _Exchanger(view, pool, provider, lo, hi, shm_metas)
             # τ refinement: exactly score the highest-upper-bound head
             # first; the k-th best of those *actual* scores is a sound —
             # and usually far tighter — lower bound on the global k-th.
@@ -441,8 +685,8 @@ def execute_partitioned(
             # broadcast per shard instead of burning a pool round.
             head = min(candidates.size, max(4 * kk, _MIN_REFINE_HEAD))
             if head >= kk and head < candidates.size:
-                order = np.argsort(-upper[candidates], kind="stable")
-                refined = candidates[order[:head]]
+                by_upper = np.argsort(-upper[candidates], kind="stable")
+                refined = candidates[by_upper[:head]]
                 _refine_in_parent(view, refined, lo, hi, total)
                 refined_tau = int(np.partition(total[refined], head - kk)[head - kk])
                 if refined_tau > tau:
@@ -455,13 +699,25 @@ def execute_partitioned(
     finally:
         # Segments the phase-1 workers exported on our behalf: the pool
         # outlives this query (it is the shared session pool), so the
-        # names must go now, success or not.
+        # names must go now, success or not. Spill metas carry no "name";
+        # their files belong to the store and persist across queries.
         for meta in shm_metas.values():
-            unlink_shared(meta["name"])
+            if "name" in meta:
+                unlink_shared(meta["name"])
 
     eligible = np.zeros(n, dtype=bool)
     eligible[candidates] = True
     eligible[refined] = True  # exactly scored either way; keeps ties honest
+    if perm is not None:
+        # Scatter concat-space scores back to dataset rows so selection
+        # tie-breaks on the *dataset* row index, same as the monolithic
+        # engine (non-eligible rows carry lower bounds; the mask hides them).
+        scattered = np.zeros_like(total)
+        scattered[perm] = total
+        total = scattered
+        scattered_mask = np.zeros(n, dtype=bool)
+        scattered_mask[perm[np.flatnonzero(eligible)]] = True
+        eligible = scattered_mask
     selection = select_top_k(total, kk, tie_break=tie_break, rng=rng, eligible=eligible)
     survivors = int(eligible.sum())
 
@@ -480,6 +736,9 @@ def execute_partitioned(
         survival=float(survivors) / max(n, 1),
         phase1_seconds=phase1_seconds,
         phase2_seconds=phase2_seconds,
+        merge="tree" if merge_groups else "flat",
+        merge_groups=merge_groups,
+        spill=spill,
     )
     return TKDResult.from_selection(
         dataset,
@@ -489,6 +748,62 @@ def execute_partitioned(
         algorithm="partitioned",
         stats=stats,
     )
+
+
+def _merged_upper_bounds(
+    shards: "list[PartitionShard]",
+    summaries: "list[ShardSummary]",
+    lower: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    tau: int,
+    *,
+    bins: int = _SUMMARY_BINS,
+):
+    """Global upper bounds from the shard summaries (flat or tree merge).
+
+    Returns ``(upper, groups)`` in concatenation space. At ``P`` shards
+    the flat merge probes every summary for every position — ``O(P·n)``
+    summary lookups. Past :data:`_TREE_MERGE_MIN_SHARDS` a two-level
+    tree takes over: pass 1 probes only ``G ≈ √P`` *group* summaries
+    (built over contiguous shard runs straight from the sentinel block)
+    for a sound envelope ``Σ_g UB_g ≥ score``; pass 2 descends into the
+    per-shard summaries only for the envelope's τ-survivors — typically
+    a few percent of ``n`` — so total work is ``O(√P·n + P·survivors)``.
+    ``groups`` is 0 on the flat path.
+    """
+    n = lower.shape[0]
+    if len(shards) <= _TREE_MERGE_MIN_SHARDS:
+        upper = lower.copy()
+        for shard, summary in zip(shards, summaries):
+            ub = summary.upper_bound_counts(lo, hi)
+            upper += ub
+            upper[shard.start : shard.stop] -= ub[shard.start : shard.stop]
+        return upper, 0
+
+    group_count = max(2, int(round(len(shards) ** 0.5)))
+    step = -(-len(shards) // group_count)
+    envelope = np.zeros(n, dtype=np.int64)
+    groups = 0
+    for g0 in range(0, len(shards), step):
+        run = shards[g0 : g0 + step]
+        gs, ge = run[0].start, run[-1].stop
+        group_summary = ShardSummary.from_bounds(lo[gs:ge], hi[gs:ge], bins=bins)
+        envelope += group_summary.upper_bound_counts(lo, hi)
+        groups += 1
+    # The envelope bounds the *full* score (own-shard contribution
+    # included), so it is directly comparable with τ.
+    cand = np.flatnonzero(envelope >= tau).astype(np.intp)
+    if cand.size:
+        probe_lo, probe_hi = lo[cand], hi[cand]
+        tight = lower[cand].astype(np.int64, copy=True)
+        for shard, summary in zip(shards, summaries):
+            ub = summary.upper_bound_counts(probe_lo, probe_hi)
+            inside = (cand >= shard.start) & (cand < shard.stop)
+            ub[inside] = 0  # own-shard part is already exact in `lower`
+            tight += ub
+        envelope[cand] = np.minimum(envelope[cand], tight)
+    return envelope, groups
 
 
 def _refine_in_parent(
@@ -519,6 +834,49 @@ def _shard_prepared(engine, shard: PartitionShard) -> PreparedDataset:
     if engine is not None:
         return engine.prepare_dataset(shard.dataset)
     return PreparedDataset(shard.dataset)
+
+
+def _spill_prepared(store, fingerprint: str, dataset) -> "tuple[PreparedDataset, int]":
+    """Attach a shard's tables from its spill file, building it on a miss.
+
+    Build → spill → reattach keeps the hot copy file-backed: dropping
+    the attachment returns clean pages to the OS with no write-back.
+    Falls back to the anonymous RAM build if the spill write fails
+    (disk full), so out-of-core mode degrades rather than erroring.
+    """
+    spilled = store.get_shard_tables(fingerprint)
+    if spilled is None:
+        built = PreparedDataset(dataset)
+        built.warm()
+        try:
+            spilled = store.put_shard_tables(fingerprint, built)
+        except OSError:
+            return built, built.nbytes
+        del built
+    return spilled.prepared(), spilled.nbytes
+
+
+def _attach_spilled(engine, store, shard: PartitionShard, budget: int) -> PreparedDataset:
+    """Resident-set entry point: the shard's mmap-backed PreparedDataset.
+
+    Attachments are LRU-managed by the engine cache's resident-set
+    manager under *budget* bytes; evicting one just drops the mapping
+    (the spill file stays), so a re-attach is a page-cache hit, not a
+    rebuild.
+    """
+    if engine is not None:
+        cache = engine.dataset_cache
+    else:
+        from .session import _shared_dataset_cache
+
+        cache = _shared_dataset_cache
+    fingerprint = shard.fingerprint()
+    dataset = shard.dataset
+    return cache.attach_spilled(
+        fingerprint,
+        lambda: _spill_prepared(store, fingerprint, dataset),
+        max_resident_bytes=budget,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -560,7 +918,9 @@ def _cleanup_exported() -> None:  # pragma: no cover - crash net
     _EXPORTED_NAMES.clear()
 
 
-def _shard_payload(shard: PartitionShard, store_dir: str | None, bins: int) -> tuple:
+def _shard_payload(
+    shard: PartitionShard, store_dir: str | None, bins: int, spill: bool = False
+) -> tuple:
     dataset = shard.dataset
     return (
         shard.fingerprint(),
@@ -568,6 +928,7 @@ def _shard_payload(shard: PartitionShard, store_dir: str | None, bins: int) -> t
         dataset.directions,
         store_dir,
         bins,
+        spill,
     )
 
 
@@ -577,14 +938,27 @@ def _phase1_worker(payload: tuple):
     Besides the phase-1 answer, the worker exports its freshly prepared
     structures into a shared-memory segment (``owner=False``: the parent
     adopts cleanup by name) so phase-2 tasks landing on *other* workers
-    attach zero-copy instead of re-preparing the shard.
+    attach zero-copy instead of re-preparing the shard. In spill mode
+    the store's spill file *is* the shared medium: the worker builds and
+    spills the shard, then serves (and advertises, via a spill meta) the
+    mmap attachment instead of an anonymous shm segment.
     """
     import atexit
 
     from ..core.dataset import IncompleteDataset
 
-    fingerprint, values, directions, store_dir, bins = payload
+    fingerprint, values, directions, store_dir, bins, spill = payload
     dataset = IncompleteDataset(values, directions=directions)
+    if spill and store_dir:
+        from .store import PersistentStore
+
+        store = PersistentStore(store_dir)
+        prepared, _ = _spill_prepared(store, fingerprint, dataset)
+        local = dominated_counts(dataset, prepared=prepared).astype(np.int64, copy=False)
+        summary = ShardSummary.build(dataset, bins=bins)
+        _cache_worker_shard(fingerprint, prepared)
+        spilled = store.get_shard_tables(fingerprint)
+        return local, summary, spilled.meta() if spilled is not None else None
     prepared = None
     if store_dir:
         from .store import PersistentStore
@@ -619,34 +993,48 @@ def _phase2_worker(payload: tuple) -> np.ndarray:
     fingerprint, values, directions, probe_lo, probe_hi, shm_meta = payload
     prepared = _WORKER_SHARDS.get(fingerprint)
     if prepared is None and shm_meta is not None:
-        try:
-            handle = SharedTables.attach(shm_meta)
-        except (OSError, ValueError):
-            handle = None  # segment gone; rebuild locally below
-        if handle is not None:
-            prepared = handle.prepared()
-            _cache_worker_shard(fingerprint, prepared, handle)
+        if shm_meta.get("kind") == "spill":
+            from .store import SpilledTables
+
+            try:
+                prepared = SpilledTables.from_meta(shm_meta).prepared()
+            except (OSError, ValueError, KeyError):
+                prepared = None  # spill file gone; rebuild locally below
+            if prepared is not None:
+                _cache_worker_shard(fingerprint, prepared)
+        else:
+            try:
+                handle = SharedTables.attach(shm_meta)
+            except (OSError, ValueError):
+                handle = None  # segment gone; rebuild locally below
+            if handle is not None:
+                prepared = handle.prepared()
+                _cache_worker_shard(fingerprint, prepared, handle)
     if prepared is None:
         prepared = PreparedDataset(IncompleteDataset(values, directions=directions))
         _cache_worker_shard(fingerprint, prepared)
     return prepared.foreign_dominated_counts(probe_lo, probe_hi)
 
 
-def _phase1_parallel(view: PartitionedDataset, engine, pool_size: int, bins: int):
+def _phase1_parallel(
+    view: PartitionedDataset, engine, pool_size: int, bins: int, spill_store=None
+):
     """Fan phase 1 out over the shared session pool.
 
     Returns ``(locals, summaries, pool, shm_metas)`` — the pool stays
     open for phase 2 (and for the next query: it is the process-global
     :func:`repro.engine.session._process_pool`), and ``shm_metas`` maps
-    shard fingerprints to the shared-memory segments the workers
-    exported, whose cleanup the caller now owns.
+    shard fingerprints to the transfer handles the workers exported:
+    shared-memory metas (whose cleanup the caller now owns) or, in
+    spill mode, store-owned spill-file metas (nothing to clean up).
     """
     from .session import _process_pool
 
-    store = getattr(engine, "store", None)
+    spill = spill_store is not None
+    store = spill_store if spill else getattr(engine, "store", None)
     store_dir = str(store.directory) if store is not None else None
     pool = _process_pool(pool_size)
-    payloads = [_shard_payload(shard, store_dir, bins) for shard in view.shards]
+    payloads = [_shard_payload(shard, store_dir, bins, spill) for shard in view.shards]
     results = list(pool.map(_phase1_worker, payloads))
     shm_metas = {
         shard.fingerprint(): r[2]
@@ -660,10 +1048,14 @@ class _Exchanger:
     """One phase-2 exchange surface serving both τ refinement and the
     final candidate exchange (in-process or over the phase-1 pool)."""
 
-    def __init__(self, view, pool, prepared_shards, lo, hi, shm_metas=None) -> None:
+    def __init__(self, view, pool, provider, lo, hi, shm_metas=None) -> None:
         self._view = view
         self._pool = pool
-        self._prepared = prepared_shards
+        #: ``shard -> PreparedDataset`` callable — a list lookup on the
+        #: resident path, the resident-set attach in spill mode. Holding
+        #: a callable instead of the prepared list keeps this object
+        #: from pinning every shard's tables in RAM at once.
+        self._provider = provider
         self._lo = lo
         self._hi = hi
         self._shm_metas = shm_metas or {}
@@ -674,9 +1066,10 @@ class _Exchanger:
             return
         lo, hi = self._lo, self._hi
         if self._pool is None:
-            for shard, prepared in zip(self._view.shards, self._prepared):
+            for shard in self._view.shards:
                 foreign = rows[(rows < shard.start) | (rows >= shard.stop)]
                 if foreign.size:
+                    prepared = self._provider(shard)
                     total[foreign] += prepared.foreign_dominated_counts(
                         lo[foreign], hi[foreign]
                     )

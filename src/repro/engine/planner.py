@@ -636,14 +636,23 @@ class PartitionPlan:
     survival: float
     #: One-line human-readable justification.
     reason: str = ""
+    #: True when the plan expects out-of-core execution: the shards'
+    #: table footprint exceeds the memory budget, so tables spill to
+    #: memory-mapped store files under a resident-set budget.
+    spill: bool = False
+    #: Estimated total prepared-table bytes across all shards.
+    table_bytes: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"partition plan: {self.action} (P={self.partitions}, W={self.workers}) — "
             f"partitioned {self.estimated_seconds * 1e3:.1f}ms vs "
             f"monolithic {self.monolithic_seconds * 1e3:.1f}ms, "
             f"est. survival {self.survival:.0%} ({self.reason})"
         )
+        if self.spill:
+            text += f" [out-of-core: ~{self.table_bytes / 1e6:.0f}MB of shard tables spill]"
+        return text
 
 
 def estimate_survival(n: int, k: int, missing_rate: float, partitions: int) -> float:
@@ -720,6 +729,7 @@ def plan_partitioned(
     *,
     partitions: int | None = None,
     workers: int | None = None,
+    memory_budget: int | None = None,
 ) -> PartitionPlan:
     """Price partitioned vs. monolithic execution for one query.
 
@@ -727,14 +737,30 @@ def plan_partitioned(
     still executes a forced ``partitions=P`` request either way — the
     plan is what ``partitions="auto"`` consults). Otherwise a small
     ladder of worker-aligned candidates is searched.
+
+    *memory_budget* adds the out-of-core dimension: when the monolithic
+    tables alone would exceed it, partitioning is forced (the monolithic
+    engine cannot run at all) and the shard count is doubled until one
+    shard's tables fit in ``budget/8`` — so a resident set of at least
+    ~8 shard tables cycles under the budget while the rest stay spilled
+    on disk. ``plan.spill`` reports whether execution will go
+    out-of-core at the chosen P.
     """
     if n <= 0 or d <= 0:
         raise InvalidParameterError(f"need n >= 1 and d >= 1, got n={n} d={d}")
     workers = max(int(workers), 1) if workers is not None else max(os.cpu_count() or 1, 1)
     monolithic = min(estimate_costs(n, d, missing_rate, k).values())
 
+    budget = None if memory_budget is None else max(int(memory_budget), 1)
+    budget_forces = budget is not None and _bitset_table_bytes(n, d) > budget
     if partitions is not None:
         ladder = [max(int(partitions), 1)]
+    elif budget_forces:
+        per_shard_target = max(budget // 8, 1)
+        p = max(workers, 2)
+        while p < n and _bitset_table_bytes(math.ceil(n / p), d) > per_shard_target:
+            p *= 2
+        ladder = [min(p, n)]
     else:
         ladder = sorted({workers, 2 * workers, 4}) if workers > 1 else [4]
     best_p, best = None, None
@@ -746,7 +772,15 @@ def plan_partitioned(
         if best is None or costs["total"] < best["total"]:
             best_p, best = p, costs
 
-    if best["total"] < monolithic:
+    table_bytes = best_p * _bitset_table_bytes(math.ceil(n / best_p), d)
+    spill = budget is not None and table_bytes > budget
+    if budget_forces:
+        action = "partition"
+        reason = (
+            f"monolithic tables (~{_bitset_table_bytes(n, d) / 1e9:.1f}GB) exceed "
+            f"the {budget / 1e6:.0f}MB memory budget — out-of-core is the only route"
+        )
+    elif best["total"] < monolithic:
         action = "partition"
         reason = f"sharded bounds repay the exchange at n={n}, d={d}, k={k}"
     else:
@@ -761,6 +795,85 @@ def plan_partitioned(
         estimated_seconds=best["total"],
         monolithic_seconds=monolithic,
         survival=best["survival"],
+        reason=reason,
+        spill=spill,
+        table_bytes=int(table_bytes),
+    )
+
+
+#: A partitioned view whose max/mean shard-size ratio exceeds this is
+#: worth rebalancing: skewed shards stretch phase-1 wall clock (the
+#: largest shard gates every barrier) and loosen its summary bounds.
+_REBALANCE_IMBALANCE = 1.5
+
+
+@dataclass(frozen=True)
+class RepartitionPlan:
+    """Outcome of pricing a shard rebalance against observed imbalance."""
+
+    #: ``"rebalance"`` (splice shards back to even sizes) or ``"keep"``.
+    action: str
+    #: Shard count the rebalance would produce.
+    partitions: int
+    #: Observed max/mean shard-size ratio.
+    imbalance: float
+    #: Trigger threshold the observation was compared against.
+    threshold: float
+    #: Modelled seconds of executing the rebalance splices.
+    estimated_seconds: float
+    #: One-line human-readable justification.
+    reason: str = ""
+
+    def summary(self) -> str:
+        return (
+            f"repartition plan: {self.action} (P={self.partitions}) — "
+            f"imbalance {self.imbalance:.2f} vs threshold {self.threshold:.2f}, "
+            f"est. {self.estimated_seconds * 1e3:.1f}ms ({self.reason})"
+        )
+
+
+def plan_repartition(
+    sizes,
+    d: int,
+    *,
+    partitions: int | None = None,
+    threshold: float = _REBALANCE_IMBALANCE,
+) -> RepartitionPlan:
+    """Decide whether a partitioned view's shards should be rebalanced.
+
+    *sizes* are the live row counts per shard. The plan prices the
+    moved-row volume (each row leaving its shard pays a delete splice
+    there and an insert splice in its destination) and triggers when the
+    observed ``max/mean`` ratio exceeds *threshold* — the signal
+    ``QueryEngine.stats.partition_imbalance`` exposes. The rebalance
+    itself is executed as delta splices by
+    ``PartitionedDataset.rebalance`` and is bit-identical before/after.
+    """
+    sizes = [int(s) for s in sizes]
+    if not sizes or min(sizes) < 0:
+        raise InvalidParameterError(f"shard sizes must be non-negative, got {sizes}")
+    cal = calibration()
+    total = sum(sizes)
+    count = len(sizes) if partitions is None else max(int(partitions), 1)
+    mean = total / max(len(sizes), 1)
+    imbalance = max(sizes) / mean if mean > 0 else 1.0
+    target = total / max(count, 1)
+    moved = sum(abs(s - target) for s in sizes) / 2.0
+    # Each moved row pays two splices plus its share of the table work.
+    estimated = cal.vec * moved * d * 40.0 + cal.step * 50.0 * count
+    if len(sizes) < 2 or count < 2:
+        action, reason = "keep", "a single shard cannot be rebalanced"
+    elif imbalance <= threshold:
+        action, reason = "keep", "shard sizes are within the skew threshold"
+    else:
+        action = "rebalance"
+        reason = f"skew {imbalance:.2f} gates phase-1 on the largest shard"
+    return RepartitionPlan(
+        action=action,
+        partitions=count,
+        imbalance=float(imbalance),
+        threshold=float(threshold),
+        estimated_seconds=float(estimated),
         reason=reason,
     )
 

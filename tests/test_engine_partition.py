@@ -91,15 +91,22 @@ class TestPartitionedDataset:
         assert child_view.shards[2].dataset is view.shards[2].dataset
         child_view.validate()
 
-    def test_inserts_route_to_the_last_shard(self):
+    def test_inserts_route_to_the_least_loaded_shard(self):
         ds = random_dataset(30, seed=6)
         view = PartitionedDataset(ds, 3)
         delta = DatasetDelta.inserting(ds, [[1, 2, 3, 4], [4, 3, 2, 1]])
         child_view, advanced = view.apply_delta(delta)
+        # Equal sizes: the tie breaks to the lowest shard index.
         assert len(advanced) == 1
-        assert advanced[0][0] is view.shards[-1].dataset
-        assert child_view.sizes == (10, 10, 12)
+        assert advanced[0][0] is view.shards[0].dataset
+        assert child_view.sizes == (12, 10, 10)
         child_view.validate()
+        # The next insert lands on whichever shard is now smallest.
+        second = DatasetDelta.inserting(child_view.dataset, [[2, 2, 2, 2]])
+        grandchild, advanced2 = child_view.apply_delta(second)
+        assert advanced2[0][0] is child_view.shards[1].dataset
+        assert grandchild.sizes == (12, 11, 10)
+        grandchild.validate()
 
     def test_emptied_shard_is_dropped(self):
         ds = random_dataset(9, seed=7)
