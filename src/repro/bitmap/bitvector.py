@@ -194,6 +194,10 @@ class BitVector:
         """Population count (number of set bits)."""
         if not self._bits.size:
             return 0
+        # The bitmap layer sits below the engine; routing this cold,
+        # whole-vector popcount through engine/backend.py would invert the
+        # layering for no hot-loop win.
+        # repro-lint: disable=REP005 -- bitmap layer is below the backend
         return int(np.bitwise_count(self._bits).sum())
 
     def any(self) -> bool:

@@ -18,7 +18,7 @@ structural invariant and is exercised by the property-based test-suite.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator
 
 from ..errors import InvalidParameterError

@@ -23,7 +23,6 @@ from typing import Sequence
 
 import numpy as np
 
-from ..bitmap.bitvector import BitVector
 from ..bitmap.index import BitmapIndex
 from ..skyband.buckets import BucketIndex
 from .base import TKDAlgorithm

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..errors import InvalidParameterError
 from .dataset import IncompleteDataset

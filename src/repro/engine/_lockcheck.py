@@ -1,0 +1,202 @@
+"""Opt-in runtime lock-order detector (``REPRO_LOCK_CHECK=1``).
+
+The static pass (``tools/repro_lint`` REP002) proves lock-order
+consistency for every call path it can resolve; this module is the
+dynamic complement for the paths it cannot (callbacks, duck-typed
+receivers, user code driving the engine directly).  When the environment
+variable ``REPRO_LOCK_CHECK`` is truthy at lock-creation time, every
+engine lock is a :class:`CheckedRLock` that
+
+* keeps a per-thread stack of currently-held lock names with the
+  acquisition call site of each,
+* records every observed nesting ``A -> B`` in a process-wide order
+  graph, and raises :class:`LockOrderError` the first time some thread
+  nests ``B -> A`` after another nested ``A -> B`` (a latent deadlock —
+  both witness stacks are in the message), and
+* flags a fork while the *forking thread* holds a checked lock (the
+  child would inherit a locked mutex with no owner thread to ever
+  release it).  CPython runs ``os.register_at_fork`` before-hooks with
+  exceptions ignored, so the fork itself cannot be aborted; instead the
+  violation is recorded and :class:`LockForkError` is raised when the
+  offending ``with`` block exits — attributing the failure to the exact
+  lock scope that spanned the fork (``fork_violations()`` exposes the
+  record for tooling).
+
+Same-name nesting is reentrant and never recorded: instance locks share
+their domain name (every ``PreparedDatasetCache`` lock is ``cache``), so
+domain-internal reentrancy stays legal exactly as it is with RLocks.
+
+Off by default: ``make_lock`` returns a plain ``threading.RLock`` /
+``threading.Lock`` unless the flag is set, so production paths pay
+nothing.  The tier-1 CI leg runs the whole suite with the flag on.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+
+__all__ = [
+    "CheckedRLock",
+    "LockOrderError",
+    "LockForkError",
+    "enabled",
+    "make_lock",
+    "reset_order_state",
+    "held_locks",
+    "fork_violations",
+]
+
+
+class LockOrderError(RuntimeError):
+    """Two threads nested the same pair of locks in opposite orders."""
+
+
+class LockForkError(RuntimeError):
+    """The process forked while the forking thread held a checked lock."""
+
+
+def enabled() -> bool:
+    return os.environ.get("REPRO_LOCK_CHECK", "").strip().lower() in {"1", "true", "on", "yes"}
+
+
+_tls = threading.local()
+
+# (first, second) -> witness call-site string for the first observed nesting
+_edges: dict[tuple[str, str], str] = {}
+_edges_lock = threading.Lock()
+
+# fork-while-holding records: {"lock": name, "site": acquisition stack}
+_fork_violations: list[dict] = []
+
+
+def _held_stack() -> list[dict]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def held_locks() -> list[str]:
+    """Names of checked locks the calling thread currently holds."""
+    return [entry["name"] for entry in _held_stack()]
+
+
+def fork_violations() -> list[dict]:
+    """Recorded locks-held-across-fork events (name + acquisition site)."""
+    return list(_fork_violations)
+
+
+def reset_order_state() -> None:
+    """Forget all recorded nesting edges and fork violations (test isolation)."""
+    with _edges_lock:
+        _edges.clear()
+    del _fork_violations[:]
+
+
+def _call_site(skip: int = 3) -> str:
+    # a short stack excluding this module's frames — enough to identify
+    # the acquisition site in an error message without debug tooling
+    frames = traceback.format_stack()[:-skip]
+    return "".join(frames[-4:])
+
+
+def _note_nesting(outer: str, inner: str, site: str) -> None:
+    if outer == inner:
+        return
+    with _edges_lock:
+        reverse = _edges.get((inner, outer))
+        if reverse is not None:
+            raise LockOrderError(
+                f"lock-order inversion: acquiring '{inner}' while holding "
+                f"'{outer}', but the opposite nesting '{inner}' -> '{outer}' "
+                f"was already observed.\n--- this acquisition ---\n{site}"
+                f"--- prior opposite nesting ---\n{reverse}"
+            )
+        _edges.setdefault((outer, inner), site)
+
+
+class CheckedRLock:
+    """Reentrant (or plain) lock that enforces a global acquisition order."""
+
+    def __init__(self, name: str, *, reentrant: bool = True):
+        self.name = name
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CheckedRLock {self.name!r} {self._lock!r}>"
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        held = _held_stack()
+        if self.name not in (entry["name"] for entry in held):
+            site = _call_site()
+            for entry in list(held):
+                _note_nesting(entry["name"], self.name, site)
+        else:
+            site = "<reentrant>"
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            held.append({"name": self.name, "site": site, "forked": False})
+        return got
+
+    def release(self) -> None:
+        held = _held_stack()
+        entry = None
+        for i in range(len(held) - 1, -1, -1):
+            if held[i]["name"] == self.name:
+                entry = held.pop(i)
+                break
+        self._lock.release()
+        if entry is not None and entry["forked"]:
+            # raised *after* the underlying release so nothing stays stuck
+            raise LockForkError(
+                f"process forked while this thread held checked lock "
+                f"'{self.name}': the child inherited a mutex no thread can "
+                f"release.\n--- acquisition site ---\n{entry['site']}"
+            )
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def _before_fork() -> None:
+    # Runs in the forking thread.  CPython ignores exceptions raised here
+    # (fork proceeds regardless), so only record: release() of each marked
+    # entry raises LockForkError in the parent's offending with-block.
+    for entry in _held_stack():
+        entry["forked"] = True
+        _fork_violations.append({"lock": entry["name"], "site": entry["site"]})
+
+
+def _after_fork_child() -> None:
+    # The child's only thread is the forking one: give it fresh detector
+    # state so an inherited mark or a peer thread's held _edges_lock
+    # cannot wedge or mis-blame the child.
+    global _edges_lock
+    _edges_lock = threading.Lock()
+    for entry in _held_stack():
+        entry["forked"] = False
+
+
+_fork_hook_installed = False
+
+
+def _install_fork_hook() -> None:
+    global _fork_hook_installed
+    if _fork_hook_installed or not hasattr(os, "register_at_fork"):
+        return
+    os.register_at_fork(before=_before_fork, after_in_child=_after_fork_child)
+    _fork_hook_installed = True
+
+
+def make_lock(name: str, *, reentrant: bool = True):
+    """A named engine lock: checked when REPRO_LOCK_CHECK is set, plain otherwise."""
+    if enabled():
+        _install_fork_hook()
+        return CheckedRLock(name, reentrant=reentrant)
+    return threading.RLock() if reentrant else threading.Lock()

@@ -49,7 +49,6 @@ import os
 import subprocess
 import sys
 import tempfile
-import threading
 import time
 from contextlib import contextmanager
 from multiprocessing import shared_memory
@@ -57,6 +56,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ._lockcheck import make_lock
 
 try:  # CPython's POSIX shared-memory primitive (always present on Linux).
     import _posixshmem
@@ -255,7 +255,7 @@ API void repro_moved_rank_row(const uint64_t *table, int64_t rows, int64_t w,
 _native_lib: ctypes.CDLL | None = None
 _native_error: str | None = None
 _native_attempted = False
-_native_lock = threading.RLock()
+_native_lock = make_lock("native-build")
 
 
 def _compiler() -> str | None:
@@ -281,8 +281,13 @@ def _compile_native() -> tuple[ctypes.CDLL | None, str | None]:
     cc = _compiler()
     if cc is None:
         return None, "no C compiler found (cc/gcc/clang)"
+    # Extra flags hook — the sanitizer CI leg injects e.g.
+    # "-fsanitize=address,undefined -fno-sanitize-recover=all -g" here.
+    # The flags participate in the cache key so a sanitized .so can never
+    # be served to (or poison) a normal run, and vice versa.
+    extra_flags = os.environ.get("REPRO_NATIVE_CFLAGS", "").split()
     key = hashlib.sha256(
-        (_C_SOURCE + cc + sys.platform).encode()
+        (_C_SOURCE + cc + sys.platform + " ".join(extra_flags)).encode()
     ).hexdigest()[:16]
     cache = _cache_dir()
     lib_path = os.path.join(cache, f"kernels-{key}.so")
@@ -294,7 +299,9 @@ def _compile_native() -> tuple[ctypes.CDLL | None, str | None]:
                 with open(src, "w") as fh:
                     fh.write(_C_SOURCE)
                 out = os.path.join(tmp, "kernels.so")
-                base = [cc, "-O3", "-fPIC", "-shared", "-std=c99", src, "-o", out]
+                base = [cc, "-O3", "-fPIC", "-shared", "-std=c99"]
+                base += extra_flags
+                base += [src, "-o", out]
                 tuned = base[:1] + ["-march=native"] + base[1:]
                 result = subprocess.run(tuned, capture_output=True, text=True)
                 if result.returncode != 0:
@@ -589,7 +596,7 @@ class NativeBackend(KernelBackend):
 _BACKEND_ENV = "REPRO_BACKEND"
 _MIN_AUTO_SPEEDUP = 1.05
 
-_registry_lock = threading.RLock()
+_registry_lock = make_lock("backend-registry")
 _numpy_backend = NumpyBackend()
 _native_backend: NativeBackend | None = None
 _active_backend: KernelBackend | None = None
@@ -746,7 +753,7 @@ _SHM_PREFIX = "reproshm"
 _SHM_ALIGN = 64
 _shm_counter = itertools.count()
 _segments: dict[str, "_Segment"] = {}
-_segments_lock = threading.RLock()
+_segments_lock = make_lock("shm-registry")
 
 
 class _Segment:

@@ -51,13 +51,13 @@ default-session shim (:func:`_shared_prepared`).
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ._lockcheck import make_lock
 from .backend import get_backend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -660,7 +660,7 @@ class PreparedDataset:
         self._tail_mask: np.ndarray | None = None
         #: Guards the lazy builds: concurrent threads must not duplicate
         #: an O(d·n²/64) table build (or observe a half-written entry).
-        self._build_lock = threading.Lock()
+        self._build_lock = make_lock("prepared", reentrant=False)
         #: Accumulated seconds spent building this entry (sentinels plus
         #: any lazy structures) — the *rebuild cost* the session cache's
         #: cost-aware eviction weighs against the entry's bytes.
@@ -1056,7 +1056,7 @@ class PreparedDataset:
         child._tables = None if self._tables is None else self._tables.shallow()
         child._observed_bits = None
         child._tail_mask = None
-        child._build_lock = threading.Lock()
+        child._build_lock = make_lock("prepared", reentrant=False)
         child.build_seconds = self.build_seconds
         return child
 
@@ -1158,7 +1158,7 @@ class PreparedDataset:
             prepared._tables = tables
         prepared._observed_bits = None
         prepared._tail_mask = None
-        prepared._build_lock = threading.Lock()
+        prepared._build_lock = make_lock("prepared", reentrant=False)
         prepared.build_seconds = float(np.asarray(state["build_seconds"])[0])
         return prepared
 

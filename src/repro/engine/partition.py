@@ -66,13 +66,13 @@ own fingerprint key.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import InvalidParameterError
 from .backend import SharedTables, unlink_shared
-from .kernels import PreparedDataset, SentinelDelta, _bounds, dominated_counts
+from .kernels import PreparedDataset, _bounds, dominated_counts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.dataset import IncompleteDataset

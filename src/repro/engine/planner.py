@@ -43,7 +43,6 @@ from __future__ import annotations
 import inspect
 import math
 import os
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
@@ -51,6 +50,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ._lockcheck import make_lock
 from .kernels import _BITSET_TABLE_BUDGET_BYTES, _bitset_table_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -121,8 +121,8 @@ class Calibration:
     vec: float = _VEC_DEFAULT
     step: float = _STEP_DEFAULT
     source: str = "default"
-    bias: dict = field(default_factory=dict)
-    backends: dict = field(default_factory=dict)
+    bias: dict[str, float] = field(default_factory=dict)
+    backends: dict[str, float] = field(default_factory=dict)
 
     def biased(self, algorithm: str, seconds: float) -> float:
         return seconds * self.bias.get(algorithm, 1.0)
@@ -133,7 +133,7 @@ _calibration: Calibration | None = None
 #: Guards the process-wide calibration singleton and its ``bias`` dict —
 #: ``record_observation`` is fed from every planned query, including from
 #: concurrent server threads sharing one process.
-_calibration_lock = threading.RLock()
+_calibration_lock = make_lock("planner")
 
 
 def _measure_vec() -> float:
@@ -371,14 +371,14 @@ def estimate_costs(
     *,
     prepared: Sequence[str] = (),
     repeats: int = 1,
-) -> dict:
+) -> dict[str, float]:
     """Modelled query cost (seconds) of each plannable algorithm."""
     if n <= 0 or d <= 0:
         raise InvalidParameterError(f"need n >= 1 and d >= 1, got n={n} d={d}")
     if not 0.0 <= missing_rate <= 1.0:
         raise InvalidParameterError(f"missing_rate must lie in [0, 1], got {missing_rate}")
     repeats = max(int(repeats), 1)
-    prepared = frozenset(prepared)
+    prepared_set = frozenset(prepared)
     cal = calibration()
     # Vectorised-kernel terms scale with the active kernel backend: a
     # native backend measured S× faster than numpy divides every `vec`
@@ -395,7 +395,7 @@ def estimate_costs(
 
     # UBB: MaxScore queue build (unless prepared), then per-object exact
     # scores down the queue until Heuristic 1 fires.
-    ubb_prep = 0.0 if "ubb" in prepared else (vec * n * d * max(math.log2(n), 1.0)) / repeats
+    ubb_prep = 0.0 if "ubb" in prepared_set else (vec * n * d * max(math.log2(n), 1.0)) / repeats
     costs["ubb"] = ubb_prep + scanned * (step + vec * n * d)
 
     # BIG: bitmap index build is ~one pass per distinct value per dimension
@@ -404,7 +404,7 @@ def estimate_costs(
     effective_cardinality = min(n, 160)
     big_prep = (
         0.0
-        if "big" in prepared
+        if "big" in prepared_set
         else (vec * n * d * effective_cardinality * 0.5) / repeats
     )
     costs["big"] = big_prep + scanned * step * _BIG_STEP_FACTOR + scanned * vec * n * 0.1
@@ -437,7 +437,7 @@ def plan_query(
     missing_rate = dataset.missing_rate
     costs = estimate_costs(n, d, missing_rate, k, prepared=prepared, repeats=repeats)
 
-    algorithm = min(costs, key=costs.get)
+    algorithm = min(costs, key=costs.__getitem__)
     options: dict = {}
     if algorithm == "ubb":
         # Blocked exact scoring amortises the per-object kernel dispatch.
@@ -519,7 +519,7 @@ def estimate_delta_costs(
     changed_dims: int | None = None,
     tombstones: int = 0,
     tables_ready: bool = True,
-) -> dict:
+) -> dict[str, float]:
     """Modelled seconds for patching vs rebuilding one version's tables.
 
     ``changed_dims`` is the number of dimensions an average update
@@ -678,7 +678,7 @@ def estimate_partition_costs(
     *,
     partitions: int,
     workers: int = 1,
-) -> dict:
+) -> dict[str, float]:
     """Modelled seconds of the two-phase protocol at one ``(P, W)`` point."""
     if partitions < 1:
         raise InvalidParameterError(f"partitions must be >= 1, got {partitions}")
@@ -752,18 +752,23 @@ def plan_partitioned(
     monolithic = min(estimate_costs(n, d, missing_rate, k).values())
 
     budget = None if memory_budget is None else max(int(memory_budget), 1)
-    budget_forces = budget is not None and _bitset_table_bytes(n, d) > budget
+    # Non-None exactly when the budget *forces* partitioning (the
+    # monolithic tables alone would not fit).
+    forced_budget = (
+        budget if budget is not None and _bitset_table_bytes(n, d) > budget else None
+    )
     if partitions is not None:
         ladder = [max(int(partitions), 1)]
-    elif budget_forces:
-        per_shard_target = max(budget // 8, 1)
+    elif forced_budget is not None:
+        per_shard_target = max(forced_budget // 8, 1)
         p = max(workers, 2)
         while p < n and _bitset_table_bytes(math.ceil(n / p), d) > per_shard_target:
             p *= 2
         ladder = [min(p, n)]
     else:
         ladder = sorted({workers, 2 * workers, 4}) if workers > 1 else [4]
-    best_p, best = None, None
+    best_p: int | None = None
+    best: dict[str, float] | None = None
     for p in ladder:
         p = min(max(p, 1), n)
         costs = estimate_partition_costs(
@@ -771,14 +776,15 @@ def plan_partitioned(
         )
         if best is None or costs["total"] < best["total"]:
             best_p, best = p, costs
+    assert best_p is not None and best is not None  # ladder is never empty
 
     table_bytes = best_p * _bitset_table_bytes(math.ceil(n / best_p), d)
     spill = budget is not None and table_bytes > budget
-    if budget_forces:
+    if forced_budget is not None:
         action = "partition"
         reason = (
             f"monolithic tables (~{_bitset_table_bytes(n, d) / 1e9:.1f}GB) exceed "
-            f"the {budget / 1e6:.0f}MB memory budget — out-of-core is the only route"
+            f"the {forced_budget / 1e6:.0f}MB memory budget — out-of-core is the only route"
         )
     elif best["total"] < monolithic:
         action = "partition"
@@ -833,7 +839,7 @@ class RepartitionPlan:
 
 
 def plan_repartition(
-    sizes,
+    sizes: Sequence[float],
     d: int,
     *,
     partitions: int | None = None,

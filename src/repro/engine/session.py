@@ -61,7 +61,6 @@ from __future__ import annotations
 
 import atexit
 import os
-import threading
 import time
 import weakref
 from collections import OrderedDict
@@ -74,6 +73,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ._lockcheck import make_lock
 from .backend import SharedTables, select_backend
 from .kernels import (
     PreparedDataset,
@@ -370,7 +370,7 @@ class PreparedDatasetCache:
         #: and clean, so "evict" means "drop the mapping", never
         #: "recompute the tables" (see :meth:`attach_spilled`).
         self._resident: OrderedDict[str, tuple[PreparedDataset, int]] = OrderedDict()
-        self._lock = threading.RLock()
+        self._lock = make_lock("cache")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -498,8 +498,9 @@ class PreparedDatasetCache:
 
     @property
     def resident_hit_rate(self) -> float:
-        touches = self.resident_hits + self.resident_misses
-        return self.resident_hits / touches if touches else 0.0
+        with self._lock:
+            touches = self.resident_hits + self.resident_misses
+            return self.resident_hits / touches if touches else 0.0
 
     def drop_spilled(self) -> None:
         """Release every mapped spilled-shard entry (counters kept)."""
@@ -533,10 +534,11 @@ class PreparedDatasetCache:
             self.resident_evictions = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"<PreparedDatasetCache entries={len(self._data)} "
-            f"bytes={self.total_bytes}/{self.max_bytes}>"
-        )
+        with self._lock:
+            return (
+                f"<PreparedDatasetCache entries={len(self._data)} "
+                f"bytes={self.total_bytes}/{self.max_bytes}>"
+            )
 
 
 #: Cap on the shared process pool: pool workers are heavyweight (numpy
@@ -545,7 +547,7 @@ _POOL_MAX_WORKERS = 8
 
 _pool: ProcessPoolExecutor | None = None
 _pool_size = 0
-_pool_lock = threading.Lock()
+_pool_lock = make_lock("pool", reentrant=False)
 
 
 def _process_pool(workers: int) -> ProcessPoolExecutor:
@@ -668,7 +670,7 @@ class QueryEngine:
         #: Partitioned views per dataset fingerprint, advanced by deltas.
         self._partitioned = _LRU(8)
         self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
-        self._lock = threading.RLock()
+        self._lock = make_lock("engine")
         #: Store writes buffered while a batch is in flight (query_many
         #: flushes them in one lock + atomic rewrite instead of N).
         self._store_pending: list[dict] = []
@@ -1613,10 +1615,11 @@ class QueryEngine:
             self._store.save_planner(calibration_state())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"<QueryEngine prepared={len(self._prepared)}/{self._prepared.capacity} "
-            f"results={len(self._results)}/{self._results.capacity}>"
-        )
+        with self._lock:
+            return (
+                f"<QueryEngine prepared={len(self._prepared)}/{self._prepared.capacity} "
+                f"results={len(self._results)}/{self._results.capacity}>"
+            )
 
 
 def _score_rebates(parent, parent_prepared, delta) -> np.ndarray:

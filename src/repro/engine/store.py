@@ -57,6 +57,7 @@ from dataclasses import dataclass, fields as dataclass_fields
 from pathlib import Path
 
 from ..errors import InvalidParameterError
+from ._lockcheck import make_lock
 
 try:  # POSIX advisory locking; absent e.g. on Windows.
     import fcntl
@@ -341,7 +342,7 @@ class PersistentStore:
         self.max_prepared_bytes = int(max_prepared_bytes)
         self.max_shard_bytes = int(max_shard_bytes)
         self.stats = StoreStats()
-        self._lock = threading.RLock()
+        self._lock = make_lock("store")
         self._version = _package_version()
         #: (stat signature, entries dict) of the last results.json parse.
         self._cached: tuple[tuple, dict] | None = None
@@ -575,6 +576,9 @@ class PersistentStore:
                     "delta": str(delta_digest),
                     "ops": dict(ops or {}),
                     "payload": dict(payload) if payload else None,
+                    # Wall-clock here is eviction/bookkeeping metadata only;
+                    # it is never hashed into a fingerprint or lineage key.
+                    # repro-lint: disable=REP006 -- timestamp is metadata, not identity
                     "created": time.time(),
                 }
             )

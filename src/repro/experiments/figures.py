@@ -20,7 +20,6 @@ import time
 from ..bitmap.binned import BinnedBitmapIndex
 from ..bitmap.compression import compress_index
 from ..bitmap.index import BitmapIndex
-from ..core.big import BIGTKD
 from ..core.complete import complete_tkd
 from ..core.ibig import IBIGTKD
 from ..core.maxscore import max_scores, maxscore_queue

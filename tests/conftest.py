@@ -14,9 +14,15 @@ session fixtures:
 from __future__ import annotations
 
 import os
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
+
+# The repro_lint tooling package lives outside src/ (it lints the source
+# tree, it is not shipped with it); make it importable for its own tests.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
 
 from _paper_fixtures import FIG2_ROWS, FIG3_ROWS, MOVIE_ROWS
 from repro.core.dataset import IncompleteDataset

@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import available_algorithms, top_k_dominating
+from repro import top_k_dominating
 from repro.core.dataset import IncompleteDataset
 from repro.core.score import score_all, score_one
 

@@ -7,7 +7,6 @@ counters, early termination, index handling, and edge cases.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bitmap.binned import BinnedBitmapIndex

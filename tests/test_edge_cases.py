@@ -10,7 +10,6 @@ domains…).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import available_algorithms, top_k_dominating
 from repro.core.dataset import IncompleteDataset

@@ -37,7 +37,6 @@ from repro.engine.backend import (
 )
 from repro.engine.kernels import (
     PreparedDataset,
-    _BitsetTables,
     dominated_counts,
     dominated_masks,
     dominator_counts,

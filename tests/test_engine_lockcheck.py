@@ -1,0 +1,193 @@
+"""Runtime lock-order detector (``REPRO_LOCK_CHECK=1``) behaviour."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.engine import _lockcheck
+from repro.engine._lockcheck import (
+    CheckedRLock,
+    LockForkError,
+    LockOrderError,
+    held_locks,
+    make_lock,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _fresh_order_state():
+    _lockcheck.reset_order_state()
+    yield
+    _lockcheck.reset_order_state()
+
+
+def test_make_lock_is_plain_when_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_LOCK_CHECK", raising=False)
+    lock = make_lock("cache")
+    assert not isinstance(lock, CheckedRLock)
+    with lock:
+        pass
+
+
+def test_make_lock_is_checked_when_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_LOCK_CHECK", "1")
+    lock = make_lock("cache")
+    assert isinstance(lock, CheckedRLock)
+    with lock:
+        assert held_locks() == ["cache"]
+    assert held_locks() == []
+
+
+def test_consistent_nesting_is_silent():
+    a, b = CheckedRLock("engine"), CheckedRLock("cache")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+
+
+def test_inversion_raises_with_both_witnesses():
+    a, b = CheckedRLock("engine"), CheckedRLock("cache")
+    with a:
+        with b:
+            pass
+    with pytest.raises(LockOrderError) as excinfo:
+        with b:
+            with a:
+                pass
+    message = str(excinfo.value)
+    assert "engine" in message and "cache" in message
+    assert "this acquisition" in message and "prior opposite nesting" in message
+
+
+def test_inversion_detected_across_threads():
+    a, b = CheckedRLock("engine"), CheckedRLock("store")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    t = threading.Thread(target=forward)
+    t.start()
+    t.join()
+
+    with pytest.raises(LockOrderError):
+        with b:
+            with a:
+                pass
+
+
+def test_reentrant_same_name_is_legal():
+    a = CheckedRLock("engine")
+    with a:
+        with a:
+            assert held_locks() == ["engine", "engine"]
+
+
+def test_instance_locks_share_their_domain_name():
+    # two caches: nesting one cache inside another is reentrancy by
+    # domain, not an order edge — mirrors the static REP002 model
+    c1, c2 = CheckedRLock("cache"), CheckedRLock("cache")
+    with c1:
+        with c2:
+            pass
+    with c2:
+        with c1:
+            pass  # no inversion: same domain
+
+
+def test_non_reentrant_flavor():
+    lock = CheckedRLock("prepared", reentrant=False)
+    assert lock.acquire(blocking=False)
+    assert not lock._lock.acquire(blocking=False)
+    lock.release()
+
+
+def test_fork_guard_flags_only_while_holding():
+    a = CheckedRLock("engine")
+    _lockcheck._before_fork()  # nothing held: a no-op
+    assert _lockcheck.fork_violations() == []
+    with pytest.raises(LockForkError) as excinfo:
+        with a:
+            _lockcheck._before_fork()  # fork spans this with-block
+    assert "engine" in str(excinfo.value)
+    assert [v["lock"] for v in _lockcheck.fork_violations()] == ["engine"]
+    with a:  # the mark does not survive the raise
+        pass
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="POSIX fork only")
+def test_real_fork_while_holding_checked_lock_raises():
+    # exceptions from before-fork hooks are ignored by CPython, so the
+    # violation surfaces when the offending with-block exits in the parent
+    code = """
+import os, sys
+sys.path.insert(0, "src")
+os.environ["REPRO_LOCK_CHECK"] = "1"
+from repro.engine._lockcheck import make_lock, LockForkError
+lock = make_lock("engine")
+try:
+    with lock:
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+except LockForkError:
+    print("CAUGHT")
+    sys.exit(0)
+print("NOT-CAUGHT")
+sys.exit(1)
+"""
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "CAUGHT" in result.stdout
+
+
+def test_engine_locks_are_checked_under_env():
+    """With REPRO_LOCK_CHECK=1, the wired engine locks all become
+    CheckedRLock domains and a real query workload stays inversion-free."""
+    code = """
+import os, sys
+sys.path.insert(0, "src")
+os.environ["REPRO_LOCK_CHECK"] = "1"
+from repro.engine._lockcheck import CheckedRLock
+from repro.engine.session import QueryEngine, PreparedDatasetCache
+from repro.engine import planner, backend
+from repro.core.dataset import IncompleteDataset
+
+engine = QueryEngine()
+assert isinstance(engine._lock, CheckedRLock) and engine._lock.name == "engine"
+cache = PreparedDatasetCache()
+assert isinstance(cache._lock, CheckedRLock) and cache._lock.name == "cache"
+assert isinstance(planner._calibration_lock, CheckedRLock)
+assert isinstance(backend._segments_lock, CheckedRLock)
+
+rows = [[float(i + j) if (i * 7 + j) % 5 else None for j in range(3)] for i in range(40)]
+ds = IncompleteDataset.from_rows(rows)
+r1 = engine.query(ds, k=5)
+r2 = engine.query(ds, k=5)
+assert r1.indices == r2.indices
+print("OK")
+"""
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK" in result.stdout

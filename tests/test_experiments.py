@@ -8,7 +8,6 @@ trend, heuristic accounting, Jaccard threshold).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.figures import (

@@ -1,0 +1,119 @@
+"""Native-build failure paths: graceful numpy fallback, no ``.so`` litter.
+
+The backend caches its compile attempt process-globally, so every
+scenario runs in a fresh subprocess with the failure injected through the
+environment *before* import — exactly how a user's broken toolchain would
+present.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _run(code: str, env_extra: dict) -> dict:
+    env = {
+        "PATH": "/usr/bin:/bin",
+        "PYTHONPATH": "src",
+        "HOME": env_extra.pop("HOME", "/tmp"),
+        **env_extra,
+    }
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+PROBE = """
+import json
+from repro.engine import backend
+from repro.core.dataset import IncompleteDataset
+from repro.engine.session import QueryEngine
+
+engine = QueryEngine()
+rows = [[float(i + j) if (i * 7 + j) % 5 else None for j in range(3)] for i in range(30)]
+ds = IncompleteDataset.from_rows(rows)
+result = engine.query(ds, k=5)
+print(json.dumps({
+    "available": backend.native_available(),
+    "error": backend.native_build_error(),
+    "active": type(backend.get_backend()).__name__,
+    "indices": result.indices,
+}))
+"""
+
+
+def test_broken_compiler_falls_back_to_numpy(tmp_path):
+    cache = tmp_path / "native-cache"
+    out = _run(PROBE, {"CC": "/bin/false", "REPRO_NATIVE_CACHE": str(cache)})
+    assert out["available"] is False
+    assert out["error"]  # populated, not None/empty
+    assert out["active"] == "NumpyBackend"
+    # no .so litter from the failed attempt
+    assert not list(cache.rglob("*.so")) if cache.exists() else True
+
+
+def test_unwritable_cache_dir_falls_back_to_numpy():
+    out = _run(PROBE, {"REPRO_NATIVE_CACHE": "/proc/disabled-native-cache"})
+    assert out["available"] is False
+    assert out["error"]
+    assert out["active"] == "NumpyBackend"
+
+
+def test_fallback_answers_match_working_backend(tmp_path):
+    broken = _run(PROBE, {"CC": "/bin/false", "REPRO_NATIVE_CACHE": str(tmp_path / "a")})
+    working = _run(PROBE, {"REPRO_NATIVE_CACHE": str(tmp_path / "b")})
+    assert broken["indices"] == working["indices"]
+
+
+def test_explicit_native_request_fails_loudly_with_build_error(tmp_path):
+    code = """
+import json
+from repro.engine import backend
+from repro.errors import InvalidParameterError
+try:
+    backend.select_backend("native")
+    outcome = "selected"
+except InvalidParameterError as exc:
+    outcome = str(exc)
+print(json.dumps({"outcome": outcome}))
+"""
+    out = _run(
+        code,
+        {
+            "CC": "/bin/false",
+            "REPRO_NATIVE_CACHE": str(tmp_path / "cache"),
+        },
+    )
+    assert "native backend unavailable" in out["outcome"]
+
+
+def test_sanitizer_cflags_key_the_build_cache(tmp_path):
+    """REPRO_NATIVE_CFLAGS participates in the cache key: a flagged build
+    lands in a different .so than a plain one and both compile."""
+    cache = tmp_path / "cache"
+    code = """
+import json, os
+from repro.engine import backend
+lib, err = backend._compile_native()
+print(json.dumps({"ok": lib is not None, "err": err}))
+"""
+    plain = _run(code, {"REPRO_NATIVE_CACHE": str(cache)})
+    flagged = _run(
+        code,
+        {"REPRO_NATIVE_CACHE": str(cache), "REPRO_NATIVE_CFLAGS": "-g -O1"},
+    )
+    assert plain["ok"] and flagged["ok"], (plain, flagged)
+    sos = list(cache.glob("*.so"))
+    assert len(sos) == 2, sos

@@ -9,7 +9,6 @@ reproduction has.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bitmap.index import BitmapIndex

@@ -7,7 +7,6 @@ invariants of the dominance relation.
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.dataset import IncompleteDataset
 from repro.core.naive import naive_tkd
 from repro.core.score import score_all
 from repro.core.streaming import StreamingTKD

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import available_algorithms, top_k_dominating
+from repro import top_k_dominating
 from repro.core.result import TKDResult
 from repro.core.validate import verify_result
 from repro.errors import InvalidParameterError

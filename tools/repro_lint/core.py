@@ -1,0 +1,189 @@
+"""Framework: file discovery, parsing, suppression handling, rule registry.
+
+A *rule* is a callable ``(SourceFile) -> list[Finding]`` (per-file) or a
+*project rule* ``(list[SourceFile]) -> list[Finding]`` (whole-program —
+the lock-order call graph and the ctypes prototype cross-check).
+
+Suppression syntax (justification mandatory)::
+
+    expr()  # repro-lint: disable=REP005 -- bitmap layer sits below backend
+
+A directive with no ``-- justification`` is itself a finding (REP000) and
+suppresses nothing.  A directive suppresses matching findings on its own
+line and on the line directly below it (standalone-comment form).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from . import config
+
+SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:--\s*(\S.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+
+@dataclass
+class SourceFile:
+    path: str                      # as reported in findings (posix, repo-relative when possible)
+    text: str
+    tree: ast.AST
+    parts: tuple[str, ...] = ()    # path components, for scoping
+
+    @property
+    def basename(self) -> str:
+        return self.parts[-1] if self.parts else self.path
+
+    @classmethod
+    def from_text(cls, text: str, path: str) -> "SourceFile":
+        tree = ast.parse(text, filename=path)
+        return cls(path=path, text=text, tree=tree, parts=tuple(Path(path).parts))
+
+
+@dataclass
+class LintRun:
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+
+# Populated by rules.py / lockorder.py / ctypes_check.py at import time.
+RULES: dict[str, dict] = {}
+
+
+def register_rule(code: str, summary: str, *, per_file=None, project=None):
+    RULES[code] = {"summary": summary, "per_file": per_file, "project": project}
+
+
+def _iter_python_files(paths) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file() and p.suffix == ".py":
+            files.append(p)
+        elif p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if any(part in config.SKIP_DIR_NAMES for part in f.parts):
+                    continue
+                files.append(f)
+    return files
+
+
+def _suppressions(text: str) -> tuple[dict[int, set[str]], list[tuple[int, str]]]:
+    """Per-line suppressed codes, plus (line, directive) pairs missing a reason."""
+    by_line: dict[int, set[str]] = {}
+    missing: list[tuple[int, str]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
+        if not m.group(2):
+            missing.append((lineno, ",".join(sorted(codes))))
+            continue
+        by_line.setdefault(lineno, set()).update(codes)
+        # standalone-comment form also covers the next line
+        by_line.setdefault(lineno + 1, set()).update(codes)
+    return by_line, missing
+
+
+def _apply_suppressions(findings: list[Finding], sources: dict[str, SourceFile]) -> list[Finding]:
+    out: list[Finding] = []
+    seen_missing: set[tuple[str, int]] = set()
+    for sf in sources.values():
+        by_line, missing = _suppressions(sf.text)
+        sf._suppress_by_line = by_line  # type: ignore[attr-defined]
+        for lineno, codes in missing:
+            key = (sf.path, lineno)
+            if key not in seen_missing:
+                seen_missing.add(key)
+                out.append(
+                    Finding(
+                        "REP000",
+                        f"suppression of {codes} has no '-- justification'; "
+                        "every disable needs a reason",
+                        sf.path,
+                        lineno,
+                    )
+                )
+    for f in findings:
+        sf = sources.get(f.path)
+        codes = getattr(sf, "_suppress_by_line", {}).get(f.line, set()) if sf else set()
+        if f.code in codes or "all" in codes:
+            continue
+        out.append(f)
+    return out
+
+
+def _select(findings, selected: set[str] | None):
+    if not selected:
+        return findings
+    return [f for f in findings if f.code in selected or f.code == "REP000"]
+
+
+def run_rules(sources: list[SourceFile], selected: set[str] | None = None) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in sources:
+        for code, rule in RULES.items():
+            if selected and code not in selected:
+                continue
+            if rule["per_file"] is not None:
+                findings.extend(rule["per_file"](sf))
+    for code, rule in RULES.items():
+        if selected and code not in selected:
+            continue
+        if rule["project"] is not None:
+            findings.extend(rule["project"](sources))
+    findings = _apply_suppressions(findings, {sf.path: sf for sf in sources})
+    findings = _select(findings, selected)
+    return sorted(set(findings), key=Finding.sort_key)
+
+
+def lint_paths(paths, selected: set[str] | None = None) -> LintRun:
+    # import for side effect: rule registration
+    from . import rules, lockorder, ctypes_check  # noqa: F401
+
+    sources: list[SourceFile] = []
+    findings: list[Finding] = []
+    for fp in _iter_python_files(paths):
+        text = fp.read_text(encoding="utf-8")
+        rel = fp.as_posix()
+        try:
+            sources.append(SourceFile.from_text(text, rel))
+        except SyntaxError as exc:
+            findings.append(
+                Finding("PARSE", f"syntax error: {exc.msg}", rel, exc.lineno or 1)
+            )
+    findings.extend(run_rules(sources, selected))
+    return LintRun(findings=sorted(set(findings), key=Finding.sort_key), files_scanned=len(sources))
+
+
+def lint_source(text: str, path: str = "snippet.py", selected: set[str] | None = None) -> list[Finding]:
+    """Lint an in-memory snippet — the fixture-test entry point.
+
+    ``path`` participates in rule scoping exactly as an on-disk path
+    would, so fixtures can opt into engine-scoped rules by choosing e.g.
+    ``src/repro/engine/session.py``.
+    """
+    from . import rules, lockorder, ctypes_check  # noqa: F401
+
+    sf = SourceFile.from_text(text, path)
+    return run_rules([sf], selected)

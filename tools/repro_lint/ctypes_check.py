@@ -1,0 +1,254 @@
+"""REP007 — ctypes declarations must match the embedded C99 prototypes.
+
+``engine/backend.py`` carries its kernel source as a string
+(``_C_SOURCE``) and declares each exported function's ``argtypes`` /
+``restype`` by hand.  ctypes performs no checking of its own: an arity or
+width mismatch is silent stack/heap corruption at call time.  This
+checker parses every ``API``-exported C signature out of the embedded
+source, resolves the ctypes alias assignments in the same file
+(``c_i32, c_i64, c_vp = ctypes.c_int32, ...``; ``c_vpp =
+ctypes.POINTER(c_vp)``), and cross-checks, per function:
+
+* the ``argtypes`` declaration exists and has the C arity;
+* each position is ABI-compatible (``int64_t``<->``c_int64``,
+  ``int32_t``<->``c_int32``, any single pointer<->``c_void_p`` or a
+  ``POINTER(...)``, pointer-to-pointer<->``POINTER(c_void_p)``);
+* ``restype`` is declared, and is ``None`` exactly for ``void``;
+* no ``argtypes`` declaration exists for a function absent from the C
+  source (drift in the other direction).
+
+``embedded_source_sha()`` exposes the sha256 of the embedded source so CI
+can key the sanitizer-built ``.so`` cache on it.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from pathlib import Path
+
+from .core import Finding, SourceFile, register_rule
+
+C_SIG_RE = re.compile(
+    r"\bAPI\s+([A-Za-z_][A-Za-z0-9_ \t]*?)\s+([A-Za-z_]\w*)\s*\(([^)]*)\)",
+    re.S,
+)
+
+DEFAULT_BACKEND = Path("src/repro/engine/backend.py")
+
+
+# ----- C side --------------------------------------------------------------
+
+def _c_param_category(decl: str) -> str:
+    stars = decl.count("*")
+    toks = [t for t in re.split(r"[\s*]+", decl) if t and t not in {"const", "restrict"}]
+    # drop the trailing parameter name when present (>= 2 remaining tokens)
+    base = toks[0] if len(toks) == 1 else " ".join(toks[:-1])
+    if stars >= 2:
+        return "pp"
+    if stars == 1:
+        return "p"
+    if "int64" in base:
+        return "i64"
+    if "int32" in base:
+        return "i32"
+    return f"?{base}"
+
+
+def parse_c_signatures(c_source: str) -> dict[str, dict]:
+    sigs: dict[str, dict] = {}
+    for m in C_SIG_RE.finditer(c_source):
+        ret, name, params = m.group(1).strip(), m.group(2), m.group(3).strip()
+        if params in {"", "void"}:
+            args: list[str] = []
+        else:
+            args = [_c_param_category(p.strip()) for p in params.split(",")]
+        sigs[name] = {"ret": ret, "args": args}
+    return sigs
+
+
+# ----- Python side ---------------------------------------------------------
+
+def _resolve_ctype(expr: ast.AST, env: dict[str, str]) -> str:
+    """Canonical category for a ctypes expression.
+
+    Categories: ``i32``/``i64`` (exact ints), ``p`` (``c_void_p``),
+    ``ptr:<base>`` (``POINTER(base)``), ``?<detail>`` (unrecognised).
+    """
+    if isinstance(expr, ast.Attribute):
+        leaf = expr.attr
+        if leaf == "c_int32":
+            return "i32"
+        if leaf == "c_int64":
+            return "i64"
+        if leaf == "c_void_p":
+            return "p"
+        return f"?ctypes.{leaf}"
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id, f"?name:{expr.id}")
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        fname = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if fname == "POINTER" and expr.args:
+            return "ptr:" + _resolve_ctype(expr.args[0], env)
+        return f"?call:{fname}"
+    return "?expr"
+
+
+def _compatible(c_cat: str, py_cat: str) -> bool:
+    if c_cat == "pp":
+        return py_cat in {"ptr:p", "p"} or py_cat.startswith("ptr:ptr:")
+    if c_cat == "p":
+        return py_cat == "p" or (py_cat.startswith("ptr:") and not py_cat.startswith("ptr:ptr:"))
+    return c_cat == py_cat
+
+
+def extract_declarations(sf: SourceFile) -> tuple[str | None, dict[str, dict]]:
+    """(embedded C source or None, {func: {'argtypes': [...], 'argtypes_line': n,
+    'restype': 'none'|category, 'restype_line': n}})."""
+    c_source: str | None = None
+    env: dict[str, str] = {}
+    decls: dict[str, dict] = {}
+
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        # _C_SOURCE = r"""..."""
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "_C_SOURCE"
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            c_source = node.value.value
+            continue
+        # alias assignments: a, b = ctypes.x, ctypes.y   /   a = POINTER(b)
+        targets = node.targets[0]
+        if isinstance(targets, ast.Tuple) and isinstance(node.value, ast.Tuple):
+            if len(targets.elts) == len(node.value.elts):
+                for t, v in zip(targets.elts, node.value.elts):
+                    if isinstance(t, ast.Name):
+                        env[t.id] = _resolve_ctype(v, env)
+            continue
+        if isinstance(targets, ast.Name):
+            cat = _resolve_ctype(node.value, env)
+            if not cat.startswith("?") or cat.startswith("?ctypes."):
+                env[targets.id] = cat
+        # lib.<fn>.argtypes = (...) / lib.<fn>.restype = ...
+        if (
+            isinstance(targets, ast.Attribute)
+            and isinstance(targets.value, ast.Attribute)
+            and targets.attr in {"argtypes", "restype"}
+        ):
+            fn = targets.value.attr
+            entry = decls.setdefault(fn, {})
+            if targets.attr == "argtypes":
+                elts = node.value.elts if isinstance(node.value, (ast.Tuple, ast.List)) else None
+                entry["argtypes"] = (
+                    [_resolve_ctype(e, env) for e in elts] if elts is not None else None
+                )
+                entry["argtypes_line"] = node.lineno
+            else:
+                if isinstance(node.value, ast.Constant) and node.value.value is None:
+                    entry["restype"] = "none"
+                else:
+                    entry["restype"] = _resolve_ctype(node.value, env)
+                entry["restype_line"] = node.lineno
+    return c_source, decls
+
+
+# ----- The rule ------------------------------------------------------------
+
+def check_ctypes_prototypes(sf: SourceFile) -> list[Finding]:
+    c_source, decls = extract_declarations(sf)
+    if c_source is None:
+        return []
+    findings: list[Finding] = []
+    sigs = parse_c_signatures(c_source)
+
+    def emit(line, msg):
+        findings.append(Finding("REP007", msg, sf.path, line))
+
+    for name, sig in sorted(sigs.items()):
+        decl = decls.get(name)
+        if decl is None or decl.get("argtypes") is None:
+            emit(1, f"C function '{name}' has no argtypes declaration")
+            continue
+        py_args = decl["argtypes"]
+        line = decl.get("argtypes_line", 1)
+        if len(py_args) != len(sig["args"]):
+            emit(
+                line,
+                f"'{name}' argtypes arity {len(py_args)} != C arity {len(sig['args'])}",
+            )
+        else:
+            for i, (c_cat, py_cat) in enumerate(zip(sig["args"], py_args)):
+                if not _compatible(c_cat, py_cat):
+                    emit(
+                        line,
+                        f"'{name}' arg {i}: C '{c_cat}' incompatible with ctypes '{py_cat}'",
+                    )
+        if "restype" not in decl:
+            emit(line, f"'{name}' has no restype declaration (defaults to c_int)")
+        elif sig["ret"] == "void" and decl["restype"] != "none":
+            emit(
+                decl.get("restype_line", line),
+                f"'{name}' returns void but restype is '{decl['restype']}', not None",
+            )
+        elif sig["ret"] != "void" and decl["restype"] == "none":
+            emit(
+                decl.get("restype_line", line),
+                f"'{name}' returns '{sig['ret']}' but restype is None",
+            )
+    for name, decl in sorted(decls.items()):
+        if name not in sigs:
+            emit(
+                decl.get("argtypes_line", decl.get("restype_line", 1)),
+                f"ctypes declaration for '{name}' has no matching API function "
+                "in the embedded C source",
+            )
+    return findings
+
+
+def verified_declarations(path: Path | str = DEFAULT_BACKEND) -> list[dict]:
+    """Per-function verification summary (for tests and ``--ctypes-report``)."""
+    p = Path(path)
+    sf = SourceFile.from_text(p.read_text(encoding="utf-8"), p.as_posix())
+    c_source, decls = extract_declarations(sf)
+    if c_source is None:
+        return []
+    sigs = parse_c_signatures(c_source)
+    out = []
+    for name, sig in sorted(sigs.items()):
+        decl = decls.get(name, {})
+        out.append(
+            {
+                "function": name,
+                "c_args": sig["args"],
+                "py_args": decl.get("argtypes"),
+                "restype_checked": "restype" in decl,
+                # each argument position plus the restype is one checked declaration
+                "declarations": len(sig["args"]) + 1,
+            }
+        )
+    return out
+
+
+def embedded_source_sha(path: Path | str = DEFAULT_BACKEND) -> str:
+    p = Path(path)
+    sf = SourceFile.from_text(p.read_text(encoding="utf-8"), p.as_posix())
+    c_source, _ = extract_declarations(sf)
+    if c_source is None:
+        raise ValueError(f"no _C_SOURCE found in {p}")
+    return hashlib.sha256(c_source.encode()).hexdigest()
+
+
+register_rule(
+    "REP007",
+    "ctypes argtypes/restype out of sync with the embedded C prototypes",
+    per_file=check_ctypes_prototypes,
+)

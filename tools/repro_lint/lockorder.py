@@ -1,0 +1,280 @@
+"""REP002 — static lock-order consistency over the engine call graph.
+
+Every lock in the engine belongs to a named *domain* (``config``).  This
+pass builds a conservative call graph across all scanned files, computes
+for each function the transitive closure of domains it may acquire, and
+records an order edge ``A -> B`` whenever code holding a lock of domain A
+acquires (directly, or via any resolvable call) a lock of domain B.  A
+cycle in the resulting domain graph means two code paths nest the same
+pair of locks in opposite orders — the classic deadlock PR 3 fixed by
+hand in the cache/store interplay.
+
+Call resolution is heuristic (name-based) and *over*-approximates: a
+spurious edge can only make the checker stricter, never let a real
+inversion through.  Resolution rules: ``self.m()`` -> method of the
+enclosing class; ``name()`` -> same-file function, else a unique
+module-level function of that name anywhere in the scan set;
+``ClassName()`` -> ``ClassName.__init__``; ``mod.f()`` -> function ``f``
+in the scanned file ``mod.py``; ``x.m()`` where ``x`` ends with a
+configured receiver hint (``...store``, ``...cache``, ``...prepared``,
+``...engine``) -> that class's method ``m`` if it exists.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+
+from . import config
+from .core import Finding, SourceFile, register_rule
+from .rules import _attr_chain, _FUNC_NODES, _SCOPE_NODES
+
+
+def _receiver_class(name: str) -> str | None:
+    leaf = name.rsplit(".", 1)[-1].lstrip("_")
+    for suffix, cls in config.RECEIVER_CLASS_HINTS:
+        if leaf == suffix or leaf.endswith("_" + suffix) or leaf.endswith(suffix):
+            return cls
+    return None
+
+
+class _Index:
+    """Symbol tables over the scanned files."""
+
+    def __init__(self, sources: list[SourceFile]):
+        self.functions: dict[tuple[str, str], ast.AST] = {}   # (file, func) -> node
+        self.by_name: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        self.methods: dict[tuple[str, str], tuple[str, str]] = {}  # (class, method) -> key
+        self.classes: set[str] = set()
+        self.by_module: dict[str, str] = {}                    # module stem -> file
+        self.enclosing_class: dict[tuple[str, str], str | None] = {}
+
+        for sf in sources:
+            stem = sf.basename[:-3] if sf.basename.endswith(".py") else sf.basename
+            self.by_module.setdefault(stem, sf.path)
+            for node in sf.tree.body:
+                if isinstance(node, _FUNC_NODES):
+                    key = (sf.path, node.name)
+                    self.functions[key] = node
+                    self.by_name[node.name].append(key)
+                    self.enclosing_class[key] = None
+                elif isinstance(node, ast.ClassDef):
+                    self.classes.add(node.name)
+                    for item in node.body:
+                        if isinstance(item, _FUNC_NODES):
+                            key = (sf.path, f"{node.name}.{item.name}")
+                            self.functions[key] = item
+                            self.methods[(node.name, item.name)] = key
+                            self.enclosing_class[key] = node.name
+
+
+def _acquired_domain(expr: ast.AST, enclosing_class: str | None) -> str | None:
+    """Domain acquired by a with-item context expression, if any."""
+    # with self._lock / with self._build_lock / with x._lock
+    node = expr
+    if isinstance(node, ast.Call):
+        # with self._locked(...) / with store._locked(...)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            recv = _attr_chain(func.value)
+            if recv == "self" and enclosing_class:
+                methods = config.SELF_LOCK_METHODS.get(enclosing_class, {})
+                if func.attr in methods:
+                    return methods[func.attr]
+            else:
+                cls = _receiver_class(recv) if recv else None
+                if cls:
+                    methods = config.SELF_LOCK_METHODS.get(cls, {})
+                    if func.attr in methods:
+                        return methods[func.attr]
+        return None
+    if isinstance(node, ast.Attribute):
+        attr = node.attr
+        recv = _attr_chain(node.value)
+        if attr in config.SELF_LOCK_ATTRS:
+            fixed = config.SELF_LOCK_ATTRS[attr]
+            if fixed is not None:
+                return fixed
+            if recv == "self" and enclosing_class:
+                return config.SELF_LOCK_DOMAINS.get(enclosing_class)
+            cls = _receiver_class(recv) if recv else None
+            if cls:
+                return config.SELF_LOCK_DOMAINS.get(cls)
+            return None
+        if attr in config.MODULE_LOCK_DOMAINS:
+            return config.MODULE_LOCK_DOMAINS[attr]
+        return None
+    if isinstance(node, ast.Name) and node.id in config.MODULE_LOCK_DOMAINS:
+        return config.MODULE_LOCK_DOMAINS[node.id]
+    return None
+
+
+def _resolve_call(call: ast.Call, sf: SourceFile, enclosing_class: str | None, index: _Index):
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        key = (sf.path, name)
+        if key in index.functions:
+            return key
+        if name in index.classes and (name, "__init__") in index.methods:
+            return index.methods[(name, "__init__")]
+        candidates = index.by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+    if isinstance(func, ast.Attribute):
+        method = func.attr
+        recv = _attr_chain(func.value)
+        if recv in {"self", "cls"} and enclosing_class:
+            return index.methods.get((enclosing_class, method))
+        if recv in index.by_module:
+            key = (index.by_module[recv], method)
+            if key in index.functions:
+                return key
+        if recv in index.classes:
+            return index.methods.get((recv, method))
+        cls = _receiver_class(recv) if recv else None
+        if cls:
+            return index.methods.get((cls, method))
+    return None
+
+
+def _walk_no_nested(node: ast.AST):
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        for child in ast.iter_child_nodes(n):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            yield child
+            stack.append(child)
+
+
+def check_rep002(sources: list[SourceFile]) -> list[Finding]:
+    index = _Index(sources)
+    path_to_sf = {sf.path: sf for sf in sources}
+
+    # per-function: directly acquired domains + resolved callees
+    direct: dict[tuple[str, str], set[str]] = {}
+    callees: dict[tuple[str, str], set[tuple[str, str]]] = {}
+    for key, func in index.functions.items():
+        sf = path_to_sf[key[0]]
+        cls = index.enclosing_class[key]
+        d: set[str] = set()
+        c: set[tuple[str, str]] = set()
+        for node in _walk_no_nested(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    dom = _acquired_domain(item.context_expr, cls)
+                    if dom:
+                        d.add(dom)
+            if isinstance(node, ast.Call):
+                resolved = _resolve_call(node, sf, cls, index)
+                if resolved:
+                    c.add(resolved)
+        direct[key] = d
+        callees[key] = c
+
+    # transitive closure of acquirable domains (fixpoint)
+    acquired = {key: set(doms) for key, doms in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, calls in callees.items():
+            before = len(acquired[key])
+            for callee in calls:
+                acquired[key] |= acquired.get(callee, set())
+            if len(acquired[key]) != before:
+                changed = True
+
+    # order edges with witnesses
+    edges: dict[tuple[str, str], tuple[str, int, str]] = {}
+
+    def record(a: str, b: str, sf: SourceFile, line: int, how: str) -> None:
+        if a != b and (a, b) not in edges:
+            edges[(a, b)] = (sf.path, line, how)
+
+    def scan(node: ast.AST, held: tuple[str, ...], sf: SourceFile, cls: str | None) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            doms = []
+            for item in node.items:
+                dom = _acquired_domain(item.context_expr, cls)
+                if dom:
+                    doms.append(dom)
+                    for h in held:
+                        record(h, dom, sf, node.lineno, f"'{h}' held while acquiring '{dom}'")
+                scan(item.context_expr, held, sf, cls)
+            inner = held + tuple(dom for dom in doms if dom not in held)
+            for stmt in node.body:
+                scan(stmt, inner, sf, cls)
+            return
+        if isinstance(node, _SCOPE_NODES):
+            return
+        if isinstance(node, ast.Call) and held:
+            resolved = _resolve_call(node, sf, cls, index)
+            if resolved:
+                for dom in acquired.get(resolved, ()):  # pragma: no branch
+                    for h in held:
+                        record(
+                            h, dom, sf, node.lineno,
+                            f"'{h}' held across call to {resolved[1]} which may acquire '{dom}'",
+                        )
+        for child in ast.iter_child_nodes(node):
+            scan(child, held, sf, cls)
+
+    for key, func in index.functions.items():
+        sf = path_to_sf[key[0]]
+        cls = index.enclosing_class[key]
+        for stmt in func.body:
+            scan(stmt, (), sf, cls)
+
+    # cycle detection on the domain graph (DFS)
+    graph: dict[str, set[str]] = defaultdict(set)
+    for (a, b) in edges:
+        graph[a].add(b)
+
+    findings: list[Finding] = []
+    reported: set[frozenset] = set()
+
+    def find_cycle_from(start: str) -> list[str] | None:
+        stack = [(start, [start])]
+        seen: set[str] = set()
+        while stack:
+            node, trail = stack.pop()
+            for nxt in graph.get(node, ()):  # pragma: no branch
+                if nxt == start:
+                    return trail + [start]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, trail + [nxt]))
+        return None
+
+    for domain in sorted(graph):
+        cycle = find_cycle_from(domain)
+        if not cycle:
+            continue
+        key = frozenset(cycle)
+        if key in reported:
+            continue
+        reported.add(key)
+        witnesses = []
+        for a, b in zip(cycle, cycle[1:]):
+            path, line, how = edges[(a, b)]
+            witnesses.append(f"{path}:{line} ({how})")
+        findings.append(
+            Finding(
+                "REP002",
+                "lock-order cycle " + " -> ".join(cycle) + "; witnesses: "
+                + "; ".join(witnesses),
+                witnesses and edges[(cycle[0], cycle[1])][0] or "<project>",
+                witnesses and edges[(cycle[0], cycle[1])][1] or 1,
+            )
+        )
+    return findings
+
+
+register_rule(
+    "REP002",
+    "two code paths nest engine locks in opposite orders (latent deadlock)",
+    project=check_rep002,
+)
