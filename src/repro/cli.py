@@ -120,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel backend (default: $REPRO_BACKEND, else auto); backends are "
         "bit-identical — this only changes speed",
     )
+    query.add_argument(
+        "--native-threads",
+        default=None,
+        metavar="N",
+        help="in-process threads for native kernels: a count or 'auto' "
+        "(default: $REPRO_NATIVE_THREADS, else 1); bit-identical at any count",
+    )
 
     stream = commands.add_parser(
         "stream",
@@ -154,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "numpy", "native"),
         help="kernel backend (default: $REPRO_BACKEND, else auto); backends are "
         "bit-identical — this only changes speed",
+    )
+    stream.add_argument(
+        "--native-threads",
+        default=None,
+        metavar="N",
+        help="in-process threads for native kernels: a count or 'auto' "
+        "(default: $REPRO_NATIVE_THREADS, else 1); bit-identical at any count",
     )
 
     info = commands.add_parser("info", help="describe an incomplete CSV dataset")
@@ -219,13 +233,21 @@ def _load_csv(args) -> IncompleteDataset:
 
 
 def _select_backend(args) -> None:
-    """Apply ``--backend`` (process-wide; before any kernel runs)."""
+    """Apply ``--backend`` / ``--native-threads`` (process-wide; before
+    any kernel runs)."""
     if getattr(args, "backend", None) is not None:
         from .engine.backend import select_backend
 
         select_backend(args.backend)
         # Pool workers resolve their backend from the environment.
         os.environ["REPRO_BACKEND"] = args.backend
+    if getattr(args, "native_threads", None) is not None:
+        from .engine.backend import set_native_threads
+
+        set_native_threads(args.native_threads)
+        # Pool workers apply the same thread count when they load the
+        # native library.
+        os.environ["REPRO_NATIVE_THREADS"] = str(args.native_threads)
 
 
 def _cmd_query(args) -> int:

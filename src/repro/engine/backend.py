@@ -18,7 +18,13 @@ registered:
   numpy route silently serves instead. The win is *fusion*: one C pass
   performs the ``2·d`` row gathers, the packed ANDs, the live-mask AND
   and the popcount that numpy executes as separate full-width
-  temporaries.
+  temporaries. The hot kernels are compiled as scalar + SIMD variant
+  families (AVX2/AVX-512 on x86-64, NEON on aarch64) dispatched by
+  runtime CPU-feature detection from one baseline-ISA ``.so``, and can
+  split a pass over an in-process pthread pool
+  (``REPRO_NATIVE_THREADS``, :func:`set_native_threads`) — row blocks
+  write disjoint output ranges, so every route × thread-count
+  combination stays bit-identical.
 
 Both backends are bit-identical by construction (the parity suite in
 ``tests/test_engine_backend.py`` enforces it), so selection —
@@ -70,6 +76,15 @@ __all__ = [
     "available_backends",
     "native_available",
     "native_build_error",
+    "native_build_mode",
+    "simd_routes",
+    "simd_route",
+    "set_simd_route",
+    "use_simd_route",
+    "native_threads",
+    "set_native_threads",
+    "use_native_threads",
+    "set_thread_min_words",
     "select_backend",
     "get_backend",
     "use_backend",
@@ -86,21 +101,60 @@ _DIRECTIONS = {"dominated": 0, "dominator": 1}
 # Embedded native kernels
 # ---------------------------------------------------------------------------
 
-#: The entire native kernel library. Plain C99 + GCC builtins, no headers
-#: beyond the freestanding ones, so any system compiler can build it.
+#: The entire native kernel library. Plain C99 + GCC builtins/intrinsics,
+#: no headers beyond the hosted baseline, so any system compiler can build
+#: it. Each hot kernel is a *family*: a scalar variant that always
+#: compiles, plus AVX2/AVX-512 (x86-64) or NEON (aarch64) variants behind
+#: per-function target attributes, selected at runtime from one .so via
+#: ``__builtin_cpu_supports`` — so the binary is baseline-ISA portable and
+#: the scalar twin is genuinely scalar (the parity reference).
+#: ``-DREPRO_NO_SIMD`` / ``-DREPRO_NO_THREADS`` gate the vector variants
+#: and the pthread pool out for compilers that cannot build them.
 _C_SOURCE = r"""
 #include <stdint.h>
 #include <string.h>
 
-#define API __attribute__((visibility("default")))
+#if !defined(REPRO_NO_THREADS)
+#include <pthread.h>
+#endif
 
+#if !defined(REPRO_NO_SIMD) && defined(__x86_64__)
+#define REPRO_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if !defined(REPRO_NO_SIMD) && defined(__aarch64__)
+#define REPRO_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+#define API __attribute__((visibility("default")))
+#define REPRO_MAX_THREADS 16
+
+/* SIMD route identifiers shared with the Python loader: 0 = scalar,
+ * 1 = AVX2, 2 = AVX-512 (F+BW+VPOPCNTDQ), 3 = NEON.  NEON is baseline
+ * on aarch64, so route 3 is unconditionally supported there. */
+
+/* SWAR popcount: branch-free and ISA-baseline, so the scalar variants
+ * stay honest on CPUs (and builds) without a POPCNT instruction. */
 static inline int64_t popcnt64(uint64_t x) {
-    return (int64_t)__builtin_popcountll(x);
+    x = x - ((x >> 1) & 0x5555555555555555ULL);
+    x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+    x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    return (int64_t)((x * 0x0101010101010101ULL) >> 56);
 }
 
-/* Per-row popcount of a (b, W) uint64 matrix. */
-API void repro_popcount_rows(const uint64_t *words, int64_t b, int64_t w,
-                             int64_t *out) {
+/* ------------------------------------------------------------------ */
+/* popcount_rows variants: per-row popcount of a (b, W) uint64 matrix. */
+/* ------------------------------------------------------------------ */
+
+/* Scalar twins carry no-tree-vectorize: the compiler must not sneak
+ * auto-vectorised SSE2/NEON into the route that forced-scalar parity
+ * legs and old CPUs rely on — which ISA runs is the dispatcher's
+ * decision, not the compiler's, so the scalar reference behaves the
+ * same whatever toolchain produced the .so. */
+__attribute__((optimize("no-tree-vectorize")))
+static void popcount_rows_scalar(const uint64_t *words, int64_t b, int64_t w,
+                                 int64_t *out) {
     for (int64_t i = 0; i < b; ++i) {
         const uint64_t *row = words + i * w;
         int64_t acc = 0;
@@ -110,19 +164,107 @@ API void repro_popcount_rows(const uint64_t *words, int64_t b, int64_t w,
     }
 }
 
-/* Fused accumulator counts: for each query row gather one suffix row and
- * one prefix row per dimension (ranks precomputed by searchsorted), AND
- * them down, combine per direction, AND the live mask, popcount — one
- * pass, no (b, W) temporaries.  mode 0: dominated = le & ~nlt;
- * mode 1: dominator = nlt & ~le. */
-API void repro_fused_counts(const uint64_t **suffix, const uint64_t **prefix,
-                            const int64_t *rank_ge, const int64_t *rank_le,
-                            const uint64_t *restrict live, int64_t b, int64_t d,
-                            int64_t w, int32_t mode, int64_t *restrict out) {
-    if (d <= 0) {
-        for (int64_t i = 0; i < b; ++i) out[i] = 0;
-        return;
+#if defined(REPRO_SIMD_X86)
+
+/* AVX2 has no vector popcount; use the nibble-LUT (pshufb) scheme with
+ * a per-qword horizontal byte sum via SAD. */
+__attribute__((target("avx2")))
+static inline __m256i avx2_popcnt_epi64(__m256i v) {
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    __m256i lo = _mm256_and_si256(v, low);
+    __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+    __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                  _mm256_shuffle_epi8(lut, hi));
+    return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2")))
+static inline int64_t avx2_hsum_epi64(__m256i v) {
+    __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                              _mm256_extracti128_si256(v, 1));
+    return (int64_t)(_mm_cvtsi128_si64(s) + _mm_extract_epi64(s, 1));
+}
+
+__attribute__((target("avx2")))
+static void popcount_rows_avx2(const uint64_t *words, int64_t b, int64_t w,
+                               int64_t *out) {
+    for (int64_t i = 0; i < b; ++i) {
+        const uint64_t *row = words + i * w;
+        __m256i vacc = _mm256_setzero_si256();
+        int64_t j = 0;
+        for (; j + 4 <= w; j += 4)
+            vacc = _mm256_add_epi64(vacc, avx2_popcnt_epi64(
+                _mm256_loadu_si256((const __m256i *)(row + j))));
+        int64_t acc = avx2_hsum_epi64(vacc);
+        for (; j < w; ++j)
+            acc += popcnt64(row[j]);
+        out[i] = acc;
     }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vpopcntdq")))
+static void popcount_rows_avx512(const uint64_t *words, int64_t b, int64_t w,
+                                 int64_t *out) {
+    for (int64_t i = 0; i < b; ++i) {
+        const uint64_t *row = words + i * w;
+        __m512i vacc = _mm512_setzero_si512();
+        int64_t j = 0;
+        for (; j + 8 <= w; j += 8)
+            vacc = _mm512_add_epi64(vacc, _mm512_popcnt_epi64(
+                _mm512_loadu_si512((const void *)(row + j))));
+        if (j < w) {
+            __mmask8 m = (__mmask8)((1u << (w - j)) - 1);
+            vacc = _mm512_add_epi64(vacc, _mm512_popcnt_epi64(
+                _mm512_maskz_loadu_epi64(m, (const void *)(row + j))));
+        }
+        out[i] = _mm512_reduce_add_epi64(vacc);
+    }
+}
+
+#endif /* REPRO_SIMD_X86 */
+
+#if defined(REPRO_SIMD_NEON)
+
+static inline uint64x2_t neon_popcnt_u64(uint64x2_t v) {
+    uint8x16_t cnt = vcntq_u8(vreinterpretq_u8_u64(v));
+    return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(cnt)));
+}
+
+static void popcount_rows_neon(const uint64_t *words, int64_t b, int64_t w,
+                               int64_t *out) {
+    for (int64_t i = 0; i < b; ++i) {
+        const uint64_t *row = words + i * w;
+        uint64x2_t vacc = vdupq_n_u64(0);
+        int64_t j = 0;
+        for (; j + 2 <= w; j += 2)
+            vacc = vaddq_u64(vacc, neon_popcnt_u64(vld1q_u64(row + j)));
+        int64_t acc = (int64_t)(vgetq_lane_u64(vacc, 0) +
+                                vgetq_lane_u64(vacc, 1));
+        for (; j < w; ++j)
+            acc += popcnt64(row[j]);
+        out[i] = acc;
+    }
+}
+
+#endif /* REPRO_SIMD_NEON */
+
+/* ------------------------------------------------------------------ */
+/* fused_counts variants: for each query row gather one suffix row and */
+/* one prefix row per dimension (ranks precomputed by searchsorted),   */
+/* AND them down, combine per direction, AND the live mask, popcount — */
+/* one pass, no (b, W) temporaries.  mode 0: dominated = le & ~nlt;    */
+/* mode 1: dominator = nlt & ~le.  Callers guarantee d >= 1.           */
+/* ------------------------------------------------------------------ */
+
+__attribute__((optimize("no-tree-vectorize")))
+static void fused_counts_scalar(const uint64_t **suffix,
+                                const uint64_t **prefix,
+                                const int64_t *rank_ge, const int64_t *rank_le,
+                                const uint64_t *live, int64_t b, int64_t d,
+                                int64_t w, int32_t mode, int64_t *out) {
     const uint64_t *srow[d];
     const uint64_t *prow[d];
     for (int64_t i = 0; i < b; ++i) {
@@ -132,13 +274,12 @@ API void repro_fused_counts(const uint64_t **suffix, const uint64_t **prefix,
         }
         int64_t acc = 0;
         if (d == 4) {
-            /* The paper's workhorse dimensionality: full unroll of the
-             * AND-reduction lets the compiler keep all 8 row pointers in
-             * registers and vectorise the word loop. */
-            const uint64_t *restrict s0 = srow[0], *restrict s1 = srow[1];
-            const uint64_t *restrict s2 = srow[2], *restrict s3 = srow[3];
-            const uint64_t *restrict p0 = prow[0], *restrict p1 = prow[1];
-            const uint64_t *restrict p2 = prow[2], *restrict p3 = prow[3];
+            /* The paper's workhorse dimensionality: full unroll keeps
+             * all 8 row pointers in registers. */
+            const uint64_t *s0 = srow[0], *s1 = srow[1];
+            const uint64_t *s2 = srow[2], *s3 = srow[3];
+            const uint64_t *p0 = prow[0], *p1 = prow[1];
+            const uint64_t *p2 = prow[2], *p3 = prow[3];
             for (int64_t j = 0; j < w; ++j) {
                 uint64_t le = s0[j] & s1[j] & s2[j] & s3[j];
                 uint64_t nlt = p0[j] & p1[j] & p2[j] & p3[j];
@@ -163,17 +304,333 @@ API void repro_fused_counts(const uint64_t **suffix, const uint64_t **prefix,
     }
 }
 
-/* Same gather + AND + combine, emitting the packed rows (mask routes). */
-API void repro_fused_bits(const uint64_t **suffix, const uint64_t **prefix,
-                          const int64_t *rank_ge, const int64_t *rank_le,
-                          int64_t b, int64_t d, int64_t w, int32_t mode,
-                          uint64_t *out) {
-    if (d <= 0) {
-        memset(out, 0, (size_t)(b * w) * sizeof(uint64_t));
+#if defined(REPRO_SIMD_X86)
+
+__attribute__((target("avx2")))
+static void fused_counts_avx2(const uint64_t **suffix, const uint64_t **prefix,
+                              const int64_t *rank_ge, const int64_t *rank_le,
+                              const uint64_t *live, int64_t b, int64_t d,
+                              int64_t w, int32_t mode, int64_t *out) {
+    const uint64_t *srow[d];
+    const uint64_t *prow[d];
+    for (int64_t i = 0; i < b; ++i) {
+        for (int64_t dim = 0; dim < d; ++dim) {
+            srow[dim] = suffix[dim] + rank_ge[i * d + dim] * w;
+            prow[dim] = prefix[dim] + rank_le[i * d + dim] * w;
+        }
+        __m256i vacc = _mm256_setzero_si256();
+        int64_t j = 0;
+        if (d == 4) {
+            const uint64_t *s0 = srow[0], *s1 = srow[1];
+            const uint64_t *s2 = srow[2], *s3 = srow[3];
+            const uint64_t *p0 = prow[0], *p1 = prow[1];
+            const uint64_t *p2 = prow[2], *p3 = prow[3];
+            for (; j + 4 <= w; j += 4) {
+                __m256i le = _mm256_and_si256(
+                    _mm256_and_si256(
+                        _mm256_loadu_si256((const __m256i *)(s0 + j)),
+                        _mm256_loadu_si256((const __m256i *)(s1 + j))),
+                    _mm256_and_si256(
+                        _mm256_loadu_si256((const __m256i *)(s2 + j)),
+                        _mm256_loadu_si256((const __m256i *)(s3 + j))));
+                __m256i nlt = _mm256_and_si256(
+                    _mm256_and_si256(
+                        _mm256_loadu_si256((const __m256i *)(p0 + j)),
+                        _mm256_loadu_si256((const __m256i *)(p1 + j))),
+                    _mm256_and_si256(
+                        _mm256_loadu_si256((const __m256i *)(p2 + j)),
+                        _mm256_loadu_si256((const __m256i *)(p3 + j))));
+                __m256i word = mode ? _mm256_andnot_si256(le, nlt)
+                                    : _mm256_andnot_si256(nlt, le);
+                if (live)
+                    word = _mm256_and_si256(
+                        word, _mm256_loadu_si256((const __m256i *)(live + j)));
+                vacc = _mm256_add_epi64(vacc, avx2_popcnt_epi64(word));
+            }
+        } else {
+            for (; j + 4 <= w; j += 4) {
+                __m256i le = _mm256_loadu_si256((const __m256i *)(srow[0] + j));
+                __m256i nlt = _mm256_loadu_si256((const __m256i *)(prow[0] + j));
+                for (int64_t dim = 1; dim < d; ++dim) {
+                    le = _mm256_and_si256(le,
+                        _mm256_loadu_si256((const __m256i *)(srow[dim] + j)));
+                    nlt = _mm256_and_si256(nlt,
+                        _mm256_loadu_si256((const __m256i *)(prow[dim] + j)));
+                }
+                __m256i word = mode ? _mm256_andnot_si256(le, nlt)
+                                    : _mm256_andnot_si256(nlt, le);
+                if (live)
+                    word = _mm256_and_si256(
+                        word, _mm256_loadu_si256((const __m256i *)(live + j)));
+                vacc = _mm256_add_epi64(vacc, avx2_popcnt_epi64(word));
+            }
+        }
+        int64_t acc = avx2_hsum_epi64(vacc);
+        for (; j < w; ++j) {
+            uint64_t le = srow[0][j];
+            uint64_t nlt = prow[0][j];
+            for (int64_t dim = 1; dim < d; ++dim) {
+                le &= srow[dim][j];
+                nlt &= prow[dim][j];
+            }
+            uint64_t word = mode ? (nlt & ~le) : (le & ~nlt);
+            if (live) word &= live[j];
+            acc += popcnt64(word);
+        }
+        out[i] = acc;
+    }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vpopcntdq")))
+static void fused_counts_avx512(const uint64_t **suffix,
+                                const uint64_t **prefix,
+                                const int64_t *rank_ge, const int64_t *rank_le,
+                                const uint64_t *live, int64_t b, int64_t d,
+                                int64_t w, int32_t mode, int64_t *out) {
+    if (d == 4) {
+        for (int64_t i = 0; i < b; ++i) {
+            const uint64_t *s0 = suffix[0] + rank_ge[i * 4 + 0] * w;
+            const uint64_t *s1 = suffix[1] + rank_ge[i * 4 + 1] * w;
+            const uint64_t *s2 = suffix[2] + rank_ge[i * 4 + 2] * w;
+            const uint64_t *s3 = suffix[3] + rank_ge[i * 4 + 3] * w;
+            const uint64_t *p0 = prefix[0] + rank_le[i * 4 + 0] * w;
+            const uint64_t *p1 = prefix[1] + rank_le[i * 4 + 1] * w;
+            const uint64_t *p2 = prefix[2] + rank_le[i * 4 + 2] * w;
+            const uint64_t *p3 = prefix[3] + rank_le[i * 4 + 3] * w;
+            /* Software-prefetch the next query row's 8 streams while the
+             * popcount chain works on this one: the pass is memory-bound
+             * and rows land at unpredictable rank offsets. */
+            const uint64_t *n0 = s0, *n1 = s1, *n2 = s2, *n3 = s3;
+            const uint64_t *m0 = p0, *m1 = p1, *m2 = p2, *m3 = p3;
+            if (i + 1 < b) {
+                n0 = suffix[0] + rank_ge[(i + 1) * 4 + 0] * w;
+                n1 = suffix[1] + rank_ge[(i + 1) * 4 + 1] * w;
+                n2 = suffix[2] + rank_ge[(i + 1) * 4 + 2] * w;
+                n3 = suffix[3] + rank_ge[(i + 1) * 4 + 3] * w;
+                m0 = prefix[0] + rank_le[(i + 1) * 4 + 0] * w;
+                m1 = prefix[1] + rank_le[(i + 1) * 4 + 1] * w;
+                m2 = prefix[2] + rank_le[(i + 1) * 4 + 2] * w;
+                m3 = prefix[3] + rank_le[(i + 1) * 4 + 3] * w;
+            }
+            __m512i vacc = _mm512_setzero_si512();
+            int64_t j = 0;
+            /* 16-word main step: two independent 8-word bodies keep the
+             * popcount chain busy while the prefetches pull the next
+             * row's lines in. */
+            for (; j + 16 <= w; j += 16) {
+                _mm_prefetch((const char *)(n0 + j), _MM_HINT_T0);
+                _mm_prefetch((const char *)(n0 + j + 8), _MM_HINT_T0);
+                _mm_prefetch((const char *)(n1 + j), _MM_HINT_T0);
+                _mm_prefetch((const char *)(n1 + j + 8), _MM_HINT_T0);
+                _mm_prefetch((const char *)(n2 + j), _MM_HINT_T0);
+                _mm_prefetch((const char *)(n2 + j + 8), _MM_HINT_T0);
+                _mm_prefetch((const char *)(n3 + j), _MM_HINT_T0);
+                _mm_prefetch((const char *)(n3 + j + 8), _MM_HINT_T0);
+                _mm_prefetch((const char *)(m0 + j), _MM_HINT_T0);
+                _mm_prefetch((const char *)(m0 + j + 8), _MM_HINT_T0);
+                _mm_prefetch((const char *)(m1 + j), _MM_HINT_T0);
+                _mm_prefetch((const char *)(m1 + j + 8), _MM_HINT_T0);
+                _mm_prefetch((const char *)(m2 + j), _MM_HINT_T0);
+                _mm_prefetch((const char *)(m2 + j + 8), _MM_HINT_T0);
+                _mm_prefetch((const char *)(m3 + j), _MM_HINT_T0);
+                _mm_prefetch((const char *)(m3 + j + 8), _MM_HINT_T0);
+                __m512i le = _mm512_and_si512(
+                    _mm512_and_si512(
+                        _mm512_loadu_si512((const void *)(s0 + j)),
+                        _mm512_loadu_si512((const void *)(s1 + j))),
+                    _mm512_and_si512(
+                        _mm512_loadu_si512((const void *)(s2 + j)),
+                        _mm512_loadu_si512((const void *)(s3 + j))));
+                __m512i nlt = _mm512_and_si512(
+                    _mm512_and_si512(
+                        _mm512_loadu_si512((const void *)(p0 + j)),
+                        _mm512_loadu_si512((const void *)(p1 + j))),
+                    _mm512_and_si512(
+                        _mm512_loadu_si512((const void *)(p2 + j)),
+                        _mm512_loadu_si512((const void *)(p3 + j))));
+                __m512i word = mode ? _mm512_andnot_si512(le, nlt)
+                                    : _mm512_andnot_si512(nlt, le);
+                if (live)
+                    word = _mm512_and_si512(
+                        word, _mm512_loadu_si512((const void *)(live + j)));
+                vacc = _mm512_add_epi64(vacc, _mm512_popcnt_epi64(word));
+                __m512i le2 = _mm512_and_si512(
+                    _mm512_and_si512(
+                        _mm512_loadu_si512((const void *)(s0 + j + 8)),
+                        _mm512_loadu_si512((const void *)(s1 + j + 8))),
+                    _mm512_and_si512(
+                        _mm512_loadu_si512((const void *)(s2 + j + 8)),
+                        _mm512_loadu_si512((const void *)(s3 + j + 8))));
+                __m512i nlt2 = _mm512_and_si512(
+                    _mm512_and_si512(
+                        _mm512_loadu_si512((const void *)(p0 + j + 8)),
+                        _mm512_loadu_si512((const void *)(p1 + j + 8))),
+                    _mm512_and_si512(
+                        _mm512_loadu_si512((const void *)(p2 + j + 8)),
+                        _mm512_loadu_si512((const void *)(p3 + j + 8))));
+                __m512i word2 = mode ? _mm512_andnot_si512(le2, nlt2)
+                                     : _mm512_andnot_si512(nlt2, le2);
+                if (live)
+                    word2 = _mm512_and_si512(
+                        word2,
+                        _mm512_loadu_si512((const void *)(live + j + 8)));
+                vacc = _mm512_add_epi64(vacc, _mm512_popcnt_epi64(word2));
+            }
+            for (; j < w; j += 8) {
+                __mmask8 m = j + 8 <= w
+                                 ? (__mmask8)0xFF
+                                 : (__mmask8)((1u << (w - j)) - 1);
+                __m512i le = _mm512_and_si512(
+                    _mm512_and_si512(
+                        _mm512_maskz_loadu_epi64(m, (const void *)(s0 + j)),
+                        _mm512_maskz_loadu_epi64(m, (const void *)(s1 + j))),
+                    _mm512_and_si512(
+                        _mm512_maskz_loadu_epi64(m, (const void *)(s2 + j)),
+                        _mm512_maskz_loadu_epi64(m, (const void *)(s3 + j))));
+                __m512i nlt = _mm512_and_si512(
+                    _mm512_and_si512(
+                        _mm512_maskz_loadu_epi64(m, (const void *)(p0 + j)),
+                        _mm512_maskz_loadu_epi64(m, (const void *)(p1 + j))),
+                    _mm512_and_si512(
+                        _mm512_maskz_loadu_epi64(m, (const void *)(p2 + j)),
+                        _mm512_maskz_loadu_epi64(m, (const void *)(p3 + j))));
+                __m512i word = mode ? _mm512_andnot_si512(le, nlt)
+                                    : _mm512_andnot_si512(nlt, le);
+                if (live)
+                    word = _mm512_and_si512(
+                        word,
+                        _mm512_maskz_loadu_epi64(m, (const void *)(live + j)));
+                vacc = _mm512_add_epi64(vacc, _mm512_popcnt_epi64(word));
+            }
+            out[i] = _mm512_reduce_add_epi64(vacc);
+        }
         return;
     }
-    const uint64_t *srow[d > 0 ? d : 1];
-    const uint64_t *prow[d > 0 ? d : 1];
+    const uint64_t *srow[d];
+    const uint64_t *prow[d];
+    for (int64_t i = 0; i < b; ++i) {
+        for (int64_t dim = 0; dim < d; ++dim) {
+            srow[dim] = suffix[dim] + rank_ge[i * d + dim] * w;
+            prow[dim] = prefix[dim] + rank_le[i * d + dim] * w;
+        }
+        __m512i vacc = _mm512_setzero_si512();
+        int64_t j = 0;
+        for (; j + 8 <= w; j += 8) {
+            __m512i le = _mm512_loadu_si512((const void *)(srow[0] + j));
+            __m512i nlt = _mm512_loadu_si512((const void *)(prow[0] + j));
+            for (int64_t dim = 1; dim < d; ++dim) {
+                le = _mm512_and_si512(le,
+                    _mm512_loadu_si512((const void *)(srow[dim] + j)));
+                nlt = _mm512_and_si512(nlt,
+                    _mm512_loadu_si512((const void *)(prow[dim] + j)));
+            }
+            __m512i word = mode ? _mm512_andnot_si512(le, nlt)
+                                : _mm512_andnot_si512(nlt, le);
+            if (live)
+                word = _mm512_and_si512(
+                    word, _mm512_loadu_si512((const void *)(live + j)));
+            vacc = _mm512_add_epi64(vacc, _mm512_popcnt_epi64(word));
+        }
+        if (j < w) {
+            __mmask8 m = (__mmask8)((1u << (w - j)) - 1);
+            __m512i le = _mm512_maskz_loadu_epi64(m, (const void *)(srow[0] + j));
+            __m512i nlt = _mm512_maskz_loadu_epi64(m, (const void *)(prow[0] + j));
+            for (int64_t dim = 1; dim < d; ++dim) {
+                le = _mm512_and_si512(le,
+                    _mm512_maskz_loadu_epi64(m, (const void *)(srow[dim] + j)));
+                nlt = _mm512_and_si512(nlt,
+                    _mm512_maskz_loadu_epi64(m, (const void *)(prow[dim] + j)));
+            }
+            __m512i word = mode ? _mm512_andnot_si512(le, nlt)
+                                : _mm512_andnot_si512(nlt, le);
+            if (live)
+                word = _mm512_and_si512(
+                    word, _mm512_maskz_loadu_epi64(m, (const void *)(live + j)));
+            vacc = _mm512_add_epi64(vacc, _mm512_popcnt_epi64(word));
+        }
+        out[i] = _mm512_reduce_add_epi64(vacc);
+    }
+}
+
+#endif /* REPRO_SIMD_X86 */
+
+#if defined(REPRO_SIMD_NEON)
+
+static void fused_counts_neon(const uint64_t **suffix, const uint64_t **prefix,
+                              const int64_t *rank_ge, const int64_t *rank_le,
+                              const uint64_t *live, int64_t b, int64_t d,
+                              int64_t w, int32_t mode, int64_t *out) {
+    const uint64_t *srow[d];
+    const uint64_t *prow[d];
+    for (int64_t i = 0; i < b; ++i) {
+        for (int64_t dim = 0; dim < d; ++dim) {
+            srow[dim] = suffix[dim] + rank_ge[i * d + dim] * w;
+            prow[dim] = prefix[dim] + rank_le[i * d + dim] * w;
+        }
+        uint64x2_t vacc = vdupq_n_u64(0);
+        int64_t j = 0;
+        if (d == 4) {
+            const uint64_t *s0 = srow[0], *s1 = srow[1];
+            const uint64_t *s2 = srow[2], *s3 = srow[3];
+            const uint64_t *p0 = prow[0], *p1 = prow[1];
+            const uint64_t *p2 = prow[2], *p3 = prow[3];
+            for (; j + 2 <= w; j += 2) {
+                uint64x2_t le = vandq_u64(
+                    vandq_u64(vld1q_u64(s0 + j), vld1q_u64(s1 + j)),
+                    vandq_u64(vld1q_u64(s2 + j), vld1q_u64(s3 + j)));
+                uint64x2_t nlt = vandq_u64(
+                    vandq_u64(vld1q_u64(p0 + j), vld1q_u64(p1 + j)),
+                    vandq_u64(vld1q_u64(p2 + j), vld1q_u64(p3 + j)));
+                uint64x2_t word = mode ? vbicq_u64(nlt, le)
+                                       : vbicq_u64(le, nlt);
+                if (live) word = vandq_u64(word, vld1q_u64(live + j));
+                vacc = vaddq_u64(vacc, neon_popcnt_u64(word));
+            }
+        } else {
+            for (; j + 2 <= w; j += 2) {
+                uint64x2_t le = vld1q_u64(srow[0] + j);
+                uint64x2_t nlt = vld1q_u64(prow[0] + j);
+                for (int64_t dim = 1; dim < d; ++dim) {
+                    le = vandq_u64(le, vld1q_u64(srow[dim] + j));
+                    nlt = vandq_u64(nlt, vld1q_u64(prow[dim] + j));
+                }
+                uint64x2_t word = mode ? vbicq_u64(nlt, le)
+                                       : vbicq_u64(le, nlt);
+                if (live) word = vandq_u64(word, vld1q_u64(live + j));
+                vacc = vaddq_u64(vacc, neon_popcnt_u64(word));
+            }
+        }
+        int64_t acc = (int64_t)(vgetq_lane_u64(vacc, 0) +
+                                vgetq_lane_u64(vacc, 1));
+        for (; j < w; ++j) {
+            uint64_t le = srow[0][j];
+            uint64_t nlt = prow[0][j];
+            for (int64_t dim = 1; dim < d; ++dim) {
+                le &= srow[dim][j];
+                nlt &= prow[dim][j];
+            }
+            uint64_t word = mode ? (nlt & ~le) : (le & ~nlt);
+            if (live) word &= live[j];
+            acc += popcnt64(word);
+        }
+        out[i] = acc;
+    }
+}
+
+#endif /* REPRO_SIMD_NEON */
+
+/* ------------------------------------------------------------------ */
+/* fused_bits variants: same gather + AND + combine, emitting the      */
+/* packed rows (mask routes).  Callers guarantee d >= 1.               */
+/* ------------------------------------------------------------------ */
+
+__attribute__((optimize("no-tree-vectorize")))
+static void fused_bits_scalar(const uint64_t **suffix, const uint64_t **prefix,
+                              const int64_t *rank_ge, const int64_t *rank_le,
+                              int64_t b, int64_t d, int64_t w, int32_t mode,
+                              uint64_t *out) {
+    const uint64_t *srow[d];
+    const uint64_t *prow[d];
     for (int64_t i = 0; i < b; ++i) {
         for (int64_t dim = 0; dim < d; ++dim) {
             srow[dim] = suffix[dim] + rank_ge[i * d + dim] * w;
@@ -190,6 +647,462 @@ API void repro_fused_bits(const uint64_t **suffix, const uint64_t **prefix,
             dst[j] = mode ? (nlt & ~le) : (le & ~nlt);
         }
     }
+}
+
+#if defined(REPRO_SIMD_X86)
+
+__attribute__((target("avx2")))
+static void fused_bits_avx2(const uint64_t **suffix, const uint64_t **prefix,
+                            const int64_t *rank_ge, const int64_t *rank_le,
+                            int64_t b, int64_t d, int64_t w, int32_t mode,
+                            uint64_t *out) {
+    const uint64_t *srow[d];
+    const uint64_t *prow[d];
+    for (int64_t i = 0; i < b; ++i) {
+        for (int64_t dim = 0; dim < d; ++dim) {
+            srow[dim] = suffix[dim] + rank_ge[i * d + dim] * w;
+            prow[dim] = prefix[dim] + rank_le[i * d + dim] * w;
+        }
+        uint64_t *dst = out + i * w;
+        int64_t j = 0;
+        for (; j + 4 <= w; j += 4) {
+            __m256i le = _mm256_loadu_si256((const __m256i *)(srow[0] + j));
+            __m256i nlt = _mm256_loadu_si256((const __m256i *)(prow[0] + j));
+            for (int64_t dim = 1; dim < d; ++dim) {
+                le = _mm256_and_si256(le,
+                    _mm256_loadu_si256((const __m256i *)(srow[dim] + j)));
+                nlt = _mm256_and_si256(nlt,
+                    _mm256_loadu_si256((const __m256i *)(prow[dim] + j)));
+            }
+            __m256i word = mode ? _mm256_andnot_si256(le, nlt)
+                                : _mm256_andnot_si256(nlt, le);
+            _mm256_storeu_si256((__m256i *)(dst + j), word);
+        }
+        for (; j < w; ++j) {
+            uint64_t le = srow[0][j];
+            uint64_t nlt = prow[0][j];
+            for (int64_t dim = 1; dim < d; ++dim) {
+                le &= srow[dim][j];
+                nlt &= prow[dim][j];
+            }
+            dst[j] = mode ? (nlt & ~le) : (le & ~nlt);
+        }
+    }
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vpopcntdq")))
+static void fused_bits_avx512(const uint64_t **suffix, const uint64_t **prefix,
+                              const int64_t *rank_ge, const int64_t *rank_le,
+                              int64_t b, int64_t d, int64_t w, int32_t mode,
+                              uint64_t *out) {
+    const uint64_t *srow[d];
+    const uint64_t *prow[d];
+    for (int64_t i = 0; i < b; ++i) {
+        for (int64_t dim = 0; dim < d; ++dim) {
+            srow[dim] = suffix[dim] + rank_ge[i * d + dim] * w;
+            prow[dim] = prefix[dim] + rank_le[i * d + dim] * w;
+        }
+        uint64_t *dst = out + i * w;
+        int64_t j = 0;
+        for (; j + 8 <= w; j += 8) {
+            __m512i le = _mm512_loadu_si512((const void *)(srow[0] + j));
+            __m512i nlt = _mm512_loadu_si512((const void *)(prow[0] + j));
+            for (int64_t dim = 1; dim < d; ++dim) {
+                le = _mm512_and_si512(le,
+                    _mm512_loadu_si512((const void *)(srow[dim] + j)));
+                nlt = _mm512_and_si512(nlt,
+                    _mm512_loadu_si512((const void *)(prow[dim] + j)));
+            }
+            __m512i word = mode ? _mm512_andnot_si512(le, nlt)
+                                : _mm512_andnot_si512(nlt, le);
+            _mm512_storeu_si512((void *)(dst + j), word);
+        }
+        if (j < w) {
+            __mmask8 m = (__mmask8)((1u << (w - j)) - 1);
+            __m512i le = _mm512_maskz_loadu_epi64(m, (const void *)(srow[0] + j));
+            __m512i nlt = _mm512_maskz_loadu_epi64(m, (const void *)(prow[0] + j));
+            for (int64_t dim = 1; dim < d; ++dim) {
+                le = _mm512_and_si512(le,
+                    _mm512_maskz_loadu_epi64(m, (const void *)(srow[dim] + j)));
+                nlt = _mm512_and_si512(nlt,
+                    _mm512_maskz_loadu_epi64(m, (const void *)(prow[dim] + j)));
+            }
+            __m512i word = mode ? _mm512_andnot_si512(le, nlt)
+                                : _mm512_andnot_si512(nlt, le);
+            _mm512_mask_storeu_epi64((void *)(dst + j), m, word);
+        }
+    }
+}
+
+#endif /* REPRO_SIMD_X86 */
+
+#if defined(REPRO_SIMD_NEON)
+
+static void fused_bits_neon(const uint64_t **suffix, const uint64_t **prefix,
+                            const int64_t *rank_ge, const int64_t *rank_le,
+                            int64_t b, int64_t d, int64_t w, int32_t mode,
+                            uint64_t *out) {
+    const uint64_t *srow[d];
+    const uint64_t *prow[d];
+    for (int64_t i = 0; i < b; ++i) {
+        for (int64_t dim = 0; dim < d; ++dim) {
+            srow[dim] = suffix[dim] + rank_ge[i * d + dim] * w;
+            prow[dim] = prefix[dim] + rank_le[i * d + dim] * w;
+        }
+        uint64_t *dst = out + i * w;
+        int64_t j = 0;
+        for (; j + 2 <= w; j += 2) {
+            uint64x2_t le = vld1q_u64(srow[0] + j);
+            uint64x2_t nlt = vld1q_u64(prow[0] + j);
+            for (int64_t dim = 1; dim < d; ++dim) {
+                le = vandq_u64(le, vld1q_u64(srow[dim] + j));
+                nlt = vandq_u64(nlt, vld1q_u64(prow[dim] + j));
+            }
+            vst1q_u64(dst + j, mode ? vbicq_u64(nlt, le) : vbicq_u64(le, nlt));
+        }
+        for (; j < w; ++j) {
+            uint64_t le = srow[0][j];
+            uint64_t nlt = prow[0][j];
+            for (int64_t dim = 1; dim < d; ++dim) {
+                le &= srow[dim][j];
+                nlt &= prow[dim][j];
+            }
+            dst[j] = mode ? (nlt & ~le) : (le & ~nlt);
+        }
+    }
+}
+
+#endif /* REPRO_SIMD_NEON */
+
+/* ------------------------------------------------------------------ */
+/* Runtime dispatch: one table per kernel family, indexed by route.    */
+/* Unsupported routes alias the scalar twin, so a stale route index    */
+/* can never reach an illegal instruction.                             */
+/* ------------------------------------------------------------------ */
+
+typedef void (*popcount_rows_fn)(const uint64_t *, int64_t, int64_t,
+                                 int64_t *);
+typedef void (*fused_counts_fn)(const uint64_t **, const uint64_t **,
+                                const int64_t *, const int64_t *,
+                                const uint64_t *, int64_t, int64_t, int64_t,
+                                int32_t, int64_t *);
+typedef void (*fused_bits_fn)(const uint64_t **, const uint64_t **,
+                              const int64_t *, const int64_t *, int64_t,
+                              int64_t, int64_t, int32_t, uint64_t *);
+
+#if defined(REPRO_SIMD_X86)
+static const popcount_rows_fn popcount_rows_dispatch[4] = {
+    popcount_rows_scalar, popcount_rows_avx2, popcount_rows_avx512,
+    popcount_rows_scalar,
+};
+static const fused_counts_fn fused_counts_dispatch[4] = {
+    fused_counts_scalar, fused_counts_avx2, fused_counts_avx512,
+    fused_counts_scalar,
+};
+static const fused_bits_fn fused_bits_dispatch[4] = {
+    fused_bits_scalar, fused_bits_avx2, fused_bits_avx512,
+    fused_bits_scalar,
+};
+#elif defined(REPRO_SIMD_NEON)
+static const popcount_rows_fn popcount_rows_dispatch[4] = {
+    popcount_rows_scalar, popcount_rows_scalar, popcount_rows_scalar,
+    popcount_rows_neon,
+};
+static const fused_counts_fn fused_counts_dispatch[4] = {
+    fused_counts_scalar, fused_counts_scalar, fused_counts_scalar,
+    fused_counts_neon,
+};
+static const fused_bits_fn fused_bits_dispatch[4] = {
+    fused_bits_scalar, fused_bits_scalar, fused_bits_scalar,
+    fused_bits_neon,
+};
+#else
+static const popcount_rows_fn popcount_rows_dispatch[4] = {
+    popcount_rows_scalar, popcount_rows_scalar, popcount_rows_scalar,
+    popcount_rows_scalar,
+};
+static const fused_counts_fn fused_counts_dispatch[4] = {
+    fused_counts_scalar, fused_counts_scalar, fused_counts_scalar,
+    fused_counts_scalar,
+};
+static const fused_bits_fn fused_bits_dispatch[4] = {
+    fused_bits_scalar, fused_bits_scalar, fused_bits_scalar,
+    fused_bits_scalar,
+};
+#endif
+
+static int simd_best_level(void) {
+#if defined(REPRO_SIMD_X86)
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vpopcntdq"))
+        return 2;
+    if (__builtin_cpu_supports("avx2"))
+        return 1;
+    return 0;
+#elif defined(REPRO_SIMD_NEON)
+    return 3;
+#else
+    return 0;
+#endif
+}
+
+/* Config state: written from Python at setup time, read (relaxed) by
+ * every kernel call, possibly from worker threads — hence atomics. */
+static int simd_current = -1; /* -1 = auto: resolve to simd_best_level */
+static int threads_current = 1;
+static int64_t threads_min_words = (int64_t)1 << 19;
+
+static int resolve_level(void) {
+    int lvl = __atomic_load_n(&simd_current, __ATOMIC_RELAXED);
+    if (lvl >= 0)
+        return lvl;
+    lvl = simd_best_level();
+    __atomic_store_n(&simd_current, lvl, __ATOMIC_RELAXED);
+    return lvl;
+}
+
+API int32_t repro_simd_best(void) { return simd_best_level(); }
+
+API int32_t repro_simd_level(void) { return resolve_level(); }
+
+API int32_t repro_simd_supported(int32_t level) {
+    if (level == 0)
+        return 1;
+    if (level < 0 || level > 3)
+        return 0;
+#if defined(REPRO_SIMD_X86)
+    if (level == 1)
+        return __builtin_cpu_supports("avx2") ? 1 : 0;
+    if (level == 2)
+        return (__builtin_cpu_supports("avx512f") &&
+                __builtin_cpu_supports("avx512bw") &&
+                __builtin_cpu_supports("avx512vpopcntdq")) ? 1 : 0;
+    return 0;
+#elif defined(REPRO_SIMD_NEON)
+    return level == 3 ? 1 : 0;
+#else
+    (void)level;
+    return 0;
+#endif
+}
+
+/* Pin the SIMD route (-1 = auto). Returns the route in effect, or -1
+ * when the request names a route this CPU/build cannot run (state is
+ * left unchanged — the caller decides whether that is an error). */
+API int32_t repro_set_simd(int32_t level) {
+    if (level < 0) {
+        int lvl = simd_best_level();
+        __atomic_store_n(&simd_current, lvl, __ATOMIC_RELAXED);
+        return lvl;
+    }
+    if (level > 3 || !repro_simd_supported(level))
+        return -1;
+    __atomic_store_n(&simd_current, level, __ATOMIC_RELAXED);
+    return level;
+}
+
+API int32_t repro_set_threads(int32_t n) {
+#if defined(REPRO_NO_THREADS)
+    (void)n;
+    return 1;
+#else
+    if (n < 1) n = 1;
+    if (n > REPRO_MAX_THREADS) n = REPRO_MAX_THREADS;
+    __atomic_store_n(&threads_current, n, __ATOMIC_RELAXED);
+    return n;
+#endif
+}
+
+API int32_t repro_get_threads(void) {
+    return __atomic_load_n(&threads_current, __ATOMIC_RELAXED);
+}
+
+/* Work-size gate (in table words touched) below which a call stays
+ * single-threaded; returns the previous value (negative = query). */
+API int64_t repro_set_thread_min_words(int64_t words) {
+    int64_t prev = __atomic_load_n(&threads_min_words, __ATOMIC_RELAXED);
+    if (words >= 0)
+        __atomic_store_n(&threads_min_words, words, __ATOMIC_RELAXED);
+    return prev;
+}
+
+/* What this build carries: bit 0 = SIMD variants, bit 1 = pthreads. */
+API int32_t repro_build_flags(void) {
+    int32_t flags = 0;
+#if defined(REPRO_SIMD_X86) || defined(REPRO_SIMD_NEON)
+    flags |= 1;
+#endif
+#if !defined(REPRO_NO_THREADS)
+    flags |= 2;
+#endif
+    return flags;
+}
+
+/* ------------------------------------------------------------------ */
+/* Row-block threading: rows are independent and each block writes a   */
+/* disjoint output range, so any thread count is bit-identical to the  */
+/* sequential pass.  Threads are spawned per call and joined before    */
+/* return — nothing outlives the call, which keeps fork() safe.        */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    int kind; /* 0 = popcount_rows, 1 = fused_counts, 2 = fused_bits */
+    int level;
+    const uint64_t *words;
+    const uint64_t **suffix;
+    const uint64_t **prefix;
+    const int64_t *rank_ge;
+    const int64_t *rank_le;
+    const uint64_t *live;
+    int64_t b, d, w;
+    int32_t mode;
+    int64_t *out_counts;
+    uint64_t *out_bits;
+} repro_block;
+
+static void run_block(const repro_block *t) {
+    switch (t->kind) {
+    case 0:
+        popcount_rows_dispatch[t->level](t->words, t->b, t->w, t->out_counts);
+        break;
+    case 1:
+        fused_counts_dispatch[t->level](t->suffix, t->prefix, t->rank_ge,
+                                        t->rank_le, t->live, t->b, t->d,
+                                        t->w, t->mode, t->out_counts);
+        break;
+    default:
+        fused_bits_dispatch[t->level](t->suffix, t->prefix, t->rank_ge,
+                                      t->rank_le, t->b, t->d, t->w, t->mode,
+                                      t->out_bits);
+        break;
+    }
+}
+
+#if !defined(REPRO_NO_THREADS)
+static void *run_block_thread(void *arg) {
+    run_block((const repro_block *)arg);
+    return 0;
+}
+#endif
+
+static void run_blocked(repro_block *base) {
+    base->level = resolve_level();
+#if defined(REPRO_NO_THREADS)
+    run_block(base);
+#else
+    int64_t nt = repro_get_threads();
+    if (nt > base->b)
+        nt = base->b;
+    int64_t streams = base->kind == 0 ? 1 : 2 * base->d + 1;
+    int64_t total = base->b * base->w * streams;
+    if (nt <= 1 ||
+        total < __atomic_load_n(&threads_min_words, __ATOMIC_RELAXED)) {
+        run_block(base);
+        return;
+    }
+    repro_block tasks[REPRO_MAX_THREADS];
+    pthread_t tids[REPRO_MAX_THREADS];
+    int started[REPRO_MAX_THREADS];
+    int64_t chunk = (base->b + nt - 1) / nt;
+    int count = 0;
+    for (int64_t start = 0; start < base->b; start += chunk) {
+        repro_block t = *base;
+        int64_t len = base->b - start;
+        if (len > chunk)
+            len = chunk;
+        t.b = len;
+        if (t.words) t.words += start * t.w;
+        if (t.rank_ge) t.rank_ge += start * t.d;
+        if (t.rank_le) t.rank_le += start * t.d;
+        if (t.out_counts) t.out_counts += start;
+        if (t.out_bits) t.out_bits += start * t.w;
+        tasks[count++] = t;
+    }
+    for (int t = 1; t < count; ++t)
+        started[t] = pthread_create(&tids[t], 0, run_block_thread,
+                                    &tasks[t]) == 0;
+    run_block(&tasks[0]);
+    for (int t = 1; t < count; ++t) {
+        if (started[t])
+            pthread_join(tids[t], 0);
+        else
+            run_block(&tasks[t]); /* spawn failed: do the work inline */
+    }
+#endif
+}
+
+/* ------------------------------------------------------------------ */
+/* Public kernel entry points (dispatch + threading wrappers).         */
+/* ------------------------------------------------------------------ */
+
+/* Per-row popcount of a (b, W) uint64 matrix. */
+API void repro_popcount_rows(const uint64_t *words, int64_t b, int64_t w,
+                             int64_t *out) {
+    if (b <= 0)
+        return;
+    if (w <= 0) {
+        memset(out, 0, (size_t)b * sizeof(int64_t));
+        return;
+    }
+    repro_block task = {0};
+    task.kind = 0;
+    task.words = words;
+    task.b = b;
+    task.w = w;
+    task.out_counts = out;
+    run_blocked(&task);
+}
+
+/* Fused accumulator counts (see fused_counts_scalar). */
+API void repro_fused_counts(const uint64_t **suffix, const uint64_t **prefix,
+                            const int64_t *rank_ge, const int64_t *rank_le,
+                            const uint64_t *live, int64_t b, int64_t d,
+                            int64_t w, int32_t mode, int64_t *out) {
+    if (b <= 0)
+        return;
+    if (d <= 0) {
+        memset(out, 0, (size_t)b * sizeof(int64_t));
+        return;
+    }
+    repro_block task = {0};
+    task.kind = 1;
+    task.suffix = suffix;
+    task.prefix = prefix;
+    task.rank_ge = rank_ge;
+    task.rank_le = rank_le;
+    task.live = live;
+    task.b = b;
+    task.d = d;
+    task.w = w;
+    task.mode = mode;
+    task.out_counts = out;
+    run_blocked(&task);
+}
+
+/* Fused accumulator rows (see fused_bits_scalar). */
+API void repro_fused_bits(const uint64_t **suffix, const uint64_t **prefix,
+                          const int64_t *rank_ge, const int64_t *rank_le,
+                          int64_t b, int64_t d, int64_t w, int32_t mode,
+                          uint64_t *out) {
+    if (b <= 0)
+        return;
+    if (d <= 0) {
+        memset(out, 0, (size_t)(b * w) * sizeof(uint64_t));
+        return;
+    }
+    repro_block task = {0};
+    task.kind = 2;
+    task.suffix = suffix;
+    task.prefix = prefix;
+    task.rank_ge = rank_ge;
+    task.rank_le = rank_le;
+    task.b = b;
+    task.d = d;
+    task.w = w;
+    task.mode = mode;
+    task.out_bits = out;
+    run_blocked(&task);
 }
 
 /* Rank-row splice: copy of table (rows, w) into out (rows+1, out_w) with
@@ -255,7 +1168,19 @@ API void repro_moved_rank_row(const uint64_t *table, int64_t rows, int64_t w,
 _native_lib: ctypes.CDLL | None = None
 _native_error: str | None = None
 _native_attempted = False
+_native_mode: str | None = None
 _native_lock = make_lock("native-build")
+
+#: Build attempts, best first. The embedded source compiles everywhere as
+#: plain C99 once the vector variants (#ifdef'd behind target attributes)
+#: and the pthread pool are gated out, so a toolchain that cannot build
+#: SIMD or threads still yields a working scalar library instead of the
+#: numpy fallback.
+_BUILD_ATTEMPTS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("simd+threads", ("-pthread",)),
+    ("threads", ("-pthread", "-DREPRO_NO_SIMD")),
+    ("portable", ("-DREPRO_NO_SIMD", "-DREPRO_NO_THREADS")),
+)
 
 
 def _compiler() -> str | None:
@@ -278,13 +1203,15 @@ def _cache_dir() -> str:
 
 
 def _compile_native() -> tuple[ctypes.CDLL | None, str | None]:
+    global _native_mode
     cc = _compiler()
     if cc is None:
         return None, "no C compiler found (cc/gcc/clang)"
-    # Extra flags hook — the sanitizer CI leg injects e.g.
-    # "-fsanitize=address,undefined -fno-sanitize-recover=all -g" here.
-    # The flags participate in the cache key so a sanitized .so can never
-    # be served to (or poison) a normal run, and vice versa.
+    # Extra flags hook — the sanitizer CI legs inject e.g.
+    # "-fsanitize=address,undefined -fno-sanitize-recover=all -g" or
+    # "-fsanitize=thread -g" here. The flags participate in the cache key
+    # so a sanitized .so can never be served to (or poison) a normal run,
+    # and vice versa.
     extra_flags = os.environ.get("REPRO_NATIVE_CFLAGS", "").split()
     key = hashlib.sha256(
         (_C_SOURCE + cc + sys.platform + " ".join(extra_flags)).encode()
@@ -300,14 +1227,15 @@ def _compile_native() -> tuple[ctypes.CDLL | None, str | None]:
                     fh.write(_C_SOURCE)
                 out = os.path.join(tmp, "kernels.so")
                 base = [cc, "-O3", "-fPIC", "-shared", "-std=c99"]
-                base += extra_flags
-                base += [src, "-o", out]
-                tuned = base[:1] + ["-march=native"] + base[1:]
-                result = subprocess.run(tuned, capture_output=True, text=True)
-                if result.returncode != 0:
-                    result = subprocess.run(base, capture_output=True, text=True)
-                if result.returncode != 0:
-                    return None, (result.stderr or "compile failed").strip()[:500]
+                result = None
+                for _, mode_flags in _BUILD_ATTEMPTS:
+                    cmd = base + list(mode_flags) + extra_flags + [src, "-o", out]
+                    result = subprocess.run(cmd, capture_output=True, text=True)
+                    if result.returncode == 0:
+                        break
+                if result is None or result.returncode != 0:
+                    stderr = result.stderr if result is not None else ""
+                    return None, (stderr or "compile failed").strip()[:500]
                 os.replace(out, lib_path)  # atomic publish; racers agree on bytes
         except OSError as exc:
             return None, f"{type(exc).__name__}: {exc}"
@@ -335,6 +1263,29 @@ def _compile_native() -> tuple[ctypes.CDLL | None, str | None]:
         c_vp, c_i64, c_i64, c_i64, c_i64, c_i64, c_i32, c_vp
     )
     lib.repro_moved_rank_row.restype = None
+    lib.repro_simd_best.argtypes = ()
+    lib.repro_simd_best.restype = c_i32
+    lib.repro_simd_level.argtypes = ()
+    lib.repro_simd_level.restype = c_i32
+    lib.repro_simd_supported.argtypes = (c_i32,)
+    lib.repro_simd_supported.restype = c_i32
+    lib.repro_set_simd.argtypes = (c_i32,)
+    lib.repro_set_simd.restype = c_i32
+    lib.repro_set_threads.argtypes = (c_i32,)
+    lib.repro_set_threads.restype = c_i32
+    lib.repro_get_threads.argtypes = ()
+    lib.repro_get_threads.restype = c_i32
+    lib.repro_set_thread_min_words.argtypes = (c_i64,)
+    lib.repro_set_thread_min_words.restype = c_i64
+    lib.repro_build_flags.argtypes = ()
+    lib.repro_build_flags.restype = c_i32
+    # The cached .so may have been produced by an earlier process whose
+    # toolchain fell back — ask the binary what it carries rather than
+    # trusting which attempt succeeded here.
+    flags = int(lib.repro_build_flags())
+    _native_mode = {3: "simd+threads", 2: "threads", 1: "simd", 0: "portable"}[
+        flags & 3
+    ]
     return lib, None
 
 
@@ -346,6 +1297,8 @@ def _load_native() -> ctypes.CDLL | None:
     with _native_lock:
         if not _native_attempted:
             _native_lib, _native_error = _compile_native()
+            if _native_lib is not None:
+                _apply_native_env(_native_lib)
             _native_attempted = True
     return _native_lib
 
@@ -359,6 +1312,189 @@ def native_build_error() -> str | None:
     """The compile/load error that disabled the native backend, if any."""
     _load_native()
     return _native_error
+
+
+def native_build_mode() -> str | None:
+    """What the loaded native library carries: ``"simd+threads"`` (the
+    full build), ``"threads"`` / ``"simd"`` (one feature gated out by a
+    compile fallback) or ``"portable"`` (plain scalar C99). ``None``
+    when the native backend is unavailable."""
+    if _load_native() is None:
+        return None
+    return _native_mode
+
+
+# ---------------------------------------------------------------------------
+# SIMD route / thread-count configuration
+# ---------------------------------------------------------------------------
+
+#: Route index <-> name mapping, mirroring the C side (0..3).
+_SIMD_NAMES = {0: "scalar", 1: "avx2", 2: "avx512", 3: "neon"}
+_SIMD_LEVELS = {name: level for level, name in _SIMD_NAMES.items()}
+_SIMD_ENV = "REPRO_NATIVE_SIMD"
+_THREADS_ENV = "REPRO_NATIVE_THREADS"
+_MAX_NATIVE_THREADS = 16  # mirrors REPRO_MAX_THREADS in the C source
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _coerce_threads(value: int | str) -> int:
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text == "auto":
+            return max(1, min(_cpu_count(), _MAX_NATIVE_THREADS))
+        try:
+            value = int(text)
+        except ValueError:
+            raise InvalidParameterError(
+                f"invalid native thread count {value!r} (expected int or 'auto')"
+            ) from None
+    count = int(value)
+    if count < 1:
+        raise InvalidParameterError(
+            f"native thread count must be >= 1, got {count}"
+        )
+    return min(count, _MAX_NATIVE_THREADS)
+
+
+def _apply_native_env(lib: ctypes.CDLL) -> None:
+    """Apply ``REPRO_NATIVE_SIMD`` / ``REPRO_NATIVE_THREADS`` to a freshly
+    loaded library (also how pool workers inherit the parent's knobs)."""
+    route = os.environ.get(_SIMD_ENV, "").strip().lower()
+    if route and route != "auto":
+        level = _SIMD_LEVELS.get(route)
+        if level is None:
+            raise InvalidParameterError(
+                f"unknown SIMD route {route!r} "
+                f"(expected {'|'.join(_SIMD_LEVELS)}|auto)"
+            )
+        if int(lib.repro_set_simd(level)) < 0:
+            raise InvalidParameterError(
+                f"SIMD route {route!r} is not supported by this CPU/build "
+                f"(supported: {', '.join(_lib_routes(lib))})"
+            )
+    threads = os.environ.get(_THREADS_ENV, "").strip()
+    if threads:
+        lib.repro_set_threads(_coerce_threads(threads))
+
+
+def _lib_routes(lib: ctypes.CDLL) -> list[str]:
+    return [
+        _SIMD_NAMES[level]
+        for level in sorted(_SIMD_NAMES)
+        if int(lib.repro_simd_supported(level))
+    ]
+
+
+def simd_routes() -> list[str]:
+    """SIMD routes this CPU + build can run (``scalar`` always, when the
+    native library loaded at all)."""
+    lib = _load_native()
+    if lib is None:
+        return []
+    return _lib_routes(lib)
+
+
+def simd_route() -> str | None:
+    """The SIMD route the next native kernel call will dispatch to
+    (``None`` when the native backend is unavailable)."""
+    lib = _load_native()
+    if lib is None:
+        return None
+    return _SIMD_NAMES[int(lib.repro_simd_level())]
+
+
+def set_simd_route(name: str | None = None) -> str:
+    """Pin the native SIMD route (``"auto"``/``None`` re-resolves to the
+    best supported one). Returns the route now in effect; raises when the
+    requested route cannot run on this CPU/build."""
+    lib = _load_native()
+    if lib is None:
+        raise InvalidParameterError(
+            f"native backend unavailable: {native_build_error()}"
+        )
+    requested = (name or "auto").strip().lower()
+    if requested == "auto":
+        return _SIMD_NAMES[int(lib.repro_set_simd(-1))]
+    level = _SIMD_LEVELS.get(requested)
+    if level is None:
+        raise InvalidParameterError(
+            f"unknown SIMD route {requested!r} "
+            f"(expected {'|'.join(_SIMD_LEVELS)}|auto)"
+        )
+    effective = int(lib.repro_set_simd(level))
+    if effective < 0:
+        raise InvalidParameterError(
+            f"SIMD route {requested!r} is not supported by this CPU/build "
+            f"(supported: {', '.join(_lib_routes(lib))})"
+        )
+    return _SIMD_NAMES[effective]
+
+
+@contextmanager
+def use_simd_route(name: str | None):
+    """Temporarily pin the SIMD route (tests, benchmarks)."""
+    previous = simd_route()
+    route = set_simd_route(name)
+    try:
+        yield route
+    finally:
+        if previous is not None:
+            set_simd_route(previous)
+
+
+def native_threads() -> int:
+    """The in-process thread count native kernels currently split over."""
+    lib = _load_native()
+    if lib is None:
+        return 1
+    return int(lib.repro_get_threads())
+
+
+def set_native_threads(count: int | str | None = None) -> int:
+    """Set how many pthreads the native kernels may split a pass over.
+
+    ``count`` is an int, ``"auto"`` (CPU count, capped at 16) or ``None``
+    (no change). Threading never changes answers: row blocks write
+    disjoint output ranges, so any count is bit-identical. Returns the
+    count now in effect (always 1 when the native backend is unavailable
+    or was built with threads gated out).
+    """
+    lib = _load_native()
+    if lib is None:
+        if count is not None:
+            _coerce_threads(count)  # still validate loudly
+        return 1
+    if count is None:
+        return int(lib.repro_get_threads())
+    return int(lib.repro_set_threads(_coerce_threads(count)))
+
+
+@contextmanager
+def use_native_threads(count: int | str):
+    """Temporarily pin the native thread count (tests, benchmarks)."""
+    previous = native_threads()
+    effective = set_native_threads(count)
+    try:
+        yield effective
+    finally:
+        set_native_threads(previous)
+
+
+def set_thread_min_words(words: int | None = None) -> int:
+    """Get/set the work-size gate (table words touched per call) below
+    which native kernels stay single-threaded. ``None`` queries without
+    changing; returns the previous value. Tests set 0 so tiny inputs
+    still exercise the threaded path."""
+    lib = _load_native()
+    if lib is None:
+        return 0
+    return int(lib.repro_set_thread_min_words(-1 if words is None else int(words)))
 
 
 # ---------------------------------------------------------------------------
@@ -446,6 +1582,14 @@ class NativeBackend(KernelBackend):
     def __init__(self, lib: ctypes.CDLL) -> None:
         self._lib = lib
         self._numpy = NumpyBackend()
+
+    @property
+    def calibration_key(self) -> str:
+        """Planner calibration key naming the variant actually dispatched
+        (e.g. ``native:avx512:t4``) — a speedup measured for one SIMD
+        route / thread count must not price a different one."""
+        route = _SIMD_NAMES[int(self._lib.repro_simd_level())]
+        return f"native:{route}:t{int(self._lib.repro_get_threads())}"
 
     # -- helpers ------------------------------------------------------------
 
@@ -670,6 +1814,11 @@ def measure_backend_speedup(
             from . import planner
 
             planner.record_backend_speedup("native", speedup)
+            # Also record under the dispatched-variant key so `auto`
+            # prices the route/thread combination actually measured.
+            variant = native.calibration_key
+            if variant != "native":
+                planner.record_backend_speedup(variant, speedup)
         except Exception:
             pass
     return speedup

@@ -94,6 +94,12 @@ _SUMMARY_BINS = 128
 #: payload never exceeds a few MB of sentinel rows.
 _PROBE_CHUNK = 65536
 
+#: Byte cap on one phase-2 exchange window's sentinel payload (lo + hi
+#: rows of the survivors in flight at once). Survivor sets are streamed
+#: window by window instead of broadcast whole — bit-identical, but the
+#: exchange footprint stops scaling with the survivor count.
+_EXCHANGE_WINDOW_BYTES = 8 << 20
+
 #: Smallest τ-refinement head worth an extra exchange round: the head is
 #: ``max(4k, this)`` of the highest upper bounds, scored exactly to pull
 #: τ up to a true global bound before the main exchange.
@@ -676,6 +682,7 @@ def execute_partitioned(
         start_p2 = time.perf_counter()
         total = lower.copy()
         refined = np.zeros(0, dtype=np.intp)
+        exchange_windows = 0
         if len(shards) > 1:
             exchange = _Exchanger(view, pool, provider, lo, hi, shm_metas)
             # τ refinement: exactly score the highest-upper-bound head
@@ -695,6 +702,7 @@ def execute_partitioned(
             mask = np.ones(candidates.size, dtype=bool)
             mask[np.isin(candidates, refined)] = False
             exchange.add_exact(candidates[mask], total)
+            exchange_windows = exchange.windows
         phase2_seconds = time.perf_counter() - start_p2
     finally:
         # Segments the phase-1 workers exported on our behalf: the pool
@@ -739,6 +747,7 @@ def execute_partitioned(
         merge="tree" if merge_groups else "flat",
         merge_groups=merge_groups,
         spill=spill,
+        exchange_windows=exchange_windows,
     )
     return TKDResult.from_selection(
         dataset,
@@ -1059,35 +1068,66 @@ class _Exchanger:
         self._lo = lo
         self._hi = hi
         self._shm_metas = shm_metas or {}
+        #: Fixed-size windows the survivor sets were streamed in
+        #: (reported as ``exchange_windows`` in partition stats).
+        self.windows = 0
+
+    def _window_rows(self) -> int:
+        """Survivor rows per exchange window, sized so one window's
+        sentinel payload (lo + hi rows) stays under the byte cap."""
+        d = int(self._lo.shape[1]) if self._lo.ndim == 2 else 1
+        per_row = 2 * self._lo.dtype.itemsize * max(d, 1)
+        return max(1, _EXCHANGE_WINDOW_BYTES // per_row)
 
     def add_exact(self, rows: np.ndarray, total: np.ndarray) -> None:
-        """Fold every shard's exact foreign contribution into ``total[rows]``."""
+        """Fold every shard's exact foreign contribution into ``total[rows]``.
+
+        The survivor set is streamed in fixed-size windows rather than
+        broadcast whole, so per-exchange bytes stay capped however many
+        candidates survive phase 1. Contributions are integer adds into
+        disjoint-per-shard positions, so the window order (and any
+        window size) is bit-identical to the one-shot exchange.
+        """
         if rows.size == 0:
             return
         lo, hi = self._lo, self._hi
+        window = self._window_rows()
+        self.windows += -(-rows.size // window)
         if self._pool is None:
+            # Shard-major: table attaches dominate in spill mode, so each
+            # shard is attached once; the inner windows bound the gathered
+            # sentinel temporaries instead.
             for shard in self._view.shards:
                 foreign = rows[(rows < shard.start) | (rows >= shard.stop)]
                 if foreign.size:
                     prepared = self._provider(shard)
-                    total[foreign] += prepared.foreign_dominated_counts(
-                        lo[foreign], hi[foreign]
-                    )
+                    for start in range(0, foreign.size, window):
+                        sel = foreign[start : start + window]
+                        total[sel] += prepared.foreign_dominated_counts(
+                            lo[sel], hi[sel]
+                        )
             return
-        futures = []
-        for shard in self._view.shards:
-            foreign = rows[(rows < shard.start) | (rows >= shard.stop)]
-            fingerprint = shard.fingerprint()
-            for chunk_start in range(0, foreign.size, _PROBE_CHUNK):
-                chunk = foreign[chunk_start : chunk_start + _PROBE_CHUNK]
-                payload = (
-                    fingerprint,
-                    shard.dataset.values,
-                    shard.dataset.directions,
-                    lo[chunk],
-                    hi[chunk],
-                    self._shm_metas.get(fingerprint),
-                )
-                futures.append((chunk, self._pool.submit(_phase2_worker, payload)))
-        for chunk, future in futures:
-            total[chunk] += future.result()
+        # Window-major over the pool: one window's futures (all shards)
+        # are submitted and drained before the next window starts, so the
+        # pickled sentinel bytes in flight are capped too.
+        for start in range(0, rows.size, window):
+            wrows = rows[start : start + window]
+            futures = []
+            for shard in self._view.shards:
+                foreign = wrows[(wrows < shard.start) | (wrows >= shard.stop)]
+                fingerprint = shard.fingerprint()
+                for chunk_start in range(0, foreign.size, _PROBE_CHUNK):
+                    chunk = foreign[chunk_start : chunk_start + _PROBE_CHUNK]
+                    payload = (
+                        fingerprint,
+                        shard.dataset.values,
+                        shard.dataset.directions,
+                        lo[chunk],
+                        hi[chunk],
+                        self._shm_metas.get(fingerprint),
+                    )
+                    futures.append(
+                        (chunk, self._pool.submit(_phase2_worker, payload))
+                    )
+            for chunk, future in futures:
+                total[chunk] += future.result()

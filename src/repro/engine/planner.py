@@ -258,7 +258,15 @@ def _active_backend_speedup() -> float:
         active = backend_module._active_backend
         if active is None or not active.native:
             return 1.0
-        speedup = backend_speedup(active.name)
+        # Prefer the calibration of the variant actually dispatched
+        # (e.g. "native:avx512:t4"): a speedup measured for one SIMD
+        # route / thread count must not price a different one. Fall back
+        # to the backend-wide key for observations recorded before the
+        # variant was known (or persisted by an older store).
+        variant = getattr(active, "calibration_key", None)
+        speedup = backend_speedup(variant) if variant else None
+        if speedup is None:
+            speedup = backend_speedup(active.name)
     except Exception:  # pragma: no cover - defensive
         return 1.0
     if speedup is None or speedup <= 0.0:

@@ -74,7 +74,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from ._lockcheck import make_lock
-from .backend import SharedTables, select_backend
+from .backend import SharedTables, select_backend, set_native_threads
 from .kernels import (
     PreparedDataset,
     SentinelDelta,
@@ -633,6 +633,13 @@ class QueryEngine:
         are process-global); backends are bit-identical, so this only
         affects speed. ``None`` (default) leaves the current selection
         (itself resolved from ``REPRO_BACKEND``, default ``auto``) alone.
+    native_threads: in-process pthread count the native kernels may
+        split one accumulator/foreign-count pass over — an int,
+        ``"auto"`` (CPU count, capped at 16) or ``None`` (default: leave
+        the current setting, itself seeded from
+        ``REPRO_NATIVE_THREADS``). Process-wide like ``backend``; row
+        blocks write disjoint output ranges, so any thread count is
+        bit-identical. A no-op when the native backend is unavailable.
     memory_budget: resident-set byte budget for partitioned queries —
         bytes, or a size string (``"512M"``, ``"2G"``; see
         :func:`parse_memory_budget`). When a partitioned query's total
@@ -657,9 +664,12 @@ class QueryEngine:
         dataset_cache: PreparedDatasetCache | None = None,
         store: "PersistentStore | str | Path | None" = None,
         backend: str | None = None,
+        native_threads: "int | str | None" = None,
         memory_budget: "int | str | None" = None,
     ) -> None:
         self._backend = select_backend(backend) if backend is not None else None
+        if native_threads is not None:
+            set_native_threads(native_threads)
         self._prepared = _LRU(max_prepared)
         self._results = _LRU(max_results)
         #: Incrementally maintained full score vectors, per fingerprint —

@@ -319,6 +319,50 @@ class TestMergeExactness:
         assert engine.stats.result_hits == 1
 
 
+class TestWindowedExchange:
+    """Phase-2 survivor exchange streams in fixed-size windows: per-exchange
+    bytes stay capped however many candidates survive, and window size can
+    never change an answer (integer adds into disjoint positions commute)."""
+
+    # Low missingness + small k keeps the survivor set under the
+    # τ-refinement head, so the survivors actually travel through the
+    # exchanger (the refined head is scored in-parent instead).
+    WORKLOAD = dict(n=128, seed=25, missing=0.1)
+
+    def test_default_cap_reports_window_count(self):
+        ds = random_dataset(**self.WORKLOAD)
+        result = fresh_engine().query(ds, 2, partitions=3)
+        # survivors fit one 8MB window; single-shard runs exchange nothing
+        assert result.stats.extra["exchange_windows"] == 1
+        single = fresh_engine().query(ds, 2, partitions=1)
+        assert single.stats.extra.get("exchange_windows", 0) == 0
+
+    def test_tiny_window_is_bit_identical_and_counted(self, monkeypatch):
+        from repro.engine import partition as partition_module
+
+        ds = random_dataset(**self.WORKLOAD)
+        want = fresh_engine().query(ds, 2, partitions=3)
+        # 128-byte cap -> 2 survivor rows per window (2 * 8B * d=4 each)
+        monkeypatch.setattr(partition_module, "_EXCHANGE_WINDOW_BYTES", 128)
+        got = fresh_engine().query(ds, 2, partitions=3)
+        assert got.indices == want.indices
+        assert got.scores == want.scores
+        assert got.stats.extra["exchange_windows"] >= 2
+        assert got.stats.extra["exchange_windows"] > want.stats.extra["exchange_windows"]
+        reference = naive_tkd(ds, 2)
+        assert got.indices == reference.indices
+
+    def test_tiny_window_pooled_path_identical(self, monkeypatch):
+        from repro.engine import partition as partition_module
+
+        ds = random_dataset(**self.WORKLOAD)
+        want = naive_tkd(ds, 2)
+        monkeypatch.setattr(partition_module, "_EXCHANGE_WINDOW_BYTES", 128)
+        got = fresh_engine().query(ds, 2, partitions=3, workers=2)
+        assert got.indices == want.indices and got.scores == want.scores
+        assert got.stats.extra["exchange_windows"] >= 2
+
+
 class TestWorkersAndAuto:
     def test_workers_pool_is_bit_identical(self):
         ds = random_dataset(300, seed=22, missing=0.25)

@@ -1,0 +1,394 @@
+"""SIMD dispatch and native-threading tests for the kernel backend.
+
+The native library carries scalar + vector variants of every kernel in one
+``.so`` and picks between them at runtime; an in-process pthread pool splits
+passes over disjoint row blocks.  Neither knob may ever change an answer —
+these tests pin that contract:
+
+* every supported SIMD route × thread count is bit-identical to numpy on
+  word-boundary sizes (63/64/65/128), NaN payloads and tombstoned rows;
+* forced-scalar equals forced-vector (the parity suite's reference route is
+  genuinely scalar — the C source disables auto-vectorisation on the twins);
+* config surfaces (env vars, ``QueryEngine(native_threads=)``, the CLI flag)
+  validate loudly and reach the library;
+* the planner calibrates the variant actually dispatched, not a blanket
+  "native" figure;
+* a toolchain that cannot compile the vector variants still yields a
+  working scalar library (subprocess-proven graceful fallback).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import stat
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine import backend as backend_module
+from repro.engine import kernels
+from repro.engine.backend import (
+    native_available,
+    native_build_mode,
+    native_threads,
+    set_native_threads,
+    set_simd_route,
+    set_thread_min_words,
+    simd_route,
+    simd_routes,
+    use_backend,
+    use_native_threads,
+    use_simd_route,
+)
+from repro.engine.kernels import (
+    PreparedDataset,
+    dominated_counts,
+    dominated_masks,
+    dominator_counts,
+    dominator_masks,
+)
+from repro.engine.session import PreparedDatasetCache, QueryEngine
+from repro.errors import InvalidParameterError
+
+REPO = Path(__file__).resolve().parent.parent
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="native backend unavailable (no working C compiler)"
+)
+
+THREAD_COUNTS = (1, 2, 3, 8)
+
+
+@pytest.fixture(autouse=True)
+def _restore_native_knobs():
+    """Every test leaves the process-wide SIMD route, thread count and
+    work-size gate as it found them (they live in the loaded .so)."""
+    previous_backend = backend_module._active_backend
+    route = simd_route()
+    threads = native_threads()
+    gate = set_thread_min_words(None) if native_available() else None
+    yield
+    with backend_module._registry_lock:
+        backend_module._active_backend = previous_backend
+    if route is not None:
+        set_simd_route(route)
+        set_native_threads(threads)
+    if gate is not None:
+        set_thread_min_words(gate)
+
+
+def _tabled(ds) -> PreparedDataset:
+    prepared = PreparedDataset(ds)
+    assert prepared.tables(build=True) is not None
+    return prepared
+
+
+def _full_answer(ds):
+    prepared = _tabled(ds)
+    return (
+        dominated_counts(ds, prepared=prepared).tolist(),
+        dominator_counts(ds, prepared=prepared).tolist(),
+        dominated_masks(ds, prepared=prepared).tolist(),
+        dominator_masks(ds, prepared=prepared).tolist(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Route discovery / forcing
+# ---------------------------------------------------------------------------
+
+@needs_native
+class TestRouteSelection:
+    def test_scalar_always_supported(self):
+        routes = simd_routes()
+        assert "scalar" in routes
+        assert routes == sorted(set(routes), key=routes.index)  # no dupes
+
+    def test_forced_route_sticks_and_auto_restores(self):
+        best = set_simd_route("auto")
+        with use_simd_route("scalar") as route:
+            assert route == "scalar"
+            assert simd_route() == "scalar"
+        assert simd_route() == best
+
+    def test_unsupported_route_rejected_and_state_unchanged(self):
+        unsupported = [r for r in ("neon", "avx512", "avx2") if r not in simd_routes()]
+        if not unsupported:
+            pytest.skip("CPU supports every route in the catalogue")
+        before = simd_route()
+        with pytest.raises(InvalidParameterError):
+            set_simd_route(unsupported[0])
+        assert simd_route() == before
+
+    def test_unknown_route_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            set_simd_route("sse9")
+
+    def test_build_mode_reported(self):
+        assert native_build_mode() in {"simd+threads", "threads", "simd", "portable"}
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical parity: every route × thread count
+# ---------------------------------------------------------------------------
+
+@needs_native
+class TestSimdThreadParity:
+    @pytest.mark.parametrize("n", (63, 64, 65, 128))
+    def test_routes_and_threads_match_numpy(self, make_incomplete, n):
+        """Word-boundary sizes with NaN payloads: counts and masks agree
+        with numpy under every (route, thread count), with the work-size
+        gate forced open so tiny inputs still take the threaded path."""
+        ds = make_incomplete(n, 4, missing_rate=0.3, seed=n)
+        with use_backend("numpy"):
+            expected = _full_answer(ds)
+        set_thread_min_words(0)
+        with use_backend("native"):
+            for route in simd_routes():
+                with use_simd_route(route):
+                    for count in THREAD_COUNTS:
+                        with use_native_threads(count):
+                            assert _full_answer(ds) == expected, (route, count)
+
+    def test_forced_scalar_equals_forced_vector(self, make_incomplete):
+        vector_routes = [r for r in simd_routes() if r != "scalar"]
+        if not vector_routes:
+            pytest.skip("no vector route on this CPU/build")
+        ds = make_incomplete(257, 5, missing_rate=0.2, seed=3)
+        set_thread_min_words(0)
+        with use_backend("native"):
+            with use_simd_route("scalar"):
+                reference = _full_answer(ds)
+            for route in vector_routes:
+                with use_simd_route(route):
+                    assert _full_answer(ds) == reference, route
+
+    def test_tombstoned_rows_parity(self, make_incomplete):
+        """Streams that leave tombstones behind answer identically on every
+        route × thread count (the live mask rides through the kernels)."""
+        answers = {}
+        set_thread_min_words(0)
+        combos = [("numpy", None, 1)] + [
+            ("native", route, count)
+            for route in simd_routes()
+            for count in (1, 3)
+        ]
+        for backend_name, route, count in combos:
+            ds = make_incomplete(200, 4, missing_rate=0.3, seed=21)
+            with use_backend(backend_name):
+                if backend_name == "native":
+                    set_simd_route(route)
+                    set_native_threads(count)
+                engine = QueryEngine(dataset_cache=PreparedDatasetCache())
+                child = engine.delete(ds, list(ds.ids[10:40]))
+                trace = [engine.query(child, 10).ids]
+                child = engine.insert(child, [[0.5, 0.5, 0.5, 0.5]])
+                trace.append(engine.query(child, 10).ids)
+                answers[(backend_name, route, count)] = trace
+        reference = answers[("numpy", None, 1)]
+        for combo, trace in answers.items():
+            assert trace == reference, combo
+
+    def test_popcount_parity_all_routes(self):
+        rng = np.random.default_rng(8)
+        words = rng.integers(0, 2**64, size=(129, 3), dtype=np.uint64)
+        with use_backend("numpy"):
+            expected = kernels._popcount_rows(words).tolist()
+        set_thread_min_words(0)
+        with use_backend("native"):
+            for route in simd_routes():
+                with use_simd_route(route):
+                    for count in THREAD_COUNTS:
+                        with use_native_threads(count):
+                            got = kernels._popcount_rows(words).tolist()
+                            assert got == expected, (route, count)
+
+    def test_thread_gate_leaves_small_inputs_single_threaded(self):
+        """The work-size gate is a pure performance heuristic — answers at
+        a huge gate (never thread) equal answers at gate 0 (always)."""
+        rng = np.random.default_rng(4)
+        words = rng.integers(0, 2**64, size=(500, 4), dtype=np.uint64)
+        with use_backend("native"):
+            with use_native_threads(8):
+                set_thread_min_words(1 << 40)
+                gated = kernels._popcount_rows(words).tolist()
+                set_thread_min_words(0)
+                threaded = kernels._popcount_rows(words).tolist()
+        assert gated == threaded
+
+
+# ---------------------------------------------------------------------------
+# Configuration surfaces
+# ---------------------------------------------------------------------------
+
+class TestThreadConfig:
+    def test_bad_thread_counts_rejected(self):
+        for bad in (0, -2, "bogus", "0"):
+            with pytest.raises(InvalidParameterError):
+                set_native_threads(bad)
+
+    def test_auto_resolves_to_cpu_count_capped(self):
+        count = backend_module._coerce_threads("auto")
+        assert 1 <= count <= backend_module._MAX_NATIVE_THREADS
+
+    @needs_native
+    def test_counts_clamped_to_max(self):
+        assert set_native_threads(10_000) == backend_module._MAX_NATIVE_THREADS
+
+    @needs_native
+    def test_engine_keyword_sets_threads(self):
+        engine = QueryEngine(native_threads=2)
+        assert engine is not None
+        assert native_threads() == 2
+
+    def test_engine_keyword_validates_even_without_native(self):
+        with pytest.raises(InvalidParameterError):
+            QueryEngine(native_threads=0)
+
+    @needs_native
+    def test_env_application(self, monkeypatch):
+        lib = backend_module._load_native()
+        monkeypatch.setenv("REPRO_NATIVE_SIMD", "scalar")
+        monkeypatch.setenv("REPRO_NATIVE_THREADS", "3")
+        backend_module._apply_native_env(lib)
+        assert simd_route() == "scalar"
+        assert native_threads() == 3
+
+    @needs_native
+    def test_env_rejects_unknown_route(self, monkeypatch):
+        lib = backend_module._load_native()
+        monkeypatch.setenv("REPRO_NATIVE_SIMD", "warp9")
+        with pytest.raises(InvalidParameterError):
+            backend_module._apply_native_env(lib)
+
+    @needs_native
+    def test_cli_flag_reaches_library(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+        from repro.core.dataset import IncompleteDataset
+
+        monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+        path = tmp_path / "sample.csv"
+        IncompleteDataset(
+            [[1, 2, None], [2, None, 1], [3, 3, 3]],
+            ids=["a", "b", "c"],
+            dim_names=["x", "y", "z"],
+        ).to_csv(path)
+        code = main(
+            [
+                "query", str(path), "--k", "2", "--id-column", "id",
+                "--backend", "native", "--native-threads", "2",
+            ]
+        )
+        assert code == 0
+        assert native_threads() == 2
+        # exported so pool workers inherit the knob
+        assert os.environ.get("REPRO_NATIVE_THREADS") == "2"
+        os.environ.pop("REPRO_NATIVE_THREADS", None)  # monkeypatch restores the original
+
+
+# ---------------------------------------------------------------------------
+# Planner calibration records the dispatched variant
+# ---------------------------------------------------------------------------
+
+@needs_native
+class TestVariantCalibration:
+    def test_calibration_key_names_route_and_threads(self):
+        native = backend_module._native()
+        with use_simd_route("scalar"), use_native_threads(2):
+            assert native.calibration_key == "native:scalar:t2"
+
+    def test_measured_speedup_recorded_under_variant_key(self):
+        from repro.engine.planner import backend_speedup
+
+        native = backend_module._native()
+        from repro.engine.backend import measure_backend_speedup
+
+        speedup = measure_backend_speedup(n=1200, repeats=1)
+        assert speedup > 0
+        assert backend_speedup(native.calibration_key) == pytest.approx(
+            backend_speedup("native")
+        )
+
+
+# ---------------------------------------------------------------------------
+# Graceful fallback when the vector variants cannot compile
+# ---------------------------------------------------------------------------
+
+@needs_native
+class TestBuildFallback:
+    def test_simd_compile_failure_falls_back_to_scalar(self, tmp_path):
+        """A toolchain that chokes on the vector variants must still produce
+        a working library: the build retries with -DREPRO_NO_SIMD, routes
+        collapse to scalar, and answers still match numpy."""
+        real_cc = backend_module._compiler()
+        wrapper = tmp_path / "cc-no-simd"
+        wrapper.write_text(
+            textwrap.dedent(
+                f"""\
+                #!/bin/sh
+                for arg in "$@"; do
+                    if [ "$arg" = "-DREPRO_NO_SIMD" ]; then
+                        exec {real_cc} "$@"
+                    fi
+                done
+                echo "simulated vector-variant compile failure" >&2
+                exit 1
+                """
+            )
+        )
+        wrapper.chmod(wrapper.stat().st_mode | stat.S_IEXEC)
+        probe = textwrap.dedent(
+            """\
+            import json
+            import numpy as np
+            from repro.core.dataset import IncompleteDataset
+            from repro.engine.backend import (
+                native_available, native_build_mode, simd_route, simd_routes,
+                use_backend,
+            )
+            from repro.engine.kernels import PreparedDataset, dominated_counts
+
+            assert native_available(), "fallback build should still load"
+            rng = np.random.default_rng(0)
+            values = rng.uniform(0, 10, size=(80, 3))
+            values[rng.uniform(size=(80, 3)) < 0.25] = np.nan
+            ds = IncompleteDataset(values.tolist())
+            answers = {}
+            for name in ("numpy", "native"):
+                with use_backend(name):
+                    prepared = PreparedDataset(ds)
+                    prepared.tables(build=True)
+                    answers[name] = dominated_counts(ds, prepared=prepared).tolist()
+            assert answers["numpy"] == answers["native"]
+            print(json.dumps({
+                "mode": native_build_mode(),
+                "route": simd_route(),
+                "routes": simd_routes(),
+            }))
+            """
+        )
+        env = dict(os.environ)
+        env.update(
+            CC=str(wrapper),
+            REPRO_NATIVE_CACHE=str(tmp_path / "cache"),
+            PYTHONPATH=str(REPO / "src"),
+        )
+        env.pop("REPRO_NATIVE_SIMD", None)
+        env.pop("REPRO_NATIVE_THREADS", None)
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(result.stdout.strip().splitlines()[-1])
+        assert report["mode"] in {"threads", "portable"}
+        assert report["route"] == "scalar"
+        assert report["routes"] == ["scalar"]

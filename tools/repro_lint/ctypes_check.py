@@ -13,7 +13,8 @@ ctypes.POINTER(c_vp)``), and cross-checks, per function:
 * each position is ABI-compatible (``int64_t``<->``c_int64``,
   ``int32_t``<->``c_int32``, any single pointer<->``c_void_p`` or a
   ``POINTER(...)``, pointer-to-pointer<->``POINTER(c_void_p)``);
-* ``restype`` is declared, and is ``None`` exactly for ``void``;
+* ``restype`` is declared, is ``None`` exactly for ``void``, and matches
+  the declared C return width (``int32_t`` vs ``int64_t``) otherwise;
 * no ``argtypes`` declaration exists for a function absent from the C
   source (drift in the other direction).
 
@@ -203,6 +204,14 @@ def check_ctypes_prototypes(sf: SourceFile) -> list[Finding]:
             emit(
                 decl.get("restype_line", line),
                 f"'{name}' returns '{sig['ret']}' but restype is None",
+            )
+        elif sig["ret"] != "void" and not _compatible(
+            _c_param_category(sig["ret"]), decl["restype"]
+        ):
+            emit(
+                decl.get("restype_line", line),
+                f"'{name}' returns '{sig['ret']}' but restype is "
+                f"'{decl['restype']}'",
             )
     for name, decl in sorted(decls.items()):
         if name not in sigs:

@@ -1,0 +1,154 @@
+"""REP008 — every SIMD kernel variant needs a scalar twin and dispatch wiring.
+
+The native backend ships one ``.so`` containing a *family* of variants per
+kernel (``fused_counts_scalar`` / ``_avx2`` / ``_avx512`` / ``_neon``) and
+picks between them at runtime through per-family dispatch tables indexed by
+the resolved SIMD level.  Two invariants keep that safe:
+
+* **Scalar twin** — every vector variant must have a ``_scalar`` sibling
+  with an identical signature (return type and parameter sequence).  The
+  scalar twin is the fallback for unsupported ISAs *and* the reference the
+  parity suite pins the vector routes against; a signature drift between
+  twins is undefined behaviour the moment the dispatch table unifies them
+  under one function-pointer type.
+* **Dispatch wiring** — a variant that is defined but never entered into
+  its family's ``<family>_dispatch`` table is dead code at best and, at
+  worst, a sign the table still routes that level to an older variant.
+
+This checker parses the embedded ``_C_SOURCE`` (the same extraction REP007
+uses), groups ``static``-defined functions by the ``_scalar``/``_avx2``/
+``_avx512``/``_neon`` suffix, and enforces both invariants textually —
+preprocessor branches are scanned as written, so variants guarded by
+``#if`` blocks are still covered.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .core import Finding, SourceFile, register_rule
+
+VARIANT_SUFFIXES = ("scalar", "avx2", "avx512", "neon")
+
+# "static [inline] <ret> <family>_<suffix>(<params>) {" — attributes such as
+# __attribute__((target("avx2"))) sit on their own preceding line, so the
+# match starts cleanly at the storage class.  "static const" declarations
+# (the dispatch tables themselves) are excluded up front.
+VARIANT_DEF_RE = re.compile(
+    r"\bstatic\s+(?!const\b)((?:[A-Za-z_]\w*[\s*]+)+?)"
+    r"([a-z][a-z0-9_]*)_(scalar|avx2|avx512|neon)\s*\(([^)]*)\)\s*\{",
+    re.S,
+)
+
+
+def _normalise_ret(ret: str) -> str:
+    toks = [t for t in re.split(r"\s+", ret.strip()) if t and t != "inline"]
+    return " ".join(toks)
+
+
+def _normalise_param(decl: str) -> str:
+    """Exact parameter type with the name dropped: ``const uint64_t **suffix``
+    -> ``const uint64_t * *``.  Twin comparison must be stricter than the
+    ABI categories REP007 uses — ``int64_t **`` and ``uint64_t **`` are both
+    ``pp`` to ctypes but are different kernels to the dispatch table."""
+    toks = re.findall(r"\*|[A-Za-z_]\w*", decl)
+    idents = [t for t in toks if t != "*"]
+    if len(idents) >= 2 and toks and toks[-1] != "*":
+        toks = toks[:-1]  # trailing parameter name
+    return " ".join(toks)
+
+
+def parse_variants(c_source: str) -> dict[str, dict[str, dict]]:
+    """{family: {suffix: {'ret', 'args', 'offset'}}} for every variant def."""
+    families: dict[str, dict[str, dict]] = {}
+    for m in VARIANT_DEF_RE.finditer(c_source):
+        ret, family, suffix, params = m.groups()
+        params = params.strip()
+        if params in {"", "void"}:
+            args: list[str] = []
+        else:
+            args = [_normalise_param(p.strip()) for p in params.split(",")]
+        families.setdefault(family, {})[suffix] = {
+            "ret": _normalise_ret(ret),
+            "args": args,
+            "offset": m.start(2),
+        }
+    return families
+
+
+def _embedded_source(sf: SourceFile) -> tuple[str | None, int]:
+    """(embedded C source, line of the _C_SOURCE assignment) or (None, 1)."""
+    for node in ast.walk(sf.tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "_C_SOURCE"
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            return node.value.value, node.lineno
+    return None, 1
+
+
+def check_simd_variants(sf: SourceFile) -> list[Finding]:
+    c_source, base_line = _embedded_source(sf)
+    if c_source is None:
+        return []
+    findings: list[Finding] = []
+    families = parse_variants(c_source)
+
+    def line_of(offset: int) -> int:
+        return base_line + c_source.count("\n", 0, offset)
+
+    def emit(offset: int, msg: str) -> None:
+        findings.append(Finding("REP008", msg, sf.path, line_of(offset)))
+
+    for family, variants in sorted(families.items()):
+        vectors = {s: v for s, v in variants.items() if s != "scalar"}
+        scalar = variants.get("scalar")
+        if vectors and scalar is None:
+            first = min(vectors.values(), key=lambda v: v["offset"])
+            emit(
+                first["offset"],
+                f"SIMD family '{family}' has vector variants "
+                f"({', '.join(sorted(vectors))}) but no '{family}_scalar' twin",
+            )
+        for suffix, var in sorted(vectors.items()):
+            name = f"{family}_{suffix}"
+            if scalar is not None:
+                if var["ret"] != scalar["ret"]:
+                    emit(
+                        var["offset"],
+                        f"'{name}' returns '{var['ret']}' but its scalar twin "
+                        f"returns '{scalar['ret']}'",
+                    )
+                if var["args"] != scalar["args"]:
+                    emit(
+                        var["offset"],
+                        f"'{name}' signature {var['args']} differs from its "
+                        f"scalar twin's {scalar['args']}",
+                    )
+            # definition + at least one dispatch-table entry
+            if len(re.findall(rf"\b{re.escape(name)}\b", c_source)) < 2:
+                emit(
+                    var["offset"],
+                    f"'{name}' is defined but never referenced in a dispatch "
+                    "table",
+                )
+        if vectors and not re.search(rf"\b{re.escape(family)}_dispatch\b", c_source):
+            first = min(vectors.values(), key=lambda v: v["offset"])
+            emit(
+                first["offset"],
+                f"SIMD family '{family}' has vector variants but no "
+                f"'{family}_dispatch' table",
+            )
+    return findings
+
+
+register_rule(
+    "REP008",
+    "SIMD variant missing its scalar twin, drifting from it, or unwired from dispatch",
+    per_file=check_simd_variants,
+)
