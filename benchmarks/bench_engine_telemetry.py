@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Telemetry overhead acceptance benchmark.
+
+Instrumentation that changes what it measures is worse than none, so
+both telemetry states carry an enforced budget at the paper-scale
+workload (n=20000, d=4):
+
+1. **Disabled is near-free** — the spans stay compiled into every hot
+   path, so the disabled fast path (one module-flag check, a shared
+   no-op singleton, no allocation) must cost at most
+   ``--max-disabled-overhead`` (default 2%) of a query: measured as the
+   per-call cost of a disabled ``trace()`` times the number of span
+   sites one traced query actually passes through, over the untraced
+   query's wall time.
+2. **Enabled stays cheap** — running the same query with full span
+   collection on must add at most ``--max-enabled-overhead`` (default
+   15%) over the untraced baseline.
+
+Both arms are also checked for bit-identical answers, and the traced
+run's per-phase attribution (the ``repro trace summary`` number) is
+reported alongside.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine_telemetry.py
+      PYTHONPATH=src python benchmarks/bench_engine_telemetry.py \
+          --n 4000 --repeats 2  # CI smoke (budgets still enforced)
+
+Writes the measurements to ``--json`` (default
+``benchmarks/BENCH_telemetry.json``). Exits 1 when a budget is blown,
+2 if tracing changed the answer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.datasets.synthetic import independent_dataset
+from repro.engine import telemetry
+from repro.engine.session import QueryEngine
+from repro.engine.telemetry import trace
+
+
+def _best_of(repeats, fn):
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _disabled_span_cost(iters: int = 200_000) -> float:
+    """Per-call seconds of the disabled ``trace()`` fast path."""
+    start = time.perf_counter()
+    for _ in range(iters):
+        with trace("bench.noop"):
+            pass
+    return (time.perf_counter() - start) / iters
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20000, help="dataset size")
+    parser.add_argument("--d", type=int, default=4, help="dimensions")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--missing-rate", type=float, default=0.2)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--max-disabled-overhead",
+        type=float,
+        default=0.02,
+        help="budget for disabled-telemetry overhead as a fraction of query time",
+    )
+    parser.add_argument(
+        "--max-enabled-overhead",
+        type=float,
+        default=0.15,
+        help="budget for enabled-telemetry overhead as a fraction of query time",
+    )
+    parser.add_argument(
+        "--min-attribution",
+        type=float,
+        default=0.95,
+        help="floor for the fraction of root wall time attributed to named phases",
+    )
+    parser.add_argument(
+        "--json",
+        default=os.path.join(os.path.dirname(__file__), "BENCH_telemetry.json"),
+    )
+    args = parser.parse_args()
+
+    dataset = independent_dataset(args.n, args.d, missing_rate=args.missing_rate, seed=0)
+    print(f"workload: n={dataset.n} d={dataset.d} k={args.k} σ={args.missing_rate}")
+
+    # Warm the process-wide prepared-table cache once so both arms time
+    # the same execute path, not a one-off table build.
+    telemetry.set_enabled(False)
+    QueryEngine().query(dataset, args.k)
+
+    # -- baseline: telemetry disabled (the shipped default) ----------------
+    baseline_s, baseline = _best_of(
+        args.repeats, lambda: QueryEngine().query(dataset, args.k)
+    )
+
+    # -- enabled arm -------------------------------------------------------
+    telemetry.reset()
+    telemetry.set_enabled(True)
+    enabled_s, traced = _best_of(
+        args.repeats, lambda: QueryEngine().query(dataset, args.k)
+    )
+    telemetry.set_enabled(False)
+    spans = telemetry.drain_spans()
+    span_sites = max(len(spans) // args.repeats, 1)
+    summary = telemetry.phase_summary(spans)
+
+    if traced.ids != baseline.ids or traced.scores != baseline.scores:
+        print("FAIL: tracing changed the answer", file=sys.stderr)
+        return 2
+
+    per_call = _disabled_span_cost()
+    disabled_overhead = per_call * span_sites / max(baseline_s, 1e-9)
+    enabled_overhead = max(enabled_s / max(baseline_s, 1e-9) - 1.0, 0.0)
+
+    print(
+        f"baseline query: {baseline_s * 1e3:.1f}ms; traced: {enabled_s * 1e3:.1f}ms "
+        f"({span_sites} span sites/query, attribution {summary['attribution']:.1%})"
+    )
+    print(
+        f"disabled fast path: {per_call * 1e9:.0f}ns/call -> "
+        f"{disabled_overhead:.4%} of a query (budget {args.max_disabled_overhead:.0%})"
+    )
+    print(
+        f"enabled overhead: {enabled_overhead:.2%} (budget {args.max_enabled_overhead:.0%})"
+    )
+
+    payload = {
+        "n": dataset.n,
+        "d": dataset.d,
+        "k": args.k,
+        "missing_rate": args.missing_rate,
+        "baseline_seconds": baseline_s,
+        "enabled_seconds": enabled_s,
+        "noop_span_seconds": per_call,
+        "span_sites_per_query": span_sites,
+        "attribution_rate": summary["attribution"],
+        "min_attribution_rate": args.min_attribution,
+        "disabled_overhead_fraction": disabled_overhead,
+        "enabled_overhead_fraction": enabled_overhead,
+        "max_disabled_overhead": args.max_disabled_overhead,
+        "max_enabled_overhead": args.max_enabled_overhead,
+    }
+    with open(args.json, "w") as out:
+        json.dump(payload, out, indent=2)
+    print(f"wrote {args.json}")
+
+    failed = False
+    if summary["attribution"] < args.min_attribution:
+        print(
+            f"FAIL: only {summary['attribution']:.1%} of wall time attributed to "
+            f"named phases (floor {args.min_attribution:.0%})",
+            file=sys.stderr,
+        )
+        failed = True
+    if disabled_overhead > args.max_disabled_overhead:
+        print(
+            f"FAIL: disabled-telemetry overhead {disabled_overhead:.2%} over the "
+            f"{args.max_disabled_overhead:.0%} budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if enabled_overhead > args.max_enabled_overhead:
+        print(
+            f"FAIL: enabled-telemetry overhead {enabled_overhead:.2%} over the "
+            f"{args.max_enabled_overhead:.0%} budget",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

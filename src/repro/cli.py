@@ -13,7 +13,9 @@ Six subcommands cover the library's everyday workflow:
 * ``experiment`` — regenerate a paper figure/table (delegates to
   :mod:`repro.experiments.figures`);
 * ``cache``    — inspect, clear, compact, or locate the persistent store
-  (:mod:`repro.engine.store`).
+  (:mod:`repro.engine.store`);
+* ``trace``    — summarise a span log recorded with ``--trace``
+  (:mod:`repro.engine.telemetry`).
 
 Examples::
 
@@ -28,6 +30,8 @@ Examples::
     python -m repro cache compact --dir .repro-cache
     python -m repro compress data.csv --schemes wah,concise,roaring
     python -m repro experiment --experiment fig18 --scale 0.02
+    python -m repro query data.csv --k 5 --partitions 8 --workers 4 --trace q.json
+    python -m repro trace summary q.json
 """
 
 from __future__ import annotations
@@ -127,6 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-process threads for native kernels: a count or 'auto' "
         "(default: $REPRO_NATIVE_THREADS, else 1); bit-identical at any count",
     )
+    query.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record hierarchical spans (coordinator and worker processes) "
+        "and export them to PATH: '.jsonl' writes a JSON-lines span log, "
+        "anything else Chrome trace_event JSON (Perfetto-loadable); "
+        "'-' prints the per-phase summary instead of writing a file",
+    )
 
     stream = commands.add_parser(
         "stream",
@@ -168,6 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="in-process threads for native kernels: a count or 'auto' "
         "(default: $REPRO_NATIVE_THREADS, else 1); bit-identical at any count",
+    )
+    stream.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record hierarchical spans and export them to PATH "
+        "(see 'query --trace')",
     )
 
     info = commands.add_parser("info", help="describe an incomplete CSV dataset")
@@ -214,6 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="store directory (default: $REPRO_CACHE_DIR)",
     )
+
+    trace = commands.add_parser(
+        "trace", help="summarise a span log recorded with 'query --trace'"
+    )
+    trace.add_argument("action", choices=("summary",))
+    trace.add_argument(
+        "path",
+        help="span log written by --trace (JSONL span log or Chrome trace JSON)",
+    )
     return parser
 
 
@@ -250,8 +279,45 @@ def _select_backend(args) -> None:
         os.environ["REPRO_NATIVE_THREADS"] = str(args.native_threads)
 
 
+def _start_trace(args) -> None:
+    """Apply ``--trace`` (process-wide, like ``--backend``)."""
+    if getattr(args, "trace", None) is None:
+        return
+    from .engine import telemetry
+
+    telemetry.set_enabled(True)
+    # Pool workers re-enable collection from the propagated context, but
+    # the env var keeps freshly spawned interpreters consistent too.
+    os.environ["REPRO_TRACE"] = "1"
+
+
+def _finish_trace(args) -> None:
+    """Export (or summarise) the spans a traced command collected."""
+    path = getattr(args, "trace", None)
+    if path is None:
+        return
+    from .engine import telemetry
+
+    spans = telemetry.drain_spans()
+    if path == "-":
+        print()
+        print(telemetry.render_summary(spans))
+        return
+    count = telemetry.export_trace(spans, path)
+    kind = "JSONL span log" if str(path).endswith(".jsonl") else "Chrome trace"
+    print(f"trace: wrote {count} spans to {path} ({kind})")
+
+
 def _cmd_query(args) -> int:
     _select_backend(args)
+    _start_trace(args)
+    code = _run_query(args)
+    if code == 0:
+        _finish_trace(args)
+    return code
+
+
+def _run_query(args) -> int:
     dataset = _load_csv(args)
     if args.memory_budget is not None and args.partitions is None:
         print(
@@ -281,12 +347,13 @@ def _cmd_query(args) -> int:
         if args.algorithm != "auto":
             print(f"(plan not applied: --algorithm {args.algorithm} was given explicitly)")
     store_dir = args.store if args.store is not None else os.environ.get("REPRO_CACHE_DIR")
-    if store_dir:
+    if store_dir or args.trace is not None:
         # A store makes even one-shot queries engine-backed, so repeated
-        # CLI invocations answer warm from disk.
+        # CLI invocations answer warm from disk; tracing is engine-backed
+        # too (the spans live on the engine's query path).
         from .engine.session import QueryEngine
 
-        engine = QueryEngine(store=store_dir)
+        engine = QueryEngine(store=store_dir or None)
         result = engine.query(dataset, args.k, algorithm=args.algorithm)
         engine.flush()
         print(result.as_table())
@@ -389,6 +456,7 @@ def _cmd_stream(args) -> int:
     from .engine.session import QueryEngine
 
     _select_backend(args)
+    _start_trace(args)
     dataset = _load_csv(args)
     engine = QueryEngine()
     live = engine.continuous(dataset, k=args.k)
@@ -423,6 +491,7 @@ def _cmd_stream(args) -> int:
     print(live.result(args.k).as_table())
     print()
     print(engine.stats.summary())
+    _finish_trace(args)
     return 0
 
 
@@ -538,6 +607,22 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """``repro trace summary``: the per-phase latency table for a span log."""
+    from .engine import telemetry
+
+    try:
+        spans = telemetry.load_spans(args.path)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read span log {args.path!r}: {error}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"error: no spans in {args.path}", file=sys.stderr)
+        return 1
+    print(telemetry.render_summary(spans))
+    return 0
+
+
 _COMMANDS = {
     "query": _cmd_query,
     "stream": _cmd_stream,
@@ -546,6 +631,7 @@ _COMMANDS = {
     "compress": _cmd_compress,
     "experiment": _cmd_experiment,
     "cache": _cmd_cache,
+    "trace": _cmd_trace,
 }
 
 

@@ -36,7 +36,14 @@ Three layers, each consumable on its own:
   the packed-bitset hot loops with the numpy route as the portable,
   bit-identical fallback, plus :class:`SharedTables`, the
   shared-memory export that lets pool workers attach prepared tables
-  zero-copy instead of unpickling them.
+  zero-copy instead of unpickling them;
+* :mod:`repro.engine.telemetry` — the cross-cutting observability
+  layer: hierarchical wall/CPU-timed spans (``REPRO_TRACE=1``,
+  ``QueryEngine(trace=True)`` or ``--trace``) that propagate across
+  the engine's process pools into one coherent trace tree, a unified
+  :class:`MetricsRegistry` of counters/gauges/histograms, and
+  exporters (JSONL span log, Chrome ``trace_event``, the
+  ``repro trace summary`` per-phase latency table).
 """
 
 from .backend import (
@@ -98,6 +105,17 @@ from .session import (
     shutdown_pool,
 )
 from .store import PersistentStore, StoreStats
+from .telemetry import (
+    MetricsRegistry,
+    Span,
+    export_chrome_trace,
+    export_jsonl,
+    load_spans,
+    metrics,
+    phase_summary,
+    render_summary,
+    trace,
+)
 
 __all__ = [
     "score_block",
@@ -150,4 +168,13 @@ __all__ = [
     "select_backend",
     "use_backend",
     "shutdown_pool",
+    "MetricsRegistry",
+    "Span",
+    "export_chrome_trace",
+    "export_jsonl",
+    "load_spans",
+    "metrics",
+    "phase_summary",
+    "render_summary",
+    "trace",
 ]

@@ -49,20 +49,22 @@ from __future__ import annotations
 
 import atexit
 import ctypes
+import functools
 import hashlib
 import itertools
 import os
 import subprocess
 import sys
 import tempfile
-import time
 from contextlib import contextmanager
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from ..errors import InvalidParameterError
+from . import telemetry
 from ._lockcheck import make_lock
+from .telemetry import clock as _clock
 
 try:  # CPython's POSIX shared-memory primitive (always present on Linux).
     import _posixshmem
@@ -1568,6 +1570,33 @@ class NumpyBackend(KernelBackend):
         return kernels._moved_rank_row_numpy(table, q, p, slot, kind)
 
 
+def _timed_kernel(method):
+    """Per-call telemetry timing for a native kernel entry point.
+
+    When tracing is enabled, each call's wall time lands in a metrics
+    histogram named ``native.<kernel>.<calibration_key>`` — the same
+    route+threads key the planner prices (``native:avx512:t4`` etc.), so
+    observed kernel latency is attributable to the exact dispatched
+    variant. Disabled cost is one flag check per call; these entry
+    points are batched (one call per scan block, not per row), so that
+    check is far off the hot loop.
+    """
+    name = method.__name__
+
+    @functools.wraps(method)
+    def timed(self, *args, **kwargs):
+        if not telemetry.enabled():
+            return method(self, *args, **kwargs)
+        start = _clock()
+        out = method(self, *args, **kwargs)
+        telemetry.metrics().observe(
+            f"native.{name}.{self.calibration_key}", _clock() - start
+        )
+        return out
+
+    return timed
+
+
 class NativeBackend(KernelBackend):
     """The compiled route: fused C loops over the same packed layout.
 
@@ -1623,6 +1652,7 @@ class NativeBackend(KernelBackend):
 
     # -- kernels ------------------------------------------------------------
 
+    @_timed_kernel
     def popcount_rows(self, words):
         words = np.ascontiguousarray(words, dtype=np.uint64)
         if words.ndim != 2:
@@ -1637,6 +1667,7 @@ class NativeBackend(KernelBackend):
         self._lib.repro_popcount_rows(words.ctypes.data, b, w, out.ctypes.data)
         return out
 
+    @_timed_kernel
     def accumulator_counts(self, tables, lo, hi, idx, *, direction, live=None):
         b = int(np.asarray(idx).shape[0])
         if b == 0:
@@ -1673,6 +1704,7 @@ class NativeBackend(KernelBackend):
         )
         return out
 
+    @_timed_kernel
     def accumulator_bits(self, tables, lo, hi, idx, *, direction):
         b = int(np.asarray(idx).shape[0])
         width = int(tables.words)
@@ -1697,6 +1729,7 @@ class NativeBackend(KernelBackend):
         )
         return out
 
+    @_timed_kernel
     def spliced_rank_row(self, table, position, slot, kind, width):
         if table.dtype != np.uint64 or not table.flags.c_contiguous:
             return self._numpy.spliced_rank_row(table, position, slot, kind, width)
@@ -1715,6 +1748,7 @@ class NativeBackend(KernelBackend):
         )
         return out
 
+    @_timed_kernel
     def moved_rank_row(self, table, q, p, slot, kind):
         if table.dtype != np.uint64 or not table.flags.c_contiguous:
             return self._numpy.moved_rank_row(table, q, p, slot, kind)
@@ -1792,9 +1826,9 @@ def measure_backend_speedup(
         elapsed = float("inf")
         result = None
         for _ in range(max(repeats, 1)):
-            start = time.perf_counter()
+            start = _clock()
             result = fn()
-            elapsed = min(elapsed, time.perf_counter() - start)
+            elapsed = min(elapsed, _clock() - start)
         return elapsed, result
 
     t_numpy, ref = best(

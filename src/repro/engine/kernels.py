@@ -51,14 +51,15 @@ default-session shim (:func:`_shared_prepared`).
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..errors import InvalidParameterError
+from . import telemetry
 from ._lockcheck import make_lock
 from .backend import get_backend
+from .telemetry import clock as _clock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.dataset import IncompleteDataset
@@ -639,7 +640,7 @@ class PreparedDataset:
     )
 
     def __init__(self, dataset: "IncompleteDataset") -> None:
-        start = time.perf_counter()
+        start = _clock()
         self._n = dataset.n
         self._storage_n = dataset.n
         self.d = dataset.d
@@ -664,7 +665,7 @@ class PreparedDataset:
         #: Accumulated seconds spent building this entry (sentinels plus
         #: any lazy structures) — the *rebuild cost* the session cache's
         #: cost-aware eviction weighs against the entry's bytes.
-        self.build_seconds = time.perf_counter() - start
+        self.build_seconds = _clock() - start
 
     # -- storage geometry ---------------------------------------------------
 
@@ -909,9 +910,14 @@ class PreparedDataset:
         ):
             with self._build_lock:
                 if self._tables is None:
-                    start = time.perf_counter()
-                    self._tables = _BitsetTables(self.lo, self.hi)
-                    self.build_seconds += time.perf_counter() - start
+                    with telemetry.trace("kernel.build_tables") as span:
+                        span.set("n", self._storage_n).set("d", self.d)
+                        start = _clock()
+                        self._tables = _BitsetTables(self.lo, self.hi)
+                        elapsed = _clock() - start
+                    self.build_seconds += elapsed
+                    if telemetry.enabled():
+                        telemetry.metrics().observe("kernel.build_seconds", elapsed)
         return self._tables
 
     def warm(self, batch: int | None = None) -> "PreparedDataset":
@@ -929,7 +935,7 @@ class PreparedDataset:
         if self._observed_bits is None:
             with self._build_lock:
                 if self._observed_bits is None:
-                    start = time.perf_counter()
+                    start = _clock()
                     n, d = self._storage_n, self.d
                     words = (n + 63) >> 6
                     bits = np.zeros((d, words), dtype=np.uint64)
@@ -949,7 +955,7 @@ class PreparedDataset:
                     # _observed_bits, which is assigned last.
                     self._tail_mask = tail
                     self._observed_bits = bits
-                    self.build_seconds += time.perf_counter() - start
+                    self.build_seconds += _clock() - start
         return self._observed_bits, self._tail_mask
 
     # -- delta patching ------------------------------------------------------
@@ -971,7 +977,7 @@ class PreparedDataset:
         used on a privately owned instance, e.g. by
         :class:`~repro.engine.session.ContinuousQuery`.
         """
-        start = time.perf_counter()
+        start = _clock()
         inserts = delta.inserts
         target = self if inplace else self._spawn(extra_rows=inserts)
         if inplace:
@@ -1033,7 +1039,7 @@ class PreparedDataset:
         target._live_slots = None
         target._live_words = None
         target._live_bounds = None
-        target.build_seconds = self.build_seconds + (time.perf_counter() - start)
+        target.build_seconds = self.build_seconds + (_clock() - start)
         return target
 
     def _spawn(self, *, extra_rows: int) -> "PreparedDataset":

@@ -65,14 +65,15 @@ own fingerprint key.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import InvalidParameterError
+from . import telemetry
 from .backend import SharedTables, unlink_shared
 from .kernels import PreparedDataset, _bounds, dominated_counts
+from .telemetry import clock as _clock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.dataset import IncompleteDataset
@@ -619,45 +620,47 @@ def execute_partitioned(
     spill = spill_store is not None
 
     # -- phase 1: local scores + summaries ---------------------------------
-    start_p1 = time.perf_counter()
+    start_p1 = _clock()
     shm_metas: dict[str, dict] = {}
     provider = None
-    if pool_workers > 1 and len(shards) > 1:
-        locals_, summaries, pool, shm_metas = _phase1_parallel(
-            view,
-            engine,
-            min(pool_workers, len(shards)),
-            summary_bins,
-            spill_store if spill else None,
-        )
-    elif spill:
-        # Out-of-core: build → spill → drop, never holding more than the
-        # resident set of mmap attachments (plus the one shard in build).
-        pool = None
-        locals_, summaries = [], []
-        budget = memory_budget if memory_budget is not None else 0
-        provider = lambda shard: _attach_spilled(engine, spill_store, shard, budget)
-        for shard in shards:
-            prepared = provider(shard)
-            locals_.append(
-                dominated_counts(shard.dataset, prepared=prepared).astype(np.int64, copy=False)
+    with telemetry.trace("partition.phase1") as span:
+        span.set("shards", len(shards)).set("workers", pool_workers).set("spill", spill)
+        if pool_workers > 1 and len(shards) > 1:
+            locals_, summaries, pool, shm_metas = _phase1_parallel(
+                view,
+                engine,
+                min(pool_workers, len(shards)),
+                summary_bins,
+                spill_store if spill else None,
             )
-            summaries.append(ShardSummary.build(shard.dataset, bins=summary_bins))
-            del prepared  # resident-set manager decides what stays mapped
-    else:
-        pool = None
-        prepared_shards = []
-        provider = lambda shard: prepared_shards[shards.index(shard)]
-        locals_, summaries = [], []
-        for shard in shards:
-            prepared = _shard_prepared(engine, shard)
-            prepared.warm()
-            prepared_shards.append(prepared)
-            locals_.append(
-                dominated_counts(shard.dataset, prepared=prepared).astype(np.int64, copy=False)
-            )
-            summaries.append(ShardSummary.build(shard.dataset, bins=summary_bins))
-    phase1_seconds = time.perf_counter() - start_p1
+        elif spill:
+            # Out-of-core: build → spill → drop, never holding more than the
+            # resident set of mmap attachments (plus the one shard in build).
+            pool = None
+            locals_, summaries = [], []
+            budget = memory_budget if memory_budget is not None else 0
+            provider = lambda shard: _attach_spilled(engine, spill_store, shard, budget)
+            for shard in shards:
+                prepared = provider(shard)
+                locals_.append(
+                    dominated_counts(shard.dataset, prepared=prepared).astype(np.int64, copy=False)
+                )
+                summaries.append(ShardSummary.build(shard.dataset, bins=summary_bins))
+                del prepared  # resident-set manager decides what stays mapped
+        else:
+            pool = None
+            prepared_shards = []
+            provider = lambda shard: prepared_shards[shards.index(shard)]
+            locals_, summaries = [], []
+            for shard in shards:
+                prepared = _shard_prepared(engine, shard)
+                prepared.warm()
+                prepared_shards.append(prepared)
+                locals_.append(
+                    dominated_counts(shard.dataset, prepared=prepared).astype(np.int64, copy=False)
+                )
+                summaries.append(ShardSummary.build(shard.dataset, bins=summary_bins))
+    phase1_seconds = _clock() - start_p1
 
     try:
         # -- merge: bounds, tau, surviving candidates ----------------------
@@ -665,45 +668,60 @@ def execute_partitioned(
         # space*: position p belongs to the shard whose [start, stop)
         # contains p, and maps to dataset row perm[p] (identity when the
         # view was never re-routed or rebalanced).
-        perm = view.order
-        lo_g, hi_g = _bounds(dataset)
-        if perm is None:
-            lo, hi = lo_g, hi_g
-        else:
-            lo, hi = lo_g[perm], hi_g[perm]
-        lower = np.concatenate(locals_)  # own-shard exact score == global lower bound
-        tau = int(np.partition(lower, n - kk)[n - kk])
-        upper, merge_groups = _merged_upper_bounds(
-            shards, summaries, lower, lo, hi, tau, bins=summary_bins
-        )
-        candidates = np.flatnonzero(upper >= tau).astype(np.intp)
+        with telemetry.trace("partition.merge") as span:
+            perm = view.order
+            lo_g, hi_g = _bounds(dataset)
+            if perm is None:
+                lo, hi = lo_g, hi_g
+            else:
+                lo, hi = lo_g[perm], hi_g[perm]
+            lower = np.concatenate(locals_)  # own-shard exact score == global lower bound
+            tau = int(np.partition(lower, n - kk)[n - kk])
+            upper, merge_groups = _merged_upper_bounds(
+                shards, summaries, lower, lo, hi, tau, bins=summary_bins
+            )
+            candidates = np.flatnonzero(upper >= tau).astype(np.intp)
+            span.set("merge", "tree" if merge_groups else "flat")
+            span.set("merge_groups", merge_groups)
+            span.set("tau", tau).set("candidates", int(candidates.size))
 
         # -- phase 2: exact cross-partition scores for the survivors -------
-        start_p2 = time.perf_counter()
-        total = lower.copy()
-        refined = np.zeros(0, dtype=np.intp)
-        exchange_windows = 0
-        if len(shards) > 1:
-            exchange = _Exchanger(view, pool, provider, lo, hi, shm_metas)
-            # τ refinement: exactly score the highest-upper-bound head
-            # first; the k-th best of those *actual* scores is a sound —
-            # and usually far tighter — lower bound on the global k-th.
-            # The head is small (O(k)), so it runs in-parent with one
-            # broadcast per shard instead of burning a pool round.
-            head = min(candidates.size, max(4 * kk, _MIN_REFINE_HEAD))
-            if head >= kk and head < candidates.size:
-                by_upper = np.argsort(-upper[candidates], kind="stable")
-                refined = candidates[by_upper[:head]]
-                _refine_in_parent(view, refined, lo, hi, total)
-                refined_tau = int(np.partition(total[refined], head - kk)[head - kk])
-                if refined_tau > tau:
-                    tau = refined_tau
-                    candidates = candidates[upper[candidates] >= tau]
-            mask = np.ones(candidates.size, dtype=bool)
-            mask[np.isin(candidates, refined)] = False
-            exchange.add_exact(candidates[mask], total)
-            exchange_windows = exchange.windows
-        phase2_seconds = time.perf_counter() - start_p2
+        start_p2 = _clock()
+        with telemetry.trace("partition.phase2") as p2:
+            total = lower.copy()
+            refined = np.zeros(0, dtype=np.intp)
+            exchange_windows = 0
+            if len(shards) > 1:
+                exchange = _Exchanger(view, pool, provider, lo, hi, shm_metas)
+                # τ refinement: exactly score the highest-upper-bound head
+                # first; the k-th best of those *actual* scores is a sound —
+                # and usually far tighter — lower bound on the global k-th.
+                # The head is small (O(k)), so it runs in-parent with one
+                # broadcast per shard instead of burning a pool round.
+                head = min(candidates.size, max(4 * kk, _MIN_REFINE_HEAD))
+                if head >= kk and head < candidates.size:
+                    with telemetry.trace("partition.refine") as span:
+                        by_upper = np.argsort(-upper[candidates], kind="stable")
+                        refined = candidates[by_upper[:head]]
+                        _refine_in_parent(view, refined, lo, hi, total)
+                        refined_tau = int(np.partition(total[refined], head - kk)[head - kk])
+                        if refined_tau > tau:
+                            tau = refined_tau
+                            candidates = candidates[upper[candidates] >= tau]
+                        span.set("refined", int(refined.size)).set("tau", tau)
+                        span.set("candidates", int(candidates.size))
+                with telemetry.trace("partition.exchange") as span:
+                    # Drop already-refined rows by scatter rather than
+                    # np.isin: O(n) bytes beats isin's sort for index sets.
+                    is_refined = np.zeros(n, dtype=bool)
+                    is_refined[refined] = True
+                    mask = ~is_refined[candidates]
+                    exchange.add_exact(candidates[mask], total)
+                    exchange_windows = exchange.windows
+                    span.set("survivors", int(candidates.size))
+                    span.set("windows", exchange_windows)
+            p2.set("tau", tau).set("candidates", int(candidates.size))
+        phase2_seconds = _clock() - start_p2
     finally:
         # Segments the phase-1 workers exported on our behalf: the pool
         # outlives this query (it is the shared session pool), so the
@@ -713,21 +731,23 @@ def execute_partitioned(
             if "name" in meta:
                 unlink_shared(meta["name"])
 
-    eligible = np.zeros(n, dtype=bool)
-    eligible[candidates] = True
-    eligible[refined] = True  # exactly scored either way; keeps ties honest
-    if perm is not None:
-        # Scatter concat-space scores back to dataset rows so selection
-        # tie-breaks on the *dataset* row index, same as the monolithic
-        # engine (non-eligible rows carry lower bounds; the mask hides them).
-        scattered = np.zeros_like(total)
-        scattered[perm] = total
-        total = scattered
-        scattered_mask = np.zeros(n, dtype=bool)
-        scattered_mask[perm[np.flatnonzero(eligible)]] = True
-        eligible = scattered_mask
-    selection = select_top_k(total, kk, tie_break=tie_break, rng=rng, eligible=eligible)
-    survivors = int(eligible.sum())
+    with telemetry.trace("partition.select") as span:
+        eligible = np.zeros(n, dtype=bool)
+        eligible[candidates] = True
+        eligible[refined] = True  # exactly scored either way; keeps ties honest
+        if perm is not None:
+            # Scatter concat-space scores back to dataset rows so selection
+            # tie-breaks on the *dataset* row index, same as the monolithic
+            # engine (non-eligible rows carry lower bounds; the mask hides them).
+            scattered = np.zeros_like(total)
+            scattered[perm] = total
+            total = scattered
+            scattered_mask = np.zeros(n, dtype=bool)
+            scattered_mask[perm[np.flatnonzero(eligible)]] = True
+            eligible = scattered_mask
+        selection = select_top_k(total, kk, tie_break=tie_break, rng=rng, eligible=eligible)
+        survivors = int(eligible.sum())
+        span.set("survivors", survivors).set("survival", float(survivors) / max(n, 1))
 
     stats = QueryStats(
         algorithm="partitioned", n=n, d=dataset.d, k=kk, scores_computed=n
@@ -735,6 +755,15 @@ def execute_partitioned(
     stats.candidates = survivors
     stats.index_bytes = sum(summary.nbytes for summary in summaries)
     stats.query_seconds = phase1_seconds + phase2_seconds
+    if telemetry.enabled():
+        registry = telemetry.metrics()
+        registry.count("partition.queries")
+        registry.observe("partition.phase1_seconds", phase1_seconds)
+        registry.observe("partition.phase2_seconds", phase2_seconds)
+        registry.gauge("partition.survival", float(survivors) / max(n, 1))
+    # Deprecated compatibility shim: the protocol counters below are now
+    # recorded as span attributes on the partition.* spans (telemetry);
+    # ``stats.extra`` keeps carrying them for existing readers.
     stats.extra.update(
         partitions=len(shards),
         shard_sizes=list(view.sizes),
@@ -938,6 +967,7 @@ def _shard_payload(
         store_dir,
         bins,
         spill,
+        telemetry.propagation_context(),
     )
 
 
@@ -951,55 +981,73 @@ def _phase1_worker(payload: tuple):
     the store's spill file *is* the shared medium: the worker builds and
     spills the shard, then serves (and advertises, via a spill meta) the
     mmap attachment instead of an anonymous shm segment.
+
+    The trailing payload element is the coordinator's trace context;
+    spans recorded here come back as the trailing result element.
     """
     import atexit
 
     from ..core.dataset import IncompleteDataset
 
-    fingerprint, values, directions, store_dir, bins, spill = payload
+    fingerprint, values, directions, store_dir, bins, spill, trace_ctx = payload
+    telemetry.begin_remote(trace_ctx)
     dataset = IncompleteDataset(values, directions=directions)
     if spill and store_dir:
         from .store import PersistentStore
 
-        store = PersistentStore(store_dir)
-        prepared, _ = _spill_prepared(store, fingerprint, dataset)
+        with telemetry.trace("partition.phase1.shard") as span:
+            span.set("n", dataset.n).set("spill", True)
+            store = PersistentStore(store_dir)
+            prepared, _ = _spill_prepared(store, fingerprint, dataset)
+            local = dominated_counts(dataset, prepared=prepared).astype(np.int64, copy=False)
+            summary = ShardSummary.build(dataset, bins=bins)
+            _cache_worker_shard(fingerprint, prepared)
+            spilled = store.get_shard_tables(fingerprint)
+        meta = spilled.meta() if spilled is not None else None
+        return local, summary, meta, telemetry.end_remote()
+    with telemetry.trace("partition.phase1.shard") as span:
+        span.set("n", dataset.n)
+        prepared = None
+        if store_dir:
+            from .store import PersistentStore
+
+            prepared = PersistentStore(store_dir).get_prepared(fingerprint)
+            if prepared is not None and prepared.n != dataset.n:
+                prepared = None
+        if prepared is None:
+            prepared = PreparedDataset(dataset)
+        prepared.warm()
         local = dominated_counts(dataset, prepared=prepared).astype(np.int64, copy=False)
         summary = ShardSummary.build(dataset, bins=bins)
         _cache_worker_shard(fingerprint, prepared)
-        spilled = store.get_shard_tables(fingerprint)
-        return local, summary, spilled.meta() if spilled is not None else None
-    prepared = None
-    if store_dir:
-        from .store import PersistentStore
-
-        prepared = PersistentStore(store_dir).get_prepared(fingerprint)
-        if prepared is not None and prepared.n != dataset.n:
-            prepared = None
-    if prepared is None:
-        prepared = PreparedDataset(dataset)
-    prepared.warm()
-    local = dominated_counts(dataset, prepared=prepared).astype(np.int64, copy=False)
-    summary = ShardSummary.build(dataset, bins=bins)
-    _cache_worker_shard(fingerprint, prepared)
-    meta = None
-    try:
-        handle = SharedTables.create(prepared, owner=False)
-    except (OSError, ValueError):
-        handle = None  # /dev/shm full: phase 2 rebuilds from the pickle
-    if handle is not None:
-        if not _EXPORTED_NAMES:
-            atexit.register(_cleanup_exported)
-        _EXPORTED_NAMES.append(handle.meta["name"])
-        meta = handle.meta
-        handle.close()
-    return local, summary, meta
+        meta = None
+        try:
+            handle = SharedTables.create(prepared, owner=False)
+        except (OSError, ValueError):
+            handle = None  # /dev/shm full: phase 2 rebuilds from the pickle
+        if handle is not None:
+            if not _EXPORTED_NAMES:
+                atexit.register(_cleanup_exported)
+            _EXPORTED_NAMES.append(handle.meta["name"])
+            meta = handle.meta
+            handle.close()
+    return local, summary, meta, telemetry.end_remote()
 
 
-def _phase2_worker(payload: tuple) -> np.ndarray:
-    """Pool worker: exact foreign counts for one shard × candidate chunk."""
+def _phase2_worker(payload: tuple) -> tuple:
+    """Pool worker: exact foreign counts for one shard × candidate chunk.
+
+    Returns ``(counts, spans)`` — the spans recorded under the trace
+    context the payload carried (empty when the coordinator is not
+    tracing).
+    """
     from ..core.dataset import IncompleteDataset
 
-    fingerprint, values, directions, probe_lo, probe_hi, shm_meta = payload
+    fingerprint, values, directions, probe_lo, probe_hi, shm_meta, trace_ctx = payload
+    telemetry.begin_remote(trace_ctx)
+    span = telemetry.trace("partition.phase2.probe")
+    span.__enter__()
+    span.set("rows", int(probe_lo.shape[0]))
     prepared = _WORKER_SHARDS.get(fingerprint)
     if prepared is None and shm_meta is not None:
         if shm_meta.get("kind") == "spill":
@@ -1022,7 +1070,9 @@ def _phase2_worker(payload: tuple) -> np.ndarray:
     if prepared is None:
         prepared = PreparedDataset(IncompleteDataset(values, directions=directions))
         _cache_worker_shard(fingerprint, prepared)
-    return prepared.foreign_dominated_counts(probe_lo, probe_hi)
+    counts = prepared.foreign_dominated_counts(probe_lo, probe_hi)
+    span.__exit__(None, None, None)
+    return counts, telemetry.end_remote()
 
 
 def _phase1_parallel(
@@ -1045,6 +1095,8 @@ def _phase1_parallel(
     pool = _process_pool(pool_size)
     payloads = [_shard_payload(shard, store_dir, bins, spill) for shard in view.shards]
     results = list(pool.map(_phase1_worker, payloads))
+    for r in results:
+        telemetry.absorb_spans(r[3])
     shm_metas = {
         shard.fingerprint(): r[2]
         for shard, r in zip(view.shards, results)
@@ -1125,9 +1177,12 @@ class _Exchanger:
                         lo[chunk],
                         hi[chunk],
                         self._shm_metas.get(fingerprint),
+                        telemetry.propagation_context(),
                     )
                     futures.append(
                         (chunk, self._pool.submit(_phase2_worker, payload))
                     )
             for chunk, future in futures:
-                total[chunk] += future.result()
+                counts, spans = future.result()
+                total[chunk] += counts
+                telemetry.absorb_spans(spans)

@@ -43,15 +43,16 @@ from __future__ import annotations
 import inspect
 import math
 import os
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
 from ..errors import InvalidParameterError
+from . import telemetry
 from ._lockcheck import make_lock
 from .kernels import _BITSET_TABLE_BUDGET_BYTES, _bitset_table_bytes
+from .telemetry import clock as _clock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.dataset import IncompleteDataset
@@ -143,9 +144,9 @@ def _measure_vec() -> float:
     b = a[::-1].copy()
     best = float("inf")
     for _ in range(3):
-        start = time.perf_counter()
+        start = _clock()
         (a <= b).sum()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, _clock() - start)
     return best / elements
 
 
@@ -154,12 +155,12 @@ def _measure_loop() -> float:
     items = list(range(4096))
     best = float("inf")
     for _ in range(3):
-        start = time.perf_counter()
+        start = _clock()
         acc = 0
         for value in items:
             if value > acc:
                 acc = value
-        best = min(best, time.perf_counter() - start)
+        best = min(best, _clock() - start)
     return best / len(items)
 
 
@@ -211,7 +212,12 @@ def record_observation(algorithm: str, modelled_seconds: float, measured_seconds
         cal = calibration()
         previous = cal.bias.get(algorithm, 1.0)
         nudged = previous * (measured_seconds / modelled_seconds) ** _BIAS_ALPHA
-        cal.bias[algorithm] = float(np.clip(nudged, *_BIAS_CLIP))
+        bias = cal.bias[algorithm] = float(np.clip(nudged, *_BIAS_CLIP))
+    if telemetry.enabled():
+        registry = telemetry.metrics()
+        registry.count(f"planner.observations.{algorithm}")
+        registry.gauge(f"planner.bias.{algorithm}", bias)
+        registry.observe(f"planner.measured_seconds.{algorithm}", measured_seconds)
 
 
 def backend_speedup(name: str) -> float | None:
@@ -441,40 +447,43 @@ def plan_query(
     repeats: expected number of queries that will reuse the preparation;
         amortises index builds for parametrised sweeps.
     """
-    n, d = dataset.n, dataset.d
-    missing_rate = dataset.missing_rate
-    costs = estimate_costs(n, d, missing_rate, k, prepared=prepared, repeats=repeats)
+    with telemetry.trace("planner.plan") as span:
+        n, d = dataset.n, dataset.d
+        missing_rate = dataset.missing_rate
+        costs = estimate_costs(n, d, missing_rate, k, prepared=prepared, repeats=repeats)
 
-    algorithm = min(costs, key=costs.__getitem__)
-    options: dict = {}
-    if algorithm == "ubb":
-        # Blocked exact scoring amortises the per-object kernel dispatch.
-        # A constant block keeps the options — and therefore a session's
-        # prepared-structure cache key — identical across a k-ladder.
-        options["block"] = 64
+        algorithm = min(costs, key=costs.__getitem__)
+        options: dict = {}
+        if algorithm == "ubb":
+            # Blocked exact scoring amortises the per-object kernel dispatch.
+            # A constant block keeps the options — and therefore a session's
+            # prepared-structure cache key — identical across a k-ladder.
+            options["block"] = 64
 
-    if algorithm == "naive":
-        reason = (
-            f"vectorised scan wins at n={n}, d={d}, σ={missing_rate:.2f} "
-            "(bounds too loose or dataset too small to repay preparation)"
+        if algorithm == "naive":
+            reason = (
+                f"vectorised scan wins at n={n}, d={d}, σ={missing_rate:.2f} "
+                "(bounds too loose or dataset too small to repay preparation)"
+            )
+        elif algorithm == "ubb":
+            reason = (
+                f"MaxScore pruning with blocked scoring at k={k}, σ={missing_rate:.2f} "
+                "without paying an index build"
+            )
+        else:
+            reason = (
+                f"bitmap pruning repays its index at n={n}, k={k}, σ={missing_rate:.2f}"
+                + (" (index already prepared)" if "big" in frozenset(prepared) else "")
+            )
+        span.set("algorithm", algorithm)
+        span.set("estimated_seconds", costs[algorithm])
+        return QueryPlan(
+            algorithm=algorithm,
+            options=options,
+            reason=reason,
+            estimated_seconds=costs[algorithm],
+            candidate_seconds=dict(costs),
         )
-    elif algorithm == "ubb":
-        reason = (
-            f"MaxScore pruning with blocked scoring at k={k}, σ={missing_rate:.2f} "
-            "without paying an index build"
-        )
-    else:
-        reason = (
-            f"bitmap pruning repays its index at n={n}, k={k}, σ={missing_rate:.2f}"
-            + (" (index already prepared)" if "big" in frozenset(prepared) else "")
-        )
-    return QueryPlan(
-        algorithm=algorithm,
-        options=options,
-        reason=reason,
-        estimated_seconds=costs[algorithm],
-        candidate_seconds=dict(costs),
-    )
 
 
 #: A cold table rebuild costs roughly this many passes over the packed

@@ -61,7 +61,6 @@ from __future__ import annotations
 
 import atexit
 import os
-import time
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -93,6 +92,8 @@ from .planner import (
     supported_options,
 )
 from .store import PersistentStore
+from . import telemetry
+from .telemetry import clock as _clock
 
 __all__ = [
     "QueryEngine",
@@ -474,11 +475,16 @@ class PreparedDatasetCache:
             if entry is not None:
                 self._resident.move_to_end(fingerprint)
                 self.resident_hits += 1
+                if telemetry.enabled():
+                    telemetry.metrics().count("spill.attach.hit")
                 return entry[0]
             self.resident_misses += 1
         # Load outside the lock: a miss may build + spill O(d·n²/64)
         # tables, which must not serialize every other cache user.
-        prepared, nbytes = loader()
+        with telemetry.trace("spill.attach") as span:
+            prepared, nbytes = loader()
+            span.set("bytes", int(nbytes))
+        evicted = 0
         with self._lock:
             self._resident[fingerprint] = (prepared, int(nbytes))
             self._resident.move_to_end(fingerprint)
@@ -488,6 +494,12 @@ class PreparedDatasetCache:
             ):
                 self._resident.popitem(last=False)
                 self.resident_evictions += 1
+                evicted += 1
+        if telemetry.enabled():
+            registry = telemetry.metrics()
+            registry.count("spill.attach.miss")
+            if evicted:
+                registry.count("spill.evict", evicted)
         return prepared
 
     @property
@@ -650,6 +662,12 @@ class QueryEngine:
         environment variable when set, else unlimited. Spills land in
         :attr:`store` when one is configured, else in a private
         temporary directory cleaned up with the engine.
+    trace: turn hierarchical span tracing on (``True``) or off
+        (``False``) — see :mod:`repro.engine.telemetry`. Process-wide
+        like ``backend`` (and shared with the ``REPRO_TRACE``
+        environment variable and the CLI ``--trace`` flag); ``None``
+        (default) leaves the current setting alone. Tracing never
+        changes answers, only records where the time went.
 
     Sessions are thread-safe: one internal lock guards the caches, the
     fingerprint memo and the stats counters, and is *released* while an
@@ -666,7 +684,13 @@ class QueryEngine:
         backend: str | None = None,
         native_threads: "int | str | None" = None,
         memory_budget: "int | str | None" = None,
+        trace: "bool | None" = None,
     ) -> None:
+        if trace is not None:
+            # Process-wide like ``backend``: one query flows through
+            # module-level kernels and pool workers, so a session-scoped
+            # flag could only ever trace fragments of it.
+            telemetry.set_enabled(trace)
         self._backend = select_backend(backend) if backend is not None else None
         if native_threads is not None:
             set_native_threads(native_threads)
@@ -751,7 +775,9 @@ class QueryEngine:
             if entry is not None and entry[0]() is dataset:
                 return entry[1]
         # Hash outside the lock: O(n·d) work must not serialize sessions.
-        fingerprint = dataset_fingerprint(dataset)
+        with telemetry.trace("engine.fingerprint") as span:
+            span.set("n", dataset.n).set("d", dataset.d)
+            fingerprint = dataset_fingerprint(dataset)
         with self._lock:
             # Bound the memo so long-lived engines can't grow unboundedly
             # over throwaway datasets.
@@ -1136,6 +1162,23 @@ class QueryEngine:
             raise InvalidParameterError(
                 "query(workers=N) needs partitions=; use query_many for batch sharding"
             )
+        with telemetry.trace("engine.query") as root:
+            root.set("n", dataset.n).set("d", dataset.d).set("k", int(k))
+            return self._query_monolithic(
+                dataset,
+                k,
+                root,
+                algorithm=algorithm,
+                tie_break=tie_break,
+                rng=rng,
+                repeats=repeats,
+                options=options,
+            )
+
+    def _query_monolithic(
+        self, dataset, k: int, root, *, algorithm, tie_break, rng, repeats, options
+    ):
+        """The single-process :meth:`query` body, inside the *root* span."""
         with self._lock:
             self.stats.queries += 1
         plan = None
@@ -1161,10 +1204,12 @@ class QueryEngine:
                 cached = self._results.get(result_key, _MISSING)
                 if cached is not _MISSING:
                     self.stats.result_hits += 1
+                    root.set("cache", "memory")
                     return cached
                 self.stats.result_misses += 1
             if self._store is not None:
-                stored = self._store.get_result(*result_key)
+                with telemetry.trace("store.read"):
+                    stored = self._store.get_result(*result_key)
                 with self._lock:
                     if stored is not None:
                         self.stats.store_hits += 1
@@ -1172,24 +1217,38 @@ class QueryEngine:
                     else:
                         self.stats.store_misses += 1
                 if stored is not None:
+                    root.set("cache", "store")
                     return stored
 
         # Time preparation + query together: the plan's estimate charges
         # preparation exactly when this session has not prepared the
         # algorithm yet, so the observation must cover the same work.
-        start = time.perf_counter()
+        start = _clock()
         if algorithm.lower() == "incremental":
-            result = self._incremental_result(dataset, k, tie_break=tie_break, rng=rng)
+            with telemetry.trace("engine.execute") as span:
+                span.set("algorithm", "incremental")
+                result = self._incremental_result(dataset, k, tie_break=tie_break, rng=rng)
             with self._lock:
                 self.stats.incremental_hits += 1
         else:
-            instance = self.prepared(dataset, algorithm, **options)
-            result = instance.query(k, tie_break=tie_break, rng=rng)
-        elapsed = time.perf_counter() - start
+            with telemetry.trace("engine.prepare") as span:
+                span.set("algorithm", algorithm.lower())
+                instance = self.prepared(dataset, algorithm, **options)
+            with telemetry.trace("engine.execute") as span:
+                span.set("algorithm", algorithm.lower())
+                result = instance.query(k, tie_break=tie_break, rng=rng)
+        elapsed = _clock() - start
+        root.set("algorithm", algorithm.lower())
+        if telemetry.enabled():
+            registry = telemetry.metrics()
+            registry.count("engine.queries")
+            registry.observe("engine.query_seconds", elapsed)
         if plan is not None:
             # Close the planner's loop: observed runtime vs modelled cost
             # nudges the per-algorithm bias for the rest of the process.
             record_observation(plan.algorithm, plan.estimated_seconds, elapsed)
+            root.set("estimated_seconds", plan.estimated_seconds)
+            root.set("measured_seconds", elapsed)
         if cacheable:
             with self._lock:
                 self.stats.evictions += self._results.put(result_key, result)
@@ -1208,7 +1267,8 @@ class QueryEngine:
                     if deferred:
                         self._store_pending.append(item)
                 if not deferred:
-                    self._store.put_result(**item)
+                    with telemetry.trace("store.write"):
+                        self._store.put_result(**item)
         return result
 
     def _query_partitioned(
@@ -1223,7 +1283,6 @@ class QueryEngine:
         store as every other deterministic query — a partitioned answer
         is bit-identical to the monolithic one, so they share entries.
         """
-        from .partition import PartitionedDataset, execute_partitioned
         from .planner import plan_partitioned
 
         if workers is not None and int(workers) < 1:
@@ -1250,6 +1309,27 @@ class QueryEngine:
             # otherwise" holds for "auto" too (and keeps this safe to
             # call from daemonic workers that cannot fork children).
 
+        with telemetry.trace("engine.query") as root:
+            root.set("route", "partitioned").set("n", dataset.n).set("d", dataset.d)
+            root.set("k", int(k))
+            if workers is not None:
+                root.set("workers", int(workers))
+            return self._execute_partitioned(
+                dataset,
+                k,
+                root,
+                partitions=partitions,
+                workers=workers,
+                tie_break=tie_break,
+                rng=rng,
+            )
+
+    def _execute_partitioned(
+        self, dataset, k: int, root, *, partitions, workers, tie_break, rng
+    ):
+        """The partitioned :meth:`query` body, inside the *root* span."""
+        from .partition import PartitionedDataset, execute_partitioned
+
         with self._lock:
             self.stats.queries += 1
             self.stats.partitioned_queries += 1
@@ -1266,10 +1346,12 @@ class QueryEngine:
                 cached = self._results.get(result_key, _MISSING)
                 if cached is not _MISSING:
                     self.stats.result_hits += 1
+                    root.set("cache", "memory")
                     return cached
                 self.stats.result_misses += 1
             if self._store is not None:
-                stored = self._store.get_result(*result_key)
+                with telemetry.trace("store.read"):
+                    stored = self._store.get_result(*result_key)
                 with self._lock:
                     if stored is not None:
                         self.stats.store_hits += 1
@@ -1277,16 +1359,20 @@ class QueryEngine:
                     else:
                         self.stats.store_misses += 1
                 if stored is not None:
+                    root.set("cache", "store")
                     return stored
 
         requested = int(partitions)
         if requested < 1:
             raise InvalidParameterError(f"partitions must be >= 1, got {partitions}")
         clamped = min(requested, dataset.n)
+        root.set("partitions", clamped)
         with self._lock:
             view = self._partitioned.get(fingerprint, _MISSING)
         if view is _MISSING or view.partitions != clamped:
-            view = PartitionedDataset(dataset, clamped)
+            with telemetry.trace("partition.build_view") as span:
+                span.set("partitions", clamped)
+                view = PartitionedDataset(dataset, clamped)
             with self._lock:
                 self._partitioned.put(fingerprint, view)
 
@@ -1297,9 +1383,10 @@ class QueryEngine:
 
             replan = plan_repartition(view.sizes, dataset.d)
             if replan.action == "rebalance":
-                view, advanced = view.rebalance()
-                for parent_shard, sub_delta, child_shard in advanced:
-                    self._advance_shard_prepared(parent_shard, sub_delta, child_shard)
+                with telemetry.trace("partition.rebalance"):
+                    view, advanced = view.rebalance()
+                    for parent_shard, sub_delta, child_shard in advanced:
+                        self._advance_shard_prepared(parent_shard, sub_delta, child_shard)
                 with self._lock:
                     self.stats.repartitions += 1
                     self._partitioned.put(fingerprint, view)
@@ -1316,10 +1403,11 @@ class QueryEngine:
             )
             if table_bytes > self.memory_budget:
                 spill_store = self._spill_store()
+                root.set("spill", True)
                 with self._lock:
                     self.stats.spilled_queries += 1
 
-        start = time.perf_counter()
+        start = _clock()
         result = execute_partitioned(
             view,
             k,
@@ -1330,16 +1418,22 @@ class QueryEngine:
             memory_budget=self.memory_budget if spill_store is not None else None,
             spill_store=spill_store,
         )
-        elapsed = time.perf_counter() - start
+        elapsed = _clock() - start
+        root.set("measured_seconds", elapsed)
+        if telemetry.enabled():
+            registry = telemetry.metrics()
+            registry.count("engine.partitioned_queries")
+            registry.observe("engine.query_seconds", elapsed)
         if cacheable:
             with self._lock:
                 self.stats.evictions += self._results.put(result_key, result)
             if self._store is not None:
                 with self._lock:
                     self.stats.store_writes += 1
-                self._store.put_result(
-                    *result_key, result, rebuild_seconds=elapsed
-                )
+                with telemetry.trace("store.write"):
+                    self._store.put_result(
+                        *result_key, result, rebuild_seconds=elapsed
+                    )
         return result
 
     def _incremental_result(self, dataset, k: int, *, tie_break: str, rng):
@@ -1530,39 +1624,43 @@ class QueryEngine:
                     # workers fall back to rebuilding from the pickle.
                     break
             shm_metas = {fp: handle.meta for fp, handle in handles.items()}
-            payloads = [
-                (
-                    [resolved[position] for position in shard],
-                    store_dir,
-                    shm_metas or None,
-                )
-                for shard in shards
-            ]
-            pool = _process_pool(len(shards))
-            try:
-                for shard, (answers, worker_stats) in zip(
-                    shards, pool.map(_answer_shard, payloads)
-                ):
-                    # The parent already counted these queries/misses (and
-                    # probed the store itself); keep only the work counters
-                    # the workers actually added, e.g. their store writes.
-                    worker_stats.queries = 0
-                    worker_stats.result_hits = 0
-                    worker_stats.result_misses = 0
-                    worker_stats.store_hits = 0
-                    worker_stats.store_misses = 0
-                    with self._lock:
-                        self.stats.merge(worker_stats)
-                        for position, answer in zip(shard, answers):
-                            results[position] = answer
-                            if keys[position] is not None:
-                                self.stats.evictions += self._results.put(
-                                    keys[position], answer
-                                )
-            finally:
-                for handle in handles.values():
-                    handle.close()
-                    handle.unlink()
+            with telemetry.trace("engine.query_many") as span:
+                span.set("requests", len(pending)).set("shards", len(shards))
+                payloads = [
+                    (
+                        [resolved[position] for position in shard],
+                        store_dir,
+                        shm_metas or None,
+                        telemetry.propagation_context(),
+                    )
+                    for shard in shards
+                ]
+                pool = _process_pool(len(shards))
+                try:
+                    for shard, (answers, worker_stats, worker_spans) in zip(
+                        shards, pool.map(_answer_shard, payloads)
+                    ):
+                        telemetry.absorb_spans(worker_spans)
+                        # The parent already counted these queries/misses (and
+                        # probed the store itself); keep only the work counters
+                        # the workers actually added, e.g. their store writes.
+                        worker_stats.queries = 0
+                        worker_stats.result_hits = 0
+                        worker_stats.result_misses = 0
+                        worker_stats.store_hits = 0
+                        worker_stats.store_misses = 0
+                        with self._lock:
+                            self.stats.merge(worker_stats)
+                            for position, answer in zip(shard, answers):
+                                results[position] = answer
+                                if keys[position] is not None:
+                                    self.stats.evictions += self._results.put(
+                                        keys[position], answer
+                                    )
+                finally:
+                    for handle in handles.values():
+                        handle.close()
+                        handle.unlink()
         return results
 
     @staticmethod
@@ -2028,7 +2126,7 @@ class ContinuousQuery:
         )
 
 
-def _answer_shard(payload: tuple) -> tuple[list, EngineStats]:
+def _answer_shard(payload: tuple) -> tuple[list, EngineStats, list]:
     """Process-pool worker: answer one shard in a fresh session.
 
     Runs in a separate process, so every preparation (indexes, queues,
@@ -2041,8 +2139,12 @@ def _answer_shard(payload: tuple) -> tuple[list, EngineStats]:
     parent exported prepared tables into shared memory, this worker
     attaches the segments its shard references and seeds its dataset
     cache with zero-copy views instead of re-preparing from scratch.
+    The payload carries the coordinator's trace context; spans recorded
+    here ship back as the third element of the result and re-parent into
+    the coordinator's tree.
     """
-    shard, store_dir, shm_metas = payload
+    shard, store_dir, shm_metas, trace_ctx = payload
+    telemetry.begin_remote(trace_ctx)
     engine = QueryEngine(dataset_cache=PreparedDatasetCache(), store=store_dir)
     attached: list[SharedTables] = []
     try:
@@ -2069,4 +2171,4 @@ def _answer_shard(payload: tuple) -> tuple[list, EngineStats]:
         engine._dataset_cache.clear()
         for handle in attached:
             handle.close()
-    return answers, engine.stats
+    return answers, engine.stats, telemetry.end_remote()

@@ -51,13 +51,14 @@ import hashlib
 import json
 import os
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, fields as dataclass_fields
 from pathlib import Path
 
 from ..errors import InvalidParameterError
+from . import telemetry
 from ._lockcheck import make_lock
+from .telemetry import wall_clock as _wall_clock
 
 try:  # POSIX advisory locking; absent e.g. on Windows.
     import fcntl
@@ -162,8 +163,25 @@ class StoreStats:
         return text
 
 
+def _json_safe(value) -> bool:
+    """Whether *value* survives a JSON round trip unchanged (scalars and
+    lists/dicts of scalars — what ``stats.extra`` holds in practice)."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_json_safe(item) for item in value)
+    if isinstance(value, dict):
+        return all(isinstance(k, str) and _json_safe(v) for k, v in value.items())
+    return False
+
+
 def _encode_stats(stats) -> dict:
-    """Serialize the JSON-safe scalar fields of a QueryStats (drops extra)."""
+    """Serialize the JSON-safe fields of a QueryStats.
+
+    ``extra``'s JSON-safe entries ride along under an ``"extra"`` key so
+    per-query annotations (the partition protocol counters, span-adjacent
+    metadata) survive the store round trip.
+    """
     payload = {}
     for field in dataclass_fields(stats):
         if field.name == "extra":
@@ -171,17 +189,34 @@ def _encode_stats(stats) -> dict:
         value = getattr(stats, field.name)
         if isinstance(value, (int, float, str)):
             payload[field.name] = value
+    extra = {k: v for k, v in stats.extra.items() if _json_safe(v)}
+    if extra:
+        payload["extra"] = extra
     return payload
 
 
 def _decode_result(payload: dict):
-    """Rebuild a TKDResult from its stored payload."""
+    """Rebuild a TKDResult from its stored payload.
+
+    Forward-compatible on the stats record: keys persisted by a newer
+    (or older) package whose ``QueryStats`` had fields this version does
+    not know are routed into ``stats.extra`` instead of being silently
+    dropped — an old store meeting new stats fields keeps the data.
+    """
     from ..core.result import TKDResult  # deferred: core imports the engine
     from ..core.stats import QueryStats
 
     stats_payload = payload.get("stats") or {}
     known = {field.name for field in dataclass_fields(QueryStats)}
-    stats = QueryStats(**{k: v for k, v in stats_payload.items() if k in known})
+    stats = QueryStats(
+        **{k: v for k, v in stats_payload.items() if k in known and k != "extra"}
+    )
+    extra = stats_payload.get("extra")
+    if isinstance(extra, dict):
+        stats.extra.update(extra)
+    for key, value in stats_payload.items():
+        if key not in known:
+            stats.extra.setdefault(key, value)
     return TKDResult(
         indices=[int(i) for i in payload["indices"]],
         scores=list(payload["scores"]),
@@ -443,8 +478,14 @@ class PersistentStore:
         with self._lock:
             if entry is None:
                 self.stats.misses += 1
-                return None
-            self.stats.hits += 1
+            else:
+                self.stats.hits += 1
+        if telemetry.enabled():
+            telemetry.metrics().count(
+                "store.read.miss" if entry is None else "store.read.hit"
+            )
+        if entry is None:
+            return None
         return result, entry.get("meta") or {}
 
     def put_result(
@@ -499,7 +540,7 @@ class PersistentStore:
                     "result": encoded,
                     "meta": meta,
                     "rebuild_seconds": float(item.get("rebuild_seconds") or 0.0),
-                    "created": time.time(),
+                    "created": _wall_clock(),
                 }
                 body["bytes"] = len(json.dumps(body, separators=(",", ":")))
                 digest = result_digest(
@@ -507,6 +548,8 @@ class PersistentStore:
                 )
                 entries[digest] = body
                 self.stats.writes += 1
+            if telemetry.enabled():
+                telemetry.metrics().count("store.write", len(items))
             self._evict(entries)
             self._write_entries(entries)
 
@@ -522,13 +565,15 @@ class PersistentStore:
         loss.
         """
         if now is None:
-            now = time.time()
+            now = _wall_clock()
         while len(entries) > 1 and self._total_bytes(entries) > self.max_bytes:
             victim = min(
                 entries, key=lambda digest: _effective_cost_per_byte(entries[digest], now)
             )
             del entries[victim]
             self.stats.evictions += 1
+            if telemetry.enabled():
+                telemetry.metrics().count("store.evict")
 
     @staticmethod
     def _total_bytes(entries: dict) -> int:
@@ -578,8 +623,7 @@ class PersistentStore:
                     "payload": dict(payload) if payload else None,
                     # Wall-clock here is eviction/bookkeeping metadata only;
                     # it is never hashed into a fingerprint or lineage key.
-                    # repro-lint: disable=REP006 -- timestamp is metadata, not identity
-                    "created": time.time(),
+                    "created": _wall_clock(),
                 }
             )
             overdue = len(self._pending_lineage) >= 256
@@ -700,7 +744,7 @@ class PersistentStore:
                 "n": int(prepared.n),
                 "d": int(prepared.d),
                 "tables": bool(prepared.tables_ready),
-                "created": time.time(),
+                "created": _wall_clock(),
             }
             self._evict_prepared(entries)
             self._write_prepared_index(entries)
@@ -744,7 +788,7 @@ class PersistentStore:
     def _evict_prepared(self, entries: dict, *, now: float | None = None) -> None:
         """Budget the npz files by age-decayed build-cost-per-byte."""
         if now is None:
-            now = time.time()
+            now = _wall_clock()
         while len(entries) > 1 and self._prepared_bytes(entries) > self.max_prepared_bytes:
             victim = min(
                 entries,
@@ -803,7 +847,7 @@ class PersistentStore:
                 "build_seconds": float(prepared.build_seconds),
                 "n": int(prepared.n),
                 "d": int(prepared.d),
-                "created": time.time(),
+                "created": _wall_clock(),
             }
             self.stats.writes += 1
             self._evict_shards(entries, keep=str(fingerprint))
@@ -846,7 +890,7 @@ class PersistentStore:
         file whose mapping is being handed out would fault the reader.
         """
         if now is None:
-            now = time.time()
+            now = _wall_clock()
         while len(entries) > 1 and self._shard_bytes(entries) > self.max_shard_bytes:
             candidates = [fp for fp in entries if fp != keep]
             if not candidates:
@@ -881,7 +925,7 @@ class PersistentStore:
         summary dict of what was reclaimed.
         """
         if now is None:
-            now = time.time()
+            now = _wall_clock()
         self.flush_lineage()
         summary = {
             "result_evictions": 0,

@@ -289,3 +289,56 @@ class TestPartitionsFlag:
                      "--partitions", "2"])
         assert code == 2
         capsys.readouterr()
+
+
+class TestTraceFlag:
+    @pytest.fixture(autouse=True)
+    def _restore_tracing(self, monkeypatch):
+        """``--trace`` flips process-wide state (env var + module flag by
+        design, like ``--backend``); put both back after each test."""
+        import os
+
+        from repro.engine import telemetry
+
+        monkeypatch.setitem(os.environ, "REPRO_TRACE", os.environ.get("REPRO_TRACE", ""))
+        was = telemetry.enabled()
+        yield
+        telemetry.set_enabled(was)
+        telemetry.reset()
+
+    def test_trace_exports_chrome_json(self, sample_csv, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code = main(["query", str(sample_csv), "--k", "2", "--id-column", "id",
+                     "--trace", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace: wrote" in out
+        payload = json.loads(out_path.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "engine.query" in names
+
+    def test_trace_jsonl_feeds_trace_summary(self, sample_csv, tmp_path, capsys):
+        log_path = tmp_path / "trace.jsonl"
+        code = main(["query", str(sample_csv), "--k", "2", "--id-column", "id",
+                     "--partitions", "2", "--trace", str(log_path)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["trace", "summary", str(log_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "partition.phase1" in out
+        assert "attributed to named phases" in out
+
+    def test_trace_dash_prints_summary_inline(self, sample_csv, capsys):
+        code = main(["query", str(sample_csv), "--k", "2", "--id-column", "id",
+                     "--trace", "-"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "attributed to named phases" in out
+
+    def test_trace_summary_missing_file_is_an_error(self, tmp_path, capsys):
+        code = main(["trace", "summary", str(tmp_path / "absent.jsonl")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -85,6 +85,33 @@ class TestResultRoundTrip:
         with pytest.raises(InvalidParameterError):
             PersistentStore(tmp_path, max_bytes=0)
 
+    def test_stats_extra_round_trips(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        original = _result(algorithm="partitioned")
+        original.stats.extra.update(partitions=4, survival=0.25, merge="tree")
+        original.stats.extra["unpicklable"] = object()  # non-JSON: dropped, not fatal
+        store.put_result("fp", 1, "partitioned", (), original)
+        fetched = PersistentStore(tmp_path).get_result("fp", 1, "partitioned", ())
+        assert fetched.stats.extra["partitions"] == 4
+        assert fetched.stats.extra["survival"] == 0.25
+        assert fetched.stats.extra["merge"] == "tree"
+        assert "unpicklable" not in fetched.stats.extra
+
+    def test_unknown_persisted_stats_keys_land_in_extra(self, tmp_path):
+        """Forward compatibility: a stats key written by another package
+        version must surface in ``stats.extra``, not silently vanish."""
+        from repro.engine.store import _decode_result, _encode_result
+
+        original = _result()
+        original.stats.algorithm = "naive"
+        payload = _encode_result(original)
+        payload["stats"]["frobnication_level"] = 11  # field we do not have
+        decoded = _decode_result(payload)
+        assert decoded.stats.extra["frobnication_level"] == 11
+        # Known fields still land on the dataclass, not in extra.
+        assert decoded.stats.algorithm == "naive"
+        assert "algorithm" not in decoded.stats.extra
+
 
 class TestSchemaVersioning:
     def test_other_package_version_is_ignored(self, tmp_path):

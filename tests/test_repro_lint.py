@@ -402,6 +402,70 @@ def measure(rows):
 
 
 # =========================================================================
+# REP009 — raw clock calls outside the telemetry module
+# =========================================================================
+
+BAD_REP009 = '''
+import time
+
+def measure(block):
+    start = time.perf_counter()
+    block()
+    return time.perf_counter() - start
+'''
+
+GOOD_REP009 = '''
+from .telemetry import clock as _clock
+
+def measure(block):
+    start = _clock()
+    block()
+    return _clock() - start
+'''
+
+
+def test_rep009_fires_on_raw_clock_in_engine_layer():
+    findings = lint_source(BAD_REP009, "src/repro/engine/session.py", selected={"REP009"})
+    assert codes(findings) == ["REP009"]
+    assert len(findings) == 2  # both call sites, one finding each
+    assert "telemetry" in findings[0].message
+
+
+def test_rep009_fires_on_from_time_import():
+    snippet = "from time import perf_counter\n"
+    findings = lint_source(snippet, "src/repro/engine/kernels.py", selected={"REP009"})
+    assert codes(findings) == ["REP009"]
+
+
+def test_rep009_telemetry_module_is_the_sanctioned_home():
+    assert lint_source(BAD_REP009, "src/repro/engine/telemetry.py", selected={"REP009"}) == []
+
+
+def test_rep009_clock_aliases_are_fine():
+    assert lint_source(GOOD_REP009, "src/repro/engine/partition.py", selected={"REP009"}) == []
+
+
+def test_rep009_out_of_scope_outside_engine_layer():
+    # Presentation layers (CLI, experiments) and tests/benchmarks keep
+    # their raw clocks; the invariant binds the engine package only.
+    assert lint_source(BAD_REP009, "src/repro/cli.py", selected={"REP009"}) == []
+    assert lint_source(BAD_REP009, "tests/test_engine_session.py", selected={"REP009"}) == []
+    assert lint_source(BAD_REP009, "benchmarks/bench_engine_native.py", selected={"REP009"}) == []
+
+
+def test_rep009_time_dot_time_also_flagged():
+    snippet = '''
+import time
+
+def entry_age(entry):
+    return time.time() - entry["created"]
+'''
+    findings = lint_source(snippet, "src/repro/engine/store.py", selected={"REP009"})
+    assert codes(findings) == ["REP009"]
+    assert "wall_clock" in findings[0].message
+
+
+# =========================================================================
 # REP007 — ctypes↔C prototype checking
 # =========================================================================
 
@@ -697,6 +761,7 @@ def test_cli_list_rules_covers_catalogue():
         "REP006",
         "REP007",
         "REP008",
+        "REP009",
     ]:
         assert code in result.stdout
 

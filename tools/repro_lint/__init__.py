@@ -37,6 +37,10 @@ Rule catalogue (one line each; ``python -m repro_lint --list-rules``):
   ``_scalar`` twin with an identical signature and an entry in its
   family's dispatch table; twin drift is UB under one function-pointer
   type, and an unwired variant means a level still routes to old code.
+* **REP009** raw clock calls — ``time.time()``/``time.perf_counter()``
+  (and friends) in the engine layer outside ``engine/telemetry.py``;
+  engine timing flows through ``telemetry.clock``/``wall_clock`` so
+  spans, metrics and ad-hoc timing all read the same reviewed clocks.
 
 Suppressions require a justification::
 

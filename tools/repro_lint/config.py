@@ -20,6 +20,10 @@ from __future__ import annotations
 # by design and relies on its owner's lock (``QueryEngine._lock``), so the
 # discipline is enforced at the owner.
 GUARDED_CLASSES: dict[str, dict] = {
+    "MetricsRegistry": {
+        "locks": {"_lock"},
+        "attrs": {"_counters", "_gauges", "_histograms"},
+    },
     "PreparedDatasetCache": {
         "locks": {"_lock"},
         "attrs": {
@@ -65,6 +69,10 @@ GUARDED_GLOBALS: dict[str, dict] = {
     "planner.py": {"lock": "_calibration_lock", "names": {"_calibration"}},
     "backend.py": {"lock": "_segments_lock", "names": {"_segments"}},
     "session.py": {"lock": "_pool_lock", "names": {"_pool", "_pool_size"}},
+    # ``_enabled`` (telemetry.py) is deliberately absent: the disabled
+    # fast path reads one word unlocked, same contract as
+    # ``_active_backend``.
+    "telemetry.py": {"lock": "_spans_lock", "names": {"_spans", "_spans_dropped"}},
 }
 
 # --------------------------------------------------------------------------
@@ -77,6 +85,7 @@ SELF_LOCK_DOMAINS: dict[str, str] = {
     "QueryEngine": "engine",
     "PersistentStore": "store",
     "PreparedDataset": "prepared",
+    "MetricsRegistry": "telemetry",
 }
 
 # ``with self.<attr>:`` lock attributes and, where the attribute alone
@@ -98,6 +107,7 @@ MODULE_LOCK_DOMAINS: dict[str, str] = {
     "_registry_lock": "backend-registry",
     "_native_lock": "native-build",
     "_pool_lock": "pool",
+    "_spans_lock": "telemetry-spans",
 }
 
 # Receiver-name suffix → class, for resolving ``x.method()`` calls in the
@@ -154,6 +164,33 @@ NONDET_OS_CALLS = {"urandom"}
 # np.random.* / numpy.random.*
 NONDET_NUMPY_ALIASES = {"np", "numpy"}
 DICT_ITER_ATTRS = {"items", "values", "keys"}
+
+# --------------------------------------------------------------------------
+# REP009 — raw clock calls belong to the telemetry module.
+#
+# Engine-layer timing must flow through ``telemetry.clock`` /
+# ``telemetry.wall_clock`` so every duration a span or metric reports
+# came off the same clocks — and so clock choice (monotonic vs epoch) is
+# a reviewed, one-place decision rather than a per-call-site accident.
+RAW_CLOCK_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "thread_time",
+        "thread_time_ns",
+    }
+)
+# The one sanctioned home of raw ``time.*`` calls in the engine layer.
+RAW_CLOCK_ALLOWED_BASENAMES = {"telemetry.py"}
+# Only the engine package carries the invariant (CLI, experiments and
+# bitmap codec timing are presentation-layer and exempt).
+RAW_CLOCK_PART_NAMES = {"engine"}
 
 # --------------------------------------------------------------------------
 # Path scoping helpers (posix-style parts).

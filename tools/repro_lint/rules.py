@@ -1,4 +1,4 @@
-"""Per-file AST checkers: REP001, REP003, REP004, REP005, REP006.
+"""Per-file AST checkers: REP001, REP003, REP004, REP005, REP006, REP009.
 
 All checkers are lexical approximations chosen to have near-zero false
 positives on idiomatic engine code; genuinely intentional violations are
@@ -504,4 +504,56 @@ register_rule(
     "REP006",
     "time/randomness/unsorted dict iteration inside a fingerprint, digest or lineage function",
     per_file=check_rep006,
+)
+
+
+# ==========================================================================
+# REP009 — raw clock calls outside the telemetry module
+# ==========================================================================
+
+def check_rep009(sf: SourceFile) -> list[Finding]:
+    if not config.is_engine_source(sf.parts):
+        return []
+    if not any(p in config.RAW_CLOCK_PART_NAMES for p in sf.parts):
+        return []
+    if sf.basename in config.RAW_CLOCK_ALLOWED_BASENAMES:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.Attribute) and node.attr in config.RAW_CLOCK_ATTRS:
+            chain = _attr_chain(node)
+            if chain.startswith("time."):
+                findings.append(
+                    Finding(
+                        "REP009",
+                        f"raw clock call '{chain}' in the engine layer: import "
+                        "'clock'/'wall_clock' from engine/telemetry.py so spans, "
+                        "metrics and ad-hoc timing all read the same clocks",
+                        sf.path,
+                        node.lineno,
+                        node.col_offset,
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in config.RAW_CLOCK_ATTRS:
+                    findings.append(
+                        Finding(
+                            "REP009",
+                            f"'from time import {alias.name}' in the engine layer: "
+                            "import 'clock'/'wall_clock' from engine/telemetry.py "
+                            "so spans, metrics and ad-hoc timing all read the "
+                            "same clocks",
+                            sf.path,
+                            node.lineno,
+                            node.col_offset,
+                        )
+                    )
+    return findings
+
+
+register_rule(
+    "REP009",
+    "raw time.* clock call in the engine layer outside engine/telemetry.py",
+    per_file=check_rep009,
 )
